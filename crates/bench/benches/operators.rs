@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks for the per-item costs behind Figures 5 & 7:
+//! equation-system solving, per-tuple discrete operator costs, validation
+//! checks, and model fitting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pulse_bench::{queries, run_discrete, run_predictive};
+use pulse_math::{poly_roots_in, Poly};
+use pulse_model::{CheckMode, FitConfig, StreamFitter};
+use pulse_workload::{moving, MovingConfig, MovingObjectGen};
+
+fn workload(tps: f64, duration: f64) -> Vec<pulse_model::Tuple> {
+    MovingObjectGen::new(MovingConfig {
+        objects: 10,
+        sample_dt: 0.1,
+        leg_duration: tps * 0.1,
+        seed: 1,
+        ..Default::default()
+    })
+    .generate(duration)
+}
+
+fn bench_root_finding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("roots");
+    let quad = Poly::new(vec![16.0, -10.0, 1.0]);
+    g.bench_function("quadratic", |b| {
+        b.iter(|| poly_roots_in(std::hint::black_box(&quad), 0.0, 10.0, 1e-10))
+    });
+    let quartic = Poly::new(vec![6.0, -5.0, -7.0, 3.0, 1.0]);
+    g.bench_function("quartic", |b| {
+        b.iter(|| poly_roots_in(std::hint::black_box(&quartic), -10.0, 10.0, 1e-10))
+    });
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter");
+    g.sample_size(10);
+    for tps in [50.0, 500.0] {
+        let tuples = workload(tps, 20.0);
+        let lp = queries::micro::filter(0.0);
+        g.bench_with_input(BenchmarkId::new("discrete", tps as u64), &tuples, |b, t| {
+            b.iter(|| run_discrete(&lp, &[(0, t)]))
+        });
+        g.bench_with_input(BenchmarkId::new("pulse", tps as u64), &tuples, |b, t| {
+            b.iter(|| {
+                run_predictive(&lp, vec![moving::stream_model()], &[(0, t)], 1.0, tps * 0.1)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate_min");
+    g.sample_size(10);
+    let tuples = workload(150.0, 20.0);
+    for window in [10.0, 60.0] {
+        let lp = queries::micro::min_agg(window, 2.0);
+        g.bench_with_input(BenchmarkId::new("discrete", window as u64), &tuples, |b, t| {
+            b.iter(|| run_discrete(&lp, &[(0, t)]))
+        });
+        g.bench_with_input(BenchmarkId::new("pulse", window as u64), &tuples, |b, t| {
+            b.iter(|| {
+                run_predictive(&lp, vec![moving::stream_model()], &[(0, t)], 1.0, 15.0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+    let left = workload(50.0, 10.0);
+    let right = MovingObjectGen::new(MovingConfig {
+        objects: 10,
+        sample_dt: 0.1,
+        leg_duration: 5.0,
+        seed: 2,
+        ..Default::default()
+    })
+    .generate(10.0);
+    let lp = queries::micro::join(0.1);
+    g.bench_function("discrete", |b| {
+        b.iter(|| run_discrete(&lp, &[(0, &left), (1, &right)]))
+    });
+    g.bench_function("pulse", |b| {
+        b.iter(|| {
+            run_predictive(
+                &lp,
+                vec![moving::stream_model(), moving::stream_model()],
+                &[(0, &left), (1, &right)],
+                1.0,
+                5.0,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fitting");
+    g.sample_size(10);
+    let tuples = workload(150.0, 20.0);
+    for (name, check) in [("full", CheckMode::Full), ("newpoint", CheckMode::NewPoint)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = FitConfig { max_error: 0.5, check, ..Default::default() };
+                let mut f = StreamFitter::new(cfg, vec![0, 2]);
+                let mut n = 0;
+                for t in &tuples {
+                    if f.push(t).is_some() {
+                        n += 1;
+                    }
+                }
+                n + f.finish().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_root_finding,
+    bench_filter,
+    bench_aggregate,
+    bench_join,
+    bench_fitting
+);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Figure 5: operator microbenchmarks.
+//!
+//! Throughput of continuous-time vs tuple-based filter (5i), min aggregate
+//! (5ii) and join (5iii) as the model expressiveness — tuples per segment —
+//! varies, all with a 1% error threshold. The paper's crossovers: filter
+//! ≈1050 tuples/segment, aggregate ≈120–180, join ≈1.45.
+
+use pulse_bench::{best_of, mean_abs, queries, report, run_discrete, run_predictive, Params};
+use pulse_workload::{moving, MovingConfig, MovingObjectGen};
+
+fn workload(tps: f64, objects: usize, duration: f64, seed: u64) -> Vec<pulse_model::Tuple> {
+    let sample_dt = 0.1;
+    MovingObjectGen::new(MovingConfig {
+        objects,
+        sample_dt,
+        leg_duration: tps * sample_dt,
+        noise: 0.0,
+        seed,
+        ..Default::default()
+    })
+    .generate(duration)
+}
+
+fn main() {
+    let p = Params::from_env();
+
+    // --- Fig 5i: filter ---
+    let mut rows = Vec::new();
+    let mut s_disc = report::Series::new("discrete");
+    let mut s_pulse = report::Series::new("pulse");
+    for &tps in &p.filter_tps_sweep {
+        let tuples = workload(tps, 100, p.filter_duration, 1);
+        let lp = queries::micro::filter(0.0);
+        let d = best_of(3, || run_discrete(&lp, &[(0, &tuples)]));
+        let bound = p.micro_rel_bound * mean_abs(&tuples, 0);
+        let mut last_stats = None;
+        let c = best_of(3, || {
+            let (r, s) = run_predictive(
+                &lp,
+                vec![moving::stream_model()],
+                &[(0, &tuples)],
+                bound,
+                tps * 0.1,
+            );
+            last_stats = Some(s);
+            r
+        });
+        let stats = last_stats.unwrap();
+        rows.push(vec![
+            report::fmt(tps),
+            report::fmt(d.capacity()),
+            report::fmt(c.capacity()),
+            report::fmt(c.capacity() / d.capacity()),
+            stats.segments_pushed.to_string(),
+        ]);
+        s_disc.push(tps, d.capacity());
+        s_pulse.push(tps, c.capacity());
+    }
+    report::table(
+        "Fig 5i — filter throughput vs tuples/segment (1% bound)",
+        &["tuples/seg", "discrete t/s", "pulse t/s", "speedup", "segments"],
+        &rows,
+    );
+    report::save_series("fig5i_filter", &[s_disc, s_pulse]);
+
+    // --- Fig 5ii: min aggregate, three window sizes for the discrete side ---
+    let mut rows = Vec::new();
+    let mut series = vec![report::Series::new("pulse")];
+    for w in &p.agg_window_sizes {
+        series.push(report::Series::new(&format!("discrete w={w}")));
+    }
+    for &tps in &p.agg_tps_sweep {
+        let tuples = workload(tps, 50, p.agg_duration, 2);
+        let bound = p.micro_rel_bound * mean_abs(&tuples, 0);
+        let mut row = vec![report::fmt(tps)];
+        // Pulse: window size barely matters (validation dominates); use the
+        // middle one.
+        let wmid = p.agg_window_sizes[p.agg_window_sizes.len() / 2];
+        let lp = queries::micro::min_agg(wmid, 2.0);
+        let c = best_of(3, || {
+            run_predictive(
+                &lp,
+                vec![moving::stream_model()],
+                &[(0, &tuples)],
+                bound,
+                tps * 0.1,
+            )
+            .0
+        });
+        row.push(report::fmt(c.capacity()));
+        series[0].push(tps, c.capacity());
+        for (i, &w) in p.agg_window_sizes.iter().enumerate() {
+            let lp = queries::micro::min_agg(w, 2.0);
+            let d = best_of(3, || run_discrete(&lp, &[(0, &tuples)]));
+            row.push(report::fmt(d.capacity()));
+            series[i + 1].push(tps, d.capacity());
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("tuples/seg".to_string())
+        .chain(std::iter::once("pulse t/s".to_string()))
+        .chain(p.agg_window_sizes.iter().map(|w| format!("disc w={w}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    report::table(
+        "Fig 5ii — min-aggregate throughput vs tuples/segment (1% bound)",
+        &headers_ref,
+        &rows,
+    );
+    report::save_series("fig5ii_aggregate", &series);
+
+    // --- Fig 5iii: join ---
+    let mut rows = Vec::new();
+    let mut s_disc = report::Series::new("discrete");
+    let mut s_pulse = report::Series::new("pulse");
+    for &tps in &p.join_tps_sweep {
+        let left = workload(tps, 20, p.join_duration, 3);
+        let right = workload(tps, 20, p.join_duration, 4);
+        let lp = queries::micro::join(p.join_window);
+        let d = best_of(3, || run_discrete(&lp, &[(0, &left), (1, &right)]));
+        let bound = p.micro_rel_bound * mean_abs(&left, 0);
+        let c = best_of(3, || {
+            run_predictive(
+                &lp,
+                vec![moving::stream_model(), moving::stream_model()],
+                &[(0, &left), (1, &right)],
+                bound,
+                (tps * 0.1).max(0.2),
+            )
+            .0
+        });
+        rows.push(vec![
+            report::fmt(tps),
+            report::fmt(d.capacity()),
+            report::fmt(c.capacity()),
+            report::fmt(c.capacity() / d.capacity()),
+        ]);
+        s_disc.push(tps, d.capacity());
+        s_pulse.push(tps, c.capacity());
+    }
+    report::table(
+        "Fig 5iii — join throughput vs tuples/segment (window 0.1 s, 1% bound)",
+        &["tuples/seg", "discrete t/s", "pulse t/s", "speedup"],
+        &rows,
+    );
+    report::save_series("fig5iii_join", &[s_disc, s_pulse]);
+}

@@ -1,0 +1,107 @@
+//! Figure 7: processing-cost comparisons.
+//!
+//! (i) aggregate cost per tuple vs window size 10–100 s (slide 2 s): the
+//! discrete aggregate is linear in the window size (one state increment
+//! per open window per tuple) while Pulse's cost is flat — mostly
+//! validation; the paper reports Pulse winning beyond ~30 s windows and
+//! reaching ~40% of the tuple cost at 100 s.
+//!
+//! (ii) join cost vs stream rate 100–900 t/s (window 0.1 s): the discrete
+//! nested-loops join grows quadratically with rate; Pulse's validation
+//! cost stays low.
+
+use pulse_bench::{mean_abs, queries, report, run_discrete, run_predictive, Params};
+use pulse_workload::{moving, MovingConfig, MovingObjectGen};
+
+fn main() {
+    let p = Params::from_env();
+
+    // --- Fig 7i: aggregate cost vs window size ---
+    // Fixed stream rate ≈ fig7_agg_rate, moderate model fit.
+    let objects = 30;
+    let sample_dt = objects as f64 / p.fig7_agg_rate;
+    let tuples = MovingObjectGen::new(MovingConfig {
+        objects,
+        sample_dt,
+        leg_duration: 200.0 * sample_dt,
+        seed: 5,
+        ..Default::default()
+    })
+    .generate(p.duration);
+    let bound = p.micro_rel_bound * mean_abs(&tuples, 0);
+    let mut rows = Vec::new();
+    let mut s_disc = report::Series::new("discrete us/tuple");
+    let mut s_pulse = report::Series::new("pulse us/tuple");
+    for &w in &p.fig7_window_sweep {
+        let lp = queries::micro::min_agg(w, p.fig7_slide);
+        let d = run_discrete(&lp, &[(0, &tuples)]);
+        let (c, _) = run_predictive(
+            &lp,
+            vec![moving::stream_model()],
+            &[(0, &tuples)],
+            bound,
+            200.0 * sample_dt,
+        );
+        rows.push(vec![
+            report::fmt(w),
+            report::fmt(d.us_per_item()),
+            report::fmt(c.us_per_item()),
+            report::fmt(d.work_per_item()),
+            report::fmt(c.work_per_item()),
+            report::fmt(c.us_per_item() / d.us_per_item()),
+        ]);
+        s_disc.push(w, d.us_per_item());
+        s_pulse.push(w, c.us_per_item());
+    }
+    report::table(
+        "Fig 7i — aggregate cost vs window size (slide 2 s, 1% bound)",
+        &["window s", "disc us/t", "pulse us/t", "disc work/t", "pulse work/t", "ratio"],
+        &rows,
+    );
+    report::save_series("fig7i_agg_cost", &[s_disc, s_pulse]);
+
+    // --- Fig 7ii: join cost vs stream rate ---
+    let mut rows = Vec::new();
+    let mut s_disc = report::Series::new("discrete us/tuple");
+    let mut s_pulse = report::Series::new("pulse us/tuple");
+    for &rate in &p.fig7_join_rates {
+        let objects = 10;
+        let sample_dt = objects as f64 / (rate / 2.0); // two streams share the rate
+        let mk = |seed| {
+            MovingObjectGen::new(MovingConfig {
+                objects,
+                sample_dt,
+                leg_duration: 50.0 * sample_dt,
+                seed,
+                ..Default::default()
+            })
+            .generate(p.duration)
+        };
+        let (left, right) = (mk(6), mk(7));
+        let lp = queries::micro::join(p.fig7_join_window);
+        let d = run_discrete(&lp, &[(0, &left), (1, &right)]);
+        let bound = p.micro_rel_bound * mean_abs(&left, 0);
+        let (c, _) = run_predictive(
+            &lp,
+            vec![moving::stream_model(), moving::stream_model()],
+            &[(0, &left), (1, &right)],
+            bound,
+            50.0 * sample_dt,
+        );
+        rows.push(vec![
+            report::fmt(rate),
+            report::fmt(d.us_per_item()),
+            report::fmt(c.us_per_item()),
+            report::fmt(d.work_per_item()),
+            report::fmt(c.work_per_item()),
+        ]);
+        s_disc.push(rate, d.us_per_item());
+        s_pulse.push(rate, c.us_per_item());
+    }
+    report::table(
+        "Fig 7ii — join cost vs stream rate (window 0.1 s, 1% bound)",
+        &["rate t/s", "disc us/t", "pulse us/t", "disc work/t", "pulse work/t"],
+        &rows,
+    );
+    report::save_series("fig7ii_join_cost", &[s_disc, s_pulse]);
+}

@@ -1,0 +1,95 @@
+//! Figure 9iii: performance vs precision tradeoff.
+//!
+//! End-to-end MACD latency at a fixed 3000 t/s replay rate as the relative
+//! precision bound sweeps 0.1%–20%, with the violation count (the paper's
+//! log-scale inset). The paper: latency stays low down to ≈0.3% relative
+//! error, below which violations grow exponentially and queueing blows the
+//! latency up.
+
+use pulse_bench::measure::merge_feeds;
+use pulse_bench::{mean_abs, queries, report, Params};
+use pulse_core::runtime::Predictor;
+use pulse_core::{PulseRuntime, RuntimeConfig};
+use pulse_workload::{replay_at, NyseConfig, NyseGen};
+use std::time::Instant;
+
+fn main() {
+    let p = Params::from_env();
+    let lp = queries::macd(p.macd_short, p.macd_long, p.macd_slide);
+    let tuples = NyseGen::new(NyseConfig {
+        rate: p.precision_rate,
+        symbols: 20,
+        drift_duration: 5.0,
+        tick_noise: 0.0005,
+        ..Default::default()
+    })
+    .generate(2.5 * p.macd_long);
+    let price_scale = mean_abs(&tuples, 0);
+
+    // Measure every bound first; the normalized offered rate is derived
+    // from the loose-bound capacities afterwards (single runs are noisy).
+    let mut sweep = p.precision_sweep.clone();
+    sweep.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut measured = Vec::new();
+    for &rel in &sweep {
+        let bound = rel * price_scale;
+        let merged = merge_feeds(&[(0, &tuples)]);
+        let cfg = RuntimeConfig { horizon: 5.0, bound, ..Default::default() };
+        let mut rt = PulseRuntime::with_predictors(
+            vec![Predictor::AdaptiveLinear(pulse_workload::nyse::schema())],
+            &lp,
+            cfg,
+        )
+        .expect("transformable query");
+        let start = Instant::now();
+        let mut outputs = 0u64;
+        for (i, (src, t)) in merged.iter().enumerate() {
+            outputs += rt.on_tuple(*src, t).len() as u64;
+            if i % 50_000 == 0 {
+                rt.gc_before(t.ts - 50.0);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let stats = rt.stats();
+        let run = pulse_bench::RunResult {
+            items: merged.len() as u64,
+            secs,
+            outputs,
+            work: rt.plan().metrics().work() + rt.validator().checks,
+        };
+        measured.push((rel, run, stats));
+    }
+    // Pin the normalized offered rate to half the best loose-bound capacity
+    // (bounds ≥ 3% barely re-solve; their capacity is the loose plateau).
+    let loose_cap = measured
+        .iter()
+        .filter(|(rel, _, _)| *rel >= 0.03)
+        .map(|(_, r, _)| r.capacity())
+        .fold(0.0_f64, f64::max);
+    let norm = 0.4 * loose_cap;
+    let mut rows = Vec::new();
+    let mut s_lat = report::Series::new("latency ms");
+    let mut s_vio = report::Series::new("violations");
+    for (rel, run, stats) in &measured {
+        let point = replay_at(p.precision_rate, run.capacity());
+        let latency_ms = if point.saturated { f64::INFINITY } else { point.latency * 1e3 };
+        let npoint = replay_at(norm, run.capacity());
+        let nlat_ms = if npoint.saturated { f64::INFINITY } else { npoint.latency * 1e3 };
+        rows.push(vec![
+            format!("{:.2}%", rel * 100.0),
+            report::fmt(run.capacity()),
+            report::fmt(latency_ms),
+            report::fmt(nlat_ms),
+            stats.violations.to_string(),
+            stats.suppressed.to_string(),
+        ]);
+        s_lat.push(*rel, nlat_ms);
+        s_vio.push(*rel, stats.violations as f64);
+    }
+    report::table(
+        "Fig 9iii — MACD latency & violations vs precision bound (3000 t/s)",
+        &["bound", "capacity t/s", "latency ms", "norm latency ms", "violations", "suppressed"],
+        &rows,
+    );
+    report::save_series("fig9iii_precision", &[s_lat, s_vio]);
+}

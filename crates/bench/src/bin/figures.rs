@@ -1,0 +1,72 @@
+//! Runs every figure harness in sequence and prints the Fig. 6 parameter
+//! table first. `PULSE_BENCH_QUICK=1` shrinks the sweeps.
+
+use pulse_bench::{report, Params};
+use std::process::Command;
+
+fn main() {
+    let p = Params::from_env();
+    report::table(
+        "Fig 6 — experimental parameters",
+        &["experiment", "parameter", "value"],
+        &[
+            vec!["Fig 5i filter".into(), "precision bound".into(), "1%".into()],
+            vec![
+                "Fig 5i filter".into(),
+                "tuples/segment sweep".into(),
+                format!("{:?}", p.filter_tps_sweep),
+            ],
+            vec![
+                "Fig 5ii aggregate".into(),
+                "window sizes".into(),
+                format!("{:?} s", p.agg_window_sizes),
+            ],
+            vec!["Fig 5iii join".into(), "window".into(), format!("{} s", p.join_window)],
+            vec![
+                "Fig 7i aggregate".into(),
+                "window 10–100 s, slide".into(),
+                format!("{} s @ {} t/s", p.fig7_slide, p.fig7_agg_rate),
+            ],
+            vec![
+                "Fig 7ii join".into(),
+                "rates".into(),
+                format!("{:?} t/s, window {} s", p.fig7_join_rates, p.fig7_join_window),
+            ],
+            vec![
+                "Fig 8 historical".into(),
+                "rates / window / slide".into(),
+                format!("{:?} t/s, {} s, {} s", p.fig8_rates, p.fig8_window, p.fig8_slide),
+            ],
+            vec![
+                "Fig 9i NYSE".into(),
+                "rates / bound".into(),
+                format!("{:?} t/s, {}%", p.nyse_rates, p.nyse_rel_bound * 100.0),
+            ],
+            vec![
+                "Fig 9ii AIS".into(),
+                "rates / bound".into(),
+                format!("{:?} t/s, {}%", p.ais_rates, p.ais_rel_bound * 100.0),
+            ],
+            vec![
+                "Fig 9iii precision".into(),
+                "bounds @ rate".into(),
+                format!("{:?} @ {} t/s", p.precision_sweep, p.precision_rate),
+            ],
+        ],
+    );
+
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("bin directory");
+    for bin in ["fig5_micro", "fig7_cost", "fig8_historical", "fig9_nyse", "fig9_ais", "fig9_precision"] {
+        let path = exe_dir.join(bin);
+        println!("\n################ {bin} ################");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("could not run {bin} ({e}); run `cargo run -p pulse-bench --release --bin {bin}`"),
+        }
+    }
+}

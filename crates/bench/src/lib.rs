@@ -1,0 +1,16 @@
+//! Benchmark harness reproducing every table and figure of the Pulse
+//! paper's evaluation (§V). See DESIGN.md's experiment index for the
+//! figure-to-binary mapping; run `cargo run -p pulse-bench --release
+//! --bin figures` for the complete sweep (set `PULSE_BENCH_QUICK=1` for a
+//! fast smoke run).
+
+pub mod measure;
+pub mod params;
+pub mod queries;
+pub mod report;
+
+pub use measure::{
+    best_of, fit_only, mean_abs, merge_feeds, run_discrete, run_historical, run_predictive,
+    run_segments, RunResult,
+};
+pub use params::Params;

@@ -1,0 +1,160 @@
+//! Experimental parameters (Figure 6 of the paper).
+//!
+//! Single source of truth for every sweep constant, mirroring the paper's
+//! parameter table. Workload *sizes* (durations, object counts) are scaled
+//! to finish on a laptop while preserving each figure's sweep ranges and
+//! the relative shapes; `quick()` shrinks them further for smoke runs.
+
+/// All experiment constants.
+#[derive(Debug, Clone)]
+pub struct Params {
+    // Fig. 5i — filter microbenchmark
+    pub filter_tps_sweep: Vec<f64>,
+    pub filter_duration: f64,
+    // Fig. 5ii — aggregate microbenchmark
+    pub agg_tps_sweep: Vec<f64>,
+    pub agg_window_sizes: Vec<f64>,
+    pub agg_duration: f64,
+    // Fig. 5iii — join microbenchmark
+    pub join_tps_sweep: Vec<f64>,
+    pub join_window: f64,
+    pub join_duration: f64,
+    // Common microbenchmark precision bound (paper: 1%)
+    pub micro_rel_bound: f64,
+    // Fig. 7i — aggregate cost vs window size (10–100 s, slide 2 s)
+    pub fig7_window_sweep: Vec<f64>,
+    pub fig7_slide: f64,
+    pub fig7_agg_rate: f64,
+    // Fig. 7ii — join cost vs stream rate (100–900 t/s, window 0.1 s)
+    pub fig7_join_rates: Vec<f64>,
+    pub fig7_join_window: f64,
+    // Fig. 8 — historical processing (min agg, 60 s window, 2 s slide)
+    pub fig8_rates: Vec<f64>,
+    pub fig8_window: f64,
+    pub fig8_slide: f64,
+    pub fig8_fit_error: f64,
+    // Fig. 9i — NYSE MACD (rates 3000–8500, 1% bound)
+    pub nyse_rates: Vec<f64>,
+    pub nyse_rel_bound: f64,
+    pub macd_short: f64,
+    pub macd_long: f64,
+    pub macd_slide: f64,
+    // Fig. 9ii — AIS following (rates 200–6000, 0.05% bound)
+    pub ais_rates: Vec<f64>,
+    pub ais_rel_bound: f64,
+    pub follow_join_window: f64,
+    pub follow_avg_window: f64,
+    pub follow_avg_slide: f64,
+    pub follow_threshold: f64,
+    // Fig. 9iii — precision sweep (0.1%–20% at 3000 t/s)
+    pub precision_sweep: Vec<f64>,
+    pub precision_rate: f64,
+    // Shared workload scale
+    pub duration: f64,
+}
+
+impl Params {
+    /// Full-scale parameters (minutes of total runtime).
+    pub fn full() -> Params {
+        Params {
+            filter_tps_sweep: vec![10.0, 50.0, 200.0, 500.0, 1000.0, 1500.0, 2000.0],
+            filter_duration: 100.0,
+            agg_tps_sweep: vec![10.0, 50.0, 100.0, 150.0, 200.0, 400.0, 800.0],
+            agg_window_sizes: vec![10.0, 30.0, 60.0],
+            agg_duration: 100.0,
+            join_tps_sweep: vec![1.0, 1.5, 2.0, 5.0, 20.0, 100.0],
+            join_window: 0.1,
+            join_duration: 40.0,
+            micro_rel_bound: 0.01,
+            fig7_window_sweep: vec![10.0, 20.0, 30.0, 50.0, 70.0, 100.0],
+            fig7_slide: 2.0,
+            fig7_agg_rate: 3000.0,
+            fig7_join_rates: vec![100.0, 300.0, 500.0, 700.0, 900.0],
+            fig7_join_window: 0.1,
+            fig8_rates: vec![3000.0, 7500.0, 15000.0, 22500.0, 30000.0],
+            fig8_window: 60.0,
+            fig8_slide: 2.0,
+            fig8_fit_error: 0.5,
+            nyse_rates: vec![3000.0, 4000.0, 5000.0, 6500.0, 8500.0],
+            nyse_rel_bound: 0.01,
+            macd_short: 10.0,
+            macd_long: 60.0,
+            macd_slide: 2.0,
+            ais_rates: vec![200.0, 600.0, 1100.0, 2000.0, 4000.0, 6000.0],
+            ais_rel_bound: 0.0005,
+            follow_join_window: 10.0,
+            follow_avg_window: 600.0,
+            follow_avg_slide: 10.0,
+            follow_threshold: 1000.0,
+            precision_sweep: vec![0.001, 0.003, 0.01, 0.03, 0.1, 0.2],
+            precision_rate: 3000.0,
+            duration: 60.0,
+        }
+    }
+
+    /// Reduced parameters for smoke runs (`PULSE_BENCH_QUICK=1`).
+    pub fn quick() -> Params {
+        let mut p = Params::full();
+        p.filter_duration = 20.0;
+        p.agg_duration = 20.0;
+        p.join_duration = 10.0;
+        p.duration = 15.0;
+        p.filter_tps_sweep = vec![10.0, 500.0, 2000.0];
+        p.agg_tps_sweep = vec![10.0, 150.0, 800.0];
+        p.join_tps_sweep = vec![1.0, 2.0, 20.0];
+        p.fig7_window_sweep = vec![10.0, 50.0, 100.0];
+        p.fig7_join_rates = vec![100.0, 500.0, 900.0];
+        p.fig8_rates = vec![3000.0, 15000.0, 30000.0];
+        p.nyse_rates = vec![3000.0, 6500.0];
+        p.ais_rates = vec![200.0, 2000.0];
+        p.macd_short = 5.0;
+        p.macd_long = 20.0;
+        p.follow_avg_window = 60.0;
+        p.follow_avg_slide = 5.0;
+        p.precision_sweep = vec![0.001, 0.01, 0.1];
+        p
+    }
+
+    /// Picks full or quick based on `PULSE_BENCH_QUICK`.
+    pub fn from_env() -> Params {
+        if std::env::var("PULSE_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            Params::quick()
+        } else {
+            Params::full()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_ranges() {
+        let p = Params::full();
+        // Fig. 6 ranges.
+        assert_eq!(p.micro_rel_bound, 0.01);
+        assert_eq!(*p.fig7_window_sweep.first().unwrap(), 10.0);
+        assert_eq!(*p.fig7_window_sweep.last().unwrap(), 100.0);
+        assert_eq!(p.fig7_slide, 2.0);
+        assert_eq!(*p.fig7_join_rates.first().unwrap(), 100.0);
+        assert_eq!(*p.fig7_join_rates.last().unwrap(), 900.0);
+        assert_eq!(p.fig8_window, 60.0);
+        assert_eq!(p.fig8_slide, 2.0);
+        assert_eq!(*p.nyse_rates.first().unwrap(), 3000.0);
+        assert_eq!(*p.nyse_rates.last().unwrap(), 8500.0);
+        assert_eq!(p.ais_rel_bound, 0.0005);
+        assert_eq!(p.macd_short, 10.0);
+        assert_eq!(p.macd_long, 60.0);
+        assert_eq!(p.follow_avg_window, 600.0);
+        assert_eq!(p.follow_threshold, 1000.0);
+        assert_eq!(p.precision_rate, 3000.0);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let (f, q) = (Params::full(), Params::quick());
+        assert!(q.duration < f.duration);
+        assert!(q.filter_tps_sweep.len() < f.filter_tps_sweep.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Plain-text table output for the figure harnesses, plus JSON series for
+//! downstream plotting.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Prints an aligned table with a title.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{c:>w$}  ", w = w);
+        }
+        println!("{line}");
+    }
+}
+
+/// One named series of (x, y) points — the unit the paper's figures plot.
+#[derive(Debug, Serialize)]
+pub struct Series {
+    pub name: String,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    pub fn new(name: &str) -> Self {
+        Series { name: name.to_string(), x: Vec::new(), y: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+}
+
+/// Writes figure series to `target/figures/<name>.json` (best effort).
+pub fn save_series(figure: &str, series: &[Series]) {
+    let dir = std::path::Path::new("target/figures");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(series) {
+        let _ = std::fs::write(dir.join(format!("{figure}.json")), json);
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if v.is_infinite() {
+        return "∞".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(12.345), "12.35");
+        assert_eq!(fmt(0.01234), "0.0123");
+        assert_eq!(fmt(f64::INFINITY), "∞");
+        assert_eq!(fmt(0.0), "0");
+    }
+
+    #[test]
+    fn series_accumulates() {
+        let mut s = Series::new("test");
+        s.push(1.0, 2.0);
+        s.push(3.0, 4.0);
+        assert_eq!(s.x, vec![1.0, 3.0]);
+        assert_eq!(s.y, vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Continuous sliding-window join.
+//!
+//! §III-A: "For a join, we use equi-join semantics along the time
+//! dimension: we execute the linear system for each segment held in state
+//! that overlaps with [t0, t1)". Each side keeps an order-based segment
+//! buffer (Fig. 3); an arriving segment is paired with every temporally
+//! overlapping opposite segment, one equation system per pair, solved over
+//! the pair's common time range.
+
+use super::{meaningful_spans, COperator};
+use crate::binding::Binding;
+use crate::eqsys::System;
+use crate::index::SegmentIndex;
+use crate::lineage::SharedLineage;
+use pulse_math::Poly;
+use pulse_model::{ExprError, Pred, Segment};
+use pulse_stream::{KeyJoin, OpMetrics};
+use std::any::Any;
+
+/// How the join buffers its per-side segment state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinState {
+    /// Linear scan of the whole buffer per arrival (the baseline the paper
+    /// prototype used).
+    Scan,
+    /// Interval-indexed state (§VII future work): `O(log n + k)` overlap
+    /// lookup — pays off on highly segmented inputs.
+    #[default]
+    Indexed,
+}
+
+enum SideState {
+    Scan(Vec<Segment>),
+    Indexed(SegmentIndex),
+}
+
+impl SideState {
+    fn new(kind: JoinState) -> Self {
+        match kind {
+            JoinState::Scan => SideState::Scan(Vec::new()),
+            JoinState::Indexed => SideState::Indexed(SegmentIndex::new()),
+        }
+    }
+
+    fn expire(&mut self, t: f64) {
+        match self {
+            SideState::Scan(v) => v.retain(|s| s.span.hi > t),
+            SideState::Indexed(idx) => idx.expire_before(t),
+        }
+    }
+
+    fn push(&mut self, seg: Segment) {
+        match self {
+            SideState::Scan(v) => v.push(seg),
+            SideState::Indexed(idx) => idx.insert(seg),
+        }
+    }
+
+    /// Segments overlapping `span` (the Scan variant reproduces the naive
+    /// full-buffer walk, including the comparisons against non-overlapping
+    /// state that the index avoids).
+    fn candidates(&self, span: pulse_math::Span, scanned: &mut u64) -> Vec<&Segment> {
+        match self {
+            SideState::Scan(v) => {
+                *scanned += v.len() as u64;
+                v.iter().filter(|s| s.span.overlaps(&span)).collect()
+            }
+            SideState::Indexed(idx) => {
+                let hits = idx.overlapping(span);
+                *scanned += hits.len() as u64;
+                hits
+            }
+        }
+    }
+}
+
+/// Continuous join operator.
+pub struct CJoin {
+    window: f64,
+    pred: Pred,
+    on_keys: KeyJoin,
+    bindings: [Binding; 2],
+    left: SideState,
+    right: SideState,
+    lineage: SharedLineage,
+    dep_count: usize,
+    slack: Option<f64>,
+    m: OpMetrics,
+}
+
+impl CJoin {
+    pub fn new(
+        window: f64,
+        pred: Pred,
+        on_keys: KeyJoin,
+        bindings: [Binding; 2],
+        lineage: SharedLineage,
+    ) -> Self {
+        Self::with_state(window, pred, on_keys, bindings, lineage, JoinState::default())
+    }
+
+    /// Chooses the state layout explicitly (the ablation harness compares
+    /// Scan vs Indexed).
+    pub fn with_state(
+        window: f64,
+        pred: Pred,
+        on_keys: KeyJoin,
+        bindings: [Binding; 2],
+        lineage: SharedLineage,
+        state: JoinState,
+    ) -> Self {
+        let pred = pred.normalize();
+        let dep_count = pred.referenced_attrs().len().max(1);
+        CJoin {
+            window,
+            pred,
+            on_keys,
+            bindings,
+            left: SideState::new(state),
+            right: SideState::new(state),
+            lineage,
+            dep_count,
+            slack: None,
+            m: OpMetrics::default(),
+        }
+    }
+}
+
+impl COperator for CJoin {
+    fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+        self.m.items_in += 1;
+        self.lineage.lock().register(seg);
+        let now = seg.span.lo;
+        self.left.expire(now - self.window);
+        self.right.expire(now - self.window);
+        let from_left = input == 0;
+        let opposite = if from_left { &self.right } else { &self.left };
+
+        let mut any_overlap = false;
+        let mut worst_slack: Option<f64> = None;
+        let mut scanned = 0;
+        for opp in opposite.candidates(seg.span, &mut scanned) {
+            let (l, r) = if from_left { (seg, opp) } else { (opp, seg) };
+            if !self.on_keys.test(l.key, r.key) {
+                continue;
+            }
+            let Some(overlap) = l.span.intersect(&r.span) else { continue };
+            any_overlap = true;
+            let lb = &self.bindings[0];
+            let rb = &self.bindings[1];
+            let lookup = |inp: usize, attr: usize| -> Result<Poly, ExprError> {
+                if inp == 0 {
+                    lb.poly_of(l, attr)
+                } else {
+                    rb.poly_of(r, attr)
+                }
+            };
+            let Ok(sys) = System::build(&self.pred, &lookup) else { continue };
+            let mut rows = 0;
+            let sol = sys.solve(overlap, &mut rows);
+            self.m.systems_solved += 1;
+            self.m.comparisons += rows;
+            if sol.is_empty() {
+                let s = sys.slack(overlap);
+                worst_slack = Some(worst_slack.map_or(s, |w: f64| w.min(s)));
+                continue;
+            }
+            let mut models = l.models.clone();
+            models.extend_from_slice(&r.models);
+            let mut unmodeled = l.unmodeled.clone();
+            unmodeled.extend_from_slice(&r.unmodeled);
+            let key = self.on_keys.output_key(l.key, r.key);
+            let mut lineage = self.lineage.lock();
+            for span in meaningful_spans(&sol) {
+                let joined = Segment::new(key, span, models.clone(), unmodeled.clone());
+                lineage.emit(&joined, &[l.id, r.id]);
+                self.m.items_out += 1;
+                out.push(joined);
+            }
+        }
+        self.m.comparisons += scanned;
+        self.slack = if any_overlap { worst_slack } else { None };
+        if from_left {
+            self.left.push(seg.clone());
+        } else {
+            self.right.push(seg.clone());
+        }
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+
+    fn dep_count(&self) -> usize {
+        self.dep_count
+    }
+
+    fn last_slack(&self) -> Option<f64> {
+        self.slack
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage;
+    use pulse_math::{CmpOp, Span};
+    use pulse_model::{AttrKind, Expr, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(&[("x", AttrKind::Modeled)])
+    }
+
+    fn bindings() -> [Binding; 2] {
+        [Binding::new(schema()), Binding::new(schema())]
+    }
+
+    fn seg(key: u64, lo: f64, hi: f64, icpt: f64, slope: f64) -> Segment {
+        Segment::single(key, Span::new(lo, hi), Poly::linear(icpt, slope))
+    }
+
+    fn lt_pred() -> Pred {
+        Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0))
+    }
+
+    #[test]
+    fn crossing_models_join_on_subrange() {
+        let mut j = CJoin::new(100.0, lt_pred(), KeyJoin::Any, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        // Left: x = t on [0, 10); Right: y = 5 on [0, 10). x < y ⇔ t < 5.
+        j.process(0, &seg(1, 0.0, 10.0, 0.0, 1.0), &mut out);
+        assert!(out.is_empty(), "nothing buffered on the other side yet");
+        j.process(1, &seg(2, 0.0, 10.0, 5.0, 0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].span.hi - 5.0).abs() < 1e-8);
+        // Joined segment carries both models.
+        assert_eq!(out[0].models.len(), 2);
+        assert_eq!(out[0].key, (1 << 32) | 2);
+    }
+
+    #[test]
+    fn equality_join_yields_point() {
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::attr_of(1, 0));
+        let mut j = CJoin::new(100.0, pred, KeyJoin::Any, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        j.process(0, &seg(1, 0.0, 10.0, 0.0, 1.0), &mut out); // x = t
+        j.process(1, &seg(2, 0.0, 10.0, 8.0, -1.0), &mut out); // y = 8 − t; equal at t=4
+        assert_eq!(out.len(), 1);
+        assert!(out[0].span.is_point());
+        assert!((out[0].span.lo - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solutions_clipped_to_overlap() {
+        let mut j = CJoin::new(100.0, lt_pred(), KeyJoin::Any, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        // Left valid [0, 4); right valid [2, 10): overlap [2, 4). x<y always.
+        j.process(0, &seg(1, 0.0, 4.0, 0.0, 0.0), &mut out);
+        j.process(1, &seg(2, 2.0, 10.0, 1.0, 0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].span, Span::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn key_ne_excludes_same_key() {
+        let mut j = CJoin::new(100.0, Pred::True, KeyJoin::Ne, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        j.process(0, &seg(7, 0.0, 10.0, 0.0, 0.0), &mut out);
+        j.process(1, &seg(7, 0.0, 10.0, 1.0, 0.0), &mut out);
+        assert!(out.is_empty(), "same key must not self-join under Ne");
+        j.process(1, &seg(8, 0.0, 10.0, 1.0, 0.0), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn key_eq_joins_matching_keys_only() {
+        let mut j = CJoin::new(100.0, Pred::True, KeyJoin::Eq, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        j.process(0, &seg(5, 0.0, 10.0, 0.0, 0.0), &mut out);
+        j.process(1, &seg(6, 0.0, 10.0, 0.0, 0.0), &mut out);
+        assert!(out.is_empty());
+        j.process(1, &seg(5, 0.0, 10.0, 0.0, 0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, 5);
+    }
+
+    #[test]
+    fn state_expiry_drops_old_segments() {
+        let mut j = CJoin::new(1.0, Pred::True, KeyJoin::Any, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        j.process(0, &seg(1, 0.0, 0.5, 0.0, 0.0), &mut out);
+        // Arrives at t=5: the old left segment (ended 0.5) is beyond the 1s window.
+        j.process(1, &seg(2, 5.0, 6.0, 0.0, 0.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn null_join_records_slack() {
+        // Overlapping segments, predicate never satisfied: slack is the gap.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::attr_of(1, 0));
+        let mut j = CJoin::new(100.0, pred, KeyJoin::Any, bindings(), lineage::shared());
+        let mut out = Vec::new();
+        j.process(0, &seg(1, 0.0, 10.0, 0.0, 0.0), &mut out); // x = 0
+        j.process(1, &seg(2, 0.0, 10.0, 3.0, 0.0), &mut out); // y = 3
+        assert!(out.is_empty());
+        let slack = j.last_slack().unwrap();
+        assert!((slack - 3.0).abs() < 1e-6, "slack {slack}");
+    }
+
+    #[test]
+    fn lineage_links_both_parents() {
+        let store = lineage::shared();
+        let mut j = CJoin::new(100.0, lt_pred(), KeyJoin::Any, bindings(), store.clone());
+        let mut out = Vec::new();
+        let l = seg(1, 0.0, 10.0, 0.0, 1.0);
+        let r = seg(2, 0.0, 10.0, 5.0, 0.0);
+        j.process(0, &l, &mut out);
+        j.process(1, &r, &mut out);
+        let parents = store.lock().parents_of(out[0].id).to_vec();
+        assert_eq!(parents, vec![l.id, r.id]);
+    }
+}

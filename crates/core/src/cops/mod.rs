@@ -1,0 +1,283 @@
+//! Continuous-time operators: equation systems consuming and producing
+//! segments.
+//!
+//! §III-C: "Each equation system is closed, that is it consumes segments
+//! and produces segments, enabling Pulse's query processing to use segments
+//! as a first-class datatype." This module defines the operator trait plus
+//! the filter and map; the join, min/max and sum/avg aggregates, and the
+//! hash group-by live in submodules.
+
+mod group;
+mod join;
+mod minmax;
+mod sumavg;
+
+pub use group::CGroupBy;
+pub use join::{CJoin, JoinState};
+pub use minmax::CMinMax;
+pub use sumavg::CSumAvg;
+
+use crate::binding::Binding;
+use crate::eqsys::System;
+use crate::lineage::SharedLineage;
+use pulse_math::EPS;
+use pulse_model::{Pred, Segment};
+use pulse_stream::OpMetrics;
+use std::any::Any;
+
+/// A push-based continuous operator.
+pub trait COperator: Any {
+    /// Processes a segment arriving on `input`, appending output segments.
+    fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>);
+    /// Cost counters (systems solved, segments in/out).
+    fn metrics(&self) -> OpMetrics;
+    /// End-of-stream.
+    fn flush(&mut self, _out: &mut Vec<Segment>) {}
+    /// `|D(o)| = |translations(o) ∪ inferences(o)|`: how many attribute
+    /// dependencies the operator's bound inversion must apportion across
+    /// (equi-split denominator, §IV-C).
+    fn dep_count(&self) -> usize {
+        1
+    }
+    /// Slack of the most recent null result, if the operator is selective
+    /// and its last input produced nothing (§IV's slack validation).
+    fn last_slack(&self) -> Option<f64> {
+        None
+    }
+    /// Downcast support (harnesses inspect operator state, e.g. the min/max
+    /// envelope, when sampling query results).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Continuous filter: one equation system per arriving segment, solved over
+/// the segment's lifespan; each satisfying time range becomes an output
+/// segment restricted to that range.
+pub struct CFilter {
+    pred: Pred,
+    binding: Binding,
+    lineage: SharedLineage,
+    dep_count: usize,
+    slack: Option<f64>,
+    m: OpMetrics,
+}
+
+impl CFilter {
+    /// `pred` is normalized on construction (sqrt/abs elimination).
+    pub fn new(pred: Pred, binding: Binding, lineage: SharedLineage) -> Self {
+        let pred = pred.normalize();
+        let dep_count = pred.referenced_attrs().len().max(1);
+        CFilter { pred, binding, lineage, dep_count, slack: None, m: OpMetrics::default() }
+    }
+}
+
+impl COperator for CFilter {
+    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+        self.m.items_in += 1;
+        self.lineage.lock().register(seg);
+        let binding = &self.binding;
+        let sys = match System::build(&self.pred, &|_, attr| binding.poly_of(seg, attr)) {
+            Ok(sys) => sys,
+            Err(_) => return, // non-polynomial predicate: no continuous result
+        };
+        let mut rows = 0;
+        let sol = sys.solve(seg.span, &mut rows);
+        self.m.systems_solved += 1;
+        self.m.comparisons += rows;
+        if sol.is_empty() {
+            // Null result: record slack for §IV's slack validation.
+            self.slack = Some(sys.slack(seg.span));
+            return;
+        }
+        self.slack = None;
+        let mut lineage = self.lineage.lock();
+        for span in sol.spans() {
+            let piece = seg.restricted(*span);
+            lineage.emit(&piece, &[seg.id]);
+            self.m.items_out += 1;
+            out.push(piece);
+        }
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+
+    fn dep_count(&self) -> usize {
+        self.dep_count
+    }
+
+    fn last_slack(&self) -> Option<f64> {
+        self.slack
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Continuous map: substitutes models into each projection expression,
+/// producing a segment whose models are the projected polynomials.
+pub struct CMap {
+    exprs: Vec<pulse_model::Expr>,
+    binding: Binding,
+    lineage: SharedLineage,
+    m: OpMetrics,
+}
+
+impl CMap {
+    pub fn new(exprs: Vec<pulse_model::Expr>, binding: Binding, lineage: SharedLineage) -> Self {
+        CMap { exprs, binding, lineage, m: OpMetrics::default() }
+    }
+}
+
+impl COperator for CMap {
+    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+        self.m.items_in += 1;
+        let binding = &self.binding;
+        let models: Result<Vec<_>, _> = self
+            .exprs
+            .iter()
+            .map(|e| e.to_poly(&|_, attr| binding.poly_of(seg, attr)))
+            .collect();
+        let Ok(models) = models else { return };
+        let mapped = Segment::new(seg.key, seg.span, models, Vec::new());
+        self.lineage.lock().emit(&mapped, &[seg.id]);
+        self.m.items_out += 1;
+        out.push(mapped);
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Continuous union: forwards segments from both inputs unchanged.
+#[derive(Default)]
+pub struct CUnion {
+    m: OpMetrics,
+}
+
+impl CUnion {
+    pub fn new() -> Self {
+        CUnion::default()
+    }
+}
+
+impl COperator for CUnion {
+    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+        self.m.items_in += 1;
+        self.m.items_out += 1;
+        out.push(seg.clone());
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Drops zero-measure spans out of a solution unless they are genuine
+/// equality points (helper shared by selective operators).
+pub(crate) fn meaningful_spans(sol: &pulse_math::RangeSet) -> impl Iterator<Item = pulse_math::Span> + '_ {
+    sol.spans().iter().copied().filter(|s| s.len() > EPS || s.is_point())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage;
+    use pulse_math::{CmpOp, Poly, Span};
+    use pulse_model::{AttrKind, Expr, Schema};
+
+    fn xv_schema() -> Schema {
+        Schema::of(&[("x", AttrKind::Modeled)])
+    }
+
+    fn seg(key: u64, lo: f64, hi: f64, icpt: f64, slope: f64) -> Segment {
+        Segment::single(key, Span::new(lo, hi), Poly::linear(icpt, slope))
+    }
+
+    #[test]
+    fn filter_emits_satisfying_subranges() {
+        let store = lineage::shared();
+        let pred = Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(5.0));
+        let mut f = CFilter::new(pred, Binding::new(xv_schema()), store.clone());
+        // x = t on [0, 10): x < 5 holds on [0, 5).
+        let s = seg(1, 0.0, 10.0, 0.0, 1.0);
+        let mut out = Vec::new();
+        f.process(0, &s, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].span.hi - 5.0).abs() < 1e-8);
+        assert_eq!(out[0].key, 1);
+        // Lineage recorded.
+        assert_eq!(store.lock().parents_of(out[0].id), &[s.id]);
+        assert_eq!(f.metrics().items_out, 1);
+        assert!(f.last_slack().is_none());
+    }
+
+    #[test]
+    fn filter_null_result_sets_slack() {
+        let store = lineage::shared();
+        let pred = Pred::cmp(Expr::attr(0), CmpOp::Eq, Expr::c(100.0));
+        let mut f = CFilter::new(pred, Binding::new(xv_schema()), store);
+        // x = t on [0, 10): x never reaches 100; closest at t→10 → slack ≈ 90.
+        let mut out = Vec::new();
+        f.process(0, &seg(0, 0.0, 10.0, 0.0, 1.0), &mut out);
+        assert!(out.is_empty());
+        let slack = f.last_slack().unwrap();
+        assert!((slack - 90.0).abs() < 1e-3, "slack {slack}");
+    }
+
+    #[test]
+    fn filter_point_result_from_equality() {
+        let store = lineage::shared();
+        let pred = Pred::cmp(Expr::attr(0), CmpOp::Eq, Expr::c(5.0));
+        let mut f = CFilter::new(pred, Binding::new(xv_schema()), store);
+        let mut out = Vec::new();
+        f.process(0, &seg(0, 0.0, 10.0, 0.0, 1.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].span.is_point());
+        assert!((out[0].span.lo - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn filter_normalizes_abs() {
+        let store = lineage::shared();
+        // |x| < 3 with x = t − 5 on [0, 10): holds on (2, 8).
+        let pred = Pred::cmp(
+            Expr::Abs(Box::new(Expr::attr(0))),
+            CmpOp::Lt,
+            Expr::c(3.0),
+        );
+        let mut f = CFilter::new(pred, Binding::new(xv_schema()), store);
+        let mut out = Vec::new();
+        f.process(0, &seg(0, 0.0, 10.0, -5.0, 1.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].span.lo - 2.0).abs() < 1e-8);
+        assert!((out[0].span.hi - 8.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn map_projects_models() {
+        let store = lineage::shared();
+        // diff = 2x − 1
+        let mut m = CMap::new(
+            vec![Expr::attr(0) * Expr::c(2.0) - Expr::c(1.0)],
+            Binding::new(xv_schema()),
+            store,
+        );
+        let mut out = Vec::new();
+        m.process(0, &seg(3, 0.0, 4.0, 1.0, 1.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].models[0], Poly::linear(1.0, 2.0));
+        assert_eq!(out[0].key, 3);
+        assert_eq!(out[0].span, Span::new(0.0, 4.0));
+    }
+}

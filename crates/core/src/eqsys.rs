@@ -1,0 +1,369 @@
+//! Simultaneous equation systems — the basic computation element of Pulse.
+//!
+//! §III-A: a predicate `x R y` over modeled attributes is rewritten into
+//! difference form `x − y R 0`, the models are substituted, and the
+//! coefficients factorized, yielding one *difference equation* `p(t) R 0`
+//! per conjunct. The full predicate becomes the system `D·t R 0` (Eq. 1 of
+//! the paper), whose solution is the set of time ranges during which the
+//! operator produces results.
+//!
+//! Solving follows the paper's general algorithm — each row solved
+//! independently by root finding + sign tests, boolean structure applied to
+//! the per-row range sets — with the named fast path for all-equality
+//! linear systems (Gaussian-elimination style back substitution, trivial
+//! here because time is the only unknown).
+
+use pulse_math::{solve_poly_cmp, CmpOp, Poly, RangeSet, Span};
+use pulse_model::{ExprError, Pred};
+
+/// Default root-finding tolerance used by the operators.
+pub const SOLVE_TOL: f64 = 1e-9;
+
+/// One row of the system: `poly(t) op 0`.
+#[derive(Debug, Clone)]
+pub struct DiffEq {
+    pub poly: Poly,
+    pub op: CmpOp,
+}
+
+/// The system, preserving the predicate's boolean structure ("in the case
+/// of general predicates, for example including disjunctions, we apply the
+/// structure of the boolean operators to the solution time ranges").
+#[derive(Debug, Clone)]
+pub enum System {
+    True,
+    False,
+    Row(DiffEq),
+    And(Box<System>, Box<System>),
+    Or(Box<System>, Box<System>),
+    Not(Box<System>),
+}
+
+impl System {
+    /// Builds the system from a (normalized) predicate by substituting
+    /// models through `lookup` and reducing each comparison to difference
+    /// form. Fails if any comparison is not polynomial.
+    pub fn build<F>(pred: &Pred, lookup: &F) -> Result<System, ExprError>
+    where
+        F: Fn(usize, usize) -> Result<Poly, ExprError>,
+    {
+        Ok(match pred {
+            Pred::True => System::True,
+            Pred::False => System::False,
+            Pred::Cmp { lhs, op, rhs } => {
+                let l = lhs.to_poly(lookup)?;
+                let r = rhs.to_poly(lookup)?;
+                System::Row(DiffEq { poly: l.sub(&r), op: *op })
+            }
+            Pred::And(a, b) => System::And(
+                Box::new(System::build(a, lookup)?),
+                Box::new(System::build(b, lookup)?),
+            ),
+            Pred::Or(a, b) => System::Or(
+                Box::new(System::build(a, lookup)?),
+                Box::new(System::build(b, lookup)?),
+            ),
+            Pred::Not(a) => System::Not(Box::new(System::build(a, lookup)?)),
+        })
+    }
+
+    /// Solves the system over `domain`, returning the satisfying ranges.
+    /// Also reports the number of rows solved (for cost accounting).
+    pub fn solve(&self, domain: Span, rows_solved: &mut u64) -> RangeSet {
+        if let Some(t) = self.linear_equality_solution(domain, rows_solved) {
+            return t;
+        }
+        self.solve_general(domain, rows_solved)
+    }
+
+    fn solve_general(&self, domain: Span, rows_solved: &mut u64) -> RangeSet {
+        match self {
+            System::True => RangeSet::single(domain),
+            System::False => RangeSet::empty(),
+            System::Row(r) => {
+                *rows_solved += 1;
+                solve_poly_cmp(&r.poly, r.op, domain, SOLVE_TOL)
+            }
+            System::And(a, b) => {
+                let left = a.solve_general(domain, rows_solved);
+                if left.is_empty() {
+                    // Short-circuit: conjunction can't recover.
+                    return left;
+                }
+                left.intersect(&b.solve_general(domain, rows_solved))
+            }
+            System::Or(a, b) => a
+                .solve_general(domain, rows_solved)
+                .union(&b.solve_general(domain, rows_solved)),
+            System::Not(a) => a.solve_general(domain, rows_solved).complement(domain),
+        }
+    }
+
+    /// Fast path (§III-A): when the system is a pure conjunction of
+    /// equality rows, all linear, the common solution is found by direct
+    /// elimination — solve the first row, substitute into the rest.
+    fn linear_equality_solution(&self, domain: Span, rows_solved: &mut u64) -> Option<RangeSet> {
+        let mut rows = Vec::new();
+        if !self.collect_conjunctive_rows(&mut rows) {
+            return None;
+        }
+        if rows.is_empty()
+            || !rows
+                .iter()
+                .all(|r| r.op == CmpOp::Eq && r.poly.degree().is_none_or(|d| d <= 1))
+        {
+            return None;
+        }
+        *rows_solved += rows.len() as u64;
+        let mut t: Option<f64> = None;
+        for r in &rows {
+            match r.poly.degree() {
+                None => continue, // 0 = 0: always true
+                Some(0) => return Some(RangeSet::empty()),
+                Some(_) => {
+                    let root = -r.poly.coeff(0) / r.poly.coeff(1);
+                    match t {
+                        None => t = Some(root),
+                        Some(prev) if (prev - root).abs() <= SOLVE_TOL * (1.0 + prev.abs()) => {}
+                        Some(_) => return Some(RangeSet::empty()),
+                    }
+                }
+            }
+        }
+        Some(match t {
+            Some(t) if domain.contains(t) || domain.is_point() && (t - domain.lo).abs() < SOLVE_TOL => {
+                RangeSet::single(Span::point(t))
+            }
+            Some(_) => RangeSet::empty(),
+            // All rows identically zero: holds everywhere.
+            None => RangeSet::single(domain),
+        })
+    }
+
+    /// Flattens a conjunction into rows; returns false if the structure
+    /// contains Or/Not/True/False (no pure-conjunctive form).
+    fn collect_conjunctive_rows<'a>(&'a self, out: &mut Vec<&'a DiffEq>) -> bool {
+        match self {
+            System::Row(r) => {
+                out.push(r);
+                true
+            }
+            System::And(a, b) => a.collect_conjunctive_rows(out) && b.collect_conjunctive_rows(out),
+            _ => false,
+        }
+    }
+
+    /// All rows of the system (the matrix `D`), regardless of structure.
+    pub fn rows(&self) -> Vec<&DiffEq> {
+        let mut out = Vec::new();
+        self.visit_rows(&mut out);
+        out
+    }
+
+    fn visit_rows<'a>(&'a self, out: &mut Vec<&'a DiffEq>) {
+        match self {
+            System::Row(r) => out.push(r),
+            System::And(a, b) | System::Or(a, b) => {
+                a.visit_rows(out);
+                b.visit_rows(out);
+            }
+            System::Not(a) => a.visit_rows(out),
+            System::True | System::False => {}
+        }
+    }
+
+    /// Slack (§IV): `min_t ‖D·t‖∞` over the domain — a continuous measure
+    /// of how close the system comes to producing a result. Computed by
+    /// sampling the max-norm envelope and refining the best bracket by
+    /// ternary search (the envelope is piecewise-smooth).
+    pub fn slack(&self, domain: Span) -> f64 {
+        let rows = self.rows();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let norm = |t: f64| -> f64 {
+            rows.iter().fold(0.0_f64, |m, r| m.max(r.poly.eval(t).abs()))
+        };
+        if domain.is_point() {
+            return norm(domain.lo);
+        }
+        const SAMPLES: usize = 64;
+        let step = domain.len() / SAMPLES as f64;
+        let mut best_t = domain.lo;
+        let mut best = norm(domain.lo);
+        for i in 1..=SAMPLES {
+            let t = domain.lo + step * i as f64;
+            let v = norm(t);
+            if v < best {
+                best = v;
+                best_t = t;
+            }
+        }
+        // Ternary-search refinement inside the winning bracket.
+        let (mut lo, mut hi) = (
+            (best_t - step).max(domain.lo),
+            (best_t + step).min(domain.hi),
+        );
+        for _ in 0..60 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if norm(m1) <= norm(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        best.min(norm(0.5 * (lo + hi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_model::Expr;
+
+    fn linear_lookup(slope0: f64, icpt0: f64, slope1: f64, icpt1: f64) -> impl Fn(usize, usize) -> Result<Poly, ExprError> {
+        move |input, _| {
+            Ok(if input == 0 {
+                Poly::linear(icpt0, slope0)
+            } else {
+                Poly::linear(icpt1, slope1)
+            })
+        }
+    }
+
+    #[test]
+    fn figure1_transform() {
+        // Fig. 1: A.x + A.v·t < B.v·t + B.a·t², with A.x=1, A.v=3, B.v=1, B.a=1.
+        // Difference: 1 + 2t − t² < 0.
+        let pred = Pred::cmp(
+            Expr::attr_of(0, 0),
+            CmpOp::Lt,
+            Expr::attr_of(1, 0),
+        );
+        let lookup = |input: usize, _attr: usize| -> Result<Poly, ExprError> {
+            Ok(if input == 0 {
+                Poly::linear(1.0, 3.0)
+            } else {
+                Poly::new(vec![0.0, 1.0, 1.0])
+            })
+        };
+        let sys = System::build(&pred, &lookup).unwrap();
+        let rows = sys.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].poly, Poly::new(vec![1.0, 2.0, -1.0]));
+        // 1 + 2t − t² < 0 ⇔ t > 1+√2 (for t ≥ 0). Root at 1+√2 ≈ 2.414.
+        let mut n = 0;
+        let sol = sys.solve(Span::new(0.0, 10.0), &mut n);
+        assert_eq!(sol.len(), 1);
+        assert!((sol.spans()[0].lo - (1.0 + 2f64.sqrt())).abs() < 1e-6);
+        assert_eq!(sol.spans()[0].hi, 10.0);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn conjunction_intersects_rows() {
+        // x < y (crossing at t=3) AND x > 0 (x = 2t - 2: t > 1) → (3, 10)∩(1,10)
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0))
+            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::c(0.0)));
+        // x = 2t−2 ; y = t+1 → x<y ⇔ t−3<0 ⇔ t<3 ... recompute: x−y = t−3 <0 → t<3.
+        let sys = System::build(&pred, &linear_lookup(2.0, -2.0, 1.0, 1.0)).unwrap();
+        let mut n = 0;
+        let sol = sys.solve(Span::new(0.0, 10.0), &mut n);
+        assert_eq!(sol.len(), 1);
+        let s = sol.spans()[0];
+        assert!((s.lo - 1.0).abs() < 1e-8, "{s:?}");
+        assert!((s.hi - 3.0).abs() < 1e-8, "{s:?}");
+    }
+
+    #[test]
+    fn disjunction_unions() {
+        // x < -5 OR x > 5 with x = t - 10 on [0, 20): t<5 or t>15.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::c(-5.0))
+            .or(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::c(5.0)));
+        let sys = System::build(&pred, &linear_lookup(1.0, -10.0, 0.0, 0.0)).unwrap();
+        let mut n = 0;
+        let sol = sys.solve(Span::new(0.0, 20.0), &mut n);
+        assert_eq!(sol.len(), 2);
+        assert!((sol.spans()[0].hi - 5.0).abs() < 1e-8);
+        assert!((sol.spans()[1].lo - 15.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negation_complements() {
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::c(0.0)).not();
+        // x = t − 5: ¬(x<0) ⇔ t ≥ 5.
+        let sys = System::build(&pred, &linear_lookup(1.0, -5.0, 0.0, 0.0)).unwrap();
+        let mut n = 0;
+        let sol = sys.solve(Span::new(0.0, 10.0), &mut n);
+        assert_eq!(sol.len(), 1);
+        assert!((sol.spans()[0].lo - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_fast_path_consistent() {
+        // Two equality rows with the same root: x = y at t=2 and x = z at t=2.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0))
+            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::attr_of(1, 0)));
+        // x = t ; y = 2 (const): x=2 → t=2 ; x=y → t=2. Consistent.
+        let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 2.0)).unwrap();
+        let mut n = 0;
+        let sol = sys.solve(Span::new(0.0, 10.0), &mut n);
+        assert_eq!(sol.len(), 1);
+        assert!(sol.spans()[0].is_point());
+        assert!((sol.spans()[0].lo - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_fast_path_inconsistent() {
+        // x = 2 (t=2) AND x = 4 (t=4): no common solution.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0))
+            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(4.0)));
+        let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
+        let mut n = 0;
+        assert!(sys.solve(Span::new(0.0, 10.0), &mut n).is_empty());
+    }
+
+    #[test]
+    fn no_solution_when_predicate_never_holds() {
+        // x > 100 with x = t on [0, 10): empty → operator produces nothing.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::c(100.0));
+        let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
+        let mut n = 0;
+        assert!(sys.solve(Span::new(0.0, 10.0), &mut n).is_empty());
+    }
+
+    #[test]
+    fn slack_measures_distance_to_result() {
+        // Row: x − 10 = 0 with x = t on [0, 5]: closest at t=5, slack 5.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(10.0));
+        let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
+        let slack = sys.slack(Span::new(0.0, 5.0));
+        assert!((slack - 5.0).abs() < 1e-6, "slack {slack}");
+        // If the root is inside the domain, slack ≈ 0.
+        let slack = sys.slack(Span::new(0.0, 20.0));
+        assert!(slack.abs() < 1e-6);
+    }
+
+    #[test]
+    fn slack_max_norm_over_rows() {
+        // Two rows: t − 2 and t + 2 → ‖D·t‖∞ = max(|t−2|, |t+2|); min at t=0 → 2.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0))
+            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(-2.0)));
+        let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
+        let slack = sys.slack(Span::new(-5.0, 5.0));
+        assert!((slack - 2.0).abs() < 1e-6, "slack {slack}");
+    }
+
+    #[test]
+    fn build_propagates_not_polynomial() {
+        let pred = Pred::cmp(
+            Expr::Sqrt(Box::new(Expr::attr_of(0, 0))),
+            CmpOp::Lt,
+            Expr::c(1.0),
+        );
+        assert!(System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).is_err());
+        // After normalization it builds fine.
+        assert!(System::build(&pred.normalize(), &linear_lookup(1.0, 0.0, 0.0, 0.0)).is_ok());
+    }
+}

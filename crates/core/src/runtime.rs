@@ -1,0 +1,413 @@
+//! The online predictive processing loop (§II-A + §IV).
+//!
+//! [`PulseRuntime`] ties everything together: MODEL clauses turn arriving
+//! tuples into predictive segments, the continuous plan precomputes query
+//! results "off into the future", and per-tuple validation at the inputs
+//! keeps the solver idle while the predictions hold. A violation (or an
+//! unseen key) re-models, re-solves, and re-inverts the output bound into
+//! fresh input bounds; a null result switches the key to slack validation.
+
+use crate::plan::{CPlan, TransformError};
+use crate::validate::{Bound, BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, Validator};
+use pulse_math::{Poly, Span};
+use pulse_model::{Schema, Segment, SegmentId, StreamModel, Tuple};
+use pulse_stream::LogicalPlan;
+use std::collections::HashMap;
+
+/// How predictive segments are built for a source stream.
+pub enum Predictor {
+    /// Declarative MODEL clause (§II-B): coefficients come from the tuple.
+    Clause(StreamModel),
+    /// The modeling component estimates a linear model per key online when
+    /// the stream carries no coefficient attributes (e.g. trade prices):
+    /// the slope is the average rate of change since the last re-model,
+    /// which smooths tick noise over the inter-violation baseline.
+    AdaptiveLinear(Schema),
+}
+
+impl Predictor {
+    fn schema(&self) -> &Schema {
+        match self {
+            Predictor::Clause(sm) => &sm.schema,
+            Predictor::AdaptiveLinear(s) => s,
+        }
+    }
+}
+
+/// Which split heuristic the runtime uses for bound inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Heuristic {
+    #[default]
+    Equi,
+    Gradient,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Prediction horizon: how far into the future each MODEL segment is
+    /// assumed valid (until superseded or violated).
+    pub horizon: f64,
+    /// Output accuracy bound (absolute, per the paper's error metric).
+    pub bound: f64,
+    /// Bound-splitting heuristic.
+    pub heuristic: Heuristic,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { horizon: 10.0, bound: 1.0, heuristic: Heuristic::Equi }
+    }
+}
+
+/// Counters describing how the run went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tuples observed.
+    pub tuples_in: u64,
+    /// Tuples absorbed by validation alone (the fast path — no solving).
+    pub suppressed: u64,
+    /// Bound violations that forced re-modeling.
+    pub violations: u64,
+    /// Predictive segments pushed through the equation systems.
+    pub segments_pushed: u64,
+    /// Result segments produced.
+    pub outputs: u64,
+    /// Tuples whose model could not be instantiated (schema mismatch).
+    pub model_errors: u64,
+}
+
+/// The predictive processor.
+pub struct PulseRuntime {
+    predictors: Vec<Predictor>,
+    /// Cached modeled-attribute indices per source (hot-path: avoids
+    /// recomputing the schema scan for every validated tuple).
+    modeled: Vec<Vec<usize>>,
+    /// Cached unmodeled-attribute indices per source.
+    unmodeled: Vec<Vec<usize>>,
+    /// Adaptive predictors' anchors: last re-model observation per key.
+    anchors: HashMap<(usize, u64), (f64, Vec<f64>)>,
+    plan: CPlan,
+    cfg: RuntimeConfig,
+    /// Current predictive segment per (source, key).
+    predicted: HashMap<(usize, u64), Segment>,
+    /// Reverse map: live predictive segment id → its validator key, so
+    /// inverted allocations land on the stream that owns each segment.
+    seg_owner: HashMap<SegmentId, u64>,
+    validator: Validator,
+    /// Inverted per-source-segment bounds from the last results.
+    stats: RuntimeStats,
+}
+
+impl PulseRuntime {
+    /// Builds the runtime: MODEL clauses per source plus the query.
+    pub fn new(
+        models: Vec<StreamModel>,
+        logical: &LogicalPlan,
+        cfg: RuntimeConfig,
+    ) -> Result<Self, TransformError> {
+        Self::with_predictors(models.into_iter().map(Predictor::Clause).collect(), logical, cfg)
+    }
+
+    /// Builds the runtime from arbitrary predictors (MODEL clauses or the
+    /// adaptive modeling component).
+    pub fn with_predictors(
+        predictors: Vec<Predictor>,
+        logical: &LogicalPlan,
+        cfg: RuntimeConfig,
+    ) -> Result<Self, TransformError> {
+        assert_eq!(predictors.len(), logical.sources.len(), "one predictor per source");
+        let plan = CPlan::compile(logical)?;
+        let modeled = predictors.iter().map(|m| m.schema().modeled_indices()).collect();
+        let unmodeled = predictors.iter().map(|m| m.schema().unmodeled_indices()).collect();
+        Ok(PulseRuntime {
+            predictors,
+            modeled,
+            unmodeled,
+            anchors: HashMap::new(),
+            plan,
+            cfg,
+            predicted: HashMap::new(),
+            seg_owner: HashMap::new(),
+            validator: Validator::new(),
+            stats: RuntimeStats::default(),
+        })
+    }
+
+    /// Builds the predictive segment for a tuple via the source's predictor.
+    fn predict(&mut self, source: usize, tuple: &Tuple) -> Option<Segment> {
+        match &self.predictors[source] {
+            Predictor::Clause(sm) => sm.segment_for(tuple, self.cfg.horizon).ok(),
+            Predictor::AdaptiveLinear(_) => {
+                let modeled = &self.modeled[source];
+                let vals: Vec<f64> = modeled.iter().map(|&a| tuple.values[a]).collect();
+                let anchor = self.anchors.insert((source, tuple.key), (tuple.ts, vals.clone()));
+                let models = modeled
+                    .iter()
+                    .zip(&vals)
+                    .enumerate()
+                    .map(|(slot, (_, &v))| {
+                        let slope = match &anchor {
+                            Some((ats, avs)) if tuple.ts - ats > 1e-9 => {
+                                (v - avs[slot]) / (tuple.ts - ats)
+                            }
+                            _ => 0.0,
+                        };
+                        Poly::linear(v - slope * tuple.ts, slope)
+                    })
+                    .collect();
+                let unmodeled = self.unmodeled[source].iter().map(|&a| tuple.values[a]).collect();
+                Some(Segment {
+                    id: SegmentId::fresh(),
+                    key: tuple.key,
+                    span: Span::new(tuple.ts, tuple.ts + self.cfg.horizon),
+                    models,
+                    unmodeled,
+                })
+            }
+        }
+    }
+
+    /// Key used for validator state (source-qualified).
+    fn vkey(source: usize, key: u64) -> u64 {
+        (source as u64) << 48 ^ key
+    }
+
+    /// Feeds one real tuple. Returns freshly produced result segments
+    /// (empty while predictions hold — the common case).
+    pub fn on_tuple(&mut self, source: usize, tuple: &Tuple) -> Vec<Segment> {
+        self.stats.tuples_in += 1;
+        let pkey = (source, tuple.key);
+        let vkey = Self::vkey(source, tuple.key);
+        if let Some(seg) = self.predicted.get(&pkey) {
+            if seg.span.contains(tuple.ts) {
+                let modeled = &self.modeled[source];
+                let ok = modeled.iter().enumerate().all(|(slot, &attr)| {
+                    self.validator
+                        .check(vkey, seg.eval(slot, tuple.ts), tuple.values[attr])
+                });
+                if ok {
+                    self.stats.suppressed += 1;
+                    return Vec::new();
+                }
+                self.stats.violations += 1;
+            }
+        }
+        // Re-model from this tuple and re-solve.
+        let Some(mut seg) = self.predict(source, tuple) else {
+            self.stats.model_errors += 1;
+            return Vec::new();
+        };
+        // Expiry (not violation) must not leave a coverage gap: the old
+        // prediction stays authoritative until the new one begins, so the
+        // new segment backdates its start to the predecessor's end (update
+        // semantics — a successor supersedes only from where it starts).
+        if let Some(old) = self.predicted.get(&pkey) {
+            if old.span.hi <= tuple.ts && old.span.hi > seg.span.lo - self.cfg.horizon {
+                seg.span = pulse_math::Span::new(old.span.hi.min(seg.span.lo), seg.span.hi);
+            }
+        }
+        if let Some(old) = self.predicted.insert(pkey, seg.clone()) {
+            self.seg_owner.remove(&old.id);
+        }
+        self.seg_owner.insert(seg.id, vkey);
+        self.stats.segments_pushed += 1;
+        let outs = self.plan.push(source, &seg);
+        self.stats.outputs += outs.len() as u64;
+        if outs.is_empty() {
+            // Null result: slack validation until inputs leave the band.
+            if let Some(slack) = self.plan.last_slack() {
+                self.validator.set_slack(vkey, slack);
+            } else {
+                self.validator.set_accuracy(vkey, Bound::symmetric(self.cfg.bound));
+            }
+        } else {
+            self.install_bounds(&outs, vkey);
+        }
+        outs
+    }
+
+    /// Inverts the output bound through lineage and installs each source
+    /// segment's allocation on the stream key that owns it (the split
+    /// heuristics exist exactly to differentiate these shares, §IV-C).
+    fn install_bounds(&mut self, outs: &[Segment], trigger_vkey: u64) {
+        let store = self.plan.lineage().lock();
+        let equi = EquiSplit;
+        let grad = GradientSplit;
+        let heuristic: &dyn SplitHeuristic = match self.cfg.heuristic {
+            Heuristic::Equi => &equi,
+            Heuristic::Gradient => &grad,
+        };
+        let inverter = BoundInverter::new(&store, heuristic, 1);
+        // Tightest allocation per owning validator key.
+        let mut per_key: HashMap<u64, Bound> = HashMap::new();
+        for out in outs {
+            for (sid, b) in inverter.invert(out.id, Bound::symmetric(self.cfg.bound)) {
+                let Some(&vk) = self.seg_owner.get(&sid) else { continue };
+                per_key
+                    .entry(vk)
+                    .and_modify(|t| {
+                        t.below = t.below.min(b.below);
+                        t.above = t.above.min(b.above);
+                    })
+                    .or_insert(b);
+            }
+        }
+        drop(store);
+        // The triggering key always leaves with a fresh accuracy bound,
+        // even if lineage didn't surface its segment (capped fan-in).
+        per_key
+            .entry(trigger_vkey)
+            .or_insert_with(|| Bound::symmetric(self.cfg.bound));
+        for (vk, b) in per_key {
+            self.validator.set_accuracy(vk, b);
+        }
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// The underlying continuous plan (metrics, lineage).
+    pub fn plan(&self) -> &CPlan {
+        &self.plan
+    }
+
+    /// Validation counters.
+    pub fn validator(&self) -> &Validator {
+        &self.validator
+    }
+
+    /// Garbage-collects lineage older than `t`.
+    pub fn gc_before(&mut self, t: f64) {
+        self.plan.lineage().lock().gc_before(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_math::CmpOp;
+    use pulse_model::{AttrKind, Expr, ModelSpec, Pred, Schema};
+    use pulse_stream::{LogicalOp, PortRef};
+
+    /// A moving-object source: x modeled as x + v·t.
+    fn source() -> (Schema, StreamModel) {
+        let schema = Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)]);
+        let sm = StreamModel::new(
+            schema.clone(),
+            vec![ModelSpec::new(0, Expr::attr(0) + Expr::attr(1) * Expr::Time)],
+        )
+        .unwrap();
+        (schema, sm)
+    }
+
+    fn filter_plan(schema: Schema, threshold: f64) -> LogicalPlan {
+        let mut lp = LogicalPlan::new(vec![schema]);
+        lp.add(
+            LogicalOp::Filter {
+                pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(threshold)),
+            },
+            vec![PortRef::Source(0)],
+        );
+        lp
+    }
+
+    fn tup(key: u64, ts: f64, x: f64, v: f64) -> Tuple {
+        Tuple::new(key, ts, vec![x, v])
+    }
+
+    #[test]
+    fn accurate_predictions_suppress_processing() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0); // always true → accuracy mode
+        let cfg = RuntimeConfig { horizon: 100.0, bound: 1.0, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        // First tuple: no model yet → solve.
+        let outs = rt.on_tuple(0, &tup(1, 0.0, 0.0, 2.0));
+        assert_eq!(outs.len(), 1);
+        // Object keeps moving exactly as modeled: all suppressed.
+        for i in 1..50 {
+            let ts = i as f64 * 0.1;
+            let outs = rt.on_tuple(0, &tup(1, ts, 2.0 * ts, 2.0));
+            assert!(outs.is_empty(), "prediction holds, no re-solving");
+        }
+        let s = rt.stats();
+        assert_eq!(s.tuples_in, 50);
+        assert_eq!(s.suppressed, 49);
+        assert_eq!(s.segments_pushed, 1);
+        assert_eq!(s.violations, 0);
+    }
+
+    #[test]
+    fn deviation_triggers_resolve() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let cfg = RuntimeConfig { horizon: 100.0, bound: 0.5, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        rt.on_tuple(0, &tup(1, 0.0, 0.0, 1.0));
+        // Object follows the model for a while…
+        assert!(rt.on_tuple(0, &tup(1, 1.0, 1.0, 1.0)).is_empty());
+        // …then jumps beyond the bound: must re-model and re-solve.
+        let outs = rt.on_tuple(0, &tup(1, 2.0, 10.0, 1.0));
+        assert!(!outs.is_empty());
+        let s = rt.stats();
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.segments_pushed, 2);
+    }
+
+    #[test]
+    fn tighter_bounds_mean_more_violations() {
+        // The Fig. 9iii relationship: violations grow as the bound shrinks.
+        let run = |bound: f64| -> u64 {
+            let (schema, sm) = source();
+            let lp = filter_plan(schema, -100.0);
+            let cfg = RuntimeConfig { horizon: 1e9, bound, ..Default::default() };
+            let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+            // Noisy walk around the modeled trajectory.
+            for i in 0..200 {
+                let ts = i as f64 * 0.1;
+                let noise = ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.5;
+                rt.on_tuple(0, &tup(1, ts, 1.0 * ts + noise, 1.0));
+            }
+            rt.stats().violations
+        };
+        let loose = run(2.0);
+        let tight = run(0.05);
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn null_result_switches_to_slack() {
+        let (schema, sm) = source();
+        // Threshold far above: filter never fires → slack mode.
+        let lp = filter_plan(schema, 1e6);
+        let cfg = RuntimeConfig { horizon: 10.0, bound: 1.0, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        let outs = rt.on_tuple(0, &tup(1, 0.0, 0.0, 1.0));
+        assert!(outs.is_empty());
+        let vkey = PulseRuntime::vkey(0, 1);
+        assert!(matches!(
+            rt.validator().mode(vkey),
+            Some(crate::validate::ValidationMode::Slack(_))
+        ));
+        // Small deviations stay inside the huge slack: suppressed.
+        assert!(rt.on_tuple(0, &tup(1, 1.0, 1.5, 1.0)).is_empty());
+        assert_eq!(rt.stats().suppressed, 1);
+    }
+
+    #[test]
+    fn per_key_models_are_independent() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let mut rt = PulseRuntime::new(vec![sm], &lp, RuntimeConfig::default()).unwrap();
+        rt.on_tuple(0, &tup(1, 0.0, 0.0, 1.0));
+        rt.on_tuple(0, &tup(2, 0.0, 100.0, -1.0));
+        assert_eq!(rt.stats().segments_pushed, 2);
+        // Each follows its own model.
+        assert!(rt.on_tuple(0, &tup(1, 1.0, 1.0, 1.0)).is_empty());
+        assert!(rt.on_tuple(0, &tup(2, 1.0, 99.0, -1.0)).is_empty());
+        assert_eq!(rt.stats().suppressed, 2);
+    }
+}

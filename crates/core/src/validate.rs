@@ -1,0 +1,349 @@
+//! Validating query processing (§IV): query inversion, bound splitting,
+//! and the accuracy/slack validation modes.
+//!
+//! Pulse guarantees user-specified accuracy bounds *without* running the
+//! discrete query: output bounds are inverted to input bounds (walking the
+//! lineage recorded during processing, §IV-B) and arriving tuples are
+//! checked against their segment's model at the query *inputs*. Only a
+//! violation — or a previously unseen situation — re-runs the solver.
+
+use crate::lineage::LineageStore;
+use pulse_math::EPS;
+use pulse_model::{Segment, SegmentId};
+use std::collections::HashMap;
+
+/// A two-sided absolute error bound `[−below, +above]` around a value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    pub below: f64,
+    pub above: f64,
+}
+
+impl Bound {
+    /// Symmetric bound `±eps`.
+    pub fn symmetric(eps: f64) -> Self {
+        assert!(eps >= 0.0, "bound must be non-negative");
+        Bound { below: eps, above: eps }
+    }
+
+    /// Total width of the allowed range.
+    pub fn width(&self) -> f64 {
+        self.below + self.above
+    }
+
+    /// Whether `actual` lies within the bound around `predicted`.
+    pub fn admits(&self, predicted: f64, actual: f64) -> bool {
+        let d = actual - predicted;
+        d >= -self.below - EPS && d <= self.above + EPS
+    }
+
+    /// Scales both sides.
+    pub fn scale(&self, k: f64) -> Bound {
+        Bound { below: self.below * k, above: self.above * k }
+    }
+}
+
+/// A bound-splitting heuristic (§IV-C): apportions an output bound across
+/// the input segments that caused the output. Implementations must be
+/// conservative — allocated input ranges may not exceed the output range.
+pub trait SplitHeuristic {
+    /// `dep_count` is `|D(o)| = |translations ∪ inferences|` for the
+    /// operator being inverted.
+    fn split(
+        &self,
+        output: &Segment,
+        bound: Bound,
+        inputs: &[&Segment],
+        dep_count: usize,
+    ) -> Vec<(SegmentId, Bound)>;
+}
+
+/// Equi-split: uniform allocation `[oˡ/n, oᵘ/n]` across every contributing
+/// key and attribute dependency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquiSplit;
+
+impl SplitHeuristic for EquiSplit {
+    fn split(
+        &self,
+        _output: &Segment,
+        bound: Bound,
+        inputs: &[&Segment],
+        dep_count: usize,
+    ) -> Vec<(SegmentId, Bound)> {
+        let n = (inputs.len() * dep_count.max(1)).max(1) as f64;
+        inputs.iter().map(|s| (s.id, bound.scale(1.0 / n))).collect()
+    }
+}
+
+/// Gradient split: allocates proportionally to each input model's rate of
+/// change, capturing "the contribution of each particular input model to
+/// the output result". Falls back to equi-split when all gradients vanish.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GradientSplit;
+
+impl SplitHeuristic for GradientSplit {
+    fn split(
+        &self,
+        output: &Segment,
+        bound: Bound,
+        inputs: &[&Segment],
+        dep_count: usize,
+    ) -> Vec<(SegmentId, Bound)> {
+        let mid = output.span.mid();
+        let weights: Vec<f64> = inputs
+            .iter()
+            .map(|s| {
+                s.models
+                    .iter()
+                    .map(|m| m.derivative().eval(mid).abs())
+                    .sum::<f64>()
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total < EPS {
+            return EquiSplit.split(output, bound, inputs, dep_count);
+        }
+        let d = dep_count.max(1) as f64;
+        inputs
+            .iter()
+            .zip(&weights)
+            .map(|(s, w)| (s.id, bound.scale(w / total / d)))
+            .collect()
+    }
+}
+
+/// Walks lineage from an output segment down to source segments, splitting
+/// the output bound at each level — the query-inversion dataflow of §IV-B.
+pub struct BoundInverter<'a> {
+    store: &'a LineageStore,
+    heuristic: &'a dyn SplitHeuristic,
+    /// Dependency count applied at every split (a full implementation
+    /// would carry per-operator translation/inference sets; this build
+    /// applies a plan-wide count, which is conservative when ≥ the max).
+    dep_count: usize,
+}
+
+impl<'a> BoundInverter<'a> {
+    pub fn new(store: &'a LineageStore, heuristic: &'a dyn SplitHeuristic, dep_count: usize) -> Self {
+        BoundInverter { store, heuristic, dep_count }
+    }
+
+    /// Inverts `bound` at `output` into bounds at the source segments.
+    /// A source reached along several paths keeps its tightest allocation
+    /// (conservative).
+    pub fn invert(&self, output: SegmentId, bound: Bound) -> HashMap<SegmentId, Bound> {
+        let mut result: HashMap<SegmentId, Bound> = HashMap::new();
+        let mut frontier = vec![(output, bound)];
+        while let Some((id, b)) = frontier.pop() {
+            let parents = self.store.parents_of(id);
+            if parents.is_empty() {
+                result
+                    .entry(id)
+                    .and_modify(|cur| {
+                        cur.below = cur.below.min(b.below);
+                        cur.above = cur.above.min(b.above);
+                    })
+                    .or_insert(b);
+                continue;
+            }
+            let Some(out_seg) = self.store.segment(id) else { continue };
+            let inputs: Vec<&Segment> =
+                parents.iter().filter_map(|p| self.store.segment(*p)).collect();
+            if inputs.is_empty() {
+                continue;
+            }
+            for (pid, pb) in self.heuristic.split(out_seg, b, &inputs, self.dep_count) {
+                frontier.push((pid, pb));
+            }
+        }
+        result
+    }
+}
+
+/// Per-key validation state: accuracy bounds while results exist, slack
+/// bounds after a null result ("Pulse alternates between performing
+/// accuracy and slack validation based on whether previous inputs caused
+/// query results").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValidationMode {
+    /// Check tuples against the model within the inverted accuracy bound.
+    Accuracy(Bound),
+    /// Check that tuples stay within the slack band of the null result.
+    Slack(f64),
+}
+
+/// Input-side validator: decides, per tuple, whether the current prediction
+/// still stands (true) or the solver must re-run (false).
+#[derive(Debug, Default)]
+pub struct Validator {
+    modes: HashMap<u64, ValidationMode>,
+    /// Checks performed (the cheap per-tuple cost of Pulse's fast path).
+    pub checks: u64,
+    /// Violations detected.
+    pub violations: u64,
+}
+
+impl Validator {
+    pub fn new() -> Self {
+        Validator::default()
+    }
+
+    /// Installs an accuracy bound for a key (after successful inversion).
+    pub fn set_accuracy(&mut self, key: u64, bound: Bound) {
+        self.modes.insert(key, ValidationMode::Accuracy(bound));
+    }
+
+    /// Installs a slack bound for a key (after a null result).
+    pub fn set_slack(&mut self, key: u64, slack: f64) {
+        self.modes.insert(key, ValidationMode::Slack(slack.max(0.0)));
+    }
+
+    /// Current mode for a key.
+    pub fn mode(&self, key: u64) -> Option<ValidationMode> {
+        self.modes.get(&key).copied()
+    }
+
+    /// Validates an observation against its prediction. Keys with no
+    /// installed mode fail validation (no previously known result — the
+    /// solver must run, per the paper's "only … in the presence of errors,
+    /// or no previously known results").
+    pub fn check(&mut self, key: u64, predicted: f64, actual: f64) -> bool {
+        self.checks += 1;
+        let ok = match self.modes.get(&key) {
+            Some(ValidationMode::Accuracy(b)) => b.admits(predicted, actual),
+            Some(ValidationMode::Slack(s)) => (actual - predicted).abs() <= *s + EPS,
+            None => false,
+        };
+        if !ok {
+            self.violations += 1;
+        }
+        ok
+    }
+
+    /// Clears a key's mode (e.g. after re-modeling).
+    pub fn reset(&mut self, key: u64) {
+        self.modes.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::LineageStore;
+    use pulse_math::{Poly, Span};
+
+    fn seg_with(slope: f64) -> Segment {
+        Segment::single(1, Span::new(0.0, 10.0), Poly::linear(0.0, slope))
+    }
+
+    #[test]
+    fn bound_admits() {
+        let b = Bound::symmetric(1.0);
+        assert!(b.admits(5.0, 5.5));
+        assert!(b.admits(5.0, 4.0));
+        assert!(!b.admits(5.0, 6.5));
+        let asym = Bound { below: 0.0, above: 2.0 };
+        assert!(asym.admits(5.0, 6.9));
+        assert!(!asym.admits(5.0, 4.5));
+    }
+
+    #[test]
+    fn equi_split_uniform_and_conservative() {
+        let out = seg_with(1.0);
+        let (a, b) = (seg_with(2.0), seg_with(3.0));
+        let parts = EquiSplit.split(&out, Bound::symmetric(1.0), &[&a, &b], 1);
+        assert_eq!(parts.len(), 2);
+        for (_, pb) in &parts {
+            assert!((pb.below - 0.5).abs() < 1e-12);
+        }
+        // Dependencies shrink the shares further.
+        let parts = EquiSplit.split(&out, Bound::symmetric(1.0), &[&a, &b], 2);
+        assert!((parts[0].1.below - 0.25).abs() < 1e-12);
+        // Conservative: Σ allocations ≤ bound.
+        let total: f64 = parts.iter().map(|(_, b)| b.below).sum();
+        assert!(total <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn gradient_split_weights_by_rate_of_change() {
+        let out = seg_with(1.0);
+        let fast = seg_with(9.0);
+        let slow = seg_with(1.0);
+        let parts = GradientSplit.split(&out, Bound::symmetric(1.0), &[&fast, &slow], 1);
+        let fast_share = parts.iter().find(|(id, _)| *id == fast.id).unwrap().1;
+        let slow_share = parts.iter().find(|(id, _)| *id == slow.id).unwrap().1;
+        assert!((fast_share.below - 0.9).abs() < 1e-9);
+        assert!((slow_share.below - 0.1).abs() < 1e-9);
+        let total: f64 = parts.iter().map(|(_, b)| b.below).sum();
+        assert!(total <= 1.0 + 1e-9, "conservative");
+    }
+
+    #[test]
+    fn gradient_split_falls_back_on_flat_models() {
+        let out = seg_with(0.0);
+        let (a, b) = (seg_with(0.0), seg_with(0.0));
+        let parts = GradientSplit.split(&out, Bound::symmetric(1.0), &[&a, &b], 1);
+        assert!((parts[0].1.below - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_walks_to_sources() {
+        let mut store = LineageStore::default();
+        let (src_a, src_b) = (seg_with(1.0), seg_with(1.0));
+        let mid = seg_with(1.0);
+        let out = seg_with(1.0);
+        for s in [&src_a, &src_b, &mid, &out] {
+            store.register(s);
+        }
+        store.record(mid.id, &[src_a.id, src_b.id]);
+        store.record(out.id, &[mid.id]);
+        let heuristic = EquiSplit;
+        let inv = BoundInverter::new(&store, &heuristic, 1);
+        let bounds = inv.invert(out.id, Bound::symmetric(1.0));
+        assert_eq!(bounds.len(), 2);
+        // out → mid keeps 1.0 (single input), mid → two sources halves it.
+        assert!((bounds[&src_a.id].below - 0.5).abs() < 1e-12);
+        assert!((bounds[&src_b.id].below - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_keeps_tightest_on_shared_source() {
+        // Diamond: out caused by m1 and m2, both caused by the same source.
+        let mut store = LineageStore::default();
+        let src = seg_with(1.0);
+        let m1 = seg_with(1.0);
+        let m2 = seg_with(1.0);
+        let out = seg_with(1.0);
+        for s in [&src, &m1, &m2, &out] {
+            store.register(s);
+        }
+        store.record(m1.id, &[src.id]);
+        store.record(m2.id, &[src.id]);
+        store.record(out.id, &[m1.id, m2.id]);
+        let heuristic = EquiSplit;
+        let inv = BoundInverter::new(&store, &heuristic, 1);
+        let bounds = inv.invert(out.id, Bound::symmetric(1.0));
+        assert_eq!(bounds.len(), 1);
+        assert!((bounds[&src.id].below - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validator_mode_alternation() {
+        let mut v = Validator::new();
+        // Unknown key: must fail (no previously known results).
+        assert!(!v.check(1, 10.0, 10.0));
+        v.set_accuracy(1, Bound::symmetric(0.5));
+        assert!(v.check(1, 10.0, 10.3));
+        assert!(!v.check(1, 10.0, 11.0));
+        // After a null result: slack mode.
+        v.set_slack(1, 3.0);
+        assert!(matches!(v.mode(1), Some(ValidationMode::Slack(_))));
+        assert!(v.check(1, 10.0, 12.0));
+        assert!(!v.check(1, 10.0, 14.0));
+        assert_eq!(v.checks, 5);
+        assert_eq!(v.violations, 3);
+        v.reset(1);
+        assert!(v.mode(1).is_none());
+    }
+}

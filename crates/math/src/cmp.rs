@@ -1,0 +1,266 @@
+//! Comparison operators and sign analysis of polynomials.
+//!
+//! A Pulse difference equation is `p(t) R 0` for a relational operator
+//! `R ∈ {<, ≤, =, ≠, ≥, >}` (§III-A). [`solve_poly_cmp`] turns one such row
+//! into the [`RangeSet`] of times at which it holds: root finding plus sign
+//! tests on the intervals between roots, exactly the paper's "combine root
+//! finding with sign tests to yield a set of time ranges".
+
+use crate::interval::{RangeSet, Span, EPS};
+use crate::poly::Poly;
+use crate::roots::poly_roots_in;
+
+/// The six standard relational comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl CmpOp {
+    /// Applies the comparison to concrete values (with tolerance for `Eq`/`Ne`).
+    pub fn test(&self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => (a - b).abs() <= EPS,
+            CmpOp::Ne => (a - b).abs() > EPS,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+        }
+    }
+
+    /// The operator with both sides swapped (`a R b` ⇔ `b R.flip() a`).
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+        }
+    }
+
+    /// Logical negation (`!(a R b)` ⇔ `a R.negate() b`).
+    pub fn negate(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+        }
+    }
+
+    /// Whether the boundary (root) itself satisfies the comparison with 0.
+    pub fn accepts_zero(&self) -> bool {
+        matches!(self, CmpOp::Le | CmpOp::Eq | CmpOp::Ge)
+    }
+
+    /// Whether a strictly negative value satisfies the comparison with 0.
+    pub fn accepts_negative(&self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Ne)
+    }
+
+    /// Whether a strictly positive value satisfies the comparison with 0.
+    pub fn accepts_positive(&self) -> bool {
+        matches!(self, CmpOp::Gt | CmpOp::Ge | CmpOp::Ne)
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Solves `p(t) R 0` for `t ∈ domain`, returning the satisfying time ranges.
+///
+/// Equality over a non-zero polynomial yields isolated points; an
+/// identically-zero polynomial makes `=`, `≤`, `≥` hold everywhere and `<`,
+/// `>`, `≠` nowhere.
+pub fn solve_poly_cmp(p: &Poly, op: CmpOp, domain: Span, tol: f64) -> RangeSet {
+    if p.is_zero() {
+        return if op.accepts_zero() {
+            RangeSet::single(domain)
+        } else {
+            RangeSet::empty()
+        };
+    }
+    if domain.is_point() {
+        let v = p.eval(domain.lo);
+        return if op.test(v, 0.0) {
+            RangeSet::single(domain)
+        } else {
+            RangeSet::empty()
+        };
+    }
+    let roots = poly_roots_in(p, domain.lo, domain.hi, tol);
+    match op {
+        CmpOp::Eq => RangeSet::from_spans(roots.iter().map(|&r| Span::point(r)).collect()),
+        CmpOp::Ne => {
+            let eq = RangeSet::from_spans(roots.iter().map(|&r| Span::point(r)).collect());
+            eq.complement(domain)
+        }
+        _ => {
+            // Sign is constant between consecutive roots: sample midpoints.
+            let mut cuts = Vec::with_capacity(roots.len() + 2);
+            cuts.push(domain.lo);
+            cuts.extend(roots.iter().copied().filter(|r| {
+                *r > domain.lo + EPS && *r < domain.hi - EPS
+            }));
+            cuts.push(domain.hi);
+            let mut spans = Vec::new();
+            for w in cuts.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if b - a <= EPS {
+                    continue;
+                }
+                let v = p.eval(0.5 * (a + b));
+                let keep = if v > tol {
+                    op.accepts_positive()
+                } else if v < -tol {
+                    op.accepts_negative()
+                } else {
+                    // Numerically zero across the subinterval (e.g. a flat
+                    // tangency): keep only for boundary-accepting ops.
+                    op.accepts_zero()
+                };
+                if keep {
+                    spans.push(Span::new(a, b));
+                }
+            }
+            if op.accepts_zero() {
+                // Re-attach roots so tangency points are not lost between
+                // rejected neighbours (e.g. p ≤ 0 with p = (t-2)²).
+                spans.extend(roots.iter().map(|&r| Span::point(r)));
+            }
+            RangeSet::from_spans(spans)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(c: &[f64]) -> Poly {
+        Poly::new(c.to_vec())
+    }
+
+    #[test]
+    fn cmp_test_semantics() {
+        assert!(CmpOp::Lt.test(1.0, 2.0));
+        assert!(!CmpOp::Lt.test(2.0, 2.0));
+        assert!(CmpOp::Le.test(2.0, 2.0));
+        assert!(CmpOp::Eq.test(2.0, 2.0 + 1e-12));
+        assert!(CmpOp::Ne.test(2.0, 3.0));
+        assert!(CmpOp::Ge.test(3.0, 3.0));
+        assert!(CmpOp::Gt.test(4.0, 3.0));
+    }
+
+    #[test]
+    fn cmp_flip_negate() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+            for (a, b) in [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)] {
+                assert_eq!(op.test(a, b), op.flip().test(b, a), "{op} flip");
+                assert_eq!(op.test(a, b), !op.negate().test(a, b), "{op} negate");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_inequality() {
+        // t - 5 < 0 on [0, 10) → [0, 5)
+        let rs = solve_poly_cmp(&poly(&[-5.0, 1.0]), CmpOp::Lt, Span::new(0.0, 10.0), 1e-10);
+        assert_eq!(rs.spans(), &[Span::new(0.0, 5.0)]);
+        // t - 5 > 0 → [5, 10); boundary excluded only within tolerance
+        let rs = solve_poly_cmp(&poly(&[-5.0, 1.0]), CmpOp::Gt, Span::new(0.0, 10.0), 1e-10);
+        assert_eq!(rs.spans(), &[Span::new(5.0, 10.0)]);
+    }
+
+    #[test]
+    fn equality_yields_points() {
+        let rs = solve_poly_cmp(&poly(&[-5.0, 1.0]), CmpOp::Eq, Span::new(0.0, 10.0), 1e-10);
+        assert_eq!(rs.spans(), &[Span::point(5.0)]);
+        assert_eq!(rs.measure(), 0.0);
+    }
+
+    #[test]
+    fn not_equal_excludes_points() {
+        let rs = solve_poly_cmp(&poly(&[-5.0, 1.0]), CmpOp::Ne, Span::new(0.0, 10.0), 1e-10);
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.contains(5.0));
+        assert!(rs.contains(4.9));
+        assert!(rs.contains(5.1));
+    }
+
+    #[test]
+    fn quadratic_between_roots() {
+        // (t-2)(t-8) < 0 → (2, 8)
+        let p = poly(&[16.0, -10.0, 1.0]);
+        let rs = solve_poly_cmp(&p, CmpOp::Lt, Span::new(0.0, 10.0), 1e-10);
+        assert_eq!(rs.len(), 1);
+        let s = rs.spans()[0];
+        assert!((s.lo - 2.0).abs() < 1e-8 && (s.hi - 8.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_poly_semantics() {
+        let d = Span::new(0.0, 1.0);
+        assert_eq!(
+            solve_poly_cmp(&Poly::zero(), CmpOp::Le, d, 1e-10).spans(),
+            &[d]
+        );
+        assert!(solve_poly_cmp(&Poly::zero(), CmpOp::Lt, d, 1e-10).is_empty());
+        assert_eq!(
+            solve_poly_cmp(&Poly::zero(), CmpOp::Eq, d, 1e-10).spans(),
+            &[d]
+        );
+        assert!(solve_poly_cmp(&Poly::zero(), CmpOp::Ne, d, 1e-10).is_empty());
+    }
+
+    #[test]
+    fn tangency_kept_for_le() {
+        // (t-2)² ≤ 0 holds only at t=2.
+        let p = poly(&[4.0, -4.0, 1.0]);
+        let rs = solve_poly_cmp(&p, CmpOp::Le, Span::new(0.0, 5.0), 1e-10);
+        assert!(rs.contains(2.0), "{rs:?}");
+        assert!(rs.measure() < 1e-6);
+        // (t-2)² < 0 never holds.
+        let rs = solve_poly_cmp(&p, CmpOp::Lt, Span::new(0.0, 5.0), 1e-10);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn point_domain() {
+        let p = poly(&[-5.0, 1.0]);
+        let hit = solve_poly_cmp(&p, CmpOp::Eq, Span::point(5.0), 1e-10);
+        assert_eq!(hit.spans(), &[Span::point(5.0)]);
+        let miss = solve_poly_cmp(&p, CmpOp::Eq, Span::point(4.0), 1e-10);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn no_solution_in_domain() {
+        // t - 50 < 0 holds on the whole domain; > 0 nowhere.
+        let p = poly(&[-50.0, 1.0]);
+        let d = Span::new(0.0, 10.0);
+        assert_eq!(solve_poly_cmp(&p, CmpOp::Lt, d, 1e-10).spans(), &[d]);
+        assert!(solve_poly_cmp(&p, CmpOp::Gt, d, 1e-10).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Dense linear systems and least-squares fitting.
+//!
+//! §III-A notes that equality-only predicate systems (natural / equi-joins)
+//! admit "efficient numerical algorithms … such as Gaussian elimination";
+//! [`solve_dense`] provides that path. [`fit_poly`] and [`IncrementalLinFit`]
+//! support the model-fitting component (least squares over tuple samples,
+//! used by the online segmentation of the historical mode).
+
+use crate::poly::Poly;
+
+/// Error from linear-system solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinSysError {
+    /// Matrix is (numerically) singular; no unique solution.
+    Singular,
+    /// Dimensions of the matrix and right-hand side disagree.
+    Shape,
+}
+
+impl std::fmt::Display for LinSysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinSysError::Singular => write!(f, "singular linear system"),
+            LinSysError::Shape => write!(f, "matrix/vector shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinSysError {}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// `a` is row-major `n×n`. Consumes copies; inputs are unchanged.
+pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, LinSysError> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(LinSysError::Shape);
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at or below `col`.
+        let piv = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .unwrap();
+        if m[piv][col].abs() < 1e-12 {
+            return Err(LinSysError::Singular);
+        }
+        m.swap(col, piv);
+        rhs.swap(col, piv);
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            // Two rows of `m` are touched at once: split the borrow.
+            let (pivot_rows, rest) = m.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (rv, pv) in rest[0][col..].iter_mut().zip(&pivot[col..]) {
+                *rv -= f * pv;
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for k in row + 1..n {
+            s -= m[row][k] * x[k];
+        }
+        x[row] = s / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Least-squares polynomial fit of the given degree through `(t, v)` samples,
+/// via the normal equations of the Vandermonde system.
+///
+/// Requires at least `degree + 1` samples. Times should be pre-shifted to a
+/// local origin for conditioning (the fitting module does this).
+pub fn fit_poly(samples: &[(f64, f64)], degree: usize) -> Result<Poly, LinSysError> {
+    let n = degree + 1;
+    if samples.len() < n {
+        return Err(LinSysError::Shape);
+    }
+    // Normal equations: (VᵀV) c = Vᵀy, where V[i][j] = t_i^j.
+    let mut ata = vec![vec![0.0; n]; n];
+    let mut atb = vec![0.0; n];
+    for &(t, v) in samples {
+        let mut powers = vec![1.0; 2 * n - 1];
+        for i in 1..2 * n - 1 {
+            powers[i] = powers[i - 1] * t;
+        }
+        for (i, row) in ata.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += powers[i + j];
+            }
+            atb[i] += powers[i] * v;
+        }
+    }
+    solve_dense(&ata, &atb).map(Poly::new)
+}
+
+/// Incremental simple linear regression over a growing sample prefix.
+///
+/// Maintains running sums so the online segmentation algorithm can extend a
+/// candidate segment one tuple at a time in O(1) and re-read the current
+/// slope/intercept without refitting.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalLinFit {
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+}
+
+impl IncrementalLinFit {
+    /// Empty fit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.n += 1.0;
+        self.sx += t;
+        self.sy += v;
+        self.sxx += t * t;
+        self.sxy += t * v;
+    }
+
+    /// Number of samples seen.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// True when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0.0
+    }
+
+    /// Current best-fit line as a [`Poly`] (`intercept + slope·t`).
+    ///
+    /// With a single sample the fit is the constant through it; with
+    /// degenerate (all-equal) times the slope is zero.
+    pub fn line(&self) -> Poly {
+        if self.n == 0.0 {
+            return Poly::zero();
+        }
+        let denom = self.n * self.sxx - self.sx * self.sx;
+        if denom.abs() < 1e-12 {
+            return Poly::constant(self.sy / self.n);
+        }
+        let slope = (self.n * self.sxy - self.sx * self.sy) / denom;
+        let intercept = (self.sy - slope * self.sx) / self.n;
+        Poly::linear(intercept, slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 1.0]];
+        let x = solve_dense(&a, &[2.0, 5.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve_dense(&a, &[8.0, -11.0, -3.0]).unwrap();
+        let want = [2.0, 3.0, -1.0];
+        for (g, w) in x.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_dense(&a, &[1.0, 2.0]), Err(LinSysError::Singular));
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let a = vec![vec![1.0, 2.0]];
+        assert_eq!(solve_dense(&a, &[1.0, 2.0]), Err(LinSysError::Shape));
+    }
+
+    #[test]
+    fn fit_recovers_exact_polynomial() {
+        let truth = Poly::new(vec![1.0, -2.0, 0.5]);
+        let samples: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64 * 0.3, truth.eval(i as f64 * 0.3))).collect();
+        let fit = fit_poly(&samples, 2).unwrap();
+        for (g, w) in fit.coeffs().iter().zip(truth.coeffs()) {
+            assert!((g - w).abs() < 1e-8, "{fit} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn fit_underdetermined_errors() {
+        assert!(fit_poly(&[(0.0, 1.0)], 1).is_err());
+    }
+
+    #[test]
+    fn incremental_fit_matches_batch() {
+        let pts = [(0.0, 1.0), (1.0, 3.1), (2.0, 4.9), (3.0, 7.05)];
+        let mut inc = IncrementalLinFit::new();
+        for &(t, v) in &pts {
+            inc.push(t, v);
+        }
+        let batch = fit_poly(&pts, 1).unwrap();
+        let line = inc.line();
+        for i in 0..2 {
+            assert!((line.coeff(i) - batch.coeff(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_fit_degenerate_cases() {
+        let mut inc = IncrementalLinFit::new();
+        assert!(inc.is_empty());
+        assert!(inc.line().is_zero());
+        inc.push(2.0, 5.0);
+        assert_eq!(inc.line(), Poly::constant(5.0));
+        inc.push(2.0, 7.0); // same t: slope undefined, average value
+        assert_eq!(inc.line(), Poly::constant(6.0));
+    }
+}

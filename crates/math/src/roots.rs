@@ -1,0 +1,318 @@
+//! Root finding for the equation systems of §III.
+//!
+//! The paper names Newton's method and Brent's method [Brent 1973] as the
+//! solvers for `(x−y)(t) = 0`. Both are implemented here, plus a robust
+//! polynomial-specific driver: roots of the derivative (found recursively)
+//! split the interval into monotone pieces, and Brent's method finds the
+//! at-most-one root in each piece. Degrees 1 and 2 use closed forms.
+
+use crate::poly::Poly;
+
+/// Newton's method from `x0`. Returns `None` on divergence, a vanishing
+/// derivative, or failure to converge within `max_iter`.
+pub fn newton<F, G>(f: F, df: G, x0: f64, tol: f64, max_iter: usize) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    let mut x = x0;
+    for _ in 0..max_iter {
+        let fx = f(x);
+        if fx.abs() <= tol {
+            return Some(x);
+        }
+        let dfx = df(x);
+        if dfx.abs() < 1e-300 {
+            return None;
+        }
+        let next = x - fx / dfx;
+        if !next.is_finite() {
+            return None;
+        }
+        if (next - x).abs() <= tol * (1.0 + x.abs()) {
+            return (f(next).abs() <= tol.sqrt()).then_some(next);
+        }
+        x = next;
+    }
+    None
+}
+
+/// Brent's method on a bracketing interval `[a, b]` with `f(a)·f(b) ≤ 0`.
+///
+/// Combines bisection, secant, and inverse quadratic interpolation; always
+/// converges for a valid bracket. Returns `None` if the bracket is invalid.
+pub fn brent<F>(f: F, mut a: f64, mut b: f64, tol: f64) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Some(a);
+    }
+    if fb == 0.0 {
+        return Some(b);
+    }
+    if fa * fb > 0.0 {
+        return None;
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..200 {
+        if fb.abs() <= tol || (b - a).abs() <= tol {
+            return Some(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && (!mflag || (s - b).abs() < (b - c).abs() / 2.0)
+            && (mflag || (s - b).abs() < d.abs() / 2.0));
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c - b;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Some(b)
+}
+
+/// Solves `at + b = 0` inside `[lo, hi]`.
+fn linear_roots_in(b: f64, a: f64, lo: f64, hi: f64) -> Vec<f64> {
+    if a.abs() < 1e-300 {
+        return Vec::new();
+    }
+    let r = -b / a;
+    if r >= lo && r <= hi {
+        vec![r]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Numerically stable quadratic roots of `c2 t² + c1 t + c0` inside `[lo, hi]`.
+fn quadratic_roots_in(c0: f64, c1: f64, c2: f64, lo: f64, hi: f64) -> Vec<f64> {
+    let disc = c1 * c1 - 4.0 * c2 * c0;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    let sd = disc.sqrt();
+    // Avoid catastrophic cancellation: compute the larger-magnitude root
+    // first and derive the second from the product of roots.
+    let q = -0.5 * (c1 + c1.signum() * sd);
+    let (r1, r2) = if q.abs() < 1e-300 {
+        (0.0, 0.0)
+    } else {
+        (q / c2, c0 / q)
+    };
+    let mut out: Vec<f64> = [r1, r2]
+        .into_iter()
+        .filter(|r| r.is_finite() && *r >= lo && *r <= hi)
+        .collect();
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    out
+}
+
+/// All real roots of `p` inside `[lo, hi]`, ascending and deduplicated.
+///
+/// The zero polynomial yields no roots (callers treat "identically zero" as
+/// a special predicate case). Robust for the small degrees (≤ ~8) produced
+/// by Pulse's operator transforms.
+pub fn poly_roots_in(p: &Poly, lo: f64, hi: f64, tol: f64) -> Vec<f64> {
+    if lo > hi || p.is_zero() {
+        return Vec::new();
+    }
+    match p.degree() {
+        None | Some(0) => Vec::new(),
+        Some(1) => linear_roots_in(p.coeff(0), p.coeff(1), lo, hi),
+        Some(2) => quadratic_roots_in(p.coeff(0), p.coeff(1), p.coeff(2), lo, hi),
+        Some(_) => {
+            // Monotone pieces are delimited by critical points.
+            let mut breaks = poly_roots_in(&p.derivative(), lo, hi, tol);
+            breaks.insert(0, lo);
+            breaks.push(hi);
+            let mut roots = Vec::new();
+            for w in breaks.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if b - a < tol {
+                    if p.eval(a).abs() <= tol.sqrt() {
+                        roots.push(a);
+                    }
+                    continue;
+                }
+                let (fa, fb) = (p.eval(a), p.eval(b));
+                if fa.abs() <= tol {
+                    roots.push(a);
+                } else if fa * fb < 0.0 {
+                    if let Some(r) = brent(|t| p.eval(t), a, b, tol) {
+                        roots.push(r);
+                    }
+                }
+            }
+            if p.eval(hi).abs() <= tol {
+                roots.push(hi);
+            }
+            roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            roots.dedup_by(|a, b| (*a - *b).abs() < tol.max(1e-9) * 10.0);
+            roots
+        }
+    }
+}
+
+/// Newton's method specialized to a polynomial (the solver the paper names
+/// first); falls back to `None` exactly like the generic version.
+pub fn poly_newton(p: &Poly, x0: f64, tol: f64) -> Option<f64> {
+    let d = p.derivative();
+    newton(|t| p.eval(t), |t| d.eval(t), x0, tol, 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(c: &[f64]) -> Poly {
+        Poly::new(c.to_vec())
+    }
+
+    #[test]
+    fn newton_finds_sqrt2() {
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-12, 50).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_rejects_flat_derivative() {
+        assert_eq!(newton(|_| 1.0, |_| 0.0, 0.0, 1e-12, 50), None);
+    }
+
+    #[test]
+    fn brent_finds_bracketed_root() {
+        let r = brent(|x| x * x * x - 4.0, 0.0, 3.0, 1e-12).unwrap();
+        assert!((r - 4f64.cbrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert_eq!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12), None);
+    }
+
+    #[test]
+    fn brent_exact_endpoint() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12), Some(0.0));
+    }
+
+    #[test]
+    fn linear_and_quadratic_closed_forms() {
+        // 2t - 4 = 0 → t = 2
+        let r = poly_roots_in(&poly(&[-4.0, 2.0]), 0.0, 10.0, 1e-10);
+        assert_eq!(r, vec![2.0]);
+        // outside interval
+        assert!(poly_roots_in(&poly(&[-4.0, 2.0]), 3.0, 10.0, 1e-10).is_empty());
+        // t² - 5t + 6 → 2, 3
+        let r = poly_roots_in(&poly(&[6.0, -5.0, 1.0]), 0.0, 10.0, 1e-10);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 2.0).abs() < 1e-9 && (r[1] - 3.0).abs() < 1e-9);
+        // no real roots
+        assert!(poly_roots_in(&poly(&[1.0, 0.0, 1.0]), -10.0, 10.0, 1e-10).is_empty());
+    }
+
+    #[test]
+    fn quadratic_cancellation_stability() {
+        // t² - 10⁸t + 1: roots ≈ 1e8 and 1e-8; naive formula loses the tiny one.
+        let r = poly_roots_in(&poly(&[1.0, -1e8, 1.0]), 0.0, 1.0, 1e-12);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 1e-8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cubic_three_roots() {
+        // (t-1)(t-2)(t-3) = t³ -6t² +11t -6
+        let p = poly(&[-6.0, 11.0, -6.0, 1.0]);
+        let r = poly_roots_in(&p, 0.0, 5.0, 1e-10);
+        assert_eq!(r.len(), 3);
+        for (got, want) in r.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn repeated_root_detected() {
+        // (t-2)² touches zero without a sign change; the critical point test
+        // catches it.
+        let p = poly(&[4.0, -4.0, 1.0]);
+        let r = poly_roots_in(&p, 0.0, 5.0, 1e-10);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quartic_with_double_and_simple_roots() {
+        // (t-1)²(t-3)(t+2)
+        let p = poly(&[1.0, -1.0])
+            .mul(&poly(&[1.0, -1.0]))
+            .mul(&poly(&[-3.0, 1.0]))
+            .mul(&poly(&[2.0, 1.0]));
+        let p = Poly::new(p.coeffs().to_vec());
+        let r = poly_roots_in(&p, -5.0, 5.0, 1e-10);
+        assert_eq!(r.len(), 3, "roots: {r:?}");
+        assert!((r[0] + 2.0).abs() < 1e-6);
+        assert!((r[1] - 1.0).abs() < 1e-4); // double roots are found less precisely
+        assert!((r[2] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roots_at_interval_endpoints() {
+        let p = poly(&[0.0, 1.0]); // t
+        let r = poly_roots_in(&p, 0.0, 1.0, 1e-10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], 0.0);
+        // cubic with root exactly at hi
+        let p3 = poly(&[-1.0, 0.0, 0.0, 1.0]); // t³-1, root at 1
+        let r = poly_roots_in(&p3, 0.0, 1.0, 1e-10);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_and_constant_polys_have_no_roots() {
+        assert!(poly_roots_in(&Poly::zero(), 0.0, 1.0, 1e-10).is_empty());
+        assert!(poly_roots_in(&Poly::constant(3.0), 0.0, 1.0, 1e-10).is_empty());
+    }
+
+    #[test]
+    fn poly_newton_agrees_with_brent() {
+        let p = poly(&[-2.0, 0.0, 1.0]); // t² - 2
+        let n = poly_newton(&p, 1.0, 1e-12).unwrap();
+        assert!((n - 2f64.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Sturm sequences: certified real-root counting and isolation.
+//!
+//! The derivative-recursion isolator in [`crate::roots`] is fast and
+//! adequate for Pulse's low-degree difference equations, but it can in
+//! principle miss tightly clustered roots. Sturm's theorem gives an exact
+//! count of distinct real roots in an interval — the number of sign
+//! changes of the Sturm chain at the endpoints — which this module uses to
+//! provide certified isolation (each returned bracket contains exactly one
+//! root) and a certified root finder used by validation-critical paths and
+//! as a test oracle for the fast path.
+
+use crate::poly::Poly;
+use crate::roots::brent;
+
+/// Quotient and remainder of polynomial long division.
+///
+/// Panics if `divisor` is zero.
+pub fn div_rem(dividend: &Poly, divisor: &Poly) -> (Poly, Poly) {
+    assert!(!divisor.is_zero(), "polynomial division by zero");
+    let dd = divisor.degree().unwrap();
+    let lead = divisor.leading();
+    let mut rem: Vec<f64> = dividend.coeffs().to_vec();
+    if rem.len() < dd + 1 {
+        return (Poly::zero(), dividend.clone());
+    }
+    let qlen = rem.len() - dd;
+    let mut quot = vec![0.0; qlen];
+    for i in (0..qlen).rev() {
+        let coeff = rem[i + dd] / lead;
+        quot[i] = coeff;
+        if coeff != 0.0 {
+            for (j, &dc) in divisor.coeffs().iter().enumerate() {
+                rem[i + j] -= coeff * dc;
+            }
+        }
+    }
+    rem.truncate(dd);
+    (Poly::new(quot), Poly::new(rem))
+}
+
+/// Greatest common divisor via the Euclidean algorithm (monic-normalized).
+pub fn gcd(a: &Poly, b: &Poly) -> Poly {
+    let (mut x, mut y) = (a.clone(), b.clone());
+    while !y.is_zero() {
+        let (_, r) = div_rem(&x, &y);
+        x = y;
+        y = r;
+        // Normalize to curb coefficient growth.
+        let m = y.max_coeff();
+        if m > 1e-12 {
+            y = y.scale(1.0 / m);
+        } else {
+            y = Poly::zero();
+        }
+    }
+    let m = x.leading();
+    if m.abs() > 1e-300 {
+        x.scale(1.0 / m)
+    } else {
+        x
+    }
+}
+
+/// The Sturm chain of `p`: `p, p', −rem(p, p'), …`.
+pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
+    let mut chain = vec![p.clone(), p.derivative()];
+    loop {
+        let n = chain.len();
+        if chain[n - 1].is_zero() {
+            chain.pop();
+            break;
+        }
+        if chain[n - 1].is_constant() {
+            break;
+        }
+        let (_, r) = div_rem(&chain[n - 2], &chain[n - 1]);
+        if r.is_zero() {
+            break;
+        }
+        // Scale the remainder to keep coefficients tame (sign-preserving).
+        let m = r.max_coeff();
+        chain.push(r.neg().scale(1.0 / m.max(1e-300)));
+    }
+    chain
+}
+
+/// Sign changes of the chain evaluated at `t` (zeros are skipped, per
+/// Sturm's theorem).
+fn sign_changes(chain: &[Poly], t: f64) -> usize {
+    let mut changes = 0;
+    let mut last: Option<bool> = None;
+    for p in chain {
+        let v = p.eval(t);
+        if v.abs() < 1e-12 {
+            continue;
+        }
+        let pos = v > 0.0;
+        if let Some(l) = last {
+            if l != pos {
+                changes += 1;
+            }
+        }
+        last = Some(pos);
+    }
+    changes
+}
+
+/// Number of **distinct** real roots of `p` in the half-open `(lo, hi]`.
+///
+/// Repeated roots are counted once (the chain of `p / gcd(p, p')` would be
+/// needed to certify squarefree-ness; this routine first squarefree-reduces
+/// internally, so multiple roots are handled).
+pub fn count_roots(p: &Poly, lo: f64, hi: f64) -> usize {
+    if p.is_zero() || p.is_constant() || lo >= hi {
+        return 0;
+    }
+    let sf = squarefree(p);
+    let chain = sturm_chain(&sf);
+    sign_changes(&chain, lo).saturating_sub(sign_changes(&chain, hi))
+}
+
+/// The squarefree part `p / gcd(p, p')` — same roots, all simple.
+pub fn squarefree(p: &Poly) -> Poly {
+    match p.degree() {
+        None | Some(0) | Some(1) => p.clone(),
+        _ => {
+            let g = gcd(p, &p.derivative());
+            if g.is_constant() {
+                p.clone()
+            } else {
+                div_rem(p, &g).0
+            }
+        }
+    }
+}
+
+/// Isolating brackets: sub-intervals of `[lo, hi]` each containing exactly
+/// one distinct real root, found by Sturm-guided bisection.
+pub fn isolate_roots(p: &Poly, lo: f64, hi: f64) -> Vec<(f64, f64)> {
+    let sf = squarefree(p);
+    if sf.is_zero() || sf.is_constant() {
+        return Vec::new();
+    }
+    let chain = sturm_chain(&sf);
+    let count = |a: f64, b: f64| sign_changes(&chain, a).saturating_sub(sign_changes(&chain, b));
+    let mut out = Vec::new();
+    // Nudge the interval to avoid roots exactly at `lo` being excluded by
+    // the half-open (lo, hi] semantics.
+    let eps = 1e-9 * (1.0 + hi.abs().max(lo.abs()));
+    let mut stack = vec![(lo - eps, hi)];
+    while let Some((a, b)) = stack.pop() {
+        let n = count(a, b);
+        if n == 0 {
+            continue;
+        }
+        if n == 1 || b - a < 1e-12 {
+            out.push((a, b));
+            continue;
+        }
+        let m = 0.5 * (a + b);
+        // Avoid splitting exactly on a root.
+        let m = if sf.eval(m).abs() < 1e-14 { m + (b - a) * 1e-6 } else { m };
+        stack.push((a, m));
+        stack.push((m, b));
+    }
+    out.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    out
+}
+
+/// Certified real roots of `p` in `[lo, hi]`: Sturm isolation, then Brent
+/// within each bracket.
+pub fn certified_roots(p: &Poly, lo: f64, hi: f64) -> Vec<f64> {
+    let sf = squarefree(p);
+    isolate_roots(p, lo, hi)
+        .into_iter()
+        .filter_map(|(a, b)| {
+            let (fa, fb) = (sf.eval(a), sf.eval(b));
+            if fa.abs() < 1e-12 {
+                Some(a)
+            } else if fb.abs() < 1e-12 {
+                Some(b)
+            } else if fa * fb < 0.0 {
+                brent(|t| sf.eval(t), a, b, 1e-12)
+            } else {
+                // Bracket certified by Sturm but no visible sign change:
+                // dense sampling fallback.
+                (0..=64)
+                    .map(|i| a + (b - a) * i as f64 / 64.0)
+                    .min_by(|x, y| sf.eval(*x).abs().partial_cmp(&sf.eval(*y).abs()).unwrap())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(c: &[f64]) -> Poly {
+        Poly::new(c.to_vec())
+    }
+
+    #[test]
+    fn division_identity() {
+        // (t² + 2t + 1) / (t + 1) = (t + 1), rem 0
+        let (q, r) = div_rem(&poly(&[1.0, 2.0, 1.0]), &poly(&[1.0, 1.0]));
+        assert_eq!(q, poly(&[1.0, 1.0]));
+        assert!(r.is_zero());
+        // General identity: dividend = divisor·q + r on random-ish inputs.
+        let a = poly(&[3.0, -2.0, 0.0, 5.0, 1.0]);
+        let b = poly(&[1.0, 0.0, 2.0]);
+        let (q, r) = div_rem(&a, &b);
+        let recon = b.mul(&q).add(&r);
+        for (x, y) in recon.coeffs().iter().zip(a.coeffs()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert!(r.degree().unwrap_or(0) < b.degree().unwrap());
+    }
+
+    #[test]
+    fn division_low_degree_dividend() {
+        let (q, r) = div_rem(&poly(&[1.0, 1.0]), &poly(&[0.0, 0.0, 1.0]));
+        assert!(q.is_zero());
+        assert_eq!(r, poly(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn gcd_of_shared_factor() {
+        // gcd((t-1)(t-2), (t-1)(t-3)) = (t-1) up to scale.
+        let a = poly(&[2.0, -3.0, 1.0]);
+        let b = poly(&[3.0, -4.0, 1.0]);
+        let g = gcd(&a, &b);
+        assert_eq!(g.degree(), Some(1));
+        assert!((g.eval(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcd_coprime_is_constant() {
+        let g = gcd(&poly(&[1.0, 1.0]), &poly(&[2.0, 0.0, 1.0]));
+        assert!(g.is_constant());
+    }
+
+    #[test]
+    fn count_roots_quadratic() {
+        // (t-2)(t-8)
+        let p = poly(&[16.0, -10.0, 1.0]);
+        assert_eq!(count_roots(&p, 0.0, 10.0), 2);
+        assert_eq!(count_roots(&p, 0.0, 5.0), 1);
+        assert_eq!(count_roots(&p, 3.0, 5.0), 0);
+        assert_eq!(count_roots(&p, -10.0, 0.0), 0);
+    }
+
+    #[test]
+    fn count_roots_handles_multiplicity() {
+        // (t-2)²(t-5): distinct roots {2, 5}.
+        let p = poly(&[2.0, -2.0]).mul(&poly(&[2.0, -2.0])).mul(&poly(&[-5.0, 1.0]));
+        assert_eq!(count_roots(&p, 0.0, 10.0), 2);
+        assert_eq!(count_roots(&p, 0.0, 3.0), 1);
+    }
+
+    #[test]
+    fn squarefree_reduction() {
+        let p = poly(&[1.0, -1.0]).powi(3).mul(&poly(&[-4.0, 1.0]));
+        let sf = squarefree(&p);
+        assert_eq!(sf.degree(), Some(2));
+        assert!(sf.eval(1.0).abs() < 1e-9);
+        assert!(sf.eval(4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolation_separates_close_roots() {
+        // Roots at 1.0 and 1.001 — closer than the fast path's sampling.
+        let p = poly(&[-1.0, 1.0]).mul(&poly(&[-1.001, 1.0]));
+        let brackets = isolate_roots(&p, 0.0, 2.0);
+        assert_eq!(brackets.len(), 2, "{brackets:?}");
+        for (a, b) in &brackets {
+            assert_eq!(count_roots(&p, *a, *b), 1);
+        }
+    }
+
+    #[test]
+    fn certified_roots_match_known() {
+        // (t-1)(t-2)(t-3)
+        let p = poly(&[-6.0, 11.0, -6.0, 1.0]);
+        let roots = certified_roots(&p, 0.0, 5.0);
+        assert_eq!(roots.len(), 3);
+        for (r, want) in roots.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((r - want).abs() < 1e-9, "{r} vs {want}");
+        }
+    }
+
+    #[test]
+    fn certified_agrees_with_fast_path() {
+        // Oracle check across a family of cubics.
+        for a in [-3.0, -1.0, 0.5, 2.0] {
+            for b in [-2.0, 0.0, 1.5] {
+                let p = poly(&[a, b, -1.0, 1.0]);
+                let fast = crate::roots::poly_roots_in(&p, -10.0, 10.0, 1e-10);
+                let cert = certified_roots(&p, -10.0, 10.0);
+                assert_eq!(fast.len(), cert.len(), "root count for {p}");
+                for (x, y) in fast.iter().zip(&cert) {
+                    assert!((x - y).abs() < 1e-6, "{x} vs {y} for {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_roots_cases() {
+        assert_eq!(count_roots(&poly(&[1.0, 0.0, 1.0]), -10.0, 10.0), 0);
+        assert!(certified_roots(&Poly::zero(), 0.0, 1.0).is_empty());
+        assert!(certified_roots(&Poly::constant(2.0), 0.0, 1.0).is_empty());
+        assert_eq!(count_roots(&poly(&[0.0, 1.0]), 5.0, 1.0), 0, "inverted interval");
+    }
+}

@@ -1,0 +1,221 @@
+//! Binary segment archives.
+//!
+//! Historical processing (§II-A) stores the modeled form of a stream so
+//! "the cost of modeling can be amortized across many queries" — across
+//! *sessions*, that requires a durable format. This module defines a
+//! compact little-endian framing for segment collections:
+//!
+//! ```text
+//! magic "PLSE" | version u16 | segment count u64
+//! per segment:
+//!   key u64 | span lo f64 | span hi f64
+//!   model count u16 | per model: coeff count u16, coeffs f64…
+//!   unmodeled count u16 | values f64…
+//! ```
+//!
+//! Segment ids are *not* persisted — they are process-local lineage
+//! handles; loading assigns fresh ones.
+
+use crate::segment::Segment;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pulse_math::{Poly, Span};
+
+const MAGIC: &[u8; 4] = b"PLSE";
+const VERSION: u16 = 1;
+
+/// Archive decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// Input ended mid-record.
+    Truncated,
+    /// A numeric field failed validation (e.g. non-finite span).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::BadHeader => write!(f, "not a Pulse segment archive"),
+            ArchiveError::Truncated => write!(f, "archive truncated"),
+            ArchiveError::Corrupt(what) => write!(f, "archive corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// Encodes segments into the archive format.
+pub fn encode(segments: &[Segment]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + segments.len() * 64);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(segments.len() as u64);
+    for s in segments {
+        buf.put_u64_le(s.key);
+        buf.put_f64_le(s.span.lo);
+        buf.put_f64_le(s.span.hi);
+        buf.put_u16_le(s.models.len() as u16);
+        for m in &s.models {
+            buf.put_u16_le(m.coeffs().len() as u16);
+            for &c in m.coeffs() {
+                buf.put_f64_le(c);
+            }
+        }
+        buf.put_u16_le(s.unmodeled.len() as u16);
+        for &v in &s.unmodeled {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an archive (fresh segment ids are assigned).
+pub fn decode(mut data: &[u8]) -> Result<Vec<Segment>, ArchiveError> {
+    if data.remaining() < 14 {
+        return Err(ArchiveError::BadHeader);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ArchiveError::BadHeader);
+    }
+    if data.get_u16_le() != VERSION {
+        return Err(ArchiveError::BadHeader);
+    }
+    let count = data.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if data.remaining() < 8 + 8 + 8 + 2 {
+            return Err(ArchiveError::Truncated);
+        }
+        let key = data.get_u64_le();
+        let lo = data.get_f64_le();
+        let hi = data.get_f64_le();
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(ArchiveError::Corrupt("invalid span"));
+        }
+        let n_models = data.get_u16_le() as usize;
+        let mut models = Vec::with_capacity(n_models);
+        for _ in 0..n_models {
+            if data.remaining() < 2 {
+                return Err(ArchiveError::Truncated);
+            }
+            let n_coeffs = data.get_u16_le() as usize;
+            if data.remaining() < n_coeffs * 8 {
+                return Err(ArchiveError::Truncated);
+            }
+            let mut coeffs = Vec::with_capacity(n_coeffs);
+            for _ in 0..n_coeffs {
+                let c = data.get_f64_le();
+                if !c.is_finite() {
+                    return Err(ArchiveError::Corrupt("non-finite coefficient"));
+                }
+                coeffs.push(c);
+            }
+            models.push(Poly::new(coeffs));
+        }
+        if data.remaining() < 2 {
+            return Err(ArchiveError::Truncated);
+        }
+        let n_unmodeled = data.get_u16_le() as usize;
+        if data.remaining() < n_unmodeled * 8 {
+            return Err(ArchiveError::Truncated);
+        }
+        let mut unmodeled = Vec::with_capacity(n_unmodeled);
+        for _ in 0..n_unmodeled {
+            unmodeled.push(data.get_f64_le());
+        }
+        out.push(Segment::new(key, Span::new(lo, hi), models, unmodeled));
+    }
+    Ok(out)
+}
+
+/// Writes an archive to a file.
+pub fn save(path: impl AsRef<std::path::Path>, segments: &[Segment]) -> std::io::Result<()> {
+    std::fs::write(path, encode(segments))
+}
+
+/// Reads an archive from a file.
+pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Vec<Segment>> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_segments() -> Vec<Segment> {
+        vec![
+            Segment::new(
+                7,
+                Span::new(0.0, 5.0),
+                vec![Poly::linear(1.0, 2.0), Poly::new(vec![0.5, 0.0, -0.25])],
+                vec![42.0],
+            ),
+            Segment::new(8, Span::new(5.0, 9.5), vec![Poly::zero()], Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let segs = sample_segments();
+        let bytes = encode(&segs);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.len(), segs.len());
+        for (a, b) in segs.iter().zip(&back) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.span, b.span);
+            assert_eq!(a.models, b.models);
+            assert_eq!(a.unmodeled, b.unmodeled);
+            assert_ne!(a.id, b.id, "ids are process-local and reassigned");
+        }
+    }
+
+    #[test]
+    fn empty_archive() {
+        let bytes = encode(&[]);
+        assert_eq!(decode(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode(b"NOPE\x01\x00"), Err(ArchiveError::BadHeader));
+        assert_eq!(decode(b""), Err(ArchiveError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&sample_segments());
+        for cut in [15, 20, bytes.len() - 3] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ArchiveError::Truncated | ArchiveError::BadHeader),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_span() {
+        let mut bytes = encode(&sample_segments()).to_vec();
+        // Overwrite span.lo of the first segment (offset 14 + 8) with NaN.
+        bytes[22..30].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(ArchiveError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pulse-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("segments.plse");
+        let segs = sample_segments();
+        save(&path, &segs).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].models, segs[0].models);
+        std::fs::remove_file(&path).ok();
+    }
+}

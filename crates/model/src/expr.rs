@@ -1,0 +1,519 @@
+//! Expression and predicate language shared by both engines.
+//!
+//! One AST serves the discrete baseline (direct evaluation on tuples) and
+//! Pulse (symbolic substitution of per-segment polynomials, §III-A's
+//! "substitute continuous model" step). The polynomial-compatible subset is
+//! `const`, attribute references, `t`, `+`, `−`, `×`, integer powers and
+//! division by constants; `sqrt` and `abs` are eliminated up front by
+//! [`Pred::normalize`] (e.g. the collision query's
+//! `abs(distance(…)) < c` becomes a polynomial conjunction), which keeps the
+//! operator set closed over polynomials as §II-B requires.
+
+use crate::tuple::Tuple;
+use pulse_math::{CmpOp, Poly};
+
+/// Error produced when an expression leaves the polynomial fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// `sqrt`/`abs` survived normalization, or division by a non-constant.
+    NotPolynomial(&'static str),
+    /// Attribute reference outside the provided inputs.
+    UnknownAttr { input: usize, attr: usize },
+}
+
+impl std::fmt::Display for ExprError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExprError::NotPolynomial(what) => {
+                write!(f, "expression is not polynomial in t: {what}")
+            }
+            ExprError::UnknownAttr { input, attr } => {
+                write!(f, "unknown attribute: input {input}, attr {attr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// A scalar expression over stream attributes and time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(f64),
+    /// Attribute `attr` of operator input `input` (0 for unary operators,
+    /// 0 = left / 1 = right for joins).
+    Attr { input: usize, attr: usize },
+    /// The time variable `t` of a MODEL clause.
+    Time,
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    /// Non-negative integer power (the closed polynomial class of §II-B).
+    Pow(Box<Expr>, u32),
+    Sqrt(Box<Expr>),
+    Abs(Box<Expr>),
+}
+
+impl Expr {
+    /// Attribute of the sole input of a unary operator.
+    pub fn attr(idx: usize) -> Expr {
+        Expr::Attr { input: 0, attr: idx }
+    }
+
+    /// Attribute of a specific operator input.
+    pub fn attr_of(input: usize, idx: usize) -> Expr {
+        Expr::Attr { input, attr: idx }
+    }
+
+    /// Literal.
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Squared euclidean distance between `(x1,y1)` and `(x2,y2)` — the
+    /// polynomial form of the paper's `distance(R.x, R.y, S.x, S.y)`.
+    pub fn dist2(x1: Expr, y1: Expr, x2: Expr, y2: Expr) -> Expr {
+        let dx = x1 - x2;
+        let dy = y1 - y2;
+        Expr::Pow(Box::new(dx), 2) + Expr::Pow(Box::new(dy), 2)
+    }
+
+    /// Evaluates against concrete input tuples, with `t` bound to `time`.
+    pub fn eval(&self, inputs: &[&Tuple], time: f64) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Attr { input, attr } => inputs[*input].values[*attr],
+            Expr::Time => time,
+            Expr::Add(a, b) => a.eval(inputs, time) + b.eval(inputs, time),
+            Expr::Sub(a, b) => a.eval(inputs, time) - b.eval(inputs, time),
+            Expr::Mul(a, b) => a.eval(inputs, time) * b.eval(inputs, time),
+            Expr::Div(a, b) => a.eval(inputs, time) / b.eval(inputs, time),
+            Expr::Neg(a) => -a.eval(inputs, time),
+            Expr::Pow(a, n) => a.eval(inputs, time).powi(*n as i32),
+            Expr::Sqrt(a) => a.eval(inputs, time).sqrt(),
+            Expr::Abs(a) => a.eval(inputs, time).abs(),
+        }
+    }
+
+    /// Substitutes polynomial models for attribute references and reduces
+    /// the expression to a single polynomial in `t`.
+    ///
+    /// `lookup(input, attr)` supplies each referenced attribute's model
+    /// (constants for unmodeled attributes). This is the "substitute
+    /// continuous model / factorize model coefficients" transform.
+    pub fn to_poly<F>(&self, lookup: &F) -> Result<Poly, ExprError>
+    where
+        F: Fn(usize, usize) -> Result<Poly, ExprError>,
+    {
+        match self {
+            Expr::Const(v) => Ok(Poly::constant(*v)),
+            Expr::Attr { input, attr } => lookup(*input, *attr),
+            Expr::Time => Ok(Poly::t()),
+            Expr::Add(a, b) => Ok(a.to_poly(lookup)?.add(&b.to_poly(lookup)?)),
+            Expr::Sub(a, b) => Ok(a.to_poly(lookup)?.sub(&b.to_poly(lookup)?)),
+            Expr::Mul(a, b) => Ok(a.to_poly(lookup)?.mul(&b.to_poly(lookup)?)),
+            Expr::Div(a, b) => {
+                let d = b.to_poly(lookup)?;
+                if d.is_constant() && !d.is_zero() {
+                    Ok(a.to_poly(lookup)?.scale(1.0 / d.coeff(0)))
+                } else {
+                    Err(ExprError::NotPolynomial("division by non-constant"))
+                }
+            }
+            Expr::Neg(a) => Ok(a.to_poly(lookup)?.neg()),
+            Expr::Pow(a, n) => Ok(a.to_poly(lookup)?.powi(*n)),
+            Expr::Sqrt(_) => Err(ExprError::NotPolynomial("sqrt (normalize the predicate)")),
+            Expr::Abs(_) => Err(ExprError::NotPolynomial("abs (normalize the predicate)")),
+        }
+    }
+
+    /// Collects every `(input, attr)` reference (used to derive the
+    /// *inferences* of query inversion, §IV-B).
+    pub fn collect_attrs(&self, out: &mut Vec<(usize, usize)>) {
+        match self {
+            Expr::Const(_) | Expr::Time => {}
+            Expr::Attr { input, attr } => out.push((*input, *attr)),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::Neg(a) | Expr::Sqrt(a) | Expr::Abs(a) => a.collect_attrs(out),
+            Expr::Pow(a, _) => a.collect_attrs(out),
+        }
+    }
+
+    fn contains_irrational(&self) -> bool {
+        match self {
+            Expr::Sqrt(_) | Expr::Abs(_) => true,
+            Expr::Const(_) | Expr::Attr { .. } | Expr::Time => false,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.contains_irrational() || b.contains_irrational()
+            }
+            Expr::Neg(a) => a.contains_irrational(),
+            Expr::Pow(a, _) => a.contains_irrational(),
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+/// A boolean predicate over stream attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    True,
+    False,
+    /// `lhs op rhs` — one future row of the equation system.
+    Cmp { lhs: Expr, op: CmpOp, rhs: Expr },
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `lhs op rhs` comparison.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Pred {
+        Pred::Cmp { lhs, op, rhs }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Pred) -> Pred {
+        Pred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Pred {
+        Pred::Not(Box::new(self))
+    }
+
+    /// Evaluates against concrete tuples.
+    pub fn eval(&self, inputs: &[&Tuple], time: f64) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::Cmp { lhs, op, rhs } => op.test(lhs.eval(inputs, time), rhs.eval(inputs, time)),
+            Pred::And(a, b) => a.eval(inputs, time) && b.eval(inputs, time),
+            Pred::Or(a, b) => a.eval(inputs, time) || b.eval(inputs, time),
+            Pred::Not(a) => !a.eval(inputs, time),
+        }
+    }
+
+    /// Rewrites `sqrt`/`abs` comparisons into polynomial form:
+    ///
+    /// * `abs(e) < r`   ⇒ `e < r  ∧  −r < e` (and dually for ≤, >, ≥, =, ≠);
+    /// * `sqrt(e) < r`  ⇒ `e < r² ∧ r > 0` (and dually), using that the
+    ///   square root is non-negative wherever defined.
+    ///
+    /// Applied to a fixpoint, so `sqrt` inside `abs` (or vice versa)
+    /// resolves too. This is how the paper's collision predicate becomes the
+    /// single polynomial row of Figure 1.
+    pub fn normalize(&self) -> Pred {
+        match self {
+            Pred::True | Pred::False => self.clone(),
+            Pred::And(a, b) => a.normalize().and(b.normalize()),
+            Pred::Or(a, b) => a.normalize().or(b.normalize()),
+            Pred::Not(a) => a.normalize().not(),
+            Pred::Cmp { lhs, op, rhs } => normalize_cmp(lhs, *op, rhs),
+        }
+    }
+
+    /// Every attribute referenced anywhere in the predicate.
+    pub fn referenced_attrs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<(usize, usize)>) {
+        match self {
+            Pred::True | Pred::False => {}
+            Pred::Cmp { lhs, rhs, .. } => {
+                lhs.collect_attrs(out);
+                rhs.collect_attrs(out);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            Pred::Not(a) => a.collect(out),
+        }
+    }
+}
+
+fn normalize_cmp(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Pred {
+    // Put the irrational operand on the left so one set of rules suffices.
+    if !matches!(lhs, Expr::Sqrt(_) | Expr::Abs(_)) && matches!(rhs, Expr::Sqrt(_) | Expr::Abs(_))
+    {
+        return normalize_cmp(rhs, op.flip(), lhs);
+    }
+    match (lhs, op) {
+        (Expr::Abs(inner), _) => {
+            let e = inner.as_ref().clone();
+            let r = rhs.clone();
+            let neg_r = -r.clone();
+            let rewritten = match op {
+                // |e| < r  ⇔  e < r ∧ −r < e  (automatically false when r ≤ 0)
+                CmpOp::Lt => Pred::cmp(e.clone(), CmpOp::Lt, r.clone())
+                    .and(Pred::cmp(neg_r, CmpOp::Lt, e)),
+                CmpOp::Le => Pred::cmp(e.clone(), CmpOp::Le, r.clone())
+                    .and(Pred::cmp(neg_r, CmpOp::Le, e)),
+                // |e| > r  ⇔  e > r ∨ e < −r
+                CmpOp::Gt => Pred::cmp(e.clone(), CmpOp::Gt, r.clone())
+                    .or(Pred::cmp(e, CmpOp::Lt, neg_r)),
+                CmpOp::Ge => Pred::cmp(e.clone(), CmpOp::Ge, r.clone())
+                    .or(Pred::cmp(e, CmpOp::Le, neg_r)),
+                // |e| = r  ⇔  (e = r ∨ e = −r) ∧ r ≥ 0
+                CmpOp::Eq => Pred::cmp(e.clone(), CmpOp::Eq, r.clone())
+                    .or(Pred::cmp(e, CmpOp::Eq, neg_r))
+                    .and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
+                CmpOp::Ne => normalize_cmp(lhs, CmpOp::Eq, rhs).not(),
+            };
+            rewritten.normalize()
+        }
+        (Expr::Sqrt(inner), _) => {
+            let e = inner.as_ref().clone();
+            let r = rhs.clone();
+            let r2 = Expr::Pow(Box::new(r.clone()), 2);
+            let rewritten = match op {
+                // √e < r  ⇔  e < r² ∧ r > 0
+                CmpOp::Lt => Pred::cmp(e, CmpOp::Lt, r2)
+                    .and(Pred::cmp(r, CmpOp::Gt, Expr::c(0.0))),
+                CmpOp::Le => Pred::cmp(e, CmpOp::Le, r2)
+                    .and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
+                // √e > r  ⇔  e > r² ∨ r < 0   (√ is non-negative)
+                CmpOp::Gt => Pred::cmp(e, CmpOp::Gt, r2)
+                    .or(Pred::cmp(r, CmpOp::Lt, Expr::c(0.0))),
+                CmpOp::Ge => Pred::cmp(e, CmpOp::Ge, r2)
+                    .or(Pred::cmp(r, CmpOp::Lt, Expr::c(0.0))),
+                // √e = r  ⇔  e = r² ∧ r ≥ 0
+                CmpOp::Eq => Pred::cmp(e, CmpOp::Eq, r2)
+                    .and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
+                CmpOp::Ne => normalize_cmp(lhs, CmpOp::Eq, rhs).not(),
+            };
+            rewritten.normalize()
+        }
+        _ => {
+            // No top-level irrational; leave the comparison alone. Deeper
+            // occurrences (e.g. sqrt inside a sum) are outside the closed
+            // fragment and surface as NotPolynomial at solve time.
+            let _ = lhs.contains_irrational();
+            Pred::Cmp { lhs: lhs.clone(), op, rhs: rhs.clone() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn tup(vals: &[f64]) -> Tuple {
+        Tuple::new(0, 0.0, vals.to_vec())
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let t = tup(&[3.0, 4.0]);
+        let e = (Expr::attr(0) * Expr::attr(0)) + (Expr::attr(1) * Expr::attr(1));
+        assert_eq!(e.eval(&[&t], 0.0), 25.0);
+        let s = Expr::Sqrt(Box::new(e));
+        assert_eq!(s.eval(&[&t], 0.0), 5.0);
+        let d = Expr::Div(Box::new(Expr::attr(1)), Box::new(Expr::c(2.0)));
+        assert_eq!(d.eval(&[&t], 0.0), 2.0);
+        let p = Expr::Pow(Box::new(Expr::attr(0)), 3);
+        assert_eq!(p.eval(&[&t], 0.0), 27.0);
+        assert_eq!(Expr::Time.eval(&[&t], 7.5), 7.5);
+        assert_eq!((-Expr::attr(0)).eval(&[&t], 0.0), -3.0);
+        assert_eq!(Expr::Abs(Box::new(-Expr::attr(0))).eval(&[&t], 0.0), 3.0);
+    }
+
+    #[test]
+    fn to_poly_substitution() {
+        // x + v·t with x=10, v=2  →  10 + 2t
+        let e = Expr::attr(0) + Expr::attr(1) * Expr::Time;
+        let p = e
+            .to_poly(&|_, a| Ok(Poly::constant(if a == 0 { 10.0 } else { 2.0 })))
+            .unwrap();
+        assert_eq!(p, Poly::linear(10.0, 2.0));
+    }
+
+    #[test]
+    fn to_poly_with_model_lookup() {
+        // Difference of two linear models → linear polynomial.
+        let e = Expr::attr_of(0, 0) - Expr::attr_of(1, 0);
+        let p = e
+            .to_poly(&|input, _| {
+                Ok(if input == 0 {
+                    Poly::linear(0.0, 3.0)
+                } else {
+                    Poly::linear(6.0, 1.0)
+                })
+            })
+            .unwrap();
+        assert_eq!(p, Poly::linear(-6.0, 2.0)); // 2t - 6, root at t=3
+    }
+
+    #[test]
+    fn to_poly_rejects_sqrt() {
+        let e = Expr::Sqrt(Box::new(Expr::attr(0)));
+        assert!(matches!(
+            e.to_poly(&|_, _| Ok(Poly::t())),
+            Err(ExprError::NotPolynomial(_))
+        ));
+    }
+
+    #[test]
+    fn to_poly_div_by_const_ok_nonconst_err() {
+        let ok = Expr::Div(Box::new(Expr::Time), Box::new(Expr::c(2.0)));
+        assert_eq!(ok.to_poly(&|_, _| unreachable!()).unwrap(), Poly::linear(0.0, 0.5));
+        let bad = Expr::Div(Box::new(Expr::c(1.0)), Box::new(Expr::Time));
+        assert!(bad.to_poly(&|_, _| unreachable!()).is_err());
+    }
+
+    /// Normalization must preserve discrete semantics; check by evaluating
+    /// both forms over a grid.
+    fn assert_equiv(p: &Pred, vals: &[f64]) {
+        let n = p.normalize();
+        let t = tup(vals);
+        assert_eq!(
+            p.eval(&[&t], 0.0),
+            n.eval(&[&t], 0.0),
+            "normalize changed semantics at {vals:?}: {p:?} → {n:?}"
+        );
+    }
+
+    #[test]
+    fn abs_normalization_preserves_semantics() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            let p = Pred::cmp(Expr::Abs(Box::new(Expr::attr(0))), op, Expr::attr(1));
+            for a in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+                for b in [-2.0, 0.0, 1.0, 3.0] {
+                    assert_equiv(&p, &[a, b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_normalization_preserves_semantics() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            let p = Pred::cmp(Expr::Sqrt(Box::new(Expr::attr(0))), op, Expr::attr(1));
+            // attr0 ≥ 0 (sqrt domain), attr1 any sign
+            for a in [0.0, 1.0, 4.0, 9.0] {
+                for b in [-2.0, 0.0, 1.0, 2.0, 3.0, 5.0] {
+                    assert_equiv(&p, &[a, b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irrational_on_rhs_is_flipped() {
+        let p = Pred::cmp(Expr::c(2.0), CmpOp::Gt, Expr::Abs(Box::new(Expr::attr(0))));
+        for a in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            assert_equiv(&p, &[a]);
+        }
+        // And the result is irrational-free.
+        fn has_irrational(p: &Pred) -> bool {
+            match p {
+                Pred::Cmp { lhs, rhs, .. } => {
+                    matches!(lhs, Expr::Sqrt(_) | Expr::Abs(_))
+                        || matches!(rhs, Expr::Sqrt(_) | Expr::Abs(_))
+                }
+                Pred::And(a, b) | Pred::Or(a, b) => has_irrational(a) || has_irrational(b),
+                Pred::Not(a) => has_irrational(a),
+                _ => false,
+            }
+        }
+        assert!(!has_irrational(&p.normalize()));
+    }
+
+    #[test]
+    fn collision_predicate_normalizes_to_polynomial_rows() {
+        // The paper's intro query: abs(distance(...)) < c, with distance
+        // expressed via sqrt of dist2.
+        let dist = Expr::Sqrt(Box::new(Expr::dist2(
+            Expr::attr_of(0, 0),
+            Expr::attr_of(0, 1),
+            Expr::attr_of(1, 0),
+            Expr::attr_of(1, 1),
+        )));
+        let p = Pred::cmp(Expr::Abs(Box::new(dist)), CmpOp::Lt, Expr::c(100.0));
+        let n = p.normalize();
+        // Every comparison in the normalized tree must be polynomial when
+        // models are substituted.
+        fn all_poly(p: &Pred) -> bool {
+            match p {
+                Pred::Cmp { lhs, rhs, .. } => {
+                    let l = |_: usize, _: usize| Ok(Poly::t());
+                    lhs.to_poly(&l).is_ok() && rhs.to_poly(&l).is_ok()
+                }
+                Pred::And(a, b) | Pred::Or(a, b) => all_poly(a) && all_poly(b),
+                Pred::Not(a) => all_poly(a),
+                _ => true,
+            }
+        }
+        assert!(all_poly(&n), "{n:?}");
+    }
+
+    #[test]
+    fn referenced_attrs_dedup() {
+        let p = Pred::cmp(
+            Expr::attr_of(0, 1) + Expr::attr_of(0, 1),
+            CmpOp::Lt,
+            Expr::attr_of(1, 0),
+        )
+        .and(Pred::cmp(Expr::attr_of(0, 1), CmpOp::Gt, Expr::c(0.0)));
+        assert_eq!(p.referenced_attrs(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn pred_boolean_eval() {
+        let t = tup(&[5.0]);
+        let lt = Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(10.0));
+        let gt = Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(10.0));
+        assert!(lt.eval(&[&t], 0.0));
+        assert!(!gt.eval(&[&t], 0.0));
+        assert!(!lt.clone().and(gt.clone()).eval(&[&t], 0.0));
+        assert!(lt.clone().or(gt.clone()).eval(&[&t], 0.0));
+        assert!(gt.not().eval(&[&t], 0.0));
+        assert!(Pred::True.eval(&[&t], 0.0));
+        assert!(!Pred::False.eval(&[&t], 0.0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Stream schemas.
+//!
+//! Per §II-B a Pulse stream carries exactly four kinds of attributes:
+//! *temporal* attributes (a globally synchronized reference timestamp plus a
+//! delta), *key* attributes (discrete entity identifiers), *modeled*
+//! attributes (defined by a MODEL clause or fitted by the modeling
+//! component), and *coefficient* / *unmodeled* attributes (constant for a
+//! segment's lifespan). The [`Schema`] records each attribute's role so the
+//! operator transforms know what to process symbolically and what to carry
+//! through with standard techniques.
+
+use serde::{Deserialize, Serialize};
+
+/// Role of an attribute within a stream (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Discrete entity identifier; functional determinant of the modeled
+    /// attributes throughout the dataflow (inversion Property 2).
+    Key,
+    /// Attribute represented as a polynomial of time within a segment.
+    Modeled,
+    /// Input to a MODEL clause (e.g. a velocity); known per tuple, constant
+    /// per segment.
+    Coefficient,
+    /// Constant for the duration of a segment; processed with standard
+    /// discrete techniques alongside the models.
+    Unmodeled,
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attr {
+    pub name: String,
+    pub kind: AttrKind,
+}
+
+impl Attr {
+    pub fn new(name: impl Into<String>, kind: AttrKind) -> Self {
+        Attr { name: name.into(), kind }
+    }
+}
+
+/// An ordered attribute list describing one stream.
+///
+/// The reference timestamp and key are carried outside the value vector
+/// (on [`crate::Tuple`] / [`crate::Segment`] directly); `attrs` describes
+/// the value vector, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes.
+    pub fn new(attrs: Vec<Attr>) -> Self {
+        Schema { attrs }
+    }
+
+    /// Convenience builder from `(name, kind)` pairs.
+    pub fn of(pairs: &[(&str, AttrKind)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, k)| Attr::new(*n, *k)).collect())
+    }
+
+    /// All attributes in order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute at `idx`.
+    pub fn attr(&self, idx: usize) -> &Attr {
+        &self.attrs[idx]
+    }
+
+    /// Indices of the modeled attributes, in schema order.
+    ///
+    /// A [`crate::Segment`]'s `models` vector is parallel to this list.
+    pub fn modeled_indices(&self) -> Vec<usize> {
+        self.indices_of(AttrKind::Modeled)
+    }
+
+    /// Indices of the unmodeled attributes, in schema order.
+    pub fn unmodeled_indices(&self) -> Vec<usize> {
+        self.indices_of(AttrKind::Unmodeled)
+    }
+
+    fn indices_of(&self, kind: AttrKind) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Position of `attr_idx` within the modeled-attribute ordering, i.e.
+    /// the index into a segment's `models` vector.
+    pub fn model_slot(&self, attr_idx: usize) -> Option<usize> {
+        if self.attrs.get(attr_idx)?.kind != AttrKind::Modeled {
+            return None;
+        }
+        Some(
+            self.attrs[..attr_idx]
+                .iter()
+                .filter(|a| a.kind == AttrKind::Modeled)
+                .count(),
+        )
+    }
+
+    /// Concatenates two schemas (used by the join output), prefixing names
+    /// to keep them unique.
+    pub fn join(&self, other: &Schema, left_prefix: &str, right_prefix: &str) -> Schema {
+        let mut attrs = Vec::with_capacity(self.len() + other.len());
+        for a in &self.attrs {
+            attrs.push(Attr::new(format!("{left_prefix}.{}", a.name), a.kind));
+        }
+        for a in &other.attrs {
+            attrs.push(Attr::new(format!("{right_prefix}.{}", a.name), a.kind));
+        }
+        Schema::new(attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("x", AttrKind::Modeled),
+            ("vx", AttrKind::Coefficient),
+            ("y", AttrKind::Modeled),
+            ("vy", AttrKind::Coefficient),
+            ("flag", AttrKind::Unmodeled),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.index_of("x"), Some(0));
+        assert_eq!(s.index_of("vy"), Some(3));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn modeled_indices_and_slots() {
+        let s = schema();
+        assert_eq!(s.modeled_indices(), vec![0, 2]);
+        assert_eq!(s.unmodeled_indices(), vec![4]);
+        assert_eq!(s.model_slot(0), Some(0));
+        assert_eq!(s.model_slot(2), Some(1));
+        assert_eq!(s.model_slot(1), None); // coefficient, not modeled
+        assert_eq!(s.model_slot(4), None);
+    }
+
+    #[test]
+    fn join_concatenates_with_prefixes() {
+        let s = schema();
+        let j = s.join(&s, "R", "S");
+        assert_eq!(j.len(), 10);
+        assert_eq!(j.index_of("R.x"), Some(0));
+        assert_eq!(j.index_of("S.x"), Some(5));
+        assert_eq!(j.modeled_indices(), vec![0, 2, 5, 7]);
+    }
+}

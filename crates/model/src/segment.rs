@@ -1,0 +1,135 @@
+//! Model segments — Pulse's first-class datatype.
+//!
+//! A segment `s = ([tl, tu), c)` (§II-B) is a time range over which a fixed
+//! set of polynomial coefficients is valid, for every modeled attribute of a
+//! keyed stream. Segments flow through the transformed query plan exactly
+//! like tuples flow through a discrete plan, and lineage (§IV-B) is tracked
+//! through their ids.
+
+use pulse_math::{Poly, Span};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Globally unique segment identifier, used as the lineage handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u64);
+
+static NEXT_SEGMENT_ID: AtomicU64 = AtomicU64::new(1);
+
+impl SegmentId {
+    /// Allocates a fresh id (process-wide).
+    pub fn fresh() -> Self {
+        SegmentId(NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A model segment: per-attribute polynomials valid over `span`.
+///
+/// Polynomials are expressed in *absolute* stream time, so two segments from
+/// different streams can be differenced directly (the paper's "factor time
+/// variable t" step needs no re-basing). `models` is parallel to the
+/// schema's [`crate::Schema::modeled_indices`] ordering; `unmodeled` to
+/// [`crate::Schema::unmodeled_indices`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub id: SegmentId,
+    pub key: u64,
+    pub span: Span,
+    pub models: Vec<Poly>,
+    pub unmodeled: Vec<f64>,
+}
+
+impl Segment {
+    /// Creates a segment with a fresh id.
+    pub fn new(key: u64, span: Span, models: Vec<Poly>, unmodeled: Vec<f64>) -> Self {
+        Segment { id: SegmentId::fresh(), key, span, models, unmodeled }
+    }
+
+    /// Single-attribute convenience constructor.
+    pub fn single(key: u64, span: Span, model: Poly) -> Self {
+        Segment::new(key, span, vec![model], Vec::new())
+    }
+
+    /// Model polynomial in slot `slot` (see [`crate::Schema::model_slot`]).
+    pub fn model(&self, slot: usize) -> &Poly {
+        &self.models[slot]
+    }
+
+    /// Evaluates the model in `slot` at absolute time `t`.
+    pub fn eval(&self, slot: usize, t: f64) -> f64 {
+        self.models[slot].eval(t)
+    }
+
+    /// Restriction of this segment to a sub-span (same models, new id,
+    /// lineage handled by the caller).
+    pub fn restricted(&self, span: Span) -> Segment {
+        debug_assert!(self.span.contains_span(&span) || span.is_point());
+        Segment {
+            id: SegmentId::fresh(),
+            key: self.key,
+            span,
+            models: self.models.clone(),
+            unmodeled: self.unmodeled.clone(),
+        }
+    }
+
+    /// Truncates the segment's span end to `t` (update semantics: a
+    /// successor overlapping `[t, …)` supersedes this piece). Returns
+    /// `None` when nothing remains.
+    pub fn truncated_at(&self, t: f64) -> Option<Segment> {
+        if t <= self.span.lo {
+            return None;
+        }
+        if t >= self.span.hi {
+            return Some(self.clone());
+        }
+        let mut s = self.clone();
+        s.span = Span::new(s.span.lo, t);
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_math::Poly;
+
+    fn seg(lo: f64, hi: f64) -> Segment {
+        Segment::single(1, Span::new(lo, hi), Poly::linear(0.0, 2.0))
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = SegmentId::fresh();
+        let b = SegmentId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eval_uses_absolute_time() {
+        let s = seg(10.0, 20.0);
+        assert_eq!(s.eval(0, 15.0), 30.0);
+    }
+
+    #[test]
+    fn restriction_keeps_models() {
+        let s = seg(0.0, 10.0);
+        let r = s.restricted(Span::new(2.0, 3.0));
+        assert_eq!(r.span, Span::new(2.0, 3.0));
+        assert_eq!(r.models, s.models);
+        assert_ne!(r.id, s.id);
+        assert_eq!(r.key, s.key);
+    }
+
+    #[test]
+    fn truncation_update_semantics() {
+        let s = seg(0.0, 10.0);
+        // Successor starting at 4 truncates us to [0, 4).
+        let t = s.truncated_at(4.0).unwrap();
+        assert_eq!(t.span, Span::new(0.0, 4.0));
+        // Truncation at/before start removes the segment entirely.
+        assert!(s.truncated_at(0.0).is_none());
+        assert!(s.truncated_at(-1.0).is_none());
+        // Truncation beyond the end is a no-op.
+        assert_eq!(s.truncated_at(99.0).unwrap().span, s.span);
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete stream tuples.
+//!
+//! The baseline (Borealis-style) engine processes these directly; Pulse only
+//! touches them for model fitting and for validating models against reality
+//! (§IV). Each tuple carries the globally synchronized reference timestamp
+//! and the entity key outside the value vector.
+
+use serde::{Deserialize, Serialize};
+
+/// One discrete sample on a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Entity key (§II-B "key attributes"); 0 for un-keyed streams.
+    pub key: u64,
+    /// Reference timestamp: monotonically increasing, globally synchronized.
+    pub ts: f64,
+    /// Attribute values, parallel to the stream's [`crate::Schema`].
+    pub values: Vec<f64>,
+}
+
+impl Tuple {
+    pub fn new(key: u64, ts: f64, values: Vec<f64>) -> Self {
+        Tuple { key, ts, values }
+    }
+
+    /// Value of the attribute at `idx`.
+    pub fn value(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(7, 1.5, vec![10.0, 0.5]);
+        assert_eq!(t.key, 7);
+        assert_eq!(t.ts, 1.5);
+        assert_eq!(t.value(0), 10.0);
+        assert_eq!(t.value(1), 0.5);
+    }
+}

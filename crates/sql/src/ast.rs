@@ -1,0 +1,134 @@
+//! Abstract syntax of the Pulse query language.
+//!
+//! Mirrors the paper's StreamSQL examples: nested SELECT blocks with
+//! `[size w advance s]` windows, declarative MODEL clauses (§II-B), join
+//! conditions over keys and models, and the accuracy (`error within`) and
+//! sampling (`sample rate`) extensions the Pulse prototype added to
+//! Borealis' query language (§V).
+
+use pulse_math::CmpOp;
+
+/// A parsed query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: FromClause,
+    pub where_pred: Option<PredAst>,
+    /// `GROUP BY …` — Pulse groups by the stream key (§II-B), so any GROUP
+    /// BY enables per-key aggregation; the named columns are recorded for
+    /// diagnostics.
+    pub group_by: Vec<String>,
+    pub having: Option<PredAst>,
+    /// `ERROR WITHIN x%` → relative accuracy bound (fraction).
+    pub error_within: Option<f64>,
+    /// `SAMPLE RATE r` → output sampling rate for selective results.
+    pub sample_rate: Option<f64>,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `expr [AS alias]`
+    Expr { expr: ExprAst, alias: Option<String> },
+}
+
+/// FROM clause: a table, optionally joined with another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    pub left: TableRef,
+    pub join: Option<JoinClause>,
+}
+
+/// `JOIN <table> ON (<pred>) [WITHIN w]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub right: TableRef,
+    pub on: PredAst,
+    /// Join buffer window in seconds (`WITHIN w`), defaulting to 1 s.
+    pub within: Option<f64>,
+}
+
+/// A table reference: a named stream or a parenthesised subquery, either
+/// way with an optional window and alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Base {
+        name: String,
+        alias: Option<String>,
+        window: Option<WindowSpec>,
+        /// MODEL clauses: `MODEL attr = expr` (Fig. 1).
+        models: Vec<(String, ExprAst)>,
+    },
+    Sub {
+        query: Box<Query>,
+        alias: Option<String>,
+        window: Option<WindowSpec>,
+    },
+}
+
+impl TableRef {
+    pub fn window(&self) -> Option<&WindowSpec> {
+        match self {
+            TableRef::Base { window, .. } | TableRef::Sub { window, .. } => window.as_ref(),
+        }
+    }
+
+    pub fn alias(&self) -> Option<&str> {
+        match self {
+            TableRef::Base { alias, .. } | TableRef::Sub { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// `[size w advance s]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSpec {
+    pub size: f64,
+    pub advance: f64,
+}
+
+/// Scalar expression AST (names unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    Num(f64),
+    /// `[qualifier.]name`
+    Col { qualifier: Option<String>, name: String },
+    /// The MODEL-clause time variable `t`.
+    Time,
+    Neg(Box<ExprAst>),
+    Add(Box<ExprAst>, Box<ExprAst>),
+    Sub(Box<ExprAst>, Box<ExprAst>),
+    Mul(Box<ExprAst>, Box<ExprAst>),
+    Div(Box<ExprAst>, Box<ExprAst>),
+    /// Function call: aggregates (`avg`, `min`, `max`, `sum`, `count`),
+    /// scalar functions (`abs`, `sqrt`, `pow`, `distance2`).
+    Call { name: String, args: Vec<ExprAst> },
+}
+
+/// Boolean predicate AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredAst {
+    Cmp { lhs: ExprAst, op: CmpOp, rhs: ExprAst },
+    And(Box<PredAst>, Box<PredAst>),
+    Or(Box<PredAst>, Box<PredAst>),
+    Not(Box<PredAst>),
+}
+
+impl ExprAst {
+    /// True when the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            ExprAst::Num(_) | ExprAst::Col { .. } | ExprAst::Time => false,
+            ExprAst::Neg(a) => a.has_aggregate(),
+            ExprAst::Add(a, b) | ExprAst::Sub(a, b) | ExprAst::Mul(a, b) | ExprAst::Div(a, b) => {
+                a.has_aggregate() || b.has_aggregate()
+            }
+            ExprAst::Call { name, args } => {
+                matches!(name.as_str(), "avg" | "min" | "max" | "sum" | "count")
+                    || args.iter().any(ExprAst::has_aggregate)
+            }
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! Semantic analysis: parsed queries → engine-neutral logical plans.
+//!
+//! Name resolution follows the paper's data model: *key* attributes flow
+//! out-of-band (selecting them is a passthrough, comparing them in a join
+//! condition becomes a [`KeyJoin`]); *modeled*/*unmodeled* attributes
+//! resolve to value columns; MODEL clauses become [`StreamModel`]s for
+//! predictive processing. WHERE predicates on a join are merged into the
+//! join's equation system when no aggregation intervenes.
+
+use crate::ast::*;
+use pulse_math::CmpOp;
+use pulse_model::{
+    Attr, AttrKind, Expr, ModelSpec, Pred, Schema, StreamModel,
+};
+use pulse_stream::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PortRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Known source streams.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    streams: HashMap<String, StreamDecl>,
+}
+
+/// One declared stream: its value schema plus the name its key goes by in
+/// queries (e.g. `symbol`, `id`).
+#[derive(Debug, Clone)]
+pub struct StreamDecl {
+    pub schema: Schema,
+    pub key_name: Option<String>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Declares a stream.
+    pub fn stream(mut self, name: &str, schema: Schema, key_name: Option<&str>) -> Self {
+        self.streams.insert(
+            name.to_ascii_lowercase(),
+            StreamDecl { schema, key_name: key_name.map(|s| s.to_ascii_lowercase()) },
+        );
+        self
+    }
+}
+
+/// Compilation output.
+pub struct Compiled {
+    pub plan: LogicalPlan,
+    /// Per-source MODEL clauses, where declared.
+    pub models: Vec<Option<StreamModel>>,
+    /// `ERROR WITHIN` relative bound.
+    pub error_within: Option<f64>,
+    /// `SAMPLE RATE` for selective outputs.
+    pub sample_rate: Option<f64>,
+}
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: msg.into() })
+}
+
+/// Compiles a parsed query against a catalog.
+pub fn compile(q: &Query, catalog: &Catalog) -> Result<Compiled, CompileError> {
+    compile_union(std::slice::from_ref(q), catalog)
+}
+
+/// Compiles a top-level `UNION` chain: every block's output must have the
+/// same column count; blocks share the catalog sources (self-unions reuse
+/// one stream) and are merged pairwise with [`LogicalOp::Union`].
+pub fn compile_union(blocks: &[Query], catalog: &Catalog) -> Result<Compiled, CompileError> {
+    if blocks.is_empty() {
+        return err("empty query");
+    }
+    let mut ctx = Ctx {
+        catalog,
+        plan: LogicalPlan::new(Vec::new()),
+        source_ids: HashMap::new(),
+        models: Vec::new(),
+    };
+    let mut ports = Vec::new();
+    let mut width: Option<usize> = None;
+    for q in blocks {
+        let (port, scope) = ctx.compile_query(q)?;
+        match width {
+            None => width = Some(scope.n_cols),
+            Some(w) if w == scope.n_cols => {}
+            Some(w) => {
+                return err(format!(
+                    "UNION arms have different widths ({w} vs {})",
+                    scope.n_cols
+                ))
+            }
+        }
+        ports.push(port);
+    }
+    let mut merged = ports[0];
+    for &port in &ports[1..] {
+        merged = ctx.plan.add(LogicalOp::Union, vec![merged, port]);
+    }
+    let first = &blocks[0];
+    Ok(Compiled {
+        plan: ctx.plan,
+        models: ctx.models,
+        error_within: blocks.iter().find_map(|b| b.error_within).or(first.error_within),
+        sample_rate: blocks.iter().find_map(|b| b.sample_rate).or(first.sample_rate),
+    })
+}
+
+/// Where a resolved name points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Target {
+    /// Value column: operator input + attribute index within that input.
+    Col { input: usize, idx: usize },
+    /// The stream key of the given operator input.
+    Key { input: usize },
+}
+
+/// One visible name.
+#[derive(Debug, Clone)]
+struct Entry {
+    qual: Option<String>,
+    name: String,
+    target: Target,
+}
+
+/// Visible names at one point in the plan.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    entries: Vec<Entry>,
+    /// Total value columns (for re-indexing after joins).
+    n_cols: usize,
+}
+
+impl Scope {
+    fn resolve(&self, qual: Option<&str>, name: &str) -> Result<Target, CompileError> {
+        let hits: Vec<&Entry> = self
+            .entries
+            .iter()
+            .filter(|e| e.name == name && (qual.is_none() || e.qual.as_deref() == qual))
+            .collect();
+        let mut targets: Vec<Target> = hits.iter().map(|e| e.target).collect();
+        targets.dedup();
+        match targets.len() {
+            0 => err(format!(
+                "unknown column `{}{}`",
+                qual.map(|q| format!("{q}.")).unwrap_or_default(),
+                name
+            )),
+            1 => Ok(targets[0]),
+            _ => err(format!("ambiguous column `{name}` — qualify it")),
+        }
+    }
+
+    /// Re-qualifies every entry under a new alias (subquery AS alias),
+    /// keeping the unqualified forms.
+    fn aliased(mut self, alias: &str) -> Scope {
+        for e in &mut self.entries {
+            e.qual = Some(alias.to_string());
+        }
+        let unqual: Vec<Entry> = self
+            .entries
+            .iter()
+            .map(|e| Entry { qual: None, ..e.clone() })
+            .collect();
+        self.entries.extend(unqual);
+        self
+    }
+}
+
+struct Ctx<'a> {
+    catalog: &'a Catalog,
+    plan: LogicalPlan,
+    source_ids: HashMap<String, usize>,
+    models: Vec<Option<StreamModel>>,
+}
+
+impl Ctx<'_> {
+    /// Registers (or reuses) a source stream.
+    fn source_for(&mut self, name: &str) -> Result<usize, CompileError> {
+        if let Some(&id) = self.source_ids.get(name) {
+            return Ok(id);
+        }
+        let decl = self
+            .catalog
+            .streams
+            .get(name)
+            .ok_or_else(|| CompileError { message: format!("unknown stream `{name}`") })?;
+        let id = self.plan.sources.len();
+        self.plan.sources.push(decl.schema.clone());
+        self.models.push(None);
+        self.source_ids.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn compile_table(&mut self, t: &TableRef) -> Result<(PortRef, Scope), CompileError> {
+        match t {
+            TableRef::Base { name, alias, models, .. } => {
+                let source = self.source_for(name)?;
+                let decl = &self.catalog.streams[name];
+                let qual = alias.clone().unwrap_or_else(|| name.clone());
+                let mut scope = Scope::default();
+                for (idx, attr) in decl.schema.attrs().iter().enumerate() {
+                    for q in [Some(qual.clone()), None] {
+                        scope.entries.push(Entry {
+                            qual: q,
+                            name: attr.name.clone(),
+                            target: Target::Col { input: 0, idx },
+                        });
+                    }
+                }
+                if let Some(k) = &decl.key_name {
+                    for q in [Some(qual.clone()), None] {
+                        scope.entries.push(Entry {
+                            qual: q,
+                            name: k.clone(),
+                            target: Target::Key { input: 0 },
+                        });
+                    }
+                }
+                scope.n_cols = decl.schema.len();
+                if !models.is_empty() {
+                    let sm = self.compile_models(&decl.schema, models)?;
+                    self.models[source] = Some(sm);
+                }
+                Ok((PortRef::Source(source), scope))
+            }
+            TableRef::Sub { query, alias, .. } => {
+                let (port, scope) = self.compile_query(query)?;
+                let scope = match alias {
+                    Some(a) => scope.aliased(a),
+                    None => scope,
+                };
+                Ok((port, scope))
+            }
+        }
+    }
+
+    /// MODEL clauses → a StreamModel: targets must be modeled attributes,
+    /// expressions reference the stream's own attributes plus `t`.
+    fn compile_models(
+        &self,
+        schema: &Schema,
+        models: &[(String, ExprAst)],
+    ) -> Result<StreamModel, CompileError> {
+        let mut local = Scope::default();
+        for (idx, attr) in schema.attrs().iter().enumerate() {
+            local.entries.push(Entry {
+                qual: None,
+                name: attr.name.clone(),
+                target: Target::Col { input: 0, idx },
+            });
+        }
+        local.n_cols = schema.len();
+        let mut specs = Vec::new();
+        for (target_name, expr) in models {
+            let Target::Col { idx, .. } = local.resolve(None, target_name)? else {
+                return err(format!("MODEL target `{target_name}` is the key"));
+            };
+            if schema.attr(idx).kind != AttrKind::Modeled {
+                return err(format!("MODEL target `{target_name}` is not a modeled attribute"));
+            }
+            let compiled = compile_expr(expr, &local)?;
+            specs.push(ModelSpec::new(idx, compiled));
+        }
+        StreamModel::new(schema.clone(), specs).map_err(|m| CompileError { message: m })
+    }
+
+    fn compile_query(&mut self, q: &Query) -> Result<(PortRef, Scope), CompileError> {
+        let (left_port, left_scope) = self.compile_table(&q.from.left)?;
+        let has_agg = q.select.iter().any(|item| {
+            matches!(item, SelectItem::Expr { expr, .. } if expr.has_aggregate())
+        }) || q.having.as_ref().is_some_and(pred_has_aggregate);
+
+        // --- FROM (+ JOIN) ---
+        let (mut port, mut scope) = if let Some(join) = &q.from.join {
+            let (right_port, right_scope) = self.compile_table(&join.right)?;
+            // Two-sided scope for the ON condition.
+            let mut on_scope = Scope::default();
+            on_scope.entries.extend(left_scope.entries.iter().cloned());
+            for e in &right_scope.entries {
+                let target = match e.target {
+                    Target::Col { idx, .. } => Target::Col { input: 1, idx },
+                    Target::Key { .. } => Target::Key { input: 1 },
+                };
+                on_scope.entries.push(Entry { qual: e.qual.clone(), name: e.name.clone(), target });
+            }
+            // Split ON into key condition + value predicate.
+            let mut on_keys = KeyJoin::Any;
+            let mut value_pred = Pred::True;
+            for conj in flatten_conjuncts(&join.on) {
+                if let Some(kj) = as_key_join(conj, &on_scope)? {
+                    if on_keys != KeyJoin::Any && on_keys != kj {
+                        return err("conflicting key join conditions");
+                    }
+                    on_keys = kj;
+                } else {
+                    let p = compile_pred(conj, &on_scope)?;
+                    value_pred = and(value_pred, p);
+                }
+            }
+            // WHERE without aggregation merges into the join system.
+            if !has_agg {
+                if let Some(w) = &q.where_pred {
+                    value_pred = and(value_pred, compile_pred(w, &on_scope)?);
+                }
+            }
+            let node = self.plan.add(
+                LogicalOp::Join {
+                    window: join.within.unwrap_or(1.0),
+                    pred: value_pred,
+                    on_keys,
+                },
+                vec![left_port, right_port],
+            );
+            // Post-join scope: single input, right columns shifted.
+            let mut post = Scope::default();
+            for e in &on_scope.entries {
+                let target = match e.target {
+                    Target::Col { input: 0, idx } => Target::Col { input: 0, idx },
+                    Target::Col { input: _, idx } => {
+                        Target::Col { input: 0, idx: idx + left_scope.n_cols }
+                    }
+                    Target::Key { .. } => Target::Key { input: 0 },
+                };
+                post.entries.push(Entry { qual: e.qual.clone(), name: e.name.clone(), target });
+            }
+            post.n_cols = left_scope.n_cols + right_scope.n_cols;
+            (node, post)
+        } else {
+            (left_port, left_scope)
+        };
+
+        // --- WHERE (not already merged) ---
+        let where_handled = q.from.join.is_some() && !has_agg;
+        if let (Some(w), false) = (&q.where_pred, where_handled) {
+            let pred = compile_pred(w, &scope)?;
+            port = self.plan.add(LogicalOp::Filter { pred }, vec![port]);
+        }
+
+        // --- Aggregation ---
+        if has_agg {
+            let window = q
+                .from
+                .left
+                .window()
+                .copied()
+                .ok_or_else(|| CompileError {
+                    message: "aggregate requires a [size w advance s] window on the input".into(),
+                })?;
+            let agg = extract_single_aggregate(&q.select, q.having.as_ref())?;
+            let (func, arg) = agg;
+            // Aggregate argument: direct column or computed expression.
+            let attr = match &arg {
+                Some(ExprAst::Col { qualifier, name }) => {
+                    match scope.resolve(qualifier.as_deref(), name)? {
+                        Target::Col { idx, .. } => idx,
+                        Target::Key { .. } => return err("cannot aggregate the key attribute"),
+                    }
+                }
+                Some(e) => {
+                    // Map the expression, then aggregate column 0.
+                    let expr = compile_expr(e, &scope)?;
+                    port = self.plan.add(
+                        LogicalOp::Map {
+                            exprs: vec![expr],
+                            schema: Schema::new(vec![Attr::new("aggarg", AttrKind::Modeled)]),
+                        },
+                        vec![port],
+                    );
+                    scope = Scope {
+                        entries: vec![Entry {
+                            qual: None,
+                            name: "aggarg".into(),
+                            target: Target::Col { input: 0, idx: 0 },
+                        }],
+                        n_cols: 1,
+                    };
+                    0
+                }
+                None => 0, // count(*)
+            };
+            let group_by_key = !q.group_by.is_empty() || selects_key(&q.select, &scope);
+            // Keys flow out-of-band through the aggregate: keep their names
+            // resolvable downstream (select/having/outer queries).
+            let key_entries: Vec<Entry> = scope
+                .entries
+                .iter()
+                .filter(|e| matches!(e.target, Target::Key { .. }))
+                .map(|e| Entry {
+                    qual: e.qual.clone(),
+                    name: e.name.clone(),
+                    target: Target::Key { input: 0 },
+                })
+                .collect();
+            port = self.plan.add(
+                LogicalOp::Aggregate {
+                    func,
+                    attr,
+                    width: window.size,
+                    slide: window.advance,
+                    group_by_key,
+                },
+                vec![port],
+            );
+            // Post-aggregate scope: one column, named by the agg alias.
+            let alias = agg_alias(&q.select).unwrap_or_else(|| format!("{func:?}").to_lowercase());
+            scope = Scope {
+                entries: vec![Entry {
+                    qual: None,
+                    name: alias,
+                    target: Target::Col { input: 0, idx: 0 },
+                }],
+                n_cols: 1,
+            };
+            // Keys selected alongside the aggregate stay visible as keys.
+            scope.entries.extend(key_entries);
+            scope.entries.push(Entry {
+                qual: None,
+                name: "__key".into(),
+                target: Target::Key { input: 0 },
+            });
+        }
+
+        // --- HAVING ---
+        if let Some(h) = &q.having {
+            let rewritten = rewrite_agg_calls(h, &scope)?;
+            let pred = compile_pred(&rewritten, &scope)?;
+            port = self.plan.add(LogicalOp::Filter { pred }, vec![port]);
+        }
+
+        // --- SELECT projection ---
+        let (out_port, out_scope) = self.compile_select(&q.select, port, &scope, has_agg)?;
+        Ok((out_port, out_scope))
+    }
+
+    fn compile_select(
+        &mut self,
+        items: &[SelectItem],
+        port: PortRef,
+        scope: &Scope,
+        has_agg: bool,
+    ) -> Result<(PortRef, Scope), CompileError> {
+        // Value items: everything that is not `*`, a key passthrough, or
+        // (under aggregation) the aggregate call itself.
+        let mut value_items: Vec<(Expr, String)> = Vec::new();
+        let mut passthrough_cols = Vec::new();
+        let mut key_selected = false;
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                SelectItem::Star => {
+                    for c in 0..scope.n_cols {
+                        passthrough_cols.push(c);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if has_agg && expr.has_aggregate() {
+                        // The aggregate output is column 0 of the agg node.
+                        passthrough_cols.push(0);
+                        continue;
+                    }
+                    if let ExprAst::Col { qualifier, name } = expr {
+                        match scope.resolve(qualifier.as_deref(), name)? {
+                            Target::Key { .. } => {
+                                key_selected = true;
+                                continue; // keys flow out-of-band
+                            }
+                            Target::Col { idx, .. } => {
+                                if alias.is_none() {
+                                    passthrough_cols.push(idx);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    let name = alias.clone().unwrap_or_else(|| format!("col{i}"));
+                    value_items.push((compile_expr(expr, scope)?, name));
+                }
+            }
+        }
+        let _ = key_selected;
+        if value_items.is_empty() {
+            // Pure passthrough (possibly a prefix/reorder — treat a full
+            // in-order passthrough as identity, anything else as a map of
+            // column references).
+            let identity = passthrough_cols.iter().copied().eq(0..scope.n_cols)
+                || passthrough_cols.is_empty();
+            if identity {
+                return Ok((port, scope.clone()));
+            }
+            let exprs: Vec<Expr> = passthrough_cols.iter().map(|&c| Expr::attr(c)).collect();
+            let schema = Schema::new(
+                passthrough_cols
+                    .iter()
+                    .map(|&c| Attr::new(format!("c{c}"), AttrKind::Modeled))
+                    .collect(),
+            );
+            let node = self.plan.add(LogicalOp::Map { exprs, schema }, vec![port]);
+            let mut out = Scope::default();
+            for (i, &c) in passthrough_cols.iter().enumerate() {
+                let name = scope
+                    .entries
+                    .iter()
+                    .find(|e| e.target == Target::Col { input: 0, idx: c })
+                    .map(|e| e.name.clone())
+                    .unwrap_or_else(|| format!("c{c}"));
+                out.entries.push(Entry { qual: None, name, target: Target::Col { input: 0, idx: i } });
+            }
+            out.n_cols = passthrough_cols.len();
+            return Ok((node, out));
+        }
+        // Mixed projection: passthrough columns first, then computed ones.
+        let mut exprs: Vec<Expr> = passthrough_cols.iter().map(|&c| Expr::attr(c)).collect();
+        let mut attrs: Vec<Attr> = passthrough_cols
+            .iter()
+            .map(|&c| {
+                let name = scope
+                    .entries
+                    .iter()
+                    .find(|e| e.target == Target::Col { input: 0, idx: c })
+                    .map(|e| e.name.clone())
+                    .unwrap_or_else(|| format!("c{c}"));
+                Attr::new(name, AttrKind::Modeled)
+            })
+            .collect();
+        for (e, name) in &value_items {
+            exprs.push(e.clone());
+            attrs.push(Attr::new(name.clone(), AttrKind::Modeled));
+        }
+        let schema = Schema::new(attrs.clone());
+        let node = self.plan.add(LogicalOp::Map { exprs, schema }, vec![port]);
+        let mut out = Scope::default();
+        for (i, a) in attrs.iter().enumerate() {
+            out.entries.push(Entry {
+                qual: None,
+                name: a.name.clone(),
+                target: Target::Col { input: 0, idx: i },
+            });
+        }
+        out.n_cols = attrs.len();
+        // Keys keep flowing out-of-band.
+        out.entries.push(Entry { qual: None, name: "__key".into(), target: Target::Key { input: 0 } });
+        Ok((node, out))
+    }
+}
+
+fn and(a: Pred, b: Pred) -> Pred {
+    match (a, b) {
+        (Pred::True, x) | (x, Pred::True) => x,
+        (a, b) => a.and(b),
+    }
+}
+
+fn flatten_conjuncts(p: &PredAst) -> Vec<&PredAst> {
+    match p {
+        PredAst::And(a, b) => {
+            let mut out = flatten_conjuncts(a);
+            out.extend(flatten_conjuncts(b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Recognizes `key = key` / `key <> key` conjuncts.
+fn as_key_join(p: &PredAst, scope: &Scope) -> Result<Option<KeyJoin>, CompileError> {
+    let PredAst::Cmp { lhs, op, rhs } = p else { return Ok(None) };
+    let (ExprAst::Col { qualifier: lq, name: ln }, ExprAst::Col { qualifier: rq, name: rn }) =
+        (lhs, rhs)
+    else {
+        return Ok(None);
+    };
+    let lt = scope.resolve(lq.as_deref(), ln);
+    let rt = scope.resolve(rq.as_deref(), rn);
+    match (lt, rt) {
+        (Ok(Target::Key { .. }), Ok(Target::Key { .. })) => match op {
+            CmpOp::Eq => Ok(Some(KeyJoin::Eq)),
+            CmpOp::Ne => Ok(Some(KeyJoin::Ne)),
+            _ => err("key attributes only support = and <> in join conditions"),
+        },
+        (Ok(Target::Key { .. }), Ok(_)) | (Ok(_), Ok(Target::Key { .. })) => {
+            err("cannot compare a key attribute with a value attribute")
+        }
+        _ => Ok(None),
+    }
+}
+
+fn pred_has_aggregate(p: &PredAst) -> bool {
+    match p {
+        PredAst::Cmp { lhs, rhs, .. } => lhs.has_aggregate() || rhs.has_aggregate(),
+        PredAst::And(a, b) | PredAst::Or(a, b) => pred_has_aggregate(a) || pred_has_aggregate(b),
+        PredAst::Not(a) => pred_has_aggregate(a),
+    }
+}
+
+/// Finds the query's single aggregate `(func, argument)` across SELECT and
+/// HAVING; errors on zero or multiple distinct aggregates.
+fn extract_single_aggregate(
+    items: &[SelectItem],
+    having: Option<&PredAst>,
+) -> Result<(AggFunc, Option<ExprAst>), CompileError> {
+    let mut found: Option<(AggFunc, Option<ExprAst>)> = None;
+    let mut visit = |e: &ExprAst| -> Result<(), CompileError> {
+        collect_aggs(e, &mut found)
+    };
+    for item in items {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit(expr)?;
+        }
+    }
+    if let Some(h) = having {
+        visit_pred_exprs(h, &mut visit)?;
+    }
+    found.ok_or_else(|| CompileError { message: "no aggregate found".into() })
+}
+
+fn collect_aggs(
+    e: &ExprAst,
+    found: &mut Option<(AggFunc, Option<ExprAst>)>,
+) -> Result<(), CompileError> {
+    match e {
+        ExprAst::Call { name, args } => {
+            let func = match name.as_str() {
+                "avg" => Some(AggFunc::Avg),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "count" => Some(AggFunc::Count),
+                _ => None,
+            };
+            if let Some(func) = func {
+                let arg = args.first().cloned();
+                match found {
+                    None => *found = Some((func, arg)),
+                    Some((f, a)) if *f == func && *a == arg => {}
+                    Some(_) => {
+                        return err("only one distinct aggregate per query block is supported")
+                    }
+                }
+                return Ok(());
+            }
+            for a in args {
+                collect_aggs(a, found)?;
+            }
+            Ok(())
+        }
+        ExprAst::Neg(a) => collect_aggs(a, found),
+        ExprAst::Add(a, b) | ExprAst::Sub(a, b) | ExprAst::Mul(a, b) | ExprAst::Div(a, b) => {
+            collect_aggs(a, found)?;
+            collect_aggs(b, found)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn visit_pred_exprs<F>(p: &PredAst, f: &mut F) -> Result<(), CompileError>
+where
+    F: FnMut(&ExprAst) -> Result<(), CompileError>,
+{
+    match p {
+        PredAst::Cmp { lhs, rhs, .. } => {
+            f(lhs)?;
+            f(rhs)
+        }
+        PredAst::And(a, b) | PredAst::Or(a, b) => {
+            visit_pred_exprs(a, f)?;
+            visit_pred_exprs(b, f)
+        }
+        PredAst::Not(a) => visit_pred_exprs(a, f),
+    }
+}
+
+/// Alias of the select item holding the aggregate, if any.
+fn agg_alias(items: &[SelectItem]) -> Option<String> {
+    items.iter().find_map(|i| match i {
+        SelectItem::Expr { expr, alias } if expr.has_aggregate() => alias.clone(),
+        _ => None,
+    })
+}
+
+/// Whether any select item references a key attribute (implicit per-key
+/// grouping, like the MACD query's `select symbol, avg(price)`).
+fn selects_key(items: &[SelectItem], scope: &Scope) -> bool {
+    items.iter().any(|i| match i {
+        SelectItem::Expr { expr: ExprAst::Col { qualifier, name }, .. } => matches!(
+            scope.resolve(qualifier.as_deref(), name),
+            Ok(Target::Key { .. })
+        ),
+        _ => false,
+    })
+}
+
+/// Replaces aggregate calls in HAVING with references to the aggregate's
+/// output column (named after its alias, or resolvable as column 0).
+fn rewrite_agg_calls(p: &PredAst, scope: &Scope) -> Result<PredAst, CompileError> {
+    let col0_name = scope
+        .entries
+        .iter()
+        .find(|e| e.target == Target::Col { input: 0, idx: 0 })
+        .map(|e| e.name.clone())
+        .unwrap_or_else(|| "agg".into());
+    fn rewrite_expr(e: &ExprAst, name: &str) -> ExprAst {
+        match e {
+            ExprAst::Call { name: n, .. }
+                if matches!(n.as_str(), "avg" | "sum" | "min" | "max" | "count") =>
+            {
+                ExprAst::Col { qualifier: None, name: name.to_string() }
+            }
+            ExprAst::Neg(a) => ExprAst::Neg(Box::new(rewrite_expr(a, name))),
+            ExprAst::Add(a, b) => ExprAst::Add(
+                Box::new(rewrite_expr(a, name)),
+                Box::new(rewrite_expr(b, name)),
+            ),
+            ExprAst::Sub(a, b) => ExprAst::Sub(
+                Box::new(rewrite_expr(a, name)),
+                Box::new(rewrite_expr(b, name)),
+            ),
+            ExprAst::Mul(a, b) => ExprAst::Mul(
+                Box::new(rewrite_expr(a, name)),
+                Box::new(rewrite_expr(b, name)),
+            ),
+            ExprAst::Div(a, b) => ExprAst::Div(
+                Box::new(rewrite_expr(a, name)),
+                Box::new(rewrite_expr(b, name)),
+            ),
+            other => other.clone(),
+        }
+    }
+    fn rewrite(p: &PredAst, name: &str) -> PredAst {
+        match p {
+            PredAst::Cmp { lhs, op, rhs } => PredAst::Cmp {
+                lhs: rewrite_expr(lhs, name),
+                op: *op,
+                rhs: rewrite_expr(rhs, name),
+            },
+            PredAst::And(a, b) => {
+                PredAst::And(Box::new(rewrite(a, name)), Box::new(rewrite(b, name)))
+            }
+            PredAst::Or(a, b) => {
+                PredAst::Or(Box::new(rewrite(a, name)), Box::new(rewrite(b, name)))
+            }
+            PredAst::Not(a) => PredAst::Not(Box::new(rewrite(a, name))),
+        }
+    }
+    Ok(rewrite(p, &col0_name))
+}
+
+/// Scalar expression compilation against a scope.
+fn compile_expr(e: &ExprAst, scope: &Scope) -> Result<Expr, CompileError> {
+    Ok(match e {
+        ExprAst::Num(n) => Expr::Const(*n),
+        ExprAst::Time => Expr::Time,
+        ExprAst::Col { qualifier, name } => {
+            match scope.resolve(qualifier.as_deref(), name)? {
+                Target::Col { input, idx } => Expr::attr_of(input, idx),
+                Target::Key { .. } => {
+                    return err(format!(
+                        "key attribute `{name}` cannot appear in a value expression"
+                    ))
+                }
+            }
+        }
+        ExprAst::Neg(a) => -compile_expr(a, scope)?,
+        ExprAst::Add(a, b) => compile_expr(a, scope)? + compile_expr(b, scope)?,
+        ExprAst::Sub(a, b) => compile_expr(a, scope)? - compile_expr(b, scope)?,
+        ExprAst::Mul(a, b) => compile_expr(a, scope)? * compile_expr(b, scope)?,
+        ExprAst::Div(a, b) => Expr::Div(
+            Box::new(compile_expr(a, scope)?),
+            Box::new(compile_expr(b, scope)?),
+        ),
+        ExprAst::Call { name, args } => match (name.as_str(), args.len()) {
+            ("abs", 1) => Expr::Abs(Box::new(compile_expr(&args[0], scope)?)),
+            ("sqrt", 1) => Expr::Sqrt(Box::new(compile_expr(&args[0], scope)?)),
+            ("pow", 2) => {
+                let ExprAst::Num(n) = args[1] else {
+                    return err("pow exponent must be a literal");
+                };
+                if n < 0.0 || n.fract() != 0.0 {
+                    return err("pow exponent must be a non-negative integer");
+                }
+                Expr::Pow(Box::new(compile_expr(&args[0], scope)?), n as u32)
+            }
+            ("distance2", 4) => Expr::dist2(
+                compile_expr(&args[0], scope)?,
+                compile_expr(&args[1], scope)?,
+                compile_expr(&args[2], scope)?,
+                compile_expr(&args[3], scope)?,
+            ),
+            ("avg" | "sum" | "min" | "max" | "count", _) => {
+                return err(format!("aggregate `{name}` in scalar context"))
+            }
+            (other, n) => return err(format!("unknown function `{other}/{n}`")),
+        },
+    })
+}
+
+/// Boolean predicate compilation.
+fn compile_pred(p: &PredAst, scope: &Scope) -> Result<Pred, CompileError> {
+    Ok(match p {
+        PredAst::Cmp { lhs, op, rhs } => {
+            Pred::cmp(compile_expr(lhs, scope)?, *op, compile_expr(rhs, scope)?)
+        }
+        PredAst::And(a, b) => compile_pred(a, scope)?.and(compile_pred(b, scope)?),
+        PredAst::Or(a, b) => compile_pred(a, scope)?.or(compile_pred(b, scope)?),
+        PredAst::Not(a) => compile_pred(a, scope)?.not(),
+    })
+}

@@ -1,0 +1,316 @@
+//! Tokenizer for the Pulse query language.
+//!
+//! The surface syntax follows the paper's examples: StreamSQL-style SELECT
+//! blocks with `[size w advance s]` windows, MODEL clauses (Fig. 1), and
+//! the accuracy/sampling extensions (`error within x%`, `sample rate r`).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Number(f64),
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    // comparisons
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Ge => write!(f, ">="),
+            Token::Gt => write!(f, ">"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a query string. Identifiers are lower-cased (the language is
+/// case-insensitive); `!=` is accepted as a synonym for `<>`.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                // A dot starting a number (.5) vs attribute qualification.
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let (tok, next) = lex_number(input, i)?;
+                    out.push(tok);
+                    i = next;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Line comments: `-- …`.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected `!=`".into() });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(LexError { pos: i, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !seen_dot && !seen_exp => {
+                // Don't swallow `1.x` attribute quals — a dot must be
+                // followed by a digit to belong to the number.
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            b'e' | b'E' if !seen_exp => {
+                seen_exp = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    input[start..i]
+        .parse::<f64>()
+        .map(|v| (Token::Number(v), i))
+        .map_err(|e| LexError { pos: start, message: format!("bad number: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("select * from s [size 10 advance 2]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Star,
+                Token::Ident("from".into()),
+                Token::Ident("s".into()),
+                Token::LBracket,
+                Token::Ident("size".into()),
+                Token::Number(10.0),
+                Token::Ident("advance".into()),
+                Token::Number(2.0),
+                Token::RBracket,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_and_synonyms() {
+        let toks = lex("a < b <= c <> d != e >= f > g = h").unwrap();
+        let cmps: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
+            .collect();
+        assert_eq!(
+            cmps,
+            vec![&Token::Lt, &Token::Le, &Token::Ne, &Token::Ne, &Token::Ge, &Token::Gt, &Token::Eq]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("1 2.5 .75 1e3 2.5e-2 0.3").unwrap();
+        let nums: Vec<f64> = toks
+            .iter()
+            .filter_map(|t| if let Token::Number(n) = t { Some(*n) } else { None })
+            .collect();
+        assert_eq!(nums, vec![1.0, 2.5, 0.75, 1000.0, 0.025, 0.3]);
+    }
+
+    #[test]
+    fn qualified_idents_keep_dots() {
+        let toks = lex("r.x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("r".into()), Token::Dot, Token::Ident("x".into()), Token::Eof]
+        );
+        // `1.x` must not eat the dot into the number.
+        let toks = lex("1.x").unwrap();
+        assert_eq!(toks[0], Token::Number(1.0));
+        assert_eq!(toks[1], Token::Dot);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("select -- this is MACD\n1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("select".into()), Token::Number(1.0), Token::Eof]);
+    }
+
+    #[test]
+    fn case_insensitive_idents() {
+        let toks = lex("SELECT Avg(Price)").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert_eq!(toks[1], Token::Ident("avg".into()));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("select #").unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(lex("a ! b").is_err());
+    }
+}

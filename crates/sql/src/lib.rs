@@ -1,0 +1,326 @@
+//! The Pulse query language: a StreamSQL-style surface syntax for the
+//! engine-neutral logical plans.
+//!
+//! The paper's prototype "extends our stream processor's query language
+//! with accuracy and sampling specifications" and accepts MODEL clauses in
+//! queries (§II-B, Fig. 1). This crate provides that surface:
+//!
+//! ```text
+//! select symbol, s.ap - l.ap as diff
+//! from (select symbol, avg(price) as ap from trades [size 10 advance 2]) as s
+//! join (select symbol, avg(price) as ap from trades [size 60 advance 2]) as l
+//!   on (s.symbol = l.symbol) within 2
+//! where s.ap > l.ap
+//! error within 1 %
+//! sample rate 0.5
+//! ```
+//!
+//! [`parse_query`] turns text into a [`Compiled`] logical plan (plus MODEL
+//! clauses and the accuracy/sampling extras), which compiles onto either
+//! engine via `pulse_stream::Plan::compile` / `pulse_core::CPlan::compile`.
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{compile, compile_union, Catalog, Compiled, CompileError, StreamDecl};
+pub use parser::{parse, parse_union, ParseError};
+
+/// One-shot convenience: parse and compile.
+///
+/// ```
+/// use pulse_sql::{parse_query, Catalog};
+/// use pulse_model::{AttrKind, Schema};
+///
+/// let catalog = Catalog::new().stream(
+///     "objects",
+///     Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)]),
+///     Some("id"),
+/// );
+/// let q = parse_query(
+///     "select * from objects model x = x + v * t where x > 50 error within 1 %",
+///     &catalog,
+/// )
+/// .unwrap();
+/// assert_eq!(q.plan.nodes.len(), 1);
+/// assert_eq!(q.error_within, Some(0.01));
+/// assert!(q.models[0].is_some(), "MODEL clause captured");
+/// ```
+pub fn parse_query(input: &str, catalog: &Catalog) -> Result<Compiled, QueryError> {
+    let blocks = parser::parse_union(input)?;
+    Ok(compile::compile_union(&blocks, catalog)?)
+}
+
+/// Error from [`parse_query`].
+#[derive(Debug)]
+pub enum QueryError {
+    Parse(ParseError),
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<CompileError> for QueryError {
+    fn from(e: CompileError) -> Self {
+        QueryError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_model::{AttrKind, Schema};
+    use pulse_stream::{AggFunc, KeyJoin, LogicalOp};
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .stream(
+                "trades",
+                Schema::of(&[("price", AttrKind::Modeled), ("qty", AttrKind::Unmodeled)]),
+                Some("symbol"),
+            )
+            .stream(
+                "vessels",
+                Schema::of(&[
+                    ("x", AttrKind::Modeled),
+                    ("vx", AttrKind::Coefficient),
+                    ("y", AttrKind::Modeled),
+                    ("vy", AttrKind::Coefficient),
+                ]),
+                Some("id"),
+            )
+            .stream(
+                "objects",
+                Schema::of(&[
+                    ("x", AttrKind::Modeled),
+                    ("vx", AttrKind::Coefficient),
+                    ("y", AttrKind::Modeled),
+                    ("vy", AttrKind::Coefficient),
+                ]),
+                Some("id"),
+            )
+    }
+
+    #[test]
+    fn filter_query_compiles() {
+        let c = parse_query("select * from objects where x < 5 and y > 0", &catalog()).unwrap();
+        assert_eq!(c.plan.nodes.len(), 1);
+        assert!(matches!(c.plan.nodes[0].op, LogicalOp::Filter { .. }));
+    }
+
+    #[test]
+    fn windowed_aggregate_compiles() {
+        let c = parse_query(
+            "select min(x) from objects [size 10 advance 2]",
+            &catalog(),
+        )
+        .unwrap();
+        match &c.plan.nodes[0].op {
+            LogicalOp::Aggregate { func, attr, width, slide, group_by_key } => {
+                assert_eq!(*func, AggFunc::Min);
+                assert_eq!(*attr, 0);
+                assert_eq!(*width, 10.0);
+                assert_eq!(*slide, 2.0);
+                assert!(!group_by_key, "no key selected/grouped");
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implicit_key_grouping_via_select() {
+        let c = parse_query(
+            "select symbol, avg(price) as ap from trades [size 10 advance 2]",
+            &catalog(),
+        )
+        .unwrap();
+        match &c.plan.nodes[0].op {
+            LogicalOp::Aggregate { group_by_key, .. } => assert!(group_by_key),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn macd_compiles_to_expected_shape() {
+        let c = parse_query(
+            "select symbol, s.ap - l.ap as diff \
+             from (select symbol, avg(price) as ap from trades [size 10 advance 2]) as s \
+             join (select symbol, avg(price) as ap from trades [size 60 advance 2]) as l \
+             on (s.symbol = l.symbol) within 2 \
+             where s.ap > l.ap \
+             error within 1 %",
+            &catalog(),
+        )
+        .unwrap();
+        // agg, agg, join (where merged), map
+        assert_eq!(c.plan.nodes.len(), 4);
+        assert!(matches!(c.plan.nodes[0].op, LogicalOp::Aggregate { func: AggFunc::Avg, .. }));
+        assert!(matches!(c.plan.nodes[1].op, LogicalOp::Aggregate { func: AggFunc::Avg, .. }));
+        match &c.plan.nodes[2].op {
+            LogicalOp::Join { on_keys, window, pred } => {
+                assert_eq!(*on_keys, KeyJoin::Eq);
+                assert_eq!(*window, 2.0);
+                assert!(!matches!(pred, pulse_model::Pred::True), "where merged into join");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(c.plan.nodes[3].op, LogicalOp::Map { .. }));
+        assert_eq!(c.error_within, Some(0.01));
+        assert_eq!(c.plan.sources.len(), 1, "both subqueries share one stream");
+    }
+
+    #[test]
+    fn following_compiles_to_expected_shape() {
+        let c = parse_query(
+            "select avg(dist) as sep \
+             from (select distance2(s1.x, s1.y, s2.x, s2.y) as dist \
+                   from vessels as s1 join vessels as s2 on (s1.id <> s2.id) within 10) \
+                  [size 600 advance 10] as candidates \
+             group by id \
+             having avg(dist) < 1000000 \
+             error within 0.05 %",
+            &catalog(),
+        )
+        .unwrap();
+        // join, map(dist), aggregate, filter(having)
+        assert_eq!(c.plan.nodes.len(), 4);
+        assert!(matches!(
+            c.plan.nodes[0].op,
+            LogicalOp::Join { on_keys: KeyJoin::Ne, .. }
+        ));
+        assert!(matches!(c.plan.nodes[1].op, LogicalOp::Map { .. }));
+        assert!(matches!(
+            c.plan.nodes[2].op,
+            LogicalOp::Aggregate { func: AggFunc::Avg, group_by_key: true, .. }
+        ));
+        assert!(matches!(c.plan.nodes[3].op, LogicalOp::Filter { .. }));
+        assert_eq!(c.error_within, Some(0.0005));
+    }
+
+    #[test]
+    fn model_clause_builds_stream_model() {
+        let c = parse_query(
+            "select * from objects model x = x + vx * t, y = y + vy * t where x < 100",
+            &catalog(),
+        )
+        .unwrap();
+        let sm = c.models[0].as_ref().expect("model clause recorded");
+        assert_eq!(sm.specs.len(), 2);
+        // Instantiate against a tuple to prove the spec works end-to-end.
+        let tuple = pulse_model::Tuple::new(1, 0.0, vec![1.0, 2.0, 3.0, 4.0]);
+        let seg = sm.segment_for(&tuple, 10.0).unwrap();
+        assert!((seg.eval(0, 5.0) - 11.0).abs() < 1e-9); // 1 + 2·5
+        assert!((seg.eval(1, 5.0) - 23.0).abs() < 1e-9); // 3 + 4·5
+    }
+
+    #[test]
+    fn compiled_plans_run_on_both_engines() {
+        let c = parse_query(
+            "select symbol, avg(price) as ap from trades [size 4 advance 2]",
+            &catalog(),
+        )
+        .unwrap();
+        let mut discrete = pulse_stream::Plan::compile(&c.plan);
+        let mut outs = Vec::new();
+        for i in 0..100 {
+            let t = pulse_model::Tuple::new(1, i as f64 * 0.1, vec![50.0, 100.0]);
+            outs.extend(discrete.push(0, &t));
+        }
+        assert!(!outs.is_empty());
+        assert!((outs[0].values[0] - 50.0).abs() < 1e-9);
+        let mut cont = pulse_core::CPlan::compile(&c.plan).unwrap();
+        let seg = pulse_model::Segment::new(
+            1,
+            pulse_math::Span::new(0.0, 10.0),
+            vec![pulse_math::Poly::constant(50.0)],
+            vec![100.0],
+        );
+        let couts = cont.push(0, &seg);
+        assert!(!couts.is_empty());
+        assert!((couts[0].models[0].eval(5.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let cat = catalog();
+        assert!(parse_query("select * from nosuch", &cat).is_err());
+        assert!(parse_query("select nocol from objects where nocol < 1", &cat).is_err());
+        assert!(parse_query("select avg(x) from objects", &cat).is_err(), "agg needs window");
+        assert!(
+            parse_query("select * from objects where id < 3", &cat).is_err(),
+            "key in value predicate"
+        );
+        assert!(
+            parse_query(
+                "select avg(x), sum(y) from objects [size 1 advance 1]",
+                &cat
+            )
+            .is_err(),
+            "two distinct aggregates"
+        );
+    }
+
+    #[test]
+    fn union_of_two_filters() {
+        let c = parse_query(
+            "select * from objects where x < 0 union select * from objects where x > 100",
+            &catalog(),
+        )
+        .unwrap();
+        // filter, filter, union — over ONE shared source.
+        assert_eq!(c.plan.nodes.len(), 3);
+        assert!(matches!(c.plan.nodes[2].op, LogicalOp::Union));
+        assert_eq!(c.plan.sources.len(), 1);
+        // Runs on both engines.
+        let mut d = pulse_stream::Plan::compile(&c.plan);
+        let below = pulse_model::Tuple::new(1, 0.0, vec![-5.0, 0.0, 0.0, 0.0]);
+        let mid = pulse_model::Tuple::new(1, 1.0, vec![50.0, 0.0, 0.0, 0.0]);
+        let above = pulse_model::Tuple::new(1, 2.0, vec![150.0, 0.0, 0.0, 0.0]);
+        assert_eq!(d.push(0, &below).len(), 1);
+        assert_eq!(d.push(0, &mid).len(), 0);
+        assert_eq!(d.push(0, &above).len(), 1);
+        assert!(pulse_core::CPlan::compile(&c.plan).is_ok());
+    }
+
+    #[test]
+    fn union_width_mismatch_rejected() {
+        let e = parse_query(
+            "select x from objects union select x, y from objects",
+            &catalog(),
+        );
+        assert!(e.is_err(), "width mismatch must be rejected");
+    }
+
+    #[test]
+    fn union_inherits_error_clause() {
+        let c = parse_query(
+            "select * from objects where x < 0 union              select * from objects where x > 100 error within 2 %",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(c.error_within, Some(0.02));
+    }
+
+    #[test]
+    fn count_compiles_for_discrete_but_not_continuous() {
+        let c = parse_query("select count(x) from objects [size 5]", &catalog()).unwrap();
+        let _ = pulse_stream::Plan::compile(&c.plan);
+        assert!(pulse_core::CPlan::compile(&c.plan).is_err());
+    }
+}

@@ -1,0 +1,519 @@
+//! Recursive-descent parser for the Pulse query language.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Token};
+use pulse_math::CmpOp;
+use std::fmt;
+
+/// Parse error with a readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.to_string() }
+    }
+}
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let blocks = parse_union(input)?;
+    if blocks.len() != 1 {
+        return Err(ParseError {
+            message: "query is a UNION; use parse_union / parse_query".into(),
+        });
+    }
+    Ok(blocks.into_iter().next().unwrap())
+}
+
+/// Parses a query that may be a top-level `UNION` chain of SELECT blocks.
+pub fn parse_union(input: &str) -> Result<Vec<Query>, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut blocks = vec![p.query()?];
+    while p.eat_kw("union") {
+        blocks.push(p.query()?);
+    }
+    p.expect_eof()?;
+    Ok(blocks)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: format!("{} (at `{}`)", msg.into(), self.peek()) })
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == tok {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{tok}`"))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err("trailing input")
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError { message: format!("expected identifier, found `{other}`") }),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Token::Number(n) => Ok(n),
+            other => Err(ParseError { message: format!("expected number, found `{other}`") }),
+        }
+    }
+
+    // query := SELECT items FROM from (WHERE pred)? (GROUP BY idents)?
+    //          (HAVING pred)? (ERROR WITHIN num %?)? (SAMPLE RATE num)?
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("select")?;
+        let select = self.select_items()?;
+        self.expect_kw("from")?;
+        let from = self.parse_from()?;
+        let where_pred = if self.eat_kw("where") { Some(self.pred()?) } else { None };
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            let mut names = vec![self.ident()?];
+            while self.eat(&Token::Comma) {
+                names.push(self.ident()?);
+            }
+            names
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("having") { Some(self.pred()?) } else { None };
+        let mut error_within = None;
+        let mut sample_rate = None;
+        loop {
+            if self.eat_kw("error") {
+                self.expect_kw("within")?;
+                let v = self.number()?;
+                error_within = Some(if self.eat(&Token::Percent) { v / 100.0 } else { v });
+            } else if self.eat_kw("sample") {
+                self.expect_kw("rate")?;
+                sample_rate = Some(self.number()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Query { select, from, where_pred, group_by, having, error_within, sample_rate })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause, ParseError> {
+        let left = self.table_ref()?;
+        let join = if self.eat_kw("join") {
+            let right = self.table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.pred()?;
+            let within = if self.eat_kw("within") { Some(self.number()?) } else { None };
+            Some(JoinClause { right, on, within })
+        } else {
+            None
+        };
+        Ok(FromClause { left, join })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat(&Token::LParen) {
+            let query = Box::new(self.query()?);
+            self.expect(&Token::RParen)?;
+            let window = self.window_opt()?;
+            let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+            // Allow window after the alias too.
+            let window = match window {
+                Some(w) => Some(w),
+                None => self.window_opt()?,
+            };
+            return Ok(TableRef::Sub { query, alias, window });
+        }
+        let name = self.ident()?;
+        let mut window = self.window_opt()?;
+        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        if window.is_none() {
+            window = self.window_opt()?;
+        }
+        // MODEL clauses: MODEL attr = expr (, attr = expr)*  — attached to
+        // the base stream, as in Fig. 1.
+        let mut models = Vec::new();
+        if self.eat_kw("model") {
+            loop {
+                let attr = self.qualified_name()?;
+                self.expect(&Token::Eq)?;
+                let expr = self.expr()?;
+                models.push((attr, expr));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(TableRef::Base { name, alias, window, models })
+    }
+
+    /// Accepts `name` or `qual.name`, returning the bare attribute name
+    /// (MODEL clause targets are attributes of their own stream).
+    fn qualified_name(&mut self) -> Result<String, ParseError> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            self.ident()
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn window_opt(&mut self) -> Result<Option<WindowSpec>, ParseError> {
+        if !self.eat(&Token::LBracket) {
+            return Ok(None);
+        }
+        self.expect_kw("size")?;
+        let size = self.number()?;
+        let advance = if self.eat_kw("advance") { self.number()? } else { size };
+        self.expect(&Token::RBracket)?;
+        Ok(Some(WindowSpec { size, advance }))
+    }
+
+    // pred := or_pred
+    fn pred(&mut self) -> Result<PredAst, ParseError> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<PredAst, ParseError> {
+        let mut left = self.and_pred()?;
+        while self.eat_kw("or") {
+            let right = self.and_pred()?;
+            left = PredAst::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<PredAst, ParseError> {
+        let mut left = self.not_pred()?;
+        while self.eat_kw("and") {
+            let right = self.not_pred()?;
+            left = PredAst::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_pred(&mut self) -> Result<PredAst, ParseError> {
+        if self.eat_kw("not") {
+            return Ok(PredAst::Not(Box::new(self.not_pred()?)));
+        }
+        // Parenthesised predicate vs parenthesised expression: try a
+        // predicate first and fall back on comparison parsing.
+        if matches!(self.peek(), Token::LParen) {
+            let save = self.pos;
+            self.next();
+            if let Ok(inner) = self.pred() {
+                if self.eat(&Token::RParen) {
+                    // `(pred)` not followed by a comparison: done.
+                    if !matches!(
+                        self.peek(),
+                        Token::Lt | Token::Le | Token::Eq | Token::Ne | Token::Ge | Token::Gt
+                    ) {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<PredAst, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.next() {
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Ge => CmpOp::Ge,
+            Token::Gt => CmpOp::Gt,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected comparison operator, found `{other}`"),
+                })
+            }
+        };
+        let rhs = self.expr()?;
+        Ok(PredAst::Cmp { lhs, op, rhs })
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                left = ExprAst::Add(Box::new(left), Box::new(self.term()?));
+            } else if self.eat(&Token::Minus) {
+                left = ExprAst::Sub(Box::new(left), Box::new(self.term()?));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<ExprAst, ParseError> {
+        let mut left = self.factor()?;
+        loop {
+            if self.eat(&Token::Star) {
+                left = ExprAst::Mul(Box::new(left), Box::new(self.factor()?));
+            } else if self.eat(&Token::Slash) {
+                left = ExprAst::Div(Box::new(left), Box::new(self.factor()?));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<ExprAst, ParseError> {
+        if self.eat(&Token::Minus) {
+            return Ok(ExprAst::Neg(Box::new(self.factor()?)));
+        }
+        if self.eat(&Token::LParen) {
+            let e = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(e);
+        }
+        match self.next() {
+            Token::Number(n) => Ok(ExprAst::Num(n)),
+            Token::Ident(name) => {
+                if name == "t" && !matches!(self.peek(), Token::Dot | Token::LParen) {
+                    return Ok(ExprAst::Time);
+                }
+                if self.eat(&Token::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    return Ok(ExprAst::Call { name, args });
+                }
+                if self.eat(&Token::Dot) {
+                    let attr = self.ident()?;
+                    return Ok(ExprAst::Col { qualifier: Some(name), name: attr });
+                }
+                Ok(ExprAst::Col { qualifier: None, name })
+            }
+            other => Err(ParseError { message: format!("expected expression, found `{other}`") }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse("select * from objects").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Star]);
+        assert!(matches!(q.from.left, TableRef::Base { ref name, .. } if name == "objects"));
+        assert!(q.from.join.is_none());
+        assert!(q.where_pred.is_none());
+    }
+
+    #[test]
+    fn window_and_where() {
+        let q = parse("select x from objects [size 10 advance 2] where x < 5").unwrap();
+        let w = q.from.left.window().unwrap();
+        assert_eq!(w.size, 10.0);
+        assert_eq!(w.advance, 2.0);
+        assert!(matches!(q.where_pred, Some(PredAst::Cmp { op: CmpOp::Lt, .. })));
+    }
+
+    #[test]
+    fn window_advance_defaults_to_size() {
+        let q = parse("select x from s [size 4]").unwrap();
+        let w = q.from.left.window().unwrap();
+        assert_eq!(w.advance, 4.0);
+    }
+
+    #[test]
+    fn model_clause() {
+        let q = parse("select * from a model a.x = a.x + a.v * t, a.y = a.y + 2 * t").unwrap();
+        if let TableRef::Base { models, .. } = &q.from.left {
+            assert_eq!(models.len(), 2);
+            assert_eq!(models[0].0, "x");
+            assert_eq!(models[1].0, "y");
+        } else {
+            panic!("expected base table");
+        }
+    }
+
+    #[test]
+    fn join_with_within() {
+        let q = parse(
+            "select * from a join b on (a.x < b.x and a.y = b.y) within 0.5",
+        )
+        .unwrap();
+        let j = q.from.join.unwrap();
+        assert_eq!(j.within, Some(0.5));
+        assert!(matches!(j.on, PredAst::And(_, _)));
+    }
+
+    #[test]
+    fn subquery_with_alias_and_window() {
+        let q = parse(
+            "select avg(dist) from (select d as dist from s) [size 600 advance 10] as c group by id having avg(dist) < 1000",
+        )
+        .unwrap();
+        match &q.from.left {
+            TableRef::Sub { alias, window, .. } => {
+                assert_eq!(alias.as_deref(), Some("c"));
+                assert_eq!(window.unwrap().size, 600.0);
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+        assert_eq!(q.group_by, vec!["id"]);
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn error_and_sample_clauses() {
+        let q = parse("select * from s error within 1 % sample rate 10").unwrap();
+        assert_eq!(q.error_within, Some(0.01));
+        assert_eq!(q.sample_rate, Some(10.0));
+        let q = parse("select * from s error within 0.05").unwrap();
+        assert_eq!(q.error_within, Some(0.05));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse("select a + b * c - d from s").unwrap();
+        // (a + (b*c)) - d
+        if let SelectItem::Expr { expr, .. } = &q.select[0] {
+            assert!(matches!(expr, ExprAst::Sub(_, _)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn time_variable_vs_column() {
+        let q = parse("select * from s model s.x = v * t").unwrap();
+        if let TableRef::Base { models, .. } = &q.from.left {
+            assert!(matches!(&models[0].1, ExprAst::Mul(_, b) if **b == ExprAst::Time));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let q = parse("select * from s where (a < 1 or b > 2) and not c = 3").unwrap();
+        assert!(matches!(q.where_pred, Some(PredAst::And(_, _))));
+    }
+
+    #[test]
+    fn macd_parses() {
+        let q = parse(
+            "select symbol, s.ap - l.ap as diff \
+             from (select symbol, avg(price) as ap from trades [size 10 advance 2]) as s \
+             join (select symbol, avg(price) as ap from trades [size 60 advance 2]) as l \
+             on (s.symbol = l.symbol) within 2 \
+             where s.ap > l.ap \
+             error within 1 %",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(q.from.join.is_some());
+        assert_eq!(q.error_within, Some(0.01));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("select from s").is_err());
+        assert!(parse("select * from").is_err());
+        assert!(parse("select * from s where").is_err());
+        assert!(parse("select * from s [size]").is_err());
+        assert!(parse("select * from s trailing junk").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Human-readable plan explanation (`EXPLAIN`-style output).
+
+use crate::logical::{LogicalOp, LogicalPlan, PortRef};
+use pulse_model::{Expr, Pred};
+use std::fmt::Write;
+
+/// Renders an expression in infix form.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("{v}"),
+        Expr::Attr { input, attr } => format!("in{input}.#{attr}"),
+        Expr::Time => "t".into(),
+        Expr::Add(a, b) => format!("({} + {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Sub(a, b) => format!("({} - {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Mul(a, b) => format!("({} * {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Div(a, b) => format!("({} / {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Neg(a) => format!("-{}", expr_to_string(a)),
+        Expr::Pow(a, n) => format!("{}^{n}", expr_to_string(a)),
+        Expr::Sqrt(a) => format!("sqrt({})", expr_to_string(a)),
+        Expr::Abs(a) => format!("abs({})", expr_to_string(a)),
+    }
+}
+
+/// Renders a predicate in infix form.
+pub fn pred_to_string(p: &Pred) -> String {
+    match p {
+        Pred::True => "true".into(),
+        Pred::False => "false".into(),
+        Pred::Cmp { lhs, op, rhs } => {
+            format!("{} {op} {}", expr_to_string(lhs), expr_to_string(rhs))
+        }
+        Pred::And(a, b) => format!("({} and {})", pred_to_string(a), pred_to_string(b)),
+        Pred::Or(a, b) => format!("({} or {})", pred_to_string(a), pred_to_string(b)),
+        Pred::Not(a) => format!("not {}", pred_to_string(a)),
+    }
+}
+
+/// Renders the plan as an indented operator listing with wiring.
+pub fn explain(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "sources: {}", plan.sources.len());
+    for (i, schema) in plan.sources.iter().enumerate() {
+        let names: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+        let _ = writeln!(out, "  src{}: [{}]", i, names.join(", "));
+    }
+    let sinks = plan.sinks();
+    for (i, node) in plan.nodes.iter().enumerate() {
+        let inputs: Vec<String> = node
+            .inputs
+            .iter()
+            .map(|p| match p {
+                PortRef::Source(s) => format!("src{s}"),
+                PortRef::Node(n) => format!("op{n}"),
+            })
+            .collect();
+        let desc = match &node.op {
+            LogicalOp::Filter { pred } => format!("Filter[{}]", pred_to_string(pred)),
+            LogicalOp::Map { exprs, schema } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .zip(schema.attrs())
+                    .map(|(e, a)| format!("{} as {}", expr_to_string(e), a.name))
+                    .collect();
+                format!("Map[{}]", cols.join(", "))
+            }
+            LogicalOp::Join { window, pred, on_keys } => format!(
+                "Join[keys {:?}, within {window}s, {}]",
+                on_keys,
+                pred_to_string(pred)
+            ),
+            LogicalOp::Aggregate { func, attr, width, slide, group_by_key } => format!(
+                "Aggregate[{func:?}(#{attr}) size {width}s advance {slide}s{}]",
+                if *group_by_key { ", per key" } else { "" }
+            ),
+            LogicalOp::Union => "Union".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  op{}: {} <- {}{}",
+            i,
+            desc,
+            inputs.join(", "),
+            if sinks.contains(&i) { "  => output" } else { "" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{AggFunc, KeyJoin};
+    use pulse_math::CmpOp;
+    use pulse_model::{AttrKind, Schema};
+
+    #[test]
+    fn explain_lists_operators_and_wiring() {
+        let src = Schema::of(&[("x", AttrKind::Modeled)]);
+        let mut lp = LogicalPlan::new(vec![src.clone(), src]);
+        let f = lp.add(
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(5.0)) },
+            vec![PortRef::Source(0)],
+        );
+        lp.add(
+            LogicalOp::Join { window: 2.0, pred: Pred::True, on_keys: KeyJoin::Eq },
+            vec![f, PortRef::Source(1)],
+        );
+        let text = explain(&lp);
+        assert!(text.contains("op0: Filter[in0.#0 < 5]"), "{text}");
+        assert!(text.contains("op1: Join[keys Eq, within 2s, true] <- op0, src1  => output"));
+    }
+
+    #[test]
+    fn expr_rendering() {
+        let e = Expr::attr(0) * Expr::c(2.0) - Expr::Pow(Box::new(Expr::Time), 2);
+        assert_eq!(expr_to_string(&e), "((in0.#0 * 2) - t^2)");
+        let p = Pred::cmp(Expr::Abs(Box::new(Expr::attr(1))), CmpOp::Ge, Expr::c(1.0))
+            .or(Pred::False)
+            .not();
+        assert_eq!(pred_to_string(&p), "not (abs(in0.#1) >= 1 or false)");
+    }
+
+    #[test]
+    fn aggregate_rendering() {
+        let src = Schema::of(&[("x", AttrKind::Modeled)]);
+        let mut lp = LogicalPlan::new(vec![src]);
+        lp.add(
+            LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 10.0, slide: 2.0, group_by_key: true },
+            vec![PortRef::Source(0)],
+        );
+        let text = explain(&lp);
+        assert!(text.contains("Aggregate[Avg(#0) size 10s advance 2s, per key]"), "{text}");
+    }
+}

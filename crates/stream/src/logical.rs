@@ -1,0 +1,237 @@
+//! Logical query plans.
+//!
+//! Queries are written once against this representation and then compiled
+//! either to the discrete engine ([`crate::plan::Plan`]) or — by Pulse's
+//! operator-by-operator query transform (§III-C) — to a continuous plan of
+//! equation systems. Keeping the logical form engine-neutral is what lets
+//! the experiments run the *same* query through both processors.
+
+use pulse_model::{Attr, AttrKind, Expr, Pred, Schema};
+
+/// Windowed aggregate functions.
+///
+/// `Count` is frequency-based and therefore outside the continuous
+/// transform (§III-B "Transformation Limitations"); the discrete engine
+/// still supports it, and Pulse's planner rejects it with a clear error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Min,
+    Max,
+    Sum,
+    Avg,
+    Count,
+}
+
+impl AggFunc {
+    /// Whether the continuous-time transform supports this aggregate.
+    pub fn is_continuous(self) -> bool {
+        !matches!(self, AggFunc::Count)
+    }
+}
+
+/// Key-attribute join condition.
+///
+/// Keys are discrete (§II-B), so they are matched exactly rather than via
+/// the equation system: `Eq` is the MACD query's `S.Symbol = L.Symbol`,
+/// `Ne` the collision/following queries' `R.id <> S.id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyJoin {
+    /// No key constraint.
+    #[default]
+    Any,
+    /// Keys must match; output keeps the shared key.
+    Eq,
+    /// Keys must differ; output key is the canonical pair encoding.
+    Ne,
+}
+
+impl KeyJoin {
+    /// Tests the condition on a pair of keys.
+    pub fn test(self, l: u64, r: u64) -> bool {
+        match self {
+            KeyJoin::Any => true,
+            KeyJoin::Eq => l == r,
+            KeyJoin::Ne => l != r,
+        }
+    }
+
+    /// Output key for a matched pair. `Eq` keeps the shared key; otherwise
+    /// the pair is packed into one key (32 bits each) so downstream
+    /// group-bys can group per pair, preserving the key→model functional
+    /// dependency that query inversion relies on (§IV-B Property 2).
+    pub fn output_key(self, l: u64, r: u64) -> u64 {
+        match self {
+            KeyJoin::Eq => l,
+            KeyJoin::Any | KeyJoin::Ne => (l << 32) | (r & 0xFFFF_FFFF),
+        }
+    }
+}
+
+/// A relational stream operator, engine-neutral.
+#[derive(Debug, Clone)]
+pub enum LogicalOp {
+    /// Emit inputs satisfying `pred`.
+    Filter { pred: Pred },
+    /// Project each input through `exprs`, producing `schema`.
+    Map { exprs: Vec<Expr>, schema: Schema },
+    /// Sliding-window join of two inputs on key condition `on_keys` and
+    /// value predicate `pred`; each side buffers `window` seconds of the
+    /// other.
+    Join { window: f64, pred: Pred, on_keys: KeyJoin },
+    /// Windowed aggregate of value attribute `attr` over windows of `width`
+    /// seconds advancing by `slide` (the paper's `[size w advance s]`).
+    /// With `group_by_key` each key aggregates separately (hash-based
+    /// group-by, Fig. 3); without it, all keys aggregate together — the
+    /// multi-model envelope scenario of §III-B.
+    Aggregate { func: AggFunc, attr: usize, width: f64, slide: f64, group_by_key: bool },
+    /// Merge of two streams with identical schemas (Borealis' union box).
+    Union,
+}
+
+/// Reference to an operator input: an external source stream or another
+/// node's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortRef {
+    Source(usize),
+    Node(usize),
+}
+
+/// One operator instance with its wiring.
+#[derive(Debug, Clone)]
+pub struct LogicalNode {
+    pub op: LogicalOp,
+    pub inputs: Vec<PortRef>,
+}
+
+/// A DAG of logical operators over named source streams.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalPlan {
+    pub sources: Vec<Schema>,
+    pub nodes: Vec<LogicalNode>,
+}
+
+impl LogicalPlan {
+    /// Starts a plan over the given source schemas.
+    pub fn new(sources: Vec<Schema>) -> Self {
+        LogicalPlan { sources, nodes: Vec::new() }
+    }
+
+    /// Appends a node; returns its reference for downstream wiring.
+    pub fn add(&mut self, op: LogicalOp, inputs: Vec<PortRef>) -> PortRef {
+        let arity = match op {
+            LogicalOp::Join { .. } | LogicalOp::Union => 2,
+            _ => 1,
+        };
+        assert_eq!(inputs.len(), arity, "operator arity mismatch");
+        self.nodes.push(LogicalNode { op, inputs });
+        PortRef::Node(self.nodes.len() - 1)
+    }
+
+    /// Output schema of a port.
+    pub fn schema_of(&self, port: PortRef) -> Schema {
+        match port {
+            PortRef::Source(i) => self.sources[i].clone(),
+            PortRef::Node(i) => {
+                let node = &self.nodes[i];
+                match &node.op {
+                    LogicalOp::Filter { .. } => self.schema_of(node.inputs[0]),
+                    LogicalOp::Map { schema, .. } => schema.clone(),
+                    LogicalOp::Join { .. } => {
+                        let l = self.schema_of(node.inputs[0]);
+                        let r = self.schema_of(node.inputs[1]);
+                        l.join(&r, "l", "r")
+                    }
+                    LogicalOp::Aggregate { func, .. } => Schema::new(vec![Attr::new(
+                        format!("{func:?}").to_lowercase(),
+                        AttrKind::Modeled,
+                    )]),
+                    LogicalOp::Union => self.schema_of(node.inputs[0]),
+                }
+            }
+        }
+    }
+
+    /// Nodes that feed no other node — the query outputs.
+    pub fn sinks(&self) -> Vec<usize> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for p in &n.inputs {
+                if let PortRef::Node(i) = p {
+                    consumed[*i] = true;
+                }
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| !consumed[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_math::CmpOp;
+
+    fn src() -> Schema {
+        Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)])
+    }
+
+    #[test]
+    fn wiring_and_sinks() {
+        let mut p = LogicalPlan::new(vec![src(), src()]);
+        let f = p.add(
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(1.0)) },
+            vec![PortRef::Source(0)],
+        );
+        let j = p.add(
+            LogicalOp::Join {
+                window: 1.0,
+                pred: Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::attr_of(1, 0)),
+                on_keys: KeyJoin::Any,
+            },
+            vec![f, PortRef::Source(1)],
+        );
+        assert_eq!(j, PortRef::Node(1));
+        assert_eq!(p.sinks(), vec![1]);
+    }
+
+    #[test]
+    fn schema_propagation() {
+        let mut p = LogicalPlan::new(vec![src(), src()]);
+        let f = p.add(
+            LogicalOp::Filter { pred: Pred::True },
+            vec![PortRef::Source(0)],
+        );
+        assert_eq!(p.schema_of(f), src());
+        let j = p.add(
+            LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Any },
+            vec![f, PortRef::Source(1)],
+        );
+        let js = p.schema_of(j);
+        assert_eq!(js.len(), 4);
+        assert_eq!(js.index_of("l.x"), Some(0));
+        assert_eq!(js.index_of("r.v"), Some(3));
+        let a = p.add(
+            LogicalOp::Aggregate { func: AggFunc::Min, attr: 0, width: 10.0, slide: 2.0, group_by_key: true },
+            vec![j],
+        );
+        let asch = p.schema_of(a);
+        assert_eq!(asch.len(), 1);
+        assert_eq!(asch.index_of("min"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn join_requires_two_inputs() {
+        let mut p = LogicalPlan::new(vec![src()]);
+        p.add(
+            LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Any },
+            vec![PortRef::Source(0)],
+        );
+    }
+
+    #[test]
+    fn count_is_not_continuous() {
+        assert!(!AggFunc::Count.is_continuous());
+        assert!(AggFunc::Sum.is_continuous());
+        assert!(AggFunc::Min.is_continuous());
+    }
+}

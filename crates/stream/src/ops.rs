@@ -1,0 +1,426 @@
+//! Discrete (tuple-at-a-time) operators — the baseline Pulse is compared
+//! against in every experiment.
+//!
+//! These implement the standard stream-processing semantics of the Borealis
+//! prototype the paper measured: filters evaluate the predicate per tuple,
+//! the join is a nested-loops sliding-window join (quadratic in window
+//! population, Fig. 5iii / 7ii), and the windowed aggregate applies one
+//! state increment per open window per tuple (linear in window count,
+//! Fig. 5ii / 7i).
+
+use crate::metrics::OpMetrics;
+use pulse_model::{Expr, Pred, Tuple};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::logical::{AggFunc, KeyJoin};
+
+/// A push-based discrete operator.
+pub trait Operator {
+    /// Processes one tuple arriving on `input`, appending outputs.
+    fn process(&mut self, input: usize, tuple: &Tuple, out: &mut Vec<Tuple>);
+    /// Cost counters.
+    fn metrics(&self) -> OpMetrics;
+    /// End-of-stream: emit whatever state is still pending (e.g. open
+    /// aggregate windows). Default: nothing.
+    fn flush(&mut self, _out: &mut Vec<Tuple>) {}
+}
+
+/// Tuple filter: emits inputs satisfying the predicate.
+pub struct FilterOp {
+    pred: Pred,
+    m: OpMetrics,
+}
+
+impl FilterOp {
+    pub fn new(pred: Pred) -> Self {
+        FilterOp { pred, m: OpMetrics::default() }
+    }
+}
+
+impl Operator for FilterOp {
+    fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.m.items_in += 1;
+        self.m.comparisons += 1;
+        if self.pred.eval(&[tuple], tuple.ts) {
+            self.m.items_out += 1;
+            out.push(tuple.clone());
+        }
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+}
+
+/// Projection: replaces the value vector with the given expressions.
+pub struct MapOp {
+    exprs: Vec<Expr>,
+    m: OpMetrics,
+}
+
+impl MapOp {
+    pub fn new(exprs: Vec<Expr>) -> Self {
+        MapOp { exprs, m: OpMetrics::default() }
+    }
+}
+
+impl Operator for MapOp {
+    fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.m.items_in += 1;
+        self.m.items_out += 1;
+        let values = self.exprs.iter().map(|e| e.eval(&[tuple], tuple.ts)).collect();
+        out.push(Tuple::new(tuple.key, tuple.ts, values));
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+}
+
+/// Nested-loops sliding-window join.
+///
+/// Each side buffers the last `window` seconds; an arriving tuple is
+/// compared against the *entire* opposite buffer, which is what gives the
+/// discrete join its quadratic cost growth with stream rate.
+pub struct JoinOp {
+    window: f64,
+    pred: Pred,
+    on_keys: KeyJoin,
+    left: VecDeque<Tuple>,
+    right: VecDeque<Tuple>,
+    m: OpMetrics,
+}
+
+impl JoinOp {
+    pub fn new(window: f64, pred: Pred, on_keys: KeyJoin) -> Self {
+        JoinOp {
+            window,
+            pred,
+            on_keys,
+            left: VecDeque::new(),
+            right: VecDeque::new(),
+            m: OpMetrics::default(),
+        }
+    }
+
+    fn expire(buf: &mut VecDeque<Tuple>, now: f64, window: f64) {
+        while matches!(buf.front(), Some(t) if t.ts < now - window) {
+            buf.pop_front();
+        }
+    }
+}
+
+impl Operator for JoinOp {
+    fn process(&mut self, input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.m.items_in += 1;
+        Self::expire(&mut self.left, tuple.ts, self.window);
+        Self::expire(&mut self.right, tuple.ts, self.window);
+        let (own, other, from_left) = if input == 0 {
+            (&mut self.left, &self.right, true)
+        } else {
+            (&mut self.right, &self.left, false)
+        };
+        for opp in other {
+            self.m.comparisons += 1;
+            let (l, r) = if from_left { (tuple, opp) } else { (opp, tuple) };
+            if self.on_keys.test(l.key, r.key) && self.pred.eval(&[l, r], tuple.ts) {
+                self.m.items_out += 1;
+                let mut values = l.values.clone();
+                values.extend_from_slice(&r.values);
+                out.push(Tuple::new(self.on_keys.output_key(l.key, r.key), tuple.ts, values));
+            }
+        }
+        own.push_back(tuple.clone());
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+}
+
+/// Union: merges two same-schema streams (pass-through on both ports).
+#[derive(Default)]
+pub struct UnionOp {
+    m: OpMetrics,
+}
+
+impl UnionOp {
+    pub fn new() -> Self {
+        UnionOp::default()
+    }
+}
+
+impl Operator for UnionOp {
+    fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.m.items_in += 1;
+        self.m.items_out += 1;
+        out.push(tuple.clone());
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    acc: f64,
+    count: u64,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        AggState {
+            acc: match func {
+                AggFunc::Min => f64::INFINITY,
+                AggFunc::Max => f64::NEG_INFINITY,
+                _ => 0.0,
+            },
+            count: 0,
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: f64) {
+        self.count += 1;
+        match func {
+            AggFunc::Min => self.acc = self.acc.min(v),
+            AggFunc::Max => self.acc = self.acc.max(v),
+            AggFunc::Sum | AggFunc::Avg => self.acc += v,
+            AggFunc::Count => {}
+        }
+    }
+
+    fn value(&self, func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.acc / self.count as f64
+                }
+            }
+            AggFunc::Count => self.count as f64,
+            _ => self.acc,
+        }
+    }
+}
+
+/// Sliding-window aggregate, grouped by key.
+///
+/// Window `k` spans `[k·slide, k·slide + width)` and closes when the input
+/// timestamp (monotonic watermark) passes its end; the close emits one
+/// tuple per group with `ts` = window end. Every arriving tuple increments
+/// the state of **all** windows containing it — the per-tuple cost the
+/// paper shows to be linear in the window size (Fig. 7i).
+pub struct AggregateOp {
+    func: AggFunc,
+    attr: usize,
+    width: f64,
+    slide: f64,
+    group_by_key: bool,
+    /// window index → (group key → state)
+    open: BTreeMap<i64, HashMap<u64, AggState>>,
+    m: OpMetrics,
+}
+
+impl AggregateOp {
+    pub fn new(func: AggFunc, attr: usize, width: f64, slide: f64, group_by_key: bool) -> Self {
+        assert!(width > 0.0 && slide > 0.0, "window sizes must be positive");
+        AggregateOp {
+            func,
+            attr,
+            width,
+            slide,
+            group_by_key,
+            open: BTreeMap::new(),
+            m: OpMetrics::default(),
+        }
+    }
+
+    /// Index of the first window containing `ts`.
+    fn first_window(&self, ts: f64) -> i64 {
+        ((ts - self.width) / self.slide).floor() as i64 + 1
+    }
+
+    /// Index of the last window containing `ts`.
+    fn last_window(&self, ts: f64) -> i64 {
+        (ts / self.slide).floor() as i64
+    }
+
+    fn close_until(&mut self, ts: f64, out: &mut Vec<Tuple>) {
+        // Windows whose end (k·slide + width) ≤ watermark close now.
+        while let Some((&k, _)) = self.open.first_key_value() {
+            let end = k as f64 * self.slide + self.width;
+            if end > ts {
+                break;
+            }
+            let groups = self.open.remove(&k).unwrap();
+            let mut keys: Vec<u64> = groups.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let st = groups[&key];
+                self.m.items_out += 1;
+                out.push(Tuple::new(key, end, vec![st.value(self.func)]));
+            }
+        }
+    }
+}
+
+impl Operator for AggregateOp {
+    fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.m.items_in += 1;
+        self.close_until(tuple.ts, out);
+        let v = tuple.values[self.attr];
+        let group = if self.group_by_key { tuple.key } else { 0 };
+        let (first, last) = (self.first_window(tuple.ts), self.last_window(tuple.ts));
+        for k in first..=last {
+            self.m.state_updates += 1;
+            self.open
+                .entry(k)
+                .or_default()
+                .entry(group)
+                .or_insert_with(|| AggState::new(self.func))
+                .update(self.func, v);
+        }
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        self.m
+    }
+
+    /// Closes every remaining window (end-of-stream flush).
+    fn flush(&mut self, out: &mut Vec<Tuple>) {
+        self.close_until(f64::INFINITY, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_math::CmpOp;
+
+    fn tup(key: u64, ts: f64, v: f64) -> Tuple {
+        Tuple::new(key, ts, vec![v])
+    }
+
+    #[test]
+    fn filter_passes_and_drops() {
+        let mut f = FilterOp::new(Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(5.0)));
+        let mut out = Vec::new();
+        f.process(0, &tup(0, 0.0, 3.0), &mut out);
+        f.process(0, &tup(0, 1.0, 7.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], 3.0);
+        assert_eq!(f.metrics().items_in, 2);
+        assert_eq!(f.metrics().items_out, 1);
+        assert_eq!(f.metrics().comparisons, 2);
+    }
+
+    #[test]
+    fn map_projects() {
+        let mut m = MapOp::new(vec![Expr::attr(0) * Expr::c(2.0), Expr::c(1.0)]);
+        let mut out = Vec::new();
+        m.process(0, &tup(3, 1.0, 4.0), &mut out);
+        assert_eq!(out[0].values, vec![8.0, 1.0]);
+        assert_eq!(out[0].key, 3);
+    }
+
+    #[test]
+    fn join_matches_within_window() {
+        // Join on equal values, window of 1s.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::attr_of(1, 0));
+        let mut j = JoinOp::new(1.0, pred, KeyJoin::Any);
+        let mut out = Vec::new();
+        j.process(0, &tup(1, 0.0, 42.0), &mut out);
+        assert!(out.is_empty());
+        j.process(1, &tup(2, 0.5, 42.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![42.0, 42.0]);
+        // Non-matching value.
+        j.process(1, &tup(2, 0.6, 7.0), &mut out);
+        assert_eq!(out.len(), 1);
+        // Outside window: left tuple from ts=0 expired by ts=2.
+        j.process(1, &tup(2, 2.0, 42.0), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn join_comparisons_are_quadratic() {
+        let mut j = JoinOp::new(100.0, Pred::False, KeyJoin::Any);
+        let mut out = Vec::new();
+        // n tuples each side, alternating: total comparisons Σ ≈ n²
+        let n = 20;
+        for i in 0..n {
+            j.process(0, &tup(0, i as f64 * 0.001, 0.0), &mut out);
+            j.process(1, &tup(1, i as f64 * 0.001, 0.0), &mut out);
+        }
+        // Left tuple i sees i right tuples; right tuple i sees i+1 left.
+        let expected: u64 = (0..n).map(|i| i + (i + 1)).sum::<usize>() as u64;
+        assert_eq!(j.metrics().comparisons, expected);
+    }
+
+    #[test]
+    fn aggregate_min_tumbling() {
+        // width == slide → tumbling windows [0,10), [10,20), …
+        let mut a = AggregateOp::new(AggFunc::Min, 0, 10.0, 10.0, true);
+        let mut out = Vec::new();
+        a.process(0, &tup(0, 1.0, 5.0), &mut out);
+        a.process(0, &tup(0, 5.0, 3.0), &mut out);
+        a.process(0, &tup(0, 9.0, 4.0), &mut out);
+        assert!(out.is_empty());
+        a.process(0, &tup(0, 10.5, 9.0), &mut out); // closes [0,10)
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], 3.0);
+        assert_eq!(out[0].ts, 10.0);
+        a.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].values[0], 9.0);
+    }
+
+    #[test]
+    fn aggregate_sliding_state_updates_linear_in_windows() {
+        // width 10, slide 2 → each tuple touches 5 windows.
+        let mut a = AggregateOp::new(AggFunc::Sum, 0, 10.0, 2.0, true);
+        let mut out = Vec::new();
+        a.process(0, &tup(0, 20.0, 1.0), &mut out);
+        assert_eq!(a.metrics().state_updates, 5);
+    }
+
+    #[test]
+    fn aggregate_avg_and_groups() {
+        let mut a = AggregateOp::new(AggFunc::Avg, 0, 4.0, 4.0, true);
+        let mut out = Vec::new();
+        a.process(0, &tup(1, 0.0, 2.0), &mut out);
+        a.process(0, &tup(1, 1.0, 4.0), &mut out);
+        a.process(0, &tup(2, 2.0, 10.0), &mut out);
+        a.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        let g1 = out.iter().find(|t| t.key == 1).unwrap();
+        let g2 = out.iter().find(|t| t.key == 2).unwrap();
+        assert_eq!(g1.values[0], 3.0);
+        assert_eq!(g2.values[0], 10.0);
+    }
+
+    #[test]
+    fn aggregate_count() {
+        let mut a = AggregateOp::new(AggFunc::Count, 0, 5.0, 5.0, true);
+        let mut out = Vec::new();
+        for i in 0..7 {
+            a.process(0, &tup(0, i as f64 * 0.5, 1.0), &mut out);
+        }
+        a.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], 7.0);
+    }
+
+    #[test]
+    fn aggregate_window_indexing() {
+        let a = AggregateOp::new(AggFunc::Sum, 0, 10.0, 2.0, true);
+        // ts=20 is inside windows starting at 12..=20 → k in [6, 10].
+        assert_eq!(a.first_window(20.0), 6);
+        assert_eq!(a.last_window(20.0), 10);
+        // ts=0 only window k=0 (k·2 ≤ 0 < k·2+10 → k ∈ {-4..0}) — floor math:
+        assert_eq!(a.first_window(0.0), -4);
+        assert_eq!(a.last_window(0.0), 0);
+    }
+}

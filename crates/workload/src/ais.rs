@@ -1,0 +1,244 @@
+//! Synthetic AIS-style vessel track stream.
+//!
+//! The paper replays U.S. Coast Guard Automatic Identification System data
+//! (vessel positions, March 2006) — not redistributable, so this generator
+//! synthesizes the equivalent: vessels sailing piecewise-constant-velocity
+//! courses, with designated *follower pairs* that stay within a small
+//! separation of their leader (the "following" query's positives) while
+//! the remaining vessels roam independently.
+//!
+//! Schema: `x (modeled), vx (coefficient), y (modeled), vy (coefficient)`
+//! — positions in meters on a local tangent plane, matching the paper's
+//! use of longitude/latitude plus per-axis velocities.
+
+use pulse_model::{AttrKind, Expr, ModelSpec, Schema, StreamModel, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct AisConfig {
+    /// Number of vessels (keys).
+    pub vessels: usize,
+    /// Number of follower pairs among them (each pair uses two vessels).
+    pub follower_pairs: usize,
+    /// Aggregate position reports per second.
+    pub rate: f64,
+    /// Seconds between course changes.
+    pub course_duration: f64,
+    /// Typical follower separation in meters (well under the query's
+    /// 1000 m threshold).
+    pub follow_distance: f64,
+    /// Observation noise in meters.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AisConfig {
+    fn default() -> Self {
+        AisConfig {
+            vessels: 20,
+            follower_pairs: 2,
+            rate: 200.0,
+            course_duration: 60.0,
+            follow_distance: 300.0,
+            noise: 0.0,
+            seed: 11,
+        }
+    }
+}
+
+/// Vessel track schema (same shape as the moving-object schema).
+pub fn schema() -> Schema {
+    Schema::of(&[
+        ("x", AttrKind::Modeled),
+        ("vx", AttrKind::Coefficient),
+        ("y", AttrKind::Modeled),
+        ("vy", AttrKind::Coefficient),
+    ])
+}
+
+/// Linear position MODEL clause for vessel tracks.
+pub fn stream_model() -> StreamModel {
+    StreamModel::new(
+        schema(),
+        vec![
+            ModelSpec::new(0, Expr::attr(0) + Expr::attr(1) * Expr::Time),
+            ModelSpec::new(2, Expr::attr(2) + Expr::attr(3) * Expr::Time),
+        ],
+    )
+    .expect("static model spec")
+}
+
+struct Vessel {
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+    next_turn: f64,
+    /// Index of the leader this vessel shadows, if any.
+    follows: Option<usize>,
+}
+
+/// Deterministic vessel-track generator.
+pub struct AisGen {
+    cfg: AisConfig,
+    rng: StdRng,
+    vessels: Vec<Vessel>,
+}
+
+impl AisGen {
+    pub fn new(cfg: AisConfig) -> Self {
+        assert!(cfg.follower_pairs * 2 <= cfg.vessels, "not enough vessels for pairs");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut vessels: Vec<Vessel> = (0..cfg.vessels)
+            .map(|_| Vessel {
+                x: rng.gen_range(-50_000.0..50_000.0),
+                y: rng.gen_range(-50_000.0..50_000.0),
+                vx: rng.gen_range(-10.0..10.0),
+                vy: rng.gen_range(-10.0..10.0),
+                next_turn: cfg.course_duration,
+                follows: None,
+            })
+            .collect();
+        // Vessels 2k+1 follow vessels 2k for the first `follower_pairs` pairs.
+        for pair in 0..cfg.follower_pairs {
+            let leader = 2 * pair;
+            let follower = 2 * pair + 1;
+            let (lx, ly) = (vessels[leader].x, vessels[leader].y);
+            let v = &mut vessels[follower];
+            v.follows = Some(leader);
+            v.x = lx + cfg.follow_distance;
+            v.y = ly;
+        }
+        AisGen { cfg, rng, vessels }
+    }
+
+    /// Generates position reports over `[0, duration)`, time-ordered,
+    /// round-robin across vessels at the aggregate rate.
+    pub fn generate(&mut self, duration: f64) -> Vec<Tuple> {
+        let n = (duration * self.cfg.rate).round() as usize;
+        let dt_report = 1.0 / self.cfg.rate;
+        // Per-vessel simulation step = time between its own reports.
+        let dt_vessel = dt_report * self.cfg.vessels as f64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let ts = i as f64 * dt_report;
+            let key = i % self.cfg.vessels;
+            if ts >= self.vessels[key].next_turn {
+                match self.vessels[key].follows {
+                    Some(leader) => {
+                        // Followers copy the leader's course.
+                        let (vx, vy) = (self.vessels[leader].vx, self.vessels[leader].vy);
+                        let v = &mut self.vessels[key];
+                        v.vx = vx;
+                        v.vy = vy;
+                    }
+                    None => {
+                        let (vx, vy) = (
+                            self.rng.gen_range(-10.0..10.0),
+                            self.rng.gen_range(-10.0..10.0),
+                        );
+                        let v = &mut self.vessels[key];
+                        v.vx = vx;
+                        v.vy = vy;
+                    }
+                }
+                self.vessels[key].next_turn += self.cfg.course_duration;
+            }
+            let (nx, ny) = if self.cfg.noise > 0.0 {
+                (
+                    self.rng.gen_range(-self.cfg.noise..self.cfg.noise),
+                    self.rng.gen_range(-self.cfg.noise..self.cfg.noise),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            let v = &self.vessels[key];
+            out.push(Tuple::new(key as u64, ts, vec![v.x + nx, v.vx, v.y + ny, v.vy]));
+            let v = &mut self.vessels[key];
+            v.x += v.vx * dt_vessel;
+            v.y += v.vy * dt_vessel;
+        }
+        out
+    }
+
+    /// The designated follower pairs `(leader, follower)`.
+    pub fn follower_pairs(&self) -> Vec<(u64, u64)> {
+        (0..self.cfg.follower_pairs)
+            .map(|p| (2 * p as u64, 2 * p as u64 + 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_ordered() {
+        let cfg = AisConfig { rate: 50.0, ..Default::default() };
+        let a = AisGen::new(cfg.clone()).generate(2.0);
+        let b = AisGen::new(cfg).generate(2.0);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn followers_stay_close() {
+        let cfg = AisConfig {
+            vessels: 6,
+            follower_pairs: 1,
+            rate: 60.0,
+            course_duration: 20.0,
+            follow_distance: 300.0,
+            noise: 0.0,
+            ..Default::default()
+        };
+        let gen = AisGen::new(cfg.clone());
+        let pairs = gen.follower_pairs();
+        assert_eq!(pairs, vec![(0, 1)]);
+        let mut gen = gen;
+        let tuples = gen.generate(120.0);
+        // Sample separations between leader 0 and follower 1 late in the run.
+        let leader: Vec<&Tuple> = tuples.iter().filter(|t| t.key == 0).collect();
+        let follower: Vec<&Tuple> = tuples.iter().filter(|t| t.key == 1).collect();
+        let n = leader.len().min(follower.len());
+        for i in (n / 2)..n {
+            let dx = leader[i].values[0] - follower[i].values[0];
+            let dy = leader[i].values[2] - follower[i].values[2];
+            let d = (dx * dx + dy * dy).sqrt();
+            assert!(d < 1000.0, "follower drifted to {d} m at sample {i}");
+        }
+    }
+
+    #[test]
+    fn non_followers_roam() {
+        let cfg = AisConfig {
+            vessels: 4,
+            follower_pairs: 0,
+            rate: 40.0,
+            course_duration: 10.0,
+            ..Default::default()
+        };
+        let tuples = AisGen::new(cfg).generate(60.0);
+        // With independent random courses, vessels 2 and 3 should not stay
+        // within the follower threshold the whole time.
+        let a: Vec<&Tuple> = tuples.iter().filter(|t| t.key == 2).collect();
+        let b: Vec<&Tuple> = tuples.iter().filter(|t| t.key == 3).collect();
+        let n = a.len().min(b.len());
+        let far = (0..n).any(|i| {
+            let dx = a[i].values[0] - b[i].values[0];
+            let dy = a[i].values[2] - b[i].values[2];
+            dx * dx + dy * dy > 1000.0 * 1000.0
+        });
+        assert!(far, "independent vessels should separate");
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough vessels")]
+    fn pair_capacity_checked() {
+        AisGen::new(AisConfig { vessels: 3, follower_pairs: 2, ..Default::default() });
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload generators for the Pulse experiments (§V).
+//!
+//! * [`moving`] — the synthetic moving-object generator behind the
+//!   microbenchmarks (Fig. 5, 7, 8), with the tuples-per-segment model-fit
+//!   knob;
+//! * [`nyse`] — synthetic NYSE-style trade prices (stand-in for the TAQ3
+//!   dataset of Fig. 9i/9iii, which is licensed);
+//! * [`ais`] — synthetic vessel tracks with follower pairs (stand-in for
+//!   the USCG AIS dataset of Fig. 9ii);
+//! * [`replay`] — offered-rate sweeps and the capacity/queueing model that
+//!   converts measured processing cost into the paper's throughput curves.
+
+pub mod ais;
+pub mod moving;
+pub mod nyse;
+pub mod replay;
+
+pub use ais::{AisConfig, AisGen};
+pub use moving::{MovingConfig, MovingObjectGen};
+pub use nyse::{NyseConfig, NyseGen};
+pub use replay::{capacity_from_run, replay_at, sweep, ReplayPoint};

@@ -1,0 +1,96 @@
+//! Rate-controlled replay and capacity/queueing simulation.
+//!
+//! The paper's throughput figures replay fixed workloads at increasing
+//! offered rates and watch throughput "tail off" as the engine saturates
+//! and queues grow (§V). Rather than wall-clock sleeping, this module
+//! measures the engine's *capacity* (items per second of pure processing)
+//! and converts offered rates into achieved throughput and queueing delay
+//! with a standard single-server queue model — deterministic, fast, and
+//! reproducing the same curve shapes.
+
+/// Result of replaying a workload at one offered rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayPoint {
+    /// Offered arrival rate (items/s).
+    pub offered: f64,
+    /// Achieved throughput (items/s): `min(offered, capacity)`.
+    pub throughput: f64,
+    /// Mean queueing + service latency (seconds); grows without bound past
+    /// saturation, mirroring the paper's "system is no longer stable".
+    pub latency: f64,
+    /// Whether the system saturated at this rate.
+    pub saturated: bool,
+}
+
+/// Converts a measured capacity into the achieved-throughput curve point
+/// for one offered rate, using M/D/1 waiting time below saturation.
+pub fn replay_at(offered: f64, capacity: f64) -> ReplayPoint {
+    assert!(offered > 0.0 && capacity > 0.0);
+    let service = 1.0 / capacity;
+    if offered >= capacity {
+        return ReplayPoint {
+            offered,
+            throughput: capacity,
+            latency: f64::INFINITY,
+            saturated: true,
+        };
+    }
+    let rho = offered / capacity;
+    // M/D/1 mean wait: ρ/(2(1−ρ)) · s, plus the service time itself.
+    let latency = service * (1.0 + rho / (2.0 * (1.0 - rho)));
+    ReplayPoint { offered, throughput: offered, latency, saturated: false }
+}
+
+/// Measures capacity from a timed run: items processed / busy seconds.
+pub fn capacity_from_run(items: u64, busy_secs: f64) -> f64 {
+    assert!(busy_secs > 0.0, "cannot derive capacity from a zero-time run");
+    items as f64 / busy_secs
+}
+
+/// Sweeps offered rates against a fixed capacity (one throughput curve).
+pub fn sweep(rates: &[f64], capacity: f64) -> Vec<ReplayPoint> {
+    rates.iter().map(|&r| replay_at(r, capacity)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_capacity_keeps_up() {
+        let p = replay_at(100.0, 1000.0);
+        assert_eq!(p.throughput, 100.0);
+        assert!(!p.saturated);
+        assert!(p.latency < 0.0012, "{}", p.latency);
+    }
+
+    #[test]
+    fn saturation_caps_throughput() {
+        let p = replay_at(5000.0, 1000.0);
+        assert_eq!(p.throughput, 1000.0);
+        assert!(p.saturated);
+        assert!(p.latency.is_infinite());
+    }
+
+    #[test]
+    fn latency_grows_toward_saturation() {
+        let l1 = replay_at(500.0, 1000.0).latency;
+        let l2 = replay_at(900.0, 1000.0).latency;
+        let l3 = replay_at(990.0, 1000.0).latency;
+        assert!(l1 < l2 && l2 < l3, "{l1} {l2} {l3}");
+    }
+
+    #[test]
+    fn capacity_measurement() {
+        assert_eq!(capacity_from_run(5000, 2.5), 2000.0);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let pts = sweep(&[100.0, 500.0, 1500.0], 1000.0);
+        assert_eq!(pts.len(), 3);
+        assert!(!pts[0].saturated && !pts[1].saturated && pts[2].saturated);
+        // Throughput is monotone non-decreasing and capped.
+        assert!(pts[2].throughput <= 1000.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's introductory query: collision detection between moving
+//! objects.
+//!
+//! ```sql
+//! select from objects R join objects S on (R.id <> S.id)
+//! where abs(distance(R.x, R.y, S.x, S.y)) < c
+//! ```
+//!
+//! A standard stream processor compares every pair of position samples;
+//! Pulse solves the trajectory models analytically and reports the exact
+//! time window of each close approach.
+//!
+//! Run with: `cargo run --release --example collision_detection`
+
+use pulse::core::CPlan;
+use pulse::math::{CmpOp, Poly, Span};
+use pulse::model::{Expr, Pred, Segment};
+use pulse::stream::{KeyJoin, LogicalOp, LogicalPlan, PortRef};
+use pulse::workload::moving;
+
+fn main() {
+    const THRESHOLD: f64 = 10.0;
+
+    // Two objects on crossing straight-line courses.
+    let a = Segment::new(
+        1,
+        Span::new(0.0, 60.0),
+        vec![Poly::linear(-100.0, 4.0), Poly::linear(0.0, 0.0)], // x: -100+4t, y: 0
+        Vec::new(),
+    );
+    let b = Segment::new(
+        2,
+        Span::new(0.0, 60.0),
+        vec![Poly::linear(100.0, -4.0), Poly::linear(2.0, 0.0)], // x: 100-4t, y: 2
+        Vec::new(),
+    );
+
+    // distance² < c² — the polynomial form of abs(distance(..)) < c.
+    let dist2 = Expr::dist2(
+        Expr::attr_of(0, 0),
+        Expr::attr_of(0, 2),
+        Expr::attr_of(1, 0),
+        Expr::attr_of(1, 2),
+    );
+    let mut query = LogicalPlan::new(vec![moving::schema(), moving::schema()]);
+    query.add(
+        LogicalOp::Join {
+            window: 120.0,
+            pred: Pred::cmp(dist2, CmpOp::Lt, Expr::c(THRESHOLD * THRESHOLD)),
+            on_keys: KeyJoin::Ne,
+        },
+        vec![PortRef::Source(0), PortRef::Source(1)],
+    );
+
+    let mut plan = CPlan::compile(&query).expect("collision query transforms");
+    let mut results = plan.push(0, &a);
+    results.extend(plan.push(1, &b));
+
+    println!("objects: 1 at x=-100+4t, 2 at x=100-4t (y offset 2 m)");
+    println!("threshold: {THRESHOLD} m\n");
+    match results.first() {
+        Some(hit) => {
+            println!(
+                "collision window: [{:.3}, {:.3}) s (found by solving one quadratic)",
+                hit.span.lo, hit.span.hi
+            );
+            // Closed form: |Δx| = |200 − 8t|, distance² = Δx² + 4 < 100 ⇔
+            // |200−8t| < √96 ⇔ t ∈ (25 − √96/8, 25 + √96/8).
+            let half = 96f64.sqrt() / 8.0;
+            println!("analytic answer:  [{:.3}, {:.3}) s", 25.0 - half, 25.0 + half);
+            assert!((hit.span.lo - (25.0 - half)).abs() < 1e-6);
+            assert!((hit.span.hi - (25.0 + half)).abs() < 1e-6);
+            println!("\nequation systems solved: {}", plan.metrics().systems_solved);
+            println!(
+                "a discrete engine sampling at 10 Hz would have compared ~{} tuple pairs",
+                (60.0 * 10.0 * 60.0 * 10.0) as u64
+            );
+        }
+        None => println!("no collision detected (unexpected for these courses)"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Online predictive processing (§II-A, §IV): Pulse precomputes query
+//! results from MODEL-clause trajectories and only re-runs the solver when
+//! validation detects the world diverging from the models.
+//!
+//! This example sweeps the accuracy bound on a noisy moving-object stream
+//! and reports the paper's central tradeoff: tighter bounds mean more
+//! violations, more solving, less suppression.
+//!
+//! Run with: `cargo run --release --example predictive_dashboard`
+
+use pulse::core::{PulseRuntime, RuntimeConfig};
+use pulse::math::CmpOp;
+use pulse::model::{Expr, Pred};
+use pulse::stream::{LogicalOp, LogicalPlan, PortRef};
+use pulse::workload::{moving, MovingConfig, MovingObjectGen};
+
+fn main() {
+    // Noisy observations of 5 objects: the MODEL clause x+v·t is right on
+    // average, but every sample wobbles by up to ±0.4.
+    let cfg = MovingConfig {
+        objects: 5,
+        sample_dt: 0.05,
+        leg_duration: 8.0,
+        noise: 0.4,
+        seed: 17,
+        ..Default::default()
+    };
+    let tuples = MovingObjectGen::new(cfg).generate(120.0);
+    println!("{} noisy position reports (±0.4 m observation noise)\n", tuples.len());
+
+    // Geofence alert: objects entering x > 50.
+    let mut query = LogicalPlan::new(vec![moving::schema()]);
+    query.add(
+        LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(50.0)) },
+        vec![PortRef::Source(0)],
+    );
+
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>12}  {:>10}",
+        "bound", "suppressed", "violations", "models solved", "alerts"
+    );
+    for bound in [5.0, 2.0, 1.0, 0.5, 0.25] {
+        let mut rt = PulseRuntime::new(
+            vec![moving::stream_model()],
+            &query,
+            RuntimeConfig { horizon: 8.0, bound, ..Default::default() },
+        )
+        .expect("filter transforms");
+        let mut alerts = 0;
+        for t in &tuples {
+            alerts += rt.on_tuple(0, t).len();
+        }
+        let s = rt.stats();
+        println!(
+            "{:>7}m  {:>10}  {:>10}  {:>12}  {:>10}",
+            bound, s.suppressed, s.violations, s.segments_pushed, alerts
+        );
+    }
+    println!(
+        "\nLoose bounds absorb the noise (validation-only fast path); tight bounds\n\
+         force re-modeling — the exact efficiency/accuracy dial of Fig. 9iii."
+    );
+}

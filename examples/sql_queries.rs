@@ -1,0 +1,132 @@
+//! The paper's queries, written in the query language and executed on both
+//! engines — the full front-to-back pipeline: text → logical plan →
+//! discrete plan AND equation systems.
+//!
+//! Run with: `cargo run --release --example sql_queries`
+
+use pulse::core::{CPlan, PulseRuntime, RuntimeConfig, Sampler};
+use pulse::model::{AttrKind, Schema};
+use pulse::sql::{parse_query, Catalog};
+use pulse::stream::Plan;
+use pulse::workload::{MovingConfig, MovingObjectGen, NyseConfig, NyseGen};
+
+fn catalog() -> Catalog {
+    Catalog::new()
+        .stream(
+            "trades",
+            Schema::of(&[("price", AttrKind::Modeled), ("qty", AttrKind::Unmodeled)]),
+            Some("symbol"),
+        )
+        .stream(
+            "objects",
+            Schema::of(&[
+                ("x", AttrKind::Modeled),
+                ("vx", AttrKind::Coefficient),
+                ("y", AttrKind::Modeled),
+                ("vy", AttrKind::Coefficient),
+            ]),
+            Some("id"),
+        )
+}
+
+fn main() {
+    let catalog = catalog();
+
+    // --- Query 1: geofence filter with a MODEL clause (Fig. 1 style) ---
+    let q1 = "select * from objects \
+              model x = x + vx * t, y = y + vy * t \
+              where x > 50 \
+              error within 1 % sample rate 10";
+    println!("Q1:\n  {q1}\n");
+    let compiled = parse_query(q1, &catalog).expect("Q1 compiles");
+    println!(
+        "  plan: {} operators, error bound {:?}, sample rate {:?}",
+        compiled.plan.nodes.len(),
+        compiled.error_within,
+        compiled.sample_rate
+    );
+    // Predictive execution straight from the compiled MODEL clause.
+    let model = compiled.models[0].clone().expect("MODEL clause present");
+    let mut rt = PulseRuntime::new(
+        vec![model],
+        &compiled.plan,
+        RuntimeConfig { horizon: 10.0, bound: 1.0, ..Default::default() },
+    )
+    .expect("transforms");
+    let tuples = MovingObjectGen::new(MovingConfig {
+        objects: 5,
+        sample_dt: 0.1,
+        leg_duration: 10.0,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate(60.0);
+    let mut alert_segments = Vec::new();
+    for t in &tuples {
+        alert_segments.extend(rt.on_tuple(0, t));
+    }
+    let stats = rt.stats();
+    println!(
+        "  {} tuples → {} alert segments ({} suppressed, {} models solved)",
+        stats.tuples_in,
+        alert_segments.len(),
+        stats.suppressed,
+        stats.segments_pushed
+    );
+    let alerts = Sampler::new(compiled.sample_rate.unwrap()).sample(&alert_segments);
+    println!("  sampled alerts at the requested rate: {}\n", alerts.len());
+
+    // --- Query 2: MACD, identical text on both engines ---
+    let q2 = "select symbol, s.ap - l.ap as diff \
+              from (select symbol, avg(price) as ap from trades [size 10 advance 2]) as s \
+              join (select symbol, avg(price) as ap from trades [size 60 advance 2]) as l \
+              on (s.symbol = l.symbol) within 2 \
+              where s.ap > l.ap \
+              error within 1 %";
+    println!("Q2 (MACD):\n  {}\n", q2.replace(" \\\n", "\n  "));
+    let compiled = parse_query(q2, &catalog).expect("Q2 compiles");
+    let trades = NyseGen::new(NyseConfig {
+        symbols: 4,
+        rate: 400.0,
+        drift_duration: 15.0,
+        ..Default::default()
+    })
+    .generate(150.0);
+
+    let mut discrete = Plan::compile(&compiled.plan);
+    let mut disc_signals = Vec::new();
+    for t in &trades {
+        disc_signals.extend(discrete.push(0, t));
+    }
+    disc_signals.extend(discrete.finish());
+    println!("  discrete engine: {} signals", disc_signals.len());
+
+    let mut continuous = CPlan::compile(&compiled.plan).expect("continuous transform");
+    // Historical-style run over fitted segments.
+    let mean_price = trades.iter().map(|t| t.values[0]).sum::<f64>() / trades.len() as f64;
+    let mut fitter = pulse::model::StreamFitter::new(
+        pulse::model::FitConfig {
+            max_error: compiled.error_within.unwrap() * mean_price,
+            check: pulse::model::CheckMode::NewPoint,
+            ..Default::default()
+        },
+        vec![0],
+    );
+    let mut segs = Vec::new();
+    for t in &trades {
+        segs.extend(fitter.push(t));
+    }
+    segs.extend(fitter.finish());
+    segs.sort_by(|a, b| a.span.lo.partial_cmp(&b.span.lo).unwrap());
+    let mut cont_signals = Vec::new();
+    for s in &segs {
+        cont_signals.extend(continuous.push(0, s));
+    }
+    println!(
+        "  pulse (historical): {} trades → {} segments → {} signal segments, {} systems solved",
+        trades.len(),
+        segs.len(),
+        cont_signals.len(),
+        continuous.metrics().systems_solved
+    );
+}

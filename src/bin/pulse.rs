@@ -1,0 +1,256 @@
+//! `pulse` — command-line front end for the Pulse stream processor.
+//!
+//! Runs a query (from a file or inline) against one of the built-in
+//! workloads on either engine:
+//!
+//! ```text
+//! pulse run --query 'select * from objects where x > 50 sample rate 5' \
+//!           --workload moving --mode predictive --duration 60
+//! pulse run --query macd.sql --workload nyse --mode discrete
+//! pulse catalog                  # show the built-in streams
+//! ```
+//!
+//! Modes: `discrete` (tuple engine), `predictive` (Pulse online, MODEL
+//! clause or adaptive linear models + validation), `historical` (fit once,
+//! query segments).
+
+use pulse::core::runtime::Predictor;
+use pulse::core::{HistoricalStore, PulseRuntime, RuntimeConfig, Sampler};
+use pulse::model::{AttrKind, CheckMode, FitConfig, Schema, Tuple};
+use pulse::sql::{parse_query, Catalog, Compiled};
+use pulse::stream::Plan;
+use pulse::workload::{
+    ais, moving, AisConfig, AisGen, MovingConfig, MovingObjectGen, NyseConfig, NyseGen,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn catalog() -> Catalog {
+    Catalog::new()
+        .stream(
+            "trades",
+            Schema::of(&[("price", AttrKind::Modeled), ("qty", AttrKind::Unmodeled)]),
+            Some("symbol"),
+        )
+        .stream("vessels", ais::schema(), Some("id"))
+        .stream("objects", moving::schema(), Some("id"))
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let val = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_string(), val.clone());
+                i += 2;
+            } else {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: not a number: {v}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "pulse — continuous-time query processing via simultaneous equation systems\n\
+     \n\
+     USAGE:\n\
+       pulse run --query <sql-or-file> --workload <moving|nyse|ais>\n\
+                 [--mode discrete|predictive|historical]  (default: predictive)\n\
+                 [--duration <secs>]                      (default: 60)\n\
+                 [--horizon <secs>]                       (default: 10)\n\
+                 [--limit <n>]                            (default: 10 result rows shown)\n\
+                 [--explain yes]                           (print the plan, don't run)\n\
+       pulse catalog\n\
+     \n\
+     The query language supports SELECT blocks with [size w advance s]\n\
+     windows, joins with ON (...) WITHIN w, MODEL clauses, GROUP BY,\n\
+     HAVING, ERROR WITHIN x%, and SAMPLE RATE r. See README.md."
+}
+
+fn load_workload(name: &str, duration: f64) -> Result<Vec<Tuple>, String> {
+    Ok(match name {
+        "moving" => MovingObjectGen::new(MovingConfig {
+            objects: 10,
+            sample_dt: 0.05,
+            leg_duration: 10.0,
+            noise: 0.1,
+            ..Default::default()
+        })
+        .generate(duration),
+        "nyse" => NyseGen::new(NyseConfig { rate: 2000.0, symbols: 10, ..Default::default() })
+            .generate(duration),
+        "ais" => AisGen::new(AisConfig {
+            vessels: 12,
+            follower_pairs: 2,
+            rate: 120.0,
+            noise: 2.0,
+            ..Default::default()
+        })
+        .generate(duration),
+        other => return Err(format!("unknown workload `{other}` (moving|nyse|ais)")),
+    })
+}
+
+fn print_tuples(tuples: &[Tuple], limit: usize) {
+    for t in tuples.iter().take(limit) {
+        let vals: Vec<String> = t.values.iter().map(|v| format!("{v:.4}")).collect();
+        println!("  t={:9.3}  key={:<6} [{}]", t.ts, t.key, vals.join(", "));
+    }
+    if tuples.len() > limit {
+        println!("  … {} more", tuples.len() - limit);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let query_arg = args.get("query").ok_or("--query is required")?;
+    let query_text = if std::path::Path::new(query_arg).exists() {
+        std::fs::read_to_string(query_arg).map_err(|e| format!("reading {query_arg}: {e}"))?
+    } else {
+        query_arg.to_string()
+    };
+    let workload = args.get("workload").ok_or("--workload is required")?;
+    let mode = args.get("mode").unwrap_or("predictive");
+    let duration = args.get_f64("duration", 60.0)?;
+    let horizon = args.get_f64("horizon", 10.0)?;
+    let limit = args.get_f64("limit", 10.0)? as usize;
+
+    let compiled: Compiled =
+        parse_query(&query_text, &catalog()).map_err(|e| e.to_string())?;
+    if args.get("explain").is_some() {
+        print!("{}", pulse::stream::explain(&compiled.plan));
+        return Ok(());
+    }
+    let tuples = load_workload(workload, duration)?;
+    println!(
+        "query compiled: {} operators | workload `{workload}`: {} tuples over {duration}s",
+        compiled.plan.nodes.len(),
+        tuples.len()
+    );
+    let mean_val =
+        tuples.iter().map(|t| t.values[0].abs()).sum::<f64>() / tuples.len().max(1) as f64;
+    let bound = compiled.error_within.unwrap_or(0.01) * mean_val;
+    let sample_rate = compiled.sample_rate.unwrap_or(1.0);
+
+    let start = std::time::Instant::now();
+    match mode {
+        "discrete" => {
+            let mut plan = Plan::compile(&compiled.plan);
+            let mut out = Vec::new();
+            for t in &tuples {
+                out.extend(plan.push(0, t));
+            }
+            out.extend(plan.finish());
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "discrete: {} outputs in {:.1} ms ({:.0} tuples/s, {} work units)",
+                out.len(),
+                secs * 1e3,
+                tuples.len() as f64 / secs,
+                plan.metrics().work()
+            );
+            print_tuples(&out, limit);
+        }
+        "predictive" => {
+            let predictor = match compiled.models[0].clone() {
+                Some(sm) => Predictor::Clause(sm),
+                None => {
+                    println!("(no MODEL clause — using adaptive linear models)");
+                    Predictor::AdaptiveLinear(compiled.plan.sources[0].clone())
+                }
+            };
+            let cfg = RuntimeConfig { horizon, bound, ..Default::default() };
+            let mut rt = PulseRuntime::with_predictors(vec![predictor], &compiled.plan, cfg)
+                .map_err(|e| e.to_string())?;
+            let mut segs = Vec::new();
+            for t in &tuples {
+                segs.extend(rt.on_tuple(0, t));
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let s = rt.stats();
+            println!(
+                "pulse predictive: {} result segments in {:.1} ms ({:.0} tuples/s)",
+                segs.len(),
+                secs * 1e3,
+                tuples.len() as f64 / secs
+            );
+            println!(
+                "  validation: {}/{} suppressed, {} violations, {} models solved, bound ±{bound:.4}",
+                s.suppressed, s.tuples_in, s.violations, s.segments_pushed
+            );
+            let sampled = Sampler::new(sample_rate).sample(&segs);
+            println!("  sampled at {sample_rate}/s: {} tuples", sampled.len());
+            print_tuples(&sampled, limit);
+        }
+        "historical" => {
+            let fit =
+                FitConfig { max_error: bound, check: CheckMode::NewPoint, ..Default::default() };
+            let modeled = compiled.plan.sources[0].modeled_indices();
+            let store = HistoricalStore::build(&tuples, fit, modeled);
+            println!(
+                "modeled: {} segments ({:.0} tuples/segment)",
+                store.segments().len(),
+                store.compression()
+            );
+            let out = store.run(&compiled.plan).map_err(|e| e.to_string())?;
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "historical: {} result segments in {:.1} ms ({:.0} tuples/s incl. fitting)",
+                out.len(),
+                secs * 1e3,
+                tuples.len() as f64 / secs
+            );
+            let sampled = Sampler::new(sample_rate).sample(&out);
+            println!("  sampled at {sample_rate}/s: {} tuples", sampled.len());
+            print_tuples(&sampled, limit);
+        }
+        other => return Err(format!("unknown mode `{other}` (discrete|predictive|historical)")),
+    }
+    Ok(())
+}
+
+fn show_catalog() {
+    println!("built-in streams:");
+    println!("  trades  (key: symbol)  price (modeled), qty (unmodeled)   — workload `nyse`");
+    println!("  vessels (key: id)      x, y (modeled), vx, vy (coeff)     — workload `ais`");
+    println!("  objects (key: id)      x, y (modeled), vx, vy (coeff)     — workload `moving`");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("run") => match Args::parse(&argv[1..]).and_then(|a| run(&a)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+        Some("catalog") => {
+            show_catalog();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            println!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

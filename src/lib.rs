@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the Pulse workspace.
+pub use pulse_core as core;
+pub use pulse_math as math;
+pub use pulse_model as model;
+pub use pulse_sql as sql;
+pub use pulse_stream as stream;
+pub use pulse_workload as workload;

@@ -1,0 +1,168 @@
+//! End-to-end pipeline tests: the paper's two macro queries through both
+//! engines, checking that Pulse's predictive path produces signals that
+//! agree with the discrete reference.
+
+use pulse::core::runtime::Predictor;
+use pulse::core::{PulseRuntime, RuntimeConfig, Sampler};
+use pulse::math::CmpOp;
+use pulse::model::{AttrKind, Expr, Pred, Schema};
+use pulse::stream::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, Plan, PortRef};
+use pulse::workload::{ais, nyse, AisConfig, AisGen, NyseConfig, NyseGen};
+
+fn macd(short: f64, long: f64, slide: f64) -> LogicalPlan {
+    let mut lp = LogicalPlan::new(vec![nyse::schema()]);
+    let s = lp.add(
+        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: short, slide, group_by_key: true },
+        vec![PortRef::Source(0)],
+    );
+    let l = lp.add(
+        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: long, slide, group_by_key: true },
+        vec![PortRef::Source(0)],
+    );
+    let j = lp.add(
+        LogicalOp::Join {
+            window: slide,
+            pred: Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::attr_of(1, 0)),
+            on_keys: KeyJoin::Eq,
+        },
+        vec![s, l],
+    );
+    lp.add(
+        LogicalOp::Map {
+            exprs: vec![Expr::attr(0) - Expr::attr(1)],
+            schema: Schema::of(&[("diff", AttrKind::Modeled)]),
+        },
+        vec![j],
+    );
+    lp
+}
+
+#[test]
+fn macd_signals_agree_between_engines() {
+    let query = macd(5.0, 20.0, 2.0);
+    let trades = NyseGen::new(NyseConfig {
+        symbols: 3,
+        rate: 300.0,
+        drift_duration: 15.0,
+        tick_noise: 0.0001,
+        seed: 12,
+    })
+    .generate(80.0);
+
+    // Discrete reference: per-symbol set of signal window-closes.
+    let mut discrete = Plan::compile(&query);
+    let mut disc = Vec::new();
+    for t in &trades {
+        disc.extend(discrete.push(0, t));
+    }
+    disc.extend(discrete.finish());
+    let disc_set: std::collections::HashSet<(u64, i64)> =
+        disc.iter().map(|t| (t.key, t.ts.round() as i64)).collect();
+
+    // Pulse predictive.
+    let mean_price = trades.iter().map(|t| t.values[0]).sum::<f64>() / trades.len() as f64;
+    let mut rt = PulseRuntime::with_predictors(
+        vec![Predictor::AdaptiveLinear(nyse::schema())],
+        &query,
+        RuntimeConfig { horizon: 4.0, bound: 0.01 * mean_price, ..Default::default() },
+    )
+    .unwrap();
+    let mut segs = Vec::new();
+    for t in &trades {
+        segs.extend(rt.on_tuple(0, t));
+    }
+    let sampled = Sampler::from_slide(2.0).sample(&segs);
+    assert!(!sampled.is_empty(), "pulse must produce MACD signals");
+    assert!(!disc_set.is_empty(), "discrete must produce MACD signals");
+
+    // Majority of Pulse signals should coincide with discrete signals
+    // (±1 close, since window alignment differs by at most one slide).
+    let mut matched = 0;
+    for s in &sampled {
+        let t = s.ts.round() as i64;
+        if (-2..=2).any(|d| disc_set.contains(&(s.key, t + d))) {
+            matched += 1;
+        }
+    }
+    let frac = matched as f64 / sampled.len() as f64;
+    assert!(frac > 0.7, "only {frac:.2} of pulse signals match discrete");
+    // Spreads must be positive (predicate S.ap > L.ap held).
+    assert!(sampled.iter().all(|s| s.values[0] > -1e-6));
+}
+
+#[test]
+fn following_query_detects_planted_pairs_in_both_engines() {
+    let cfg = AisConfig {
+        vessels: 8,
+        follower_pairs: 1,
+        rate: 80.0,
+        course_duration: 40.0,
+        follow_distance: 200.0,
+        noise: 0.0,
+        seed: 2,
+    };
+    let truth = AisGen::new(cfg.clone()).follower_pairs();
+    let reports = AisGen::new(cfg).generate(150.0);
+
+    let mut lp = LogicalPlan::new(vec![ais::schema()]);
+    let j = lp.add(
+        LogicalOp::Join { window: 5.0, pred: Pred::True, on_keys: KeyJoin::Ne },
+        vec![PortRef::Source(0), PortRef::Source(0)],
+    );
+    let d = lp.add(
+        LogicalOp::Map {
+            exprs: vec![Expr::dist2(Expr::attr(0), Expr::attr(2), Expr::attr(4), Expr::attr(6))],
+            schema: Schema::of(&[("dist2", AttrKind::Modeled)]),
+        },
+        vec![j],
+    );
+    let a = lp.add(
+        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 60.0, slide: 10.0, group_by_key: true },
+        vec![d],
+    );
+    lp.add(
+        LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(1000.0 * 1000.0)) },
+        vec![a],
+    );
+
+    // Discrete.
+    let mut discrete = Plan::compile(&lp);
+    let mut disc = Vec::new();
+    for r in &reports {
+        disc.extend(discrete.push(0, r));
+    }
+    disc.extend(discrete.finish());
+    let disc_pairs: std::collections::HashSet<(u64, u64)> =
+        disc.iter().map(|t| (t.key >> 32, t.key & 0xFFFF_FFFF)).collect();
+
+    // Pulse.
+    let mut rt = PulseRuntime::new(
+        vec![ais::stream_model()],
+        &lp,
+        RuntimeConfig { horizon: 20.0, bound: 10.0, ..Default::default() },
+    )
+    .unwrap();
+    let mut segs = Vec::new();
+    for r in &reports {
+        segs.extend(rt.on_tuple(0, r));
+    }
+    let pulse_pairs: std::collections::HashSet<(u64, u64)> =
+        segs.iter().map(|s| (s.key >> 32, s.key & 0xFFFF_FFFF)).collect();
+
+    let (l, f) = truth[0];
+    for pairs in [&disc_pairs, &pulse_pairs] {
+        assert!(
+            pairs.contains(&(l, f)) || pairs.contains(&(f, l)),
+            "planted pair ({l},{f}) missing from {pairs:?}"
+        );
+    }
+    // No false positives on vessels that roam independently for long.
+    for pairs in [&disc_pairs, &pulse_pairs] {
+        for &(a, b) in pairs {
+            assert!(
+                a < 2 && b < 2,
+                "unexpected pair ({a},{b}) — only vessels 0/1 were planted"
+            );
+        }
+    }
+}
