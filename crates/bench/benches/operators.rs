@@ -42,9 +42,7 @@ fn bench_filter(c: &mut Criterion) {
             b.iter(|| run_discrete(&lp, &[(0, t)]))
         });
         g.bench_with_input(BenchmarkId::new("pulse", tps as u64), &tuples, |b, t| {
-            b.iter(|| {
-                run_predictive(&lp, vec![moving::stream_model()], &[(0, t)], 1.0, tps * 0.1)
-            })
+            b.iter(|| run_predictive(&lp, vec![moving::stream_model()], &[(0, t)], 1.0, tps * 0.1))
         });
     }
     g.finish();
@@ -60,9 +58,7 @@ fn bench_aggregate(c: &mut Criterion) {
             b.iter(|| run_discrete(&lp, &[(0, t)]))
         });
         g.bench_with_input(BenchmarkId::new("pulse", window as u64), &tuples, |b, t| {
-            b.iter(|| {
-                run_predictive(&lp, vec![moving::stream_model()], &[(0, t)], 1.0, 15.0)
-            })
+            b.iter(|| run_predictive(&lp, vec![moving::stream_model()], &[(0, t)], 1.0, 15.0))
         });
     }
     g.finish();
@@ -81,9 +77,7 @@ fn bench_join(c: &mut Criterion) {
     })
     .generate(10.0);
     let lp = queries::micro::join(0.1);
-    g.bench_function("discrete", |b| {
-        b.iter(|| run_discrete(&lp, &[(0, &left), (1, &right)]))
-    });
+    g.bench_function("discrete", |b| b.iter(|| run_discrete(&lp, &[(0, &left), (1, &right)])));
     g.bench_function("pulse", |b| {
         b.iter(|| {
             run_predictive(

@@ -200,8 +200,11 @@ fn split_ablation() {
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
     join_state_ablation();
     fitting_ablation(&p);
     solver_ablation();
     split_ablation();
+
+    report::end_telemetry("ablation");
 }

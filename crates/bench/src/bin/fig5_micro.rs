@@ -23,6 +23,7 @@ fn workload(tps: f64, objects: usize, duration: f64, seed: u64) -> Vec<pulse_mod
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
 
     // --- Fig 5i: filter ---
     let mut rows = Vec::new();
@@ -78,14 +79,7 @@ fn main() {
         let wmid = p.agg_window_sizes[p.agg_window_sizes.len() / 2];
         let lp = queries::micro::min_agg(wmid, 2.0);
         let c = best_of(3, || {
-            run_predictive(
-                &lp,
-                vec![moving::stream_model()],
-                &[(0, &tuples)],
-                bound,
-                tps * 0.1,
-            )
-            .0
+            run_predictive(&lp, vec![moving::stream_model()], &[(0, &tuples)], bound, tps * 0.1).0
         });
         row.push(report::fmt(c.capacity()));
         series[0].push(tps, c.capacity());
@@ -144,4 +138,6 @@ fn main() {
         &rows,
     );
     report::save_series("fig5iii_join", &[s_disc, s_pulse]);
+
+    report::end_telemetry("fig5_micro");
 }

@@ -15,6 +15,7 @@ use pulse_workload::{moving, MovingConfig, MovingObjectGen};
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
 
     // --- Fig 7i: aggregate cost vs window size ---
     // Fixed stream rate ≈ fig7_agg_rate, moderate model fit.
@@ -104,4 +105,6 @@ fn main() {
         &rows,
     );
     report::save_series("fig7ii_join_cost", &[s_disc, s_pulse]);
+
+    report::end_telemetry("fig7_cost");
 }

@@ -7,12 +7,13 @@
 //! alone peaks ≈40k t/s (nested plot), showing data fitting is not the
 //! bottleneck.
 
-use pulse_bench::{queries, report, run_discrete, run_historical, fit_only, Params};
+use pulse_bench::{fit_only, queries, report, run_discrete, run_historical, Params};
 use pulse_model::{CheckMode, FitConfig};
 use pulse_workload::{replay_at, MovingConfig, MovingObjectGen};
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
     let lp = queries::micro::min_agg(p.fig8_window, p.fig8_slide);
     // One fixed workload measured once per pipeline; offered-rate curves
     // come from the capacity/queue model (see DESIGN.md).
@@ -27,11 +28,8 @@ fn main() {
         ..Default::default()
     })
     .generate(p.duration);
-    let fit = FitConfig {
-        max_error: p.fig8_fit_error,
-        check: CheckMode::NewPoint,
-        ..Default::default()
-    };
+    let fit =
+        FitConfig { max_error: p.fig8_fit_error, check: CheckMode::NewPoint, ..Default::default() };
 
     let disc = run_discrete(&lp, &[(0, &tuples)]);
     let hist = run_historical(&lp, &[(0, &tuples)], fit.clone(), vec![0, 2]);
@@ -108,4 +106,6 @@ fn main() {
         &["offered/cap", "tuple t/s", "fit+seg t/s", "modeling t/s"],
         &rows,
     );
+
+    report::end_telemetry("fig8_historical");
 }

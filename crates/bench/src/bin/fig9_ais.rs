@@ -17,6 +17,7 @@ use pulse_workload::{ais, replay_at, AisConfig, AisGen};
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
     let lp = queries::following(
         p.follow_join_window,
         p.follow_avg_window,
@@ -106,4 +107,6 @@ fn main() {
         &rows,
     );
     report::save_series("fig9ii_ais", &[s_t, s_p]);
+
+    report::end_telemetry("fig9_ais");
 }

@@ -6,8 +6,8 @@
 //! historical segment processing (offline segmentation, no validation)
 //! sits above both.
 
-use pulse_bench::{mean_abs, queries, report, run_discrete, run_historical, Params};
 use pulse_bench::measure::{merge_feeds, RunResult};
+use pulse_bench::{mean_abs, queries, report, run_discrete, run_historical, Params};
 use pulse_core::runtime::Predictor;
 use pulse_core::{PulseRuntime, RuntimeConfig, RuntimeStats};
 use pulse_model::{CheckMode, FitConfig};
@@ -53,6 +53,7 @@ fn run_adaptive(
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
     let lp = queries::macd(p.macd_short, p.macd_long, p.macd_slide);
     // The run must comfortably exceed the long window for results to flow.
     let duration = 2.5 * p.macd_long;
@@ -141,4 +142,6 @@ fn main() {
         &["offered/cap", "tuple t/s", "pulse t/s", "historical t/s"],
         &rows,
     );
+
+    report::end_telemetry("fig9_nyse");
 }

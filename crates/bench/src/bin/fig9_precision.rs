@@ -15,6 +15,7 @@ use std::time::Instant;
 
 fn main() {
     let p = Params::from_env();
+    report::begin_telemetry();
     let lp = queries::macd(p.macd_short, p.macd_long, p.macd_slide);
     let tuples = NyseGen::new(NyseConfig {
         rate: p.precision_rate,
@@ -92,4 +93,6 @@ fn main() {
         &rows,
     );
     report::save_series("fig9iii_precision", &[s_lat, s_vio]);
+
+    report::end_telemetry("fig9_precision");
 }

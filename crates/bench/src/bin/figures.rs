@@ -59,14 +59,18 @@ fn main() {
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("bin directory");
-    for bin in ["fig5_micro", "fig7_cost", "fig8_historical", "fig9_nyse", "fig9_ais", "fig9_precision"] {
+    for bin in
+        ["fig5_micro", "fig7_cost", "fig8_historical", "fig9_nyse", "fig9_ais", "fig9_precision"]
+    {
         let path = exe_dir.join(bin);
         println!("\n################ {bin} ################");
         let status = Command::new(&path).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("could not run {bin} ({e}); run `cargo run -p pulse-bench --release --bin {bin}`"),
+            Err(e) => eprintln!(
+                "could not run {bin} ({e}); run `cargo run -p pulse-bench --release --bin {bin}`"
+            ),
         }
     }
 }

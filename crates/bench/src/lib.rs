@@ -11,6 +11,6 @@ pub mod report;
 
 pub use measure::{
     best_of, fit_only, mean_abs, merge_feeds, run_discrete, run_historical, run_predictive,
-    run_segments, RunResult,
+    run_segments, timed, RunResult,
 };
 pub use params::Params;

@@ -18,11 +18,23 @@ use pulse_workload::{ais, moving, nyse};
 pub fn macd(short: f64, long: f64, slide: f64) -> LogicalPlan {
     let mut lp = LogicalPlan::new(vec![nyse::schema()]);
     let s = lp.add(
-        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: short, slide, group_by_key: true },
+        LogicalOp::Aggregate {
+            func: AggFunc::Avg,
+            attr: 0,
+            width: short,
+            slide,
+            group_by_key: true,
+        },
         vec![PortRef::Source(0)],
     );
     let l = lp.add(
-        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: long, slide, group_by_key: true },
+        LogicalOp::Aggregate {
+            func: AggFunc::Avg,
+            attr: 0,
+            width: long,
+            slide,
+            group_by_key: true,
+        },
         vec![PortRef::Source(0)],
     );
     let j = lp.add(
@@ -50,12 +62,7 @@ pub fn macd(short: f64, long: f64, slide: f64) -> LogicalPlan {
 /// Distances are kept *squared* in both engines (thresholds squared
 /// accordingly): `sqrt` in a projection has no polynomial form, and
 /// squaring preserves the comparison semantics exactly — see DESIGN.md.
-pub fn following(
-    join_window: f64,
-    avg_window: f64,
-    avg_slide: f64,
-    threshold: f64,
-) -> LogicalPlan {
+pub fn following(join_window: f64, avg_window: f64, avg_slide: f64, threshold: f64) -> LogicalPlan {
     let mut lp = LogicalPlan::new(vec![ais::schema()]);
     // Self-join: the single source wired to both ports.
     let j = lp.add(
@@ -65,10 +72,7 @@ pub fn following(
     // Join schema: l.x=0 l.vx=1 l.y=2 l.vy=3 r.x=4 r.vx=5 r.y=6 r.vy=7.
     let dist2 = Expr::dist2(Expr::attr(0), Expr::attr(2), Expr::attr(4), Expr::attr(6));
     let d = lp.add(
-        LogicalOp::Map {
-            exprs: vec![dist2],
-            schema: Schema::of(&[("dist2", AttrKind::Modeled)]),
-        },
+        LogicalOp::Map { exprs: vec![dist2], schema: Schema::of(&[("dist2", AttrKind::Modeled)]) },
         vec![j],
     );
     let a = lp.add(
@@ -119,9 +123,7 @@ pub mod micro {
     pub fn filter(threshold: f64) -> LogicalPlan {
         let mut lp = LogicalPlan::new(vec![moving::schema()]);
         lp.add(
-            LogicalOp::Filter {
-                pred: Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(threshold)),
-            },
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Lt, Expr::c(threshold)) },
             vec![PortRef::Source(0)],
         );
         lp

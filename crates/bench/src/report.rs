@@ -60,6 +60,27 @@ pub fn save_series(figure: &str, series: &[Series]) {
     }
 }
 
+/// Turns on observability for a bench run. Figure binaries call this
+/// before measuring so runtime counters, span histograms, and per-operator
+/// metrics accumulate in the global registry.
+pub fn begin_telemetry() {
+    pulse_obs::set_enabled(true);
+}
+
+/// Snapshots the global registry and writes it to
+/// `target/telemetry/<name>.json` (best effort), returning the snapshot so
+/// callers can also render it. Pair with [`begin_telemetry`].
+pub fn end_telemetry(name: &str) -> pulse_obs::Snapshot {
+    pulse_obs::set_enabled(false);
+    let snap = pulse_obs::global().snapshot();
+    let dir = std::path::Path::new("target/telemetry");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.json")), snap.to_json());
+        println!("telemetry written to target/telemetry/{name}.json");
+    }
+    snap
+}
+
 /// Formats a float compactly for table cells.
 pub fn fmt(v: f64) -> String {
     if v.is_infinite() {

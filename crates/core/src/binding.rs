@@ -7,8 +7,8 @@
 //! plan (keys and raw coefficients, which are consumed by MODEL-clause
 //! instantiation before segments enter the plan).
 
-use pulse_model::{AttrKind, ExprError, Schema, Segment};
 use pulse_math::Poly;
+use pulse_model::{AttrKind, ExprError, Schema, Segment};
 
 /// Attribute resolution for one operator input.
 #[derive(Debug, Clone)]

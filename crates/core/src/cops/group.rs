@@ -36,11 +36,14 @@ impl CGroupBy {
 }
 
 impl COperator for CGroupBy {
+    /// Grouped operators report under the inner operator's name (a grouped
+    /// min/max is still `cops.minmax.*`) — the grouping is transparent.
+    fn name(&self) -> &'static str {
+        self.groups.values().next().map_or("groupby", |g| g.name())
+    }
+
     fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>) {
-        let op = self
-            .groups
-            .entry(seg.key)
-            .or_insert_with(|| (self.factory)(seg.key));
+        let op = self.groups.entry(seg.key).or_insert_with(|| (self.factory)(seg.key));
         op.process(input, seg, out);
     }
 

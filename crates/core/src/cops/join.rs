@@ -127,6 +127,10 @@ impl CJoin {
 }
 
 impl COperator for CJoin {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
     fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);

@@ -30,7 +30,14 @@ pub struct CMinMax {
 
 impl CMinMax {
     pub fn new(is_min: bool, slot: usize, width: f64, lineage: SharedLineage) -> Self {
-        CMinMax { is_min, slot, width, envelope: Piecewise::new(), lineage, m: OpMetrics::default() }
+        CMinMax {
+            is_min,
+            slot,
+            width,
+            envelope: Piecewise::new(),
+            lineage,
+            m: OpMetrics::default(),
+        }
     }
 
     /// The current envelope (exposed for result sampling and tests).
@@ -67,6 +74,10 @@ impl CMinMax {
 }
 
 impl COperator for CMinMax {
+    fn name(&self) -> &'static str {
+        "minmax"
+    }
+
     fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
@@ -181,11 +192,7 @@ mod tests {
     fn envelope_matches_brute_force_pointwise_min() {
         let mut op = min_op(100.0);
         let mut out = Vec::new();
-        let models = [
-            (0.0, 10.0, 8.0, -0.5),
-            (0.0, 10.0, 1.0, 0.7),
-            (2.0, 9.0, 4.0, 0.0),
-        ];
+        let models = [(0.0, 10.0, 8.0, -0.5), (0.0, 10.0, 1.0, 0.7), (2.0, 9.0, 4.0, 0.0)];
         let segs: Vec<Segment> =
             models.iter().map(|&(lo, hi, b, a)| seg(0, lo, hi, b, a)).collect();
         for s in &segs {
@@ -200,10 +207,7 @@ mod tests {
                 .fold(f64::INFINITY, f64::min);
             if brute.is_finite() {
                 let env = op.envelope().eval(0, t).unwrap();
-                assert!(
-                    (env - brute).abs() < 1e-6,
-                    "envelope {env} vs brute {brute} at t={t}"
-                );
+                assert!((env - brute).abs() < 1e-6, "envelope {env} vs brute {brute} at t={t}");
             }
         }
     }

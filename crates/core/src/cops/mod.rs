@@ -27,6 +27,9 @@ use std::any::Any;
 
 /// A push-based continuous operator.
 pub trait COperator: Any {
+    /// Stable lower-case operator name — the middle component of the
+    /// operator's metric names (`cops.<name>.<metric>`).
+    fn name(&self) -> &'static str;
     /// Processes a segment arriving on `input`, appending output segments.
     fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>);
     /// Cost counters (systems solved, segments in/out).
@@ -71,6 +74,10 @@ impl CFilter {
 }
 
 impl COperator for CFilter {
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
     fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
@@ -131,14 +138,15 @@ impl CMap {
 }
 
 impl COperator for CMap {
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
     fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         let binding = &self.binding;
-        let models: Result<Vec<_>, _> = self
-            .exprs
-            .iter()
-            .map(|e| e.to_poly(&|_, attr| binding.poly_of(seg, attr)))
-            .collect();
+        let models: Result<Vec<_>, _> =
+            self.exprs.iter().map(|e| e.to_poly(&|_, attr| binding.poly_of(seg, attr))).collect();
         let Ok(models) = models else { return };
         let mapped = Segment::new(seg.key, seg.span, models, Vec::new());
         self.lineage.lock().emit(&mapped, &[seg.id]);
@@ -168,6 +176,10 @@ impl CUnion {
 }
 
 impl COperator for CUnion {
+    fn name(&self) -> &'static str {
+        "union"
+    }
+
     fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         self.m.items_out += 1;
@@ -185,7 +197,9 @@ impl COperator for CUnion {
 
 /// Drops zero-measure spans out of a solution unless they are genuine
 /// equality points (helper shared by selective operators).
-pub(crate) fn meaningful_spans(sol: &pulse_math::RangeSet) -> impl Iterator<Item = pulse_math::Span> + '_ {
+pub(crate) fn meaningful_spans(
+    sol: &pulse_math::RangeSet,
+) -> impl Iterator<Item = pulse_math::Span> + '_ {
     sol.spans().iter().copied().filter(|s| s.len() > EPS || s.is_point())
 }
 
@@ -251,11 +265,7 @@ mod tests {
     fn filter_normalizes_abs() {
         let store = lineage::shared();
         // |x| < 3 with x = t − 5 on [0, 10): holds on (2, 8).
-        let pred = Pred::cmp(
-            Expr::Abs(Box::new(Expr::attr(0))),
-            CmpOp::Lt,
-            Expr::c(3.0),
-        );
+        let pred = Pred::cmp(Expr::Abs(Box::new(Expr::attr(0))), CmpOp::Lt, Expr::c(3.0));
         let mut f = CFilter::new(pred, Binding::new(xv_schema()), store);
         let mut out = Vec::new();
         f.process(0, &seg(0, 0.0, 10.0, -5.0, 1.0), &mut out);

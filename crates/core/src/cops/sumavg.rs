@@ -115,6 +115,10 @@ impl CSumAvg {
 }
 
 impl COperator for CSumAvg {
+    fn name(&self) -> &'static str {
+        "sumavg"
+    }
+
     fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
@@ -139,10 +143,7 @@ impl COperator for CSumAvg {
 
         // Emit window functions for closes within this segment's lifespan
         // that have full window coverage and weren't already emitted.
-        let emit_lo = span
-            .lo
-            .max(self.start.unwrap() + self.width)
-            .max(self.emitted_until);
+        let emit_lo = span.lo.max(self.start.unwrap() + self.width).max(self.emitted_until);
         self.emitted_until = self.emitted_until.max(span.hi);
         if emit_lo >= span.hi - EPS {
             self.expire(span.hi);
@@ -382,10 +383,8 @@ mod tests {
         op.process(0, &s2, &mut out);
         op.process(0, &s3, &mut out);
         // A window closing in (4, 5) spans s1 (tail), s2 (covered), s3 (head).
-        let multi = out
-            .iter()
-            .find(|o| o.span.contains(4.5))
-            .expect("window function covering close 4.5");
+        let multi =
+            out.iter().find(|o| o.span.contains(4.5)).expect("window function covering close 4.5");
         let parents = store.lock().parents_of(multi.id).to_vec();
         assert!(parents.contains(&s1.id) && parents.contains(&s2.id) && parents.contains(&s3.id));
     }

@@ -59,10 +59,9 @@ impl System {
                 Box::new(System::build(a, lookup)?),
                 Box::new(System::build(b, lookup)?),
             ),
-            Pred::Or(a, b) => System::Or(
-                Box::new(System::build(a, lookup)?),
-                Box::new(System::build(b, lookup)?),
-            ),
+            Pred::Or(a, b) => {
+                System::Or(Box::new(System::build(a, lookup)?), Box::new(System::build(b, lookup)?))
+            }
             Pred::Not(a) => System::Not(Box::new(System::build(a, lookup)?)),
         })
     }
@@ -92,9 +91,9 @@ impl System {
                 }
                 left.intersect(&b.solve_general(domain, rows_solved))
             }
-            System::Or(a, b) => a
-                .solve_general(domain, rows_solved)
-                .union(&b.solve_general(domain, rows_solved)),
+            System::Or(a, b) => {
+                a.solve_general(domain, rows_solved).union(&b.solve_general(domain, rows_solved))
+            }
             System::Not(a) => a.solve_general(domain, rows_solved).complement(domain),
         }
     }
@@ -108,9 +107,7 @@ impl System {
             return None;
         }
         if rows.is_empty()
-            || !rows
-                .iter()
-                .all(|r| r.op == CmpOp::Eq && r.poly.degree().is_none_or(|d| d <= 1))
+            || !rows.iter().all(|r| r.op == CmpOp::Eq && r.poly.degree().is_none_or(|d| d <= 1))
         {
             return None;
         }
@@ -131,7 +128,9 @@ impl System {
             }
         }
         Some(match t {
-            Some(t) if domain.contains(t) || domain.is_point() && (t - domain.lo).abs() < SOLVE_TOL => {
+            Some(t)
+                if domain.contains(t) || domain.is_point() && (t - domain.lo).abs() < SOLVE_TOL =>
+            {
                 RangeSet::single(Span::point(t))
             }
             Some(_) => RangeSet::empty(),
@@ -181,9 +180,8 @@ impl System {
         if rows.is_empty() {
             return 0.0;
         }
-        let norm = |t: f64| -> f64 {
-            rows.iter().fold(0.0_f64, |m, r| m.max(r.poly.eval(t).abs()))
-        };
+        let norm =
+            |t: f64| -> f64 { rows.iter().fold(0.0_f64, |m, r| m.max(r.poly.eval(t).abs())) };
         if domain.is_point() {
             return norm(domain.lo);
         }
@@ -200,10 +198,7 @@ impl System {
             }
         }
         // Ternary-search refinement inside the winning bracket.
-        let (mut lo, mut hi) = (
-            (best_t - step).max(domain.lo),
-            (best_t + step).min(domain.hi),
-        );
+        let (mut lo, mut hi) = ((best_t - step).max(domain.lo), (best_t + step).min(domain.hi));
         for _ in 0..60 {
             let m1 = lo + (hi - lo) / 3.0;
             let m2 = hi - (hi - lo) / 3.0;
@@ -222,13 +217,14 @@ mod tests {
     use super::*;
     use pulse_model::Expr;
 
-    fn linear_lookup(slope0: f64, icpt0: f64, slope1: f64, icpt1: f64) -> impl Fn(usize, usize) -> Result<Poly, ExprError> {
+    fn linear_lookup(
+        slope0: f64,
+        icpt0: f64,
+        slope1: f64,
+        icpt1: f64,
+    ) -> impl Fn(usize, usize) -> Result<Poly, ExprError> {
         move |input, _| {
-            Ok(if input == 0 {
-                Poly::linear(icpt0, slope0)
-            } else {
-                Poly::linear(icpt1, slope1)
-            })
+            Ok(if input == 0 { Poly::linear(icpt0, slope0) } else { Poly::linear(icpt1, slope1) })
         }
     }
 
@@ -236,17 +232,9 @@ mod tests {
     fn figure1_transform() {
         // Fig. 1: A.x + A.v·t < B.v·t + B.a·t², with A.x=1, A.v=3, B.v=1, B.a=1.
         // Difference: 1 + 2t − t² < 0.
-        let pred = Pred::cmp(
-            Expr::attr_of(0, 0),
-            CmpOp::Lt,
-            Expr::attr_of(1, 0),
-        );
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0));
         let lookup = |input: usize, _attr: usize| -> Result<Poly, ExprError> {
-            Ok(if input == 0 {
-                Poly::linear(1.0, 3.0)
-            } else {
-                Poly::new(vec![0.0, 1.0, 1.0])
-            })
+            Ok(if input == 0 { Poly::linear(1.0, 3.0) } else { Poly::new(vec![0.0, 1.0, 1.0]) })
         };
         let sys = System::build(&pred, &lookup).unwrap();
         let rows = sys.rows();
@@ -264,8 +252,11 @@ mod tests {
     #[test]
     fn conjunction_intersects_rows() {
         // x < y (crossing at t=3) AND x > 0 (x = 2t - 2: t > 1) → (3, 10)∩(1,10)
-        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0))
-            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::c(0.0)));
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0)).and(Pred::cmp(
+            Expr::attr_of(0, 0),
+            CmpOp::Gt,
+            Expr::c(0.0),
+        ));
         // x = 2t−2 ; y = t+1 → x<y ⇔ t−3<0 ⇔ t<3 ... recompute: x−y = t−3 <0 → t<3.
         let sys = System::build(&pred, &linear_lookup(2.0, -2.0, 1.0, 1.0)).unwrap();
         let mut n = 0;
@@ -279,8 +270,11 @@ mod tests {
     #[test]
     fn disjunction_unions() {
         // x < -5 OR x > 5 with x = t - 10 on [0, 20): t<5 or t>15.
-        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::c(-5.0))
-            .or(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::c(5.0)));
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::c(-5.0)).or(Pred::cmp(
+            Expr::attr_of(0, 0),
+            CmpOp::Gt,
+            Expr::c(5.0),
+        ));
         let sys = System::build(&pred, &linear_lookup(1.0, -10.0, 0.0, 0.0)).unwrap();
         let mut n = 0;
         let sol = sys.solve(Span::new(0.0, 20.0), &mut n);
@@ -303,8 +297,11 @@ mod tests {
     #[test]
     fn equality_fast_path_consistent() {
         // Two equality rows with the same root: x = y at t=2 and x = z at t=2.
-        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0))
-            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::attr_of(1, 0)));
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0)).and(Pred::cmp(
+            Expr::attr_of(0, 0),
+            CmpOp::Eq,
+            Expr::attr_of(1, 0),
+        ));
         // x = t ; y = 2 (const): x=2 → t=2 ; x=y → t=2. Consistent.
         let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 2.0)).unwrap();
         let mut n = 0;
@@ -317,8 +314,11 @@ mod tests {
     #[test]
     fn equality_fast_path_inconsistent() {
         // x = 2 (t=2) AND x = 4 (t=4): no common solution.
-        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0))
-            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(4.0)));
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0)).and(Pred::cmp(
+            Expr::attr_of(0, 0),
+            CmpOp::Eq,
+            Expr::c(4.0),
+        ));
         let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
         let mut n = 0;
         assert!(sys.solve(Span::new(0.0, 10.0), &mut n).is_empty());
@@ -348,8 +348,11 @@ mod tests {
     #[test]
     fn slack_max_norm_over_rows() {
         // Two rows: t − 2 and t + 2 → ‖D·t‖∞ = max(|t−2|, |t+2|); min at t=0 → 2.
-        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0))
-            .and(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(-2.0)));
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(2.0)).and(Pred::cmp(
+            Expr::attr_of(0, 0),
+            CmpOp::Eq,
+            Expr::c(-2.0),
+        ));
         let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
         let slack = sys.slack(Span::new(-5.0, 5.0));
         assert!((slack - 2.0).abs() < 1e-6, "slack {slack}");
@@ -357,11 +360,7 @@ mod tests {
 
     #[test]
     fn build_propagates_not_polynomial() {
-        let pred = Pred::cmp(
-            Expr::Sqrt(Box::new(Expr::attr_of(0, 0))),
-            CmpOp::Lt,
-            Expr::c(1.0),
-        );
+        let pred = Pred::cmp(Expr::Sqrt(Box::new(Expr::attr_of(0, 0))), CmpOp::Lt, Expr::c(1.0));
         assert!(System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).is_err());
         // After normalization it builds fine.
         assert!(System::build(&pred.normalize(), &linear_lookup(1.0, 0.0, 0.0, 0.0)).is_ok());

@@ -135,10 +135,8 @@ mod tests {
         let queries: Vec<LogicalPlan> =
             [5.0, 10.0, 15.0].iter().map(|&t| filter_query(&schema, t)).collect();
         let results = store.sweep(&queries).unwrap();
-        let coverage: Vec<f64> = results
-            .iter()
-            .map(|(_, segs)| segs.iter().map(|s| s.span.len()).sum())
-            .collect();
+        let coverage: Vec<f64> =
+            results.iter().map(|(_, segs)| segs.iter().map(|s| s.span.len()).sum()).collect();
         assert!(coverage[0] > coverage[1] && coverage[1] > coverage[2], "{coverage:?}");
     }
 
@@ -160,7 +158,13 @@ mod tests {
         let store = HistoricalStore::build(&tuples, fit, vec![0]);
         let mut lp = LogicalPlan::new(vec![schema]);
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 40.0, slide: 20.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Avg,
+                attr: 0,
+                width: 40.0,
+                slide: 20.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
         let out = store.run(&lp).unwrap();

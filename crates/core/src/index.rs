@@ -41,11 +41,7 @@ impl SegmentIndex {
     /// Inserts a segment (cheap when spans arrive in start order; falls
     /// back to sorted insertion otherwise).
     pub fn insert(&mut self, seg: Segment) {
-        let pos = if self
-            .entries
-            .last()
-            .is_none_or(|l| l.span.lo <= seg.span.lo + EPS)
-        {
+        let pos = if self.entries.last().is_none_or(|l| l.span.lo <= seg.span.lo + EPS) {
             self.entries.len()
         } else {
             self.entries.partition_point(|e| e.span.lo <= seg.span.lo)
@@ -91,10 +87,7 @@ impl SegmentIndex {
 
     /// Segments containing the time instant `t`.
     pub fn stabbing(&self, t: f64) -> Vec<&Segment> {
-        self.overlapping(Span::new(t, t))
-            .into_iter()
-            .filter(|s| s.span.contains(t))
-            .collect()
+        self.overlapping(Span::new(t, t)).into_iter().filter(|s| s.span.contains(t)).collect()
     }
 
     /// Iterates all segments in start order.

@@ -52,11 +52,13 @@ pub mod validate;
 
 pub use binding::Binding;
 pub use cops::{CFilter, CGroupBy, CJoin, CMap, CMinMax, COperator, CSumAvg, CUnion};
-pub use index::SegmentIndex;
 pub use eqsys::{DiffEq, System, SOLVE_TOL};
 pub use historical::HistoricalStore;
+pub use index::SegmentIndex;
 pub use lineage::{LineageStore, SharedLineage};
 pub use plan::{CPlan, TransformError};
 pub use runtime::{PulseRuntime, RuntimeConfig, RuntimeStats};
 pub use sampler::Sampler;
-pub use validate::{BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, Validator};
+pub use validate::{
+    BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, Validator, ValidatorStats,
+};

@@ -85,9 +85,7 @@ impl CPlan {
                         .ok_or(TransformError::AttrNotModeled { node: i, attr: *attr })?;
                     let width = *width;
                     match func {
-                        AggFunc::Count => {
-                            return Err(TransformError::FrequencyAggregate("count"))
-                        }
+                        AggFunc::Count => return Err(TransformError::FrequencyAggregate("count")),
                         AggFunc::Min | AggFunc::Max => {
                             let is_min = matches!(func, AggFunc::Min);
                             if *group_by_key {
@@ -130,10 +128,8 @@ impl CPlan {
     /// Pushes one segment from source `source`, returning query outputs.
     pub fn push(&mut self, source: usize, seg: &Segment) -> Vec<Segment> {
         let mut results = Vec::new();
-        let mut queue: Vec<(usize, usize, Segment)> = self.source_edges[source]
-            .iter()
-            .map(|&(n, p)| (n, p, seg.clone()))
-            .collect();
+        let mut queue: Vec<(usize, usize, Segment)> =
+            self.source_edges[source].iter().map(|&(n, p)| (n, p, seg.clone())).collect();
         let mut scratch = Vec::new();
         while let Some((node, port, s)) = queue.pop() {
             scratch.clear();
@@ -169,10 +165,8 @@ impl CPlan {
                 if self.sinks[node] {
                     results.push(out.clone());
                 }
-                let mut queue: Vec<(usize, usize, Segment)> = self.node_edges[node]
-                    .iter()
-                    .map(|&(n, p)| (n, p, out.clone()))
-                    .collect();
+                let mut queue: Vec<(usize, usize, Segment)> =
+                    self.node_edges[node].iter().map(|&(n, p)| (n, p, out.clone())).collect();
                 while let Some((n, p, s)) = queue.pop() {
                     let mut produced = Vec::new();
                     self.nodes[n].process(p, &s, &mut produced);
@@ -204,6 +198,22 @@ impl CPlan {
         self.nodes[node].metrics()
     }
 
+    /// Publishes every operator's counters into `reg` under
+    /// `cops.<op>.<metric>`, merging operators of the same kind (e.g. both
+    /// filters of a join query sum into `cops.filter.*`).
+    pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
+        let mut per: std::collections::BTreeMap<&'static str, OpMetrics> =
+            std::collections::BTreeMap::new();
+        for n in &self.nodes {
+            per.entry(n.name()).or_default().absorb(&n.metrics());
+        }
+        for (name, m) in per {
+            for (field, v) in m.fields() {
+                reg.counter(&format!("cops.{name}.{field}")).set(v);
+            }
+        }
+    }
+
     /// The shared lineage store (for bound inversion and validation).
     pub fn lineage(&self) -> &SharedLineage {
         &self.lineage
@@ -227,9 +237,10 @@ impl CPlan {
     /// Slack of the most recent null result across selective operators, if
     /// any (drives the accuracy↔slack mode alternation of §IV).
     pub fn last_slack(&self) -> Option<f64> {
-        self.nodes.iter().filter_map(|n| n.last_slack()).fold(None, |acc, s| {
-            Some(acc.map_or(s, |a: f64| a.min(s)))
-        })
+        self.nodes
+            .iter()
+            .filter_map(|n| n.last_slack())
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.min(s))))
     }
 }
 
@@ -252,20 +263,29 @@ mod tests {
     fn compile_rejects_count() {
         let mut lp = LogicalPlan::new(vec![src()]);
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Count, attr: 0, width: 1.0, slide: 1.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Count,
+                attr: 0,
+                width: 1.0,
+                slide: 1.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
-        assert!(matches!(
-            CPlan::compile(&lp),
-            Err(TransformError::FrequencyAggregate("count"))
-        ));
+        assert!(matches!(CPlan::compile(&lp), Err(TransformError::FrequencyAggregate("count"))));
     }
 
     #[test]
     fn compile_rejects_non_grouped_sum() {
         let mut lp = LogicalPlan::new(vec![src()]);
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Sum, attr: 0, width: 1.0, slide: 1.0, group_by_key: false },
+            LogicalOp::Aggregate {
+                func: AggFunc::Sum,
+                attr: 0,
+                width: 1.0,
+                slide: 1.0,
+                group_by_key: false,
+            },
             vec![PortRef::Source(0)],
         );
         assert!(matches!(CPlan::compile(&lp), Err(TransformError::NonGroupedSumAvg { node: 0 })));
@@ -276,7 +296,13 @@ mod tests {
         let schema = Schema::of(&[("flag", AttrKind::Unmodeled)]);
         let mut lp = LogicalPlan::new(vec![schema]);
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Min, attr: 0, width: 1.0, slide: 1.0, group_by_key: false },
+            LogicalOp::Aggregate {
+                func: AggFunc::Min,
+                attr: 0,
+                width: 1.0,
+                slide: 1.0,
+                group_by_key: false,
+            },
             vec![PortRef::Source(0)],
         );
         assert!(matches!(
@@ -331,7 +357,13 @@ mod tests {
     fn grouped_avg_plan() {
         let mut lp = LogicalPlan::new(vec![src()]);
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 2.0, slide: 1.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Avg,
+                attr: 0,
+                width: 2.0,
+                slide: 1.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
         let mut plan = CPlan::compile(&lp).unwrap();

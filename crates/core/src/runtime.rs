@@ -11,8 +11,11 @@ use crate::plan::{CPlan, TransformError};
 use crate::validate::{Bound, BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, Validator};
 use pulse_math::{Poly, Span};
 use pulse_model::{Schema, Segment, SegmentId, StreamModel, Tuple};
+use pulse_obs::{Histogram, KeyedCounter};
 use pulse_stream::LogicalPlan;
+use serde::Serialize;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// How predictive segments are built for a source stream.
 pub enum Predictor {
@@ -61,7 +64,7 @@ impl Default for RuntimeConfig {
 }
 
 /// Counters describing how the run went.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct RuntimeStats {
     /// Tuples observed.
     pub tuples_in: u64,
@@ -75,6 +78,30 @@ pub struct RuntimeStats {
     pub outputs: u64,
     /// Tuples whose model could not be instantiated (schema mismatch).
     pub model_errors: u64,
+}
+
+/// Cached observability handles, resolved once from the global registry at
+/// construction so the per-tuple path never touches the name maps. All
+/// recording is gated on a single [`pulse_obs::enabled`] load per tuple,
+/// and the suppressed fast path records nothing but a 1-in-64 sampled
+/// latency histogram — counter totals come from the plain [`RuntimeStats`]
+/// fields via [`PulseRuntime::export_metrics`], so telemetry stays within
+/// a few percent of uninstrumented cost even while enabled.
+struct RuntimeObs {
+    violations_by_key: KeyedCounter,
+    fast_path_ns: Histogram,
+    violation_path_ns: Histogram,
+}
+
+impl RuntimeObs {
+    fn new() -> Self {
+        let reg = pulse_obs::global();
+        RuntimeObs {
+            violations_by_key: reg.keyed_counter("runtime.violations_by_key"),
+            fast_path_ns: reg.histogram("runtime.fast_path_ns"),
+            violation_path_ns: reg.histogram("runtime.violation_path_ns"),
+        }
+    }
 }
 
 /// The predictive processor.
@@ -97,6 +124,7 @@ pub struct PulseRuntime {
     validator: Validator,
     /// Inverted per-source-segment bounds from the last results.
     stats: RuntimeStats,
+    obs: RuntimeObs,
 }
 
 impl PulseRuntime {
@@ -131,6 +159,7 @@ impl PulseRuntime {
             seg_owner: HashMap::new(),
             validator: Validator::new(),
             stats: RuntimeStats::default(),
+            obs: RuntimeObs::new(),
         })
     }
 
@@ -176,6 +205,12 @@ impl PulseRuntime {
     /// Feeds one real tuple. Returns freshly produced result segments
     /// (empty while predictions hold — the common case).
     pub fn on_tuple(&mut self, source: usize, tuple: &Tuple) -> Vec<Segment> {
+        // One enabled-check per tuple; everything downstream branches on it
+        // (or on the timer Option it produces) without reloading the flag.
+        // The suppressed path's latency is sampled 1-in-64 so timestamping
+        // doesn't dominate its ~60 ns of real work.
+        let obs_on = pulse_obs::enabled();
+        let start = (obs_on && self.stats.suppressed & 63 == 0).then(Instant::now);
         self.stats.tuples_in += 1;
         let pkey = (source, tuple.key);
         let vkey = Self::vkey(source, tuple.key);
@@ -183,18 +218,30 @@ impl PulseRuntime {
             if seg.span.contains(tuple.ts) {
                 let modeled = &self.modeled[source];
                 let ok = modeled.iter().enumerate().all(|(slot, &attr)| {
-                    self.validator
-                        .check(vkey, seg.eval(slot, tuple.ts), tuple.values[attr])
+                    self.validator.check(vkey, seg.eval(slot, tuple.ts), tuple.values[attr])
                 });
                 if ok {
                     self.stats.suppressed += 1;
+                    if let Some(t0) = start {
+                        self.obs.fast_path_ns.record(t0.elapsed().as_nanos() as u64);
+                    }
                     return Vec::new();
                 }
                 self.stats.violations += 1;
+                if obs_on {
+                    self.obs.violations_by_key.inc(vkey);
+                }
             }
         }
+        // Violation/re-model path: rare and expensive, so it always times
+        // itself (reusing the entry timestamp when sampling took one).
+        let slow_t0 = obs_on.then(|| start.unwrap_or_else(Instant::now));
         // Re-model from this tuple and re-solve.
-        let Some(mut seg) = self.predict(source, tuple) else {
+        let seg = {
+            let _span = pulse_obs::span!("runtime.remodel_ns", tuple.key);
+            self.predict(source, tuple)
+        };
+        let Some(mut seg) = seg else {
             self.stats.model_errors += 1;
             return Vec::new();
         };
@@ -212,7 +259,10 @@ impl PulseRuntime {
         }
         self.seg_owner.insert(seg.id, vkey);
         self.stats.segments_pushed += 1;
-        let outs = self.plan.push(source, &seg);
+        let outs = {
+            let _span = pulse_obs::span!("runtime.solve_ns", tuple.key);
+            self.plan.push(source, &seg)
+        };
         self.stats.outputs += outs.len() as u64;
         if outs.is_empty() {
             // Null result: slack validation until inputs leave the band.
@@ -222,7 +272,11 @@ impl PulseRuntime {
                 self.validator.set_accuracy(vkey, Bound::symmetric(self.cfg.bound));
             }
         } else {
+            let _span = pulse_obs::span!("validate.invert_ns", tuple.key);
             self.install_bounds(&outs, vkey);
+        }
+        if let Some(t0) = slow_t0 {
+            self.obs.violation_path_ns.record(t0.elapsed().as_nanos() as u64);
         }
         outs
     }
@@ -256,9 +310,7 @@ impl PulseRuntime {
         drop(store);
         // The triggering key always leaves with a fresh accuracy bound,
         // even if lineage didn't surface its segment (capped fan-in).
-        per_key
-            .entry(trigger_vkey)
-            .or_insert_with(|| Bound::symmetric(self.cfg.bound));
+        per_key.entry(trigger_vkey).or_insert_with(|| Bound::symmetric(self.cfg.bound));
         for (vk, b) in per_key {
             self.validator.set_accuracy(vk, b);
         }
@@ -283,6 +335,31 @@ impl PulseRuntime {
     pub fn gc_before(&mut self, t: f64) {
         self.plan.lineage().lock().gc_before(t);
     }
+
+    /// Publishes end-of-run totals into `reg`: the runtime counters (under
+    /// `runtime.*`), the validator's (`validate.*`), and every plan
+    /// operator's (`cops.*`). Live span histograms accumulate during the
+    /// run when observability is enabled; this fills in the totals that are
+    /// kept in plain fields for the hot path.
+    pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
+        let s = &self.stats;
+        for (name, v) in [
+            ("runtime.tuples_in", s.tuples_in),
+            ("runtime.suppressed", s.suppressed),
+            ("runtime.violations", s.violations),
+            ("runtime.segments_pushed", s.segments_pushed),
+            ("runtime.outputs", s.outputs),
+            ("runtime.model_errors", s.model_errors),
+        ] {
+            reg.counter(name).set(v);
+        }
+        let v = self.validator.stats();
+        reg.counter("validate.checks").set(v.checks);
+        reg.counter("validate.violations").set(v.violations);
+        reg.counter("validate.accuracy_keys").set(v.accuracy_keys);
+        reg.counter("validate.slack_keys").set(v.slack_keys);
+        self.plan.export_metrics(reg);
+    }
 }
 
 #[cfg(test)]
@@ -306,9 +383,7 @@ mod tests {
     fn filter_plan(schema: Schema, threshold: f64) -> LogicalPlan {
         let mut lp = LogicalPlan::new(vec![schema]);
         lp.add(
-            LogicalOp::Filter {
-                pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(threshold)),
-            },
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(threshold)) },
             vec![PortRef::Source(0)],
         );
         lp
@@ -395,6 +470,56 @@ mod tests {
         // Small deviations stay inside the huge slack: suppressed.
         assert!(rt.on_tuple(0, &tup(1, 1.0, 1.5, 1.0)).is_empty());
         assert_eq!(rt.stats().suppressed, 1);
+    }
+
+    #[test]
+    fn stats_partition_every_tuple() {
+        // Every tuple is either suppressed or re-modeled (landing in
+        // segments_pushed or model_errors); violations are the subset of
+        // re-models triggered by a failed check.
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let cfg = RuntimeConfig { horizon: 5.0, bound: 0.3, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        for i in 0..300 {
+            let ts = i as f64 * 0.1;
+            let noise = ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.5;
+            let key = 1 + (i % 3) as u64;
+            rt.on_tuple(0, &tup(key, ts, 1.0 * ts + noise, 1.0));
+        }
+        let s = rt.stats();
+        assert_eq!(s.tuples_in, 300);
+        assert_eq!(s.suppressed + s.segments_pushed + s.model_errors, s.tuples_in, "{s:?}");
+        assert!(s.violations <= s.segments_pushed, "{s:?}");
+        assert!(s.suppressed > 0 && s.violations > 0, "{s:?}");
+        // The validator saw one check batch per non-first tuple at least.
+        assert!(rt.validator().stats().checks >= s.suppressed);
+    }
+
+    #[test]
+    fn obs_wiring_records_counters_and_spans() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let cfg = RuntimeConfig { horizon: 100.0, bound: 0.5, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        let before = pulse_obs::global().snapshot();
+        pulse_obs::set_enabled(true);
+        rt.on_tuple(0, &tup(9, 0.0, 0.0, 1.0)); // initial solve
+        rt.on_tuple(0, &tup(9, 1.0, 1.0, 1.0)); // suppressed
+        rt.on_tuple(0, &tup(9, 2.0, 50.0, 1.0)); // violation → re-solve
+        pulse_obs::set_enabled(false);
+        rt.export_metrics(pulse_obs::global());
+        let d = pulse_obs::global().snapshot().delta(&before);
+        // ≥ because other tests in this binary may run concurrently.
+        assert!(d.counter("runtime.tuples_in").unwrap() >= 3);
+        assert!(d.counter("runtime.suppressed").unwrap() >= 1);
+        assert!(d.counter("runtime.violations").unwrap() >= 1);
+        assert!(d.histogram("runtime.fast_path_ns").unwrap().count >= 1);
+        assert!(d.histogram("runtime.solve_ns").unwrap().count >= 1);
+        assert!(d.histogram("runtime.remodel_ns").unwrap().count >= 1);
+        assert!(d.histogram("validate.invert_ns").unwrap().count >= 1);
+        assert!(d.counter("cops.filter.systems_solved").unwrap() >= 2);
+        assert!(d.counter("validate.checks").unwrap() >= 2);
     }
 
     #[test]

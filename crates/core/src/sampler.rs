@@ -87,12 +87,7 @@ mod tests {
 
     #[test]
     fn unmodeled_values_carried_through() {
-        let s = Segment::new(
-            0,
-            Span::new(0.0, 1.0),
-            vec![Poly::constant(1.0)],
-            vec![7.0, 8.0],
-        );
+        let s = Segment::new(0, Span::new(0.0, 1.0), vec![Poly::constant(1.0)], vec![7.0, 8.0]);
         let tuples = Sampler::new(2.0).sample_segment(&s);
         assert_eq!(tuples[0].values, vec![1.0, 7.0, 8.0]);
     }

@@ -93,23 +93,14 @@ impl SplitHeuristic for GradientSplit {
         let mid = output.span.mid();
         let weights: Vec<f64> = inputs
             .iter()
-            .map(|s| {
-                s.models
-                    .iter()
-                    .map(|m| m.derivative().eval(mid).abs())
-                    .sum::<f64>()
-            })
+            .map(|s| s.models.iter().map(|m| m.derivative().eval(mid).abs()).sum::<f64>())
             .collect();
         let total: f64 = weights.iter().sum();
         if total < EPS {
             return EquiSplit.split(output, bound, inputs, dep_count);
         }
         let d = dep_count.max(1) as f64;
-        inputs
-            .iter()
-            .zip(&weights)
-            .map(|(s, w)| (s.id, bound.scale(w / total / d)))
-            .collect()
+        inputs.iter().zip(&weights).map(|(s, w)| (s.id, bound.scale(w / total / d))).collect()
     }
 }
 
@@ -125,7 +116,11 @@ pub struct BoundInverter<'a> {
 }
 
 impl<'a> BoundInverter<'a> {
-    pub fn new(store: &'a LineageStore, heuristic: &'a dyn SplitHeuristic, dep_count: usize) -> Self {
+    pub fn new(
+        store: &'a LineageStore,
+        heuristic: &'a dyn SplitHeuristic,
+        dep_count: usize,
+    ) -> Self {
         BoundInverter { store, heuristic, dep_count }
     }
 
@@ -171,6 +166,19 @@ pub enum ValidationMode {
     Accuracy(Bound),
     /// Check that tuples stay within the slack band of the null result.
     Slack(f64),
+}
+
+/// Serializable summary of a validator's counters and installed modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ValidatorStats {
+    /// Checks performed (the cheap per-tuple cost of Pulse's fast path).
+    pub checks: u64,
+    /// Violations detected.
+    pub violations: u64,
+    /// Keys currently under accuracy validation.
+    pub accuracy_keys: u64,
+    /// Keys currently under slack validation.
+    pub slack_keys: u64,
 }
 
 /// Input-side validator: decides, per tuple, whether the current prediction
@@ -224,6 +232,18 @@ impl Validator {
     /// Clears a key's mode (e.g. after re-modeling).
     pub fn reset(&mut self, key: u64) {
         self.modes.remove(&key);
+    }
+
+    /// Counter and mode-population summary.
+    pub fn stats(&self) -> ValidatorStats {
+        let accuracy_keys =
+            self.modes.values().filter(|m| matches!(m, ValidationMode::Accuracy(_))).count() as u64;
+        ValidatorStats {
+            checks: self.checks,
+            violations: self.violations,
+            accuracy_keys,
+            slack_keys: self.modes.len() as u64 - accuracy_keys,
+        }
     }
 }
 

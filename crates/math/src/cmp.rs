@@ -95,19 +95,11 @@ impl std::fmt::Display for CmpOp {
 /// `>`, `≠` nowhere.
 pub fn solve_poly_cmp(p: &Poly, op: CmpOp, domain: Span, tol: f64) -> RangeSet {
     if p.is_zero() {
-        return if op.accepts_zero() {
-            RangeSet::single(domain)
-        } else {
-            RangeSet::empty()
-        };
+        return if op.accepts_zero() { RangeSet::single(domain) } else { RangeSet::empty() };
     }
     if domain.is_point() {
         let v = p.eval(domain.lo);
-        return if op.test(v, 0.0) {
-            RangeSet::single(domain)
-        } else {
-            RangeSet::empty()
-        };
+        return if op.test(v, 0.0) { RangeSet::single(domain) } else { RangeSet::empty() };
     }
     let roots = poly_roots_in(p, domain.lo, domain.hi, tol);
     match op {
@@ -120,9 +112,9 @@ pub fn solve_poly_cmp(p: &Poly, op: CmpOp, domain: Span, tol: f64) -> RangeSet {
             // Sign is constant between consecutive roots: sample midpoints.
             let mut cuts = Vec::with_capacity(roots.len() + 2);
             cuts.push(domain.lo);
-            cuts.extend(roots.iter().copied().filter(|r| {
-                *r > domain.lo + EPS && *r < domain.hi - EPS
-            }));
+            cuts.extend(
+                roots.iter().copied().filter(|r| *r > domain.lo + EPS && *r < domain.hi - EPS),
+            );
             cuts.push(domain.hi);
             let mut spans = Vec::new();
             for w in cuts.windows(2) {
@@ -222,15 +214,9 @@ mod tests {
     #[test]
     fn zero_poly_semantics() {
         let d = Span::new(0.0, 1.0);
-        assert_eq!(
-            solve_poly_cmp(&Poly::zero(), CmpOp::Le, d, 1e-10).spans(),
-            &[d]
-        );
+        assert_eq!(solve_poly_cmp(&Poly::zero(), CmpOp::Le, d, 1e-10).spans(), &[d]);
         assert!(solve_poly_cmp(&Poly::zero(), CmpOp::Lt, d, 1e-10).is_empty());
-        assert_eq!(
-            solve_poly_cmp(&Poly::zero(), CmpOp::Eq, d, 1e-10).spans(),
-            &[d]
-        );
+        assert_eq!(solve_poly_cmp(&Poly::zero(), CmpOp::Eq, d, 1e-10).spans(), &[d]);
         assert!(solve_poly_cmp(&Poly::zero(), CmpOp::Ne, d, 1e-10).is_empty());
     }
 

@@ -318,10 +318,7 @@ mod tests {
         let a = RangeSet::single(Span::new(0.0, 10.0));
         let b = RangeSet::from_spans(vec![Span::new(2.0, 3.0), Span::new(5.0, 6.0)]);
         let d = a.subtract(&b);
-        assert_eq!(
-            d.spans(),
-            &[Span::new(0.0, 2.0), Span::new(3.0, 5.0), Span::new(6.0, 10.0)]
-        );
+        assert_eq!(d.spans(), &[Span::new(0.0, 2.0), Span::new(3.0, 5.0), Span::new(6.0, 10.0)]);
     }
 
     #[test]

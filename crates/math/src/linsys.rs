@@ -181,11 +181,7 @@ mod tests {
 
     #[test]
     fn solve_3x3() {
-        let a = vec![
-            vec![2.0, 1.0, -1.0],
-            vec![-3.0, -1.0, 2.0],
-            vec![-2.0, 1.0, 2.0],
-        ];
+        let a = vec![vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]];
         let x = solve_dense(&a, &[8.0, -11.0, -3.0]).unwrap();
         let want = [2.0, 3.0, -1.0];
         for (g, w) in x.iter().zip(want) {

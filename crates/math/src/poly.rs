@@ -167,13 +167,7 @@ impl Poly {
         if self.c.len() <= 1 {
             return Poly::zero();
         }
-        Poly::new(
-            self.c[1..]
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c * (i + 1) as f64)
-                .collect(),
-        )
+        Poly::new(self.c[1..].iter().enumerate().map(|(i, &c)| c * (i + 1) as f64).collect())
     }
 
     /// Antiderivative with zero constant term: `∫ Σ cᵢtⁱ = Σ cᵢ/(i+1) tⁱ⁺¹`

@@ -129,15 +129,9 @@ fn quadratic_roots_in(c0: f64, c1: f64, c2: f64, lo: f64, hi: f64) -> Vec<f64> {
     // Avoid catastrophic cancellation: compute the larger-magnitude root
     // first and derive the second from the product of roots.
     let q = -0.5 * (c1 + c1.signum() * sd);
-    let (r1, r2) = if q.abs() < 1e-300 {
-        (0.0, 0.0)
-    } else {
-        (q / c2, c0 / q)
-    };
-    let mut out: Vec<f64> = [r1, r2]
-        .into_iter()
-        .filter(|r| r.is_finite() && *r >= lo && *r <= hi)
-        .collect();
+    let (r1, r2) = if q.abs() < 1e-300 { (0.0, 0.0) } else { (q / c2, c0 / q) };
+    let mut out: Vec<f64> =
+        [r1, r2].into_iter().filter(|r| r.is_finite() && *r >= lo && *r <= hi).collect();
     out.sort_by(|a, b| a.partial_cmp(b).unwrap());
     out.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     out

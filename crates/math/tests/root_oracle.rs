@@ -11,9 +11,7 @@ fn arb_poly(max_deg: usize) -> impl Strategy<Value = Poly> {
 
 /// Roots built from chosen locations, so clustering is controlled.
 fn poly_from_roots(roots: &[f64]) -> Poly {
-    roots
-        .iter()
-        .fold(Poly::constant(1.0), |acc, &r| acc.mul(&Poly::linear(-r, 1.0)))
+    roots.iter().fold(Poly::constant(1.0), |acc, &r| acc.mul(&Poly::linear(-r, 1.0)))
 }
 
 proptest! {

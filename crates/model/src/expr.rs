@@ -43,7 +43,10 @@ pub enum Expr {
     Const(f64),
     /// Attribute `attr` of operator input `input` (0 for unary operators,
     /// 0 = left / 1 = right for joins).
-    Attr { input: usize, attr: usize },
+    Attr {
+        input: usize,
+        attr: usize,
+    },
     /// The time variable `t` of a MODEL clause.
     Time,
     Add(Box<Expr>, Box<Expr>),
@@ -192,7 +195,11 @@ pub enum Pred {
     True,
     False,
     /// `lhs op rhs` — one future row of the equation system.
-    Cmp { lhs: Expr, op: CmpOp, rhs: Expr },
+    Cmp {
+        lhs: Expr,
+        op: CmpOp,
+        rhs: Expr,
+    },
     And(Box<Pred>, Box<Pred>),
     Or(Box<Pred>, Box<Pred>),
     Not(Box<Pred>),
@@ -278,8 +285,7 @@ impl Pred {
 
 fn normalize_cmp(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Pred {
     // Put the irrational operand on the left so one set of rules suffices.
-    if !matches!(lhs, Expr::Sqrt(_) | Expr::Abs(_)) && matches!(rhs, Expr::Sqrt(_) | Expr::Abs(_))
-    {
+    if !matches!(lhs, Expr::Sqrt(_) | Expr::Abs(_)) && matches!(rhs, Expr::Sqrt(_) | Expr::Abs(_)) {
         return normalize_cmp(rhs, op.flip(), lhs);
     }
     match (lhs, op) {
@@ -289,15 +295,19 @@ fn normalize_cmp(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Pred {
             let neg_r = -r.clone();
             let rewritten = match op {
                 // |e| < r  ⇔  e < r ∧ −r < e  (automatically false when r ≤ 0)
-                CmpOp::Lt => Pred::cmp(e.clone(), CmpOp::Lt, r.clone())
-                    .and(Pred::cmp(neg_r, CmpOp::Lt, e)),
-                CmpOp::Le => Pred::cmp(e.clone(), CmpOp::Le, r.clone())
-                    .and(Pred::cmp(neg_r, CmpOp::Le, e)),
+                CmpOp::Lt => {
+                    Pred::cmp(e.clone(), CmpOp::Lt, r.clone()).and(Pred::cmp(neg_r, CmpOp::Lt, e))
+                }
+                CmpOp::Le => {
+                    Pred::cmp(e.clone(), CmpOp::Le, r.clone()).and(Pred::cmp(neg_r, CmpOp::Le, e))
+                }
                 // |e| > r  ⇔  e > r ∨ e < −r
-                CmpOp::Gt => Pred::cmp(e.clone(), CmpOp::Gt, r.clone())
-                    .or(Pred::cmp(e, CmpOp::Lt, neg_r)),
-                CmpOp::Ge => Pred::cmp(e.clone(), CmpOp::Ge, r.clone())
-                    .or(Pred::cmp(e, CmpOp::Le, neg_r)),
+                CmpOp::Gt => {
+                    Pred::cmp(e.clone(), CmpOp::Gt, r.clone()).or(Pred::cmp(e, CmpOp::Lt, neg_r))
+                }
+                CmpOp::Ge => {
+                    Pred::cmp(e.clone(), CmpOp::Ge, r.clone()).or(Pred::cmp(e, CmpOp::Le, neg_r))
+                }
                 // |e| = r  ⇔  (e = r ∨ e = −r) ∧ r ≥ 0
                 CmpOp::Eq => Pred::cmp(e.clone(), CmpOp::Eq, r.clone())
                     .or(Pred::cmp(e, CmpOp::Eq, neg_r))
@@ -312,18 +322,13 @@ fn normalize_cmp(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Pred {
             let r2 = Expr::Pow(Box::new(r.clone()), 2);
             let rewritten = match op {
                 // √e < r  ⇔  e < r² ∧ r > 0
-                CmpOp::Lt => Pred::cmp(e, CmpOp::Lt, r2)
-                    .and(Pred::cmp(r, CmpOp::Gt, Expr::c(0.0))),
-                CmpOp::Le => Pred::cmp(e, CmpOp::Le, r2)
-                    .and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
+                CmpOp::Lt => Pred::cmp(e, CmpOp::Lt, r2).and(Pred::cmp(r, CmpOp::Gt, Expr::c(0.0))),
+                CmpOp::Le => Pred::cmp(e, CmpOp::Le, r2).and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
                 // √e > r  ⇔  e > r² ∨ r < 0   (√ is non-negative)
-                CmpOp::Gt => Pred::cmp(e, CmpOp::Gt, r2)
-                    .or(Pred::cmp(r, CmpOp::Lt, Expr::c(0.0))),
-                CmpOp::Ge => Pred::cmp(e, CmpOp::Ge, r2)
-                    .or(Pred::cmp(r, CmpOp::Lt, Expr::c(0.0))),
+                CmpOp::Gt => Pred::cmp(e, CmpOp::Gt, r2).or(Pred::cmp(r, CmpOp::Lt, Expr::c(0.0))),
+                CmpOp::Ge => Pred::cmp(e, CmpOp::Ge, r2).or(Pred::cmp(r, CmpOp::Lt, Expr::c(0.0))),
                 // √e = r  ⇔  e = r² ∧ r ≥ 0
-                CmpOp::Eq => Pred::cmp(e, CmpOp::Eq, r2)
-                    .and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
+                CmpOp::Eq => Pred::cmp(e, CmpOp::Eq, r2).and(Pred::cmp(r, CmpOp::Ge, Expr::c(0.0))),
                 CmpOp::Ne => normalize_cmp(lhs, CmpOp::Eq, rhs).not(),
             };
             rewritten.normalize()
@@ -367,9 +372,7 @@ mod tests {
     fn to_poly_substitution() {
         // x + v·t with x=10, v=2  →  10 + 2t
         let e = Expr::attr(0) + Expr::attr(1) * Expr::Time;
-        let p = e
-            .to_poly(&|_, a| Ok(Poly::constant(if a == 0 { 10.0 } else { 2.0 })))
-            .unwrap();
+        let p = e.to_poly(&|_, a| Ok(Poly::constant(if a == 0 { 10.0 } else { 2.0 }))).unwrap();
         assert_eq!(p, Poly::linear(10.0, 2.0));
     }
 
@@ -379,11 +382,7 @@ mod tests {
         let e = Expr::attr_of(0, 0) - Expr::attr_of(1, 0);
         let p = e
             .to_poly(&|input, _| {
-                Ok(if input == 0 {
-                    Poly::linear(0.0, 3.0)
-                } else {
-                    Poly::linear(6.0, 1.0)
-                })
+                Ok(if input == 0 { Poly::linear(0.0, 3.0) } else { Poly::linear(6.0, 1.0) })
             })
             .unwrap();
         assert_eq!(p, Poly::linear(-6.0, 2.0)); // 2t - 6, root at t=3
@@ -392,10 +391,7 @@ mod tests {
     #[test]
     fn to_poly_rejects_sqrt() {
         let e = Expr::Sqrt(Box::new(Expr::attr(0)));
-        assert!(matches!(
-            e.to_poly(&|_, _| Ok(Poly::t())),
-            Err(ExprError::NotPolynomial(_))
-        ));
+        assert!(matches!(e.to_poly(&|_, _| Ok(Poly::t())), Err(ExprError::NotPolynomial(_))));
     }
 
     #[test]
@@ -494,12 +490,9 @@ mod tests {
 
     #[test]
     fn referenced_attrs_dedup() {
-        let p = Pred::cmp(
-            Expr::attr_of(0, 1) + Expr::attr_of(0, 1),
-            CmpOp::Lt,
-            Expr::attr_of(1, 0),
-        )
-        .and(Pred::cmp(Expr::attr_of(0, 1), CmpOp::Gt, Expr::c(0.0)));
+        let p =
+            Pred::cmp(Expr::attr_of(0, 1) + Expr::attr_of(0, 1), CmpOp::Lt, Expr::attr_of(1, 0))
+                .and(Pred::cmp(Expr::attr_of(0, 1), CmpOp::Gt, Expr::c(0.0)));
         assert_eq!(p.referenced_attrs(), vec![(0, 1), (1, 0)]);
     }
 

@@ -191,11 +191,8 @@ impl OnlineSegmenter {
             return None;
         }
         let t0 = self.fast_t0;
-        let models: Vec<Poly> = self
-            .fast_fits
-            .iter()
-            .map(|f| f.line().compose_linear(1.0, -t0))
-            .collect();
+        let models: Vec<Poly> =
+            self.fast_fits.iter().map(|f| f.line().compose_linear(1.0, -t0)).collect();
         self.segments_out += 1;
         Some(Segment::new(self.key, Span::new(t0, hi.max(t0 + 1e-9)), models, Vec::new()))
     }
@@ -269,11 +266,7 @@ pub fn bottom_up(samples: &[Sample], n_attrs: usize, cfg: &FitConfig) -> Vec<Seg
     for (i, part) in parts.iter().enumerate() {
         let (models, _) = fit_samples(part, n_attrs, cfg.degree);
         let lo = part[0].0;
-        let hi = if i + 1 < parts.len() {
-            parts[i + 1][0].0
-        } else {
-            part.last().unwrap().0 + dt
-        };
+        let hi = if i + 1 < parts.len() { parts[i + 1][0].0 } else { part.last().unwrap().0 + dt };
         out.push(Segment::new(0, Span::new(lo, hi.max(lo + 1e-9)), models, Vec::new()));
     }
     out
@@ -369,10 +362,7 @@ mod tests {
                     continue;
                 }
                 let v = if i < 30 { t } else { 30.0 - (t - 30.0) };
-                assert!(
-                    (s.eval(0, t) - v).abs() <= 0.05 + 1e-9,
-                    "residual exceeded at t={t}"
-                );
+                assert!((s.eval(0, t) - v).abs() <= 0.05 + 1e-9, "residual exceeded at t={t}");
             }
         }
         // Segments tile the time axis without overlap.
@@ -507,15 +497,22 @@ mod tests {
         // Not a timing test: just verify the fast path emits comparable
         // segment counts on the same data.
         let data = line_samples(200, 1.0);
-        let mut full = OnlineSegmenter::new(
-            FitConfig { max_error: 0.1, ..Default::default() }, 1, 0);
+        let mut full =
+            OnlineSegmenter::new(FitConfig { max_error: 0.1, ..Default::default() }, 1, 0);
         let mut fast = OnlineSegmenter::new(
-            FitConfig { max_error: 0.1, check: CheckMode::NewPoint, ..Default::default() }, 1, 0);
+            FitConfig { max_error: 0.1, check: CheckMode::NewPoint, ..Default::default() },
+            1,
+            0,
+        );
         let mut nf = 0;
         let mut nq = 0;
         for (t, v) in &data {
-            if full.push(*t, v).is_some() { nf += 1; }
-            if fast.push(*t, v).is_some() { nq += 1; }
+            if full.push(*t, v).is_some() {
+                nf += 1;
+            }
+            if fast.push(*t, v).is_some() {
+                nq += 1;
+            }
         }
         assert_eq!(nf, 0);
         assert_eq!(nq, 0);

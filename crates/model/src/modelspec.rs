@@ -69,17 +69,10 @@ impl StreamModel {
     /// attribute instantiated, valid for `horizon` seconds from the tuple
     /// (until superseded by the next tuple's segment — update semantics).
     pub fn segment_for(&self, tuple: &Tuple, horizon: f64) -> Result<Segment, ExprError> {
-        let models = self
-            .specs
-            .iter()
-            .map(|s| s.instantiate(tuple))
-            .collect::<Result<Vec<_>, _>>()?;
-        let unmodeled = self
-            .schema
-            .unmodeled_indices()
-            .into_iter()
-            .map(|i| tuple.values[i])
-            .collect();
+        let models =
+            self.specs.iter().map(|s| s.instantiate(tuple)).collect::<Result<Vec<_>, _>>()?;
+        let unmodeled =
+            self.schema.unmodeled_indices().into_iter().map(|i| tuple.values[i]).collect();
         Ok(Segment {
             id: crate::segment::SegmentId::fresh(),
             key: tuple.key,
@@ -172,9 +165,6 @@ mod tests {
     fn unknown_attr_errors() {
         let spec = ModelSpec::new(0, Expr::attr(9));
         let tuple = Tuple::new(0, 0.0, vec![1.0]);
-        assert!(matches!(
-            spec.instantiate(&tuple),
-            Err(ExprError::UnknownAttr { .. })
-        ));
+        assert!(matches!(spec.instantiate(&tuple), Err(ExprError::UnknownAttr { .. })));
     }
 }

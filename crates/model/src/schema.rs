@@ -99,12 +99,7 @@ impl Schema {
     }
 
     fn indices_of(&self, kind: AttrKind) -> Vec<usize> {
-        self.attrs
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.kind == kind)
-            .map(|(i, _)| i)
-            .collect()
+        self.attrs.iter().enumerate().filter(|(_, a)| a.kind == kind).map(|(i, _)| i).collect()
     }
 
     /// Position of `attr_idx` within the modeled-attribute ordering, i.e.
@@ -113,12 +108,7 @@ impl Schema {
         if self.attrs.get(attr_idx)?.kind != AttrKind::Modeled {
             return None;
         }
-        Some(
-            self.attrs[..attr_idx]
-                .iter()
-                .filter(|a| a.kind == AttrKind::Modeled)
-                .count(),
-        )
+        Some(self.attrs[..attr_idx].iter().filter(|a| a.kind == AttrKind::Modeled).count())
     }
 
     /// Concatenates two schemas (used by the join output), prefixing names

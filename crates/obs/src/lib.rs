@@ -1,0 +1,90 @@
+//! `pulse-obs`: structured observability for the Pulse runtime.
+//!
+//! Dependency-light by design (the build environment is offline): atomic
+//! counters, fixed power-of-two-bucket latency histograms, RAII spans, and
+//! a ring-buffer event log, all reachable through a process-global
+//! [`MetricsRegistry`] keyed by hierarchical dotted names
+//! (`runtime.violations`, `cops.join.systems_solved`, `validate.invert_ns`).
+//!
+//! Design constraints, in order:
+//! 1. **The fast path stays fast.** Recording is relaxed atomics only;
+//!    spans branch on a global enabled flag, so a disabled span costs one
+//!    atomic load. Hot loops cache [`Counter`]/[`Histogram`] handles and
+//!    never touch the name maps.
+//! 2. **Everything exports.** [`MetricsRegistry::snapshot`] freezes all
+//!    metrics into a serializable [`Snapshot`] with JSON, table, and
+//!    delta/rate views.
+//!
+//! ```
+//! pulse_obs::set_enabled(true);
+//! let hits = pulse_obs::global().counter("demo.hits");
+//! {
+//!     let _span = pulse_obs::span!("demo.work");
+//!     hits.inc();
+//! }
+//! let snap = pulse_obs::global().snapshot();
+//! assert_eq!(snap.counter("demo.hits"), Some(1));
+//! assert!(snap.histogram("demo.work").unwrap().count >= 1);
+//! pulse_obs::set_enabled(false);
+//! ```
+
+mod registry;
+mod snapshot;
+mod span;
+
+pub use registry::{
+    bucket_index, bucket_upper, Counter, HistTimer, Histogram, KeyedCounter, MetricsRegistry,
+    BUCKETS,
+};
+pub use snapshot::{HistogramSnapshot, KeyedSnapshot, Snapshot};
+pub use span::{Event, EventLog, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns observability on/off process-wide. Counters and histograms can
+/// always be written through their handles; this flag gates the *wiring*
+/// (spans and instrumented call sites check it before recording).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently on (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global registry all `span!` timings land in.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// The process-global span event log (retention off until
+/// [`EventLog::set_capacity`] is called).
+pub fn events() -> &'static EventLog {
+    static EVENTS: OnceLock<EventLog> = OnceLock::new();
+    EVENTS.get_or_init(EventLog::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("obs.test.shared").inc();
+        assert!(global().snapshot().counter("obs.test.shared").unwrap() >= 1);
+    }
+
+    #[test]
+    fn enable_flag_roundtrip() {
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

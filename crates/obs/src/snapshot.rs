@@ -1,0 +1,295 @@
+//! Point-in-time metric snapshots and the exporters over them: JSON
+//! (via serde), a human-readable table, and delta/rate views between two
+//! snapshots.
+
+use serde::Serialize;
+
+use crate::registry::{bucket_upper, BUCKETS};
+
+/// Frozen histogram state plus derived order statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    /// `(inclusive_upper_bound, count)` for non-empty buckets only.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from dense bucket counts (index = power-of-two
+    /// bucket, as produced by `Histogram`).
+    pub fn from_buckets(name: String, dense: Vec<u64>, sum: u64, max: u64) -> Self {
+        debug_assert_eq!(dense.len(), BUCKETS);
+        let count: u64 = dense.iter().sum();
+        let pct = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (p * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, c) in dense.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Report the bucket's upper bound, capped by the true
+                    // maximum so the overflow bucket stays meaningful.
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            mean_ns: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50_ns: pct(0.50),
+            p90_ns: pct(0.90),
+            p99_ns: pct(0.99),
+            buckets: dense
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| (bucket_upper(i), *c))
+                .collect(),
+            name,
+            count,
+            sum_ns: sum,
+            max_ns: max,
+        }
+    }
+
+    /// This snapshot minus an earlier one of the same histogram.
+    fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut dense = vec![0u64; BUCKETS];
+        for (hi, c) in &self.buckets {
+            dense[dense_index(*hi)] += c;
+        }
+        for (hi, c) in &earlier.buckets {
+            let slot = &mut dense[dense_index(*hi)];
+            *slot = slot.saturating_sub(*c);
+        }
+        HistogramSnapshot::from_buckets(
+            self.name.clone(),
+            dense,
+            self.sum_ns.saturating_sub(earlier.sum_ns),
+            self.max_ns, // max is not invertible; keep the later high-water
+        )
+    }
+}
+
+/// Inverse of `bucket_upper` for the sparse `(upper, count)` encoding.
+fn dense_index(upper: u64) -> usize {
+    if upper == u64::MAX {
+        BUCKETS - 1
+    } else {
+        crate::registry::bucket_index(upper)
+    }
+}
+
+/// Frozen per-key counter state.
+#[derive(Debug, Clone, Serialize)]
+pub struct KeyedSnapshot {
+    pub name: String,
+    pub total: u64,
+    /// `(key, count)` pairs, ascending by key.
+    pub by_key: Vec<(u64, u64)>,
+}
+
+/// Point-in-time view of a whole registry.
+#[derive(Debug, Clone, Serialize)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+    pub keyed: Vec<KeyedSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// This snapshot minus an `earlier` one: counter and histogram
+    /// differences (metrics absent earlier count from zero). The basis of
+    /// rate views and per-phase accounting.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| {
+                let before = earlier.counter(n).unwrap_or(0);
+                (n.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| match earlier.histogram(&h.name) {
+                Some(e) => h.delta(e),
+                None => h.clone(),
+            })
+            .collect();
+        let keyed = self
+            .keyed
+            .iter()
+            .map(|k| {
+                let before = earlier.keyed.iter().find(|e| e.name == k.name);
+                let by_key: Vec<(u64, u64)> = k
+                    .by_key
+                    .iter()
+                    .map(|(key, c)| {
+                        let b = before
+                            .and_then(|e| {
+                                e.by_key.iter().find(|(bk, _)| bk == key).map(|(_, v)| *v)
+                            })
+                            .unwrap_or(0);
+                        (*key, c.saturating_sub(b))
+                    })
+                    .collect();
+                KeyedSnapshot {
+                    name: k.name.clone(),
+                    total: by_key.iter().map(|(_, c)| c).sum(),
+                    by_key,
+                }
+            })
+            .collect();
+        Snapshot { counters, histograms, keyed }
+    }
+
+    /// Per-second rates of every counter over `secs` (a delta snapshot plus
+    /// the elapsed wall time gives throughput numbers).
+    pub fn rates(&self, secs: f64) -> Vec<(String, f64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), if secs > 0.0 { *v as f64 / secs } else { 0.0 }))
+            .collect()
+    }
+
+    /// Pretty JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Human-readable table: counters, then histogram latency summaries,
+    /// then keyed counters (top entries).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let w = self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            out.push_str("counters\n");
+            for (n, v) in &self.counters {
+                out.push_str(&format!("  {n:<w$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            let w = self.histograms.iter().map(|h| h.name.len()).max().unwrap_or(0);
+            out.push_str("histograms (ns)\n");
+            out.push_str(&format!(
+                "  {:<w$}  {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "mean", "p50", "p99", "max"
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<w$}  {:>10} {:>10.0} {:>10} {:>10} {:>10}\n",
+                    h.name, h.count, h.mean_ns, h.p50_ns, h.p99_ns, h.max_ns
+                ));
+            }
+        }
+        for k in &self.keyed {
+            out.push_str(&format!("{} (total {})\n", k.name, k.total));
+            let mut ranked = k.by_key.clone();
+            ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            for (key, c) in ranked.iter().take(8) {
+                out.push_str(&format!("  key {key:<12} {c}\n"));
+            }
+            if ranked.len() > 8 {
+                out.push_str(&format!("  … {} more keys\n", ranked.len() - 8));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    fn reg_with_data() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.in").add(100);
+        reg.counter("a.out").add(40);
+        for v in [10, 20, 800, 3000] {
+            reg.histogram("lat").record(v);
+        }
+        reg.keyed_counter("viol").inc(3);
+        reg.keyed_counter("viol").inc(3);
+        reg.keyed_counter("viol").inc(5);
+        reg
+    }
+
+    #[test]
+    fn delta_math() {
+        let reg = reg_with_data();
+        let before = reg.snapshot();
+        reg.counter("a.in").add(23);
+        reg.histogram("lat").record(50);
+        reg.histogram("lat").record(60);
+        reg.keyed_counter("viol").inc(5);
+        let after = reg.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counter("a.in"), Some(23));
+        assert_eq!(d.counter("a.out"), Some(0));
+        let h = d.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_ns, 110);
+        let viol = &d.keyed[0];
+        assert_eq!(viol.total, 1);
+        assert_eq!(viol.by_key, vec![(3, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        // 99 fast ops at ~16ns, one slow at ~65µs.
+        for _ in 0..99 {
+            h.record(16);
+        }
+        h.record(65_000);
+        let s = reg.snapshot();
+        let hs = s.histogram("h").unwrap();
+        assert_eq!(hs.count, 100);
+        assert!(hs.p50_ns < 64, "p50 {} should sit in the fast bucket", hs.p50_ns);
+        assert!(hs.p99_ns < 64, "p99 rank 99 still in the fast bucket");
+        assert_eq!(hs.max_ns, 65_000);
+        // Percentile never exceeds the true max.
+        assert!(hs.p99_ns <= hs.max_ns);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let reg = reg_with_data();
+        let s = reg.snapshot();
+        let json = s.to_json();
+        assert!(json.contains("\"a.in\""), "{json}");
+        assert!(json.contains("\"histograms\""), "{json}");
+        let table = s.to_table();
+        assert!(table.contains("a.in"), "{table}");
+        assert!(table.contains("viol (total 3)"), "{table}");
+    }
+
+    #[test]
+    fn rates_divide_by_elapsed() {
+        let reg = reg_with_data();
+        let r = reg.snapshot().rates(2.0);
+        assert!(r.iter().any(|(n, v)| n == "a.in" && (*v - 50.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,156 @@
+//! Lightweight spans: RAII timers that record nanosecond durations into
+//! the global registry, plus an optional ring-buffer event log of
+//! completed spans for post-mortem inspection.
+//!
+//! Spans branch on the global enabled flag at entry — when observability
+//! is off, `span!` costs one relaxed atomic load and carries no timer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// One completed span, as retained by the event log.
+#[derive(Debug, Clone, Serialize)]
+pub struct Event {
+    /// Monotonic sequence number (global across all spans).
+    pub seq: u64,
+    /// Span name (also the histogram it recorded into).
+    pub name: String,
+    /// Optional subject key (stream key, segment id, …).
+    pub key: Option<u64>,
+    /// Duration in nanoseconds.
+    pub ns: u64,
+}
+
+/// Fixed-capacity ring buffer of recent span events.
+pub struct EventLog {
+    buf: Mutex<(VecDeque<Event>, usize)>,
+    seq: AtomicU64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog { buf: Mutex::new((VecDeque::new(), 0)), seq: AtomicU64::new(0) }
+    }
+}
+
+impl EventLog {
+    /// Sets the retention capacity; zero (the default) disables retention.
+    pub fn set_capacity(&self, cap: usize) {
+        let mut g = self.buf.lock().unwrap();
+        g.1 = cap;
+        while g.0.len() > cap {
+            g.0.pop_front();
+        }
+    }
+
+    pub fn push(&self, name: &'static str, key: Option<u64>, ns: u64) {
+        let mut g = self.buf.lock().unwrap();
+        let cap = g.1;
+        if cap == 0 {
+            return;
+        }
+        if g.0.len() == cap {
+            g.0.pop_front();
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        g.0.push_back(Event { seq, name: name.to_string(), key, ns });
+    }
+
+    /// Oldest-first copy of the retained events.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut g = self.buf.lock().unwrap();
+        g.0.drain(..).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII span: on drop, records elapsed ns into the global registry's
+/// histogram named after the span, and appends to the event log (if that
+/// has capacity). Inert when observability is disabled at entry.
+pub struct SpanGuard {
+    active: Option<(Instant, &'static str, Option<u64>)>,
+}
+
+impl SpanGuard {
+    pub fn enter(name: &'static str, key: Option<u64>) -> SpanGuard {
+        if crate::enabled() {
+            SpanGuard { active: Some((Instant::now(), name, key)) }
+        } else {
+            SpanGuard { active: None }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start, name, key)) = self.active.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            crate::global().histogram(name).record(ns);
+            crate::events().push(name, key, ns);
+        }
+    }
+}
+
+/// Opens a span recording into histogram `$name` (with an optional `u64`
+/// subject key logged to the event ring). Bind the result:
+/// `let _span = obs::span!("runtime.solve", key);`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, None)
+    };
+    ($name:expr, $key:expr) => {
+        $crate::SpanGuard::enter($name, Some($key))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let log = EventLog::default();
+        log.push("dropped-while-disabled", None, 1);
+        assert!(log.is_empty(), "zero capacity retains nothing");
+        log.set_capacity(3);
+        for i in 0..5 {
+            log.push("e", Some(i), i);
+        }
+        let events = log.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].key, Some(2), "oldest two evicted");
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        crate::set_enabled(false);
+        {
+            let _s = crate::span!("obs.test.disabled_span");
+        }
+        assert_eq!(crate::global().histogram("obs.test.disabled_span").count(), 0);
+    }
+
+    #[test]
+    fn enabled_spans_record() {
+        crate::set_enabled(true);
+        {
+            let _s = crate::span!("obs.test.enabled_span", 42u64);
+            std::hint::black_box(1 + 1);
+        }
+        crate::set_enabled(false);
+        assert_eq!(crate::global().histogram("obs.test.enabled_span").count(), 1);
+    }
+}

@@ -94,7 +94,10 @@ pub struct WindowSpec {
 pub enum ExprAst {
     Num(f64),
     /// `[qualifier.]name`
-    Col { qualifier: Option<String>, name: String },
+    Col {
+        qualifier: Option<String>,
+        name: String,
+    },
     /// The MODEL-clause time variable `t`.
     Time,
     Neg(Box<ExprAst>),
@@ -104,7 +107,10 @@ pub enum ExprAst {
     Div(Box<ExprAst>, Box<ExprAst>),
     /// Function call: aggregates (`avg`, `min`, `max`, `sum`, `count`),
     /// scalar functions (`abs`, `sqrt`, `pow`, `distance2`).
-    Call { name: String, args: Vec<ExprAst> },
+    Call {
+        name: String,
+        args: Vec<ExprAst>,
+    },
 }
 
 /// Boolean predicate AST.

@@ -9,9 +9,7 @@
 
 use crate::ast::*;
 use pulse_math::CmpOp;
-use pulse_model::{
-    Attr, AttrKind, Expr, ModelSpec, Pred, Schema, StreamModel,
-};
+use pulse_model::{Attr, AttrKind, Expr, ModelSpec, Pred, Schema, StreamModel};
 use pulse_stream::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PortRef};
 use std::collections::HashMap;
 use std::fmt;
@@ -100,10 +98,7 @@ pub fn compile_union(blocks: &[Query], catalog: &Catalog) -> Result<Compiled, Co
             None => width = Some(scope.n_cols),
             Some(w) if w == scope.n_cols => {}
             Some(w) => {
-                return err(format!(
-                    "UNION arms have different widths ({w} vs {})",
-                    scope.n_cols
-                ))
+                return err(format!("UNION arms have different widths ({w} vs {})", scope.n_cols))
             }
         }
         ports.push(port);
@@ -172,11 +167,8 @@ impl Scope {
         for e in &mut self.entries {
             e.qual = Some(alias.to_string());
         }
-        let unqual: Vec<Entry> = self
-            .entries
-            .iter()
-            .map(|e| Entry { qual: None, ..e.clone() })
-            .collect();
+        let unqual: Vec<Entry> =
+            self.entries.iter().map(|e| Entry { qual: None, ..e.clone() }).collect();
         self.entries.extend(unqual);
         self
     }
@@ -282,9 +274,11 @@ impl Ctx<'_> {
 
     fn compile_query(&mut self, q: &Query) -> Result<(PortRef, Scope), CompileError> {
         let (left_port, left_scope) = self.compile_table(&q.from.left)?;
-        let has_agg = q.select.iter().any(|item| {
-            matches!(item, SelectItem::Expr { expr, .. } if expr.has_aggregate())
-        }) || q.having.as_ref().is_some_and(pred_has_aggregate);
+        let has_agg = q
+            .select
+            .iter()
+            .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.has_aggregate()))
+            || q.having.as_ref().is_some_and(pred_has_aggregate);
 
         // --- FROM (+ JOIN) ---
         let (mut port, mut scope) = if let Some(join) = &q.from.join {
@@ -320,11 +314,7 @@ impl Ctx<'_> {
                 }
             }
             let node = self.plan.add(
-                LogicalOp::Join {
-                    window: join.within.unwrap_or(1.0),
-                    pred: value_pred,
-                    on_keys,
-                },
+                LogicalOp::Join { window: join.within.unwrap_or(1.0), pred: value_pred, on_keys },
                 vec![left_port, right_port],
             );
             // Post-join scope: single input, right columns shifted.
@@ -354,14 +344,9 @@ impl Ctx<'_> {
 
         // --- Aggregation ---
         if has_agg {
-            let window = q
-                .from
-                .left
-                .window()
-                .copied()
-                .ok_or_else(|| CompileError {
-                    message: "aggregate requires a [size w advance s] window on the input".into(),
-                })?;
+            let window = q.from.left.window().copied().ok_or_else(|| CompileError {
+                message: "aggregate requires a [size w advance s] window on the input".into(),
+            })?;
             let agg = extract_single_aggregate(&q.select, q.having.as_ref())?;
             let (func, arg) = agg;
             // Aggregate argument: direct column or computed expression.
@@ -497,8 +482,8 @@ impl Ctx<'_> {
             // Pure passthrough (possibly a prefix/reorder — treat a full
             // in-order passthrough as identity, anything else as a map of
             // column references).
-            let identity = passthrough_cols.iter().copied().eq(0..scope.n_cols)
-                || passthrough_cols.is_empty();
+            let identity =
+                passthrough_cols.iter().copied().eq(0..scope.n_cols) || passthrough_cols.is_empty();
             if identity {
                 return Ok((port, scope.clone()));
             }
@@ -518,7 +503,11 @@ impl Ctx<'_> {
                     .find(|e| e.target == Target::Col { input: 0, idx: c })
                     .map(|e| e.name.clone())
                     .unwrap_or_else(|| format!("c{c}"));
-                out.entries.push(Entry { qual: None, name, target: Target::Col { input: 0, idx: i } });
+                out.entries.push(Entry {
+                    qual: None,
+                    name,
+                    target: Target::Col { input: 0, idx: i },
+                });
             }
             out.n_cols = passthrough_cols.len();
             return Ok((node, out));
@@ -553,7 +542,11 @@ impl Ctx<'_> {
         }
         out.n_cols = attrs.len();
         // Keys keep flowing out-of-band.
-        out.entries.push(Entry { qual: None, name: "__key".into(), target: Target::Key { input: 0 } });
+        out.entries.push(Entry {
+            qual: None,
+            name: "__key".into(),
+            target: Target::Key { input: 0 },
+        });
         Ok((node, out))
     }
 }
@@ -614,9 +607,7 @@ fn extract_single_aggregate(
     having: Option<&PredAst>,
 ) -> Result<(AggFunc, Option<ExprAst>), CompileError> {
     let mut found: Option<(AggFunc, Option<ExprAst>)> = None;
-    let mut visit = |e: &ExprAst| -> Result<(), CompileError> {
-        collect_aggs(e, &mut found)
-    };
+    let mut visit = |e: &ExprAst| -> Result<(), CompileError> { collect_aggs(e, &mut found) };
     for item in items {
         if let SelectItem::Expr { expr, .. } = item {
             visit(expr)?;
@@ -696,10 +687,9 @@ fn agg_alias(items: &[SelectItem]) -> Option<String> {
 /// grouping, like the MACD query's `select symbol, avg(price)`).
 fn selects_key(items: &[SelectItem], scope: &Scope) -> bool {
     items.iter().any(|i| match i {
-        SelectItem::Expr { expr: ExprAst::Col { qualifier, name }, .. } => matches!(
-            scope.resolve(qualifier.as_deref(), name),
-            Ok(Target::Key { .. })
-        ),
+        SelectItem::Expr { expr: ExprAst::Col { qualifier, name }, .. } => {
+            matches!(scope.resolve(qualifier.as_deref(), name), Ok(Target::Key { .. }))
+        }
         _ => false,
     })
 }
@@ -721,32 +711,26 @@ fn rewrite_agg_calls(p: &PredAst, scope: &Scope) -> Result<PredAst, CompileError
                 ExprAst::Col { qualifier: None, name: name.to_string() }
             }
             ExprAst::Neg(a) => ExprAst::Neg(Box::new(rewrite_expr(a, name))),
-            ExprAst::Add(a, b) => ExprAst::Add(
-                Box::new(rewrite_expr(a, name)),
-                Box::new(rewrite_expr(b, name)),
-            ),
-            ExprAst::Sub(a, b) => ExprAst::Sub(
-                Box::new(rewrite_expr(a, name)),
-                Box::new(rewrite_expr(b, name)),
-            ),
-            ExprAst::Mul(a, b) => ExprAst::Mul(
-                Box::new(rewrite_expr(a, name)),
-                Box::new(rewrite_expr(b, name)),
-            ),
-            ExprAst::Div(a, b) => ExprAst::Div(
-                Box::new(rewrite_expr(a, name)),
-                Box::new(rewrite_expr(b, name)),
-            ),
+            ExprAst::Add(a, b) => {
+                ExprAst::Add(Box::new(rewrite_expr(a, name)), Box::new(rewrite_expr(b, name)))
+            }
+            ExprAst::Sub(a, b) => {
+                ExprAst::Sub(Box::new(rewrite_expr(a, name)), Box::new(rewrite_expr(b, name)))
+            }
+            ExprAst::Mul(a, b) => {
+                ExprAst::Mul(Box::new(rewrite_expr(a, name)), Box::new(rewrite_expr(b, name)))
+            }
+            ExprAst::Div(a, b) => {
+                ExprAst::Div(Box::new(rewrite_expr(a, name)), Box::new(rewrite_expr(b, name)))
+            }
             other => other.clone(),
         }
     }
     fn rewrite(p: &PredAst, name: &str) -> PredAst {
         match p {
-            PredAst::Cmp { lhs, op, rhs } => PredAst::Cmp {
-                lhs: rewrite_expr(lhs, name),
-                op: *op,
-                rhs: rewrite_expr(rhs, name),
-            },
+            PredAst::Cmp { lhs, op, rhs } => {
+                PredAst::Cmp { lhs: rewrite_expr(lhs, name), op: *op, rhs: rewrite_expr(rhs, name) }
+            }
             PredAst::And(a, b) => {
                 PredAst::And(Box::new(rewrite(a, name)), Box::new(rewrite(b, name)))
             }
@@ -764,24 +748,19 @@ fn compile_expr(e: &ExprAst, scope: &Scope) -> Result<Expr, CompileError> {
     Ok(match e {
         ExprAst::Num(n) => Expr::Const(*n),
         ExprAst::Time => Expr::Time,
-        ExprAst::Col { qualifier, name } => {
-            match scope.resolve(qualifier.as_deref(), name)? {
-                Target::Col { input, idx } => Expr::attr_of(input, idx),
-                Target::Key { .. } => {
-                    return err(format!(
-                        "key attribute `{name}` cannot appear in a value expression"
-                    ))
-                }
+        ExprAst::Col { qualifier, name } => match scope.resolve(qualifier.as_deref(), name)? {
+            Target::Col { input, idx } => Expr::attr_of(input, idx),
+            Target::Key { .. } => {
+                return err(format!("key attribute `{name}` cannot appear in a value expression"))
             }
-        }
+        },
         ExprAst::Neg(a) => -compile_expr(a, scope)?,
         ExprAst::Add(a, b) => compile_expr(a, scope)? + compile_expr(b, scope)?,
         ExprAst::Sub(a, b) => compile_expr(a, scope)? - compile_expr(b, scope)?,
         ExprAst::Mul(a, b) => compile_expr(a, scope)? * compile_expr(b, scope)?,
-        ExprAst::Div(a, b) => Expr::Div(
-            Box::new(compile_expr(a, scope)?),
-            Box::new(compile_expr(b, scope)?),
-        ),
+        ExprAst::Div(a, b) => {
+            Expr::Div(Box::new(compile_expr(a, scope)?), Box::new(compile_expr(b, scope)?))
+        }
         ExprAst::Call { name, args } => match (name.as_str(), args.len()) {
             ("abs", 1) => Expr::Abs(Box::new(compile_expr(&args[0], scope)?)),
             ("sqrt", 1) => Expr::Sqrt(Box::new(compile_expr(&args[0], scope)?)),

@@ -183,9 +183,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(input[start..i].to_ascii_lowercase()));
@@ -261,13 +259,19 @@ mod tests {
     #[test]
     fn comparisons_and_synonyms() {
         let toks = lex("a < b <= c <> d != e >= f > g = h").unwrap();
-        let cmps: Vec<&Token> = toks
-            .iter()
-            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
-            .collect();
+        let cmps: Vec<&Token> =
+            toks.iter().filter(|t| !matches!(t, Token::Ident(_) | Token::Eof)).collect();
         assert_eq!(
             cmps,
-            vec![&Token::Lt, &Token::Le, &Token::Ne, &Token::Ne, &Token::Ge, &Token::Gt, &Token::Eq]
+            vec![
+                &Token::Lt,
+                &Token::Le,
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Ge,
+                &Token::Gt,
+                &Token::Eq
+            ]
         );
     }
 

@@ -24,7 +24,7 @@ pub mod compile;
 pub mod lexer;
 pub mod parser;
 
-pub use compile::{compile, compile_union, Catalog, Compiled, CompileError, StreamDecl};
+pub use compile::{compile, compile_union, Catalog, CompileError, Compiled, StreamDecl};
 pub use parser::{parse, parse_union, ParseError};
 
 /// One-shot convenience: parse and compile.
@@ -126,11 +126,7 @@ mod tests {
 
     #[test]
     fn windowed_aggregate_compiles() {
-        let c = parse_query(
-            "select min(x) from objects [size 10 advance 2]",
-            &catalog(),
-        )
-        .unwrap();
+        let c = parse_query("select min(x) from objects [size 10 advance 2]", &catalog()).unwrap();
         match &c.plan.nodes[0].op {
             LogicalOp::Aggregate { func, attr, width, slide, group_by_key } => {
                 assert_eq!(*func, AggFunc::Min);
@@ -200,10 +196,7 @@ mod tests {
         .unwrap();
         // join, map(dist), aggregate, filter(having)
         assert_eq!(c.plan.nodes.len(), 4);
-        assert!(matches!(
-            c.plan.nodes[0].op,
-            LogicalOp::Join { on_keys: KeyJoin::Ne, .. }
-        ));
+        assert!(matches!(c.plan.nodes[0].op, LogicalOp::Join { on_keys: KeyJoin::Ne, .. }));
         assert!(matches!(c.plan.nodes[1].op, LogicalOp::Map { .. }));
         assert!(matches!(
             c.plan.nodes[2].op,
@@ -267,11 +260,7 @@ mod tests {
             "key in value predicate"
         );
         assert!(
-            parse_query(
-                "select avg(x), sum(y) from objects [size 1 advance 1]",
-                &cat
-            )
-            .is_err(),
+            parse_query("select avg(x), sum(y) from objects [size 1 advance 1]", &cat).is_err(),
             "two distinct aggregates"
         );
     }
@@ -300,10 +289,7 @@ mod tests {
 
     #[test]
     fn union_width_mismatch_rejected() {
-        let e = parse_query(
-            "select x from objects union select x, y from objects",
-            &catalog(),
-        );
+        let e = parse_query("select x from objects union select x, y from objects", &catalog());
         assert!(e.is_err(), "width mismatch must be rejected");
     }
 

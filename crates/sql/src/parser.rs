@@ -430,10 +430,7 @@ mod tests {
 
     #[test]
     fn join_with_within() {
-        let q = parse(
-            "select * from a join b on (a.x < b.x and a.y = b.y) within 0.5",
-        )
-        .unwrap();
+        let q = parse("select * from a join b on (a.x < b.x and a.y = b.y) within 0.5").unwrap();
         let j = q.from.join.unwrap();
         assert_eq!(j.within, Some(0.5));
         assert!(matches!(j.on, PredAst::And(_, _)));

@@ -63,11 +63,9 @@ pub fn explain(plan: &LogicalPlan) -> String {
                     .collect();
                 format!("Map[{}]", cols.join(", "))
             }
-            LogicalOp::Join { window, pred, on_keys } => format!(
-                "Join[keys {:?}, within {window}s, {}]",
-                on_keys,
-                pred_to_string(pred)
-            ),
+            LogicalOp::Join { window, pred, on_keys } => {
+                format!("Join[keys {:?}, within {window}s, {}]", on_keys, pred_to_string(pred))
+            }
             LogicalOp::Aggregate { func, attr, width, slide, group_by_key } => format!(
                 "Aggregate[{func:?}(#{attr}) size {width}s advance {slide}s{}]",
                 if *group_by_key { ", per key" } else { "" }
@@ -125,7 +123,13 @@ mod tests {
         let src = Schema::of(&[("x", AttrKind::Modeled)]);
         let mut lp = LogicalPlan::new(vec![src]);
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 10.0, slide: 2.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Avg,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
         let text = explain(&lp);

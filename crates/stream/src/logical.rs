@@ -196,10 +196,7 @@ mod tests {
     #[test]
     fn schema_propagation() {
         let mut p = LogicalPlan::new(vec![src(), src()]);
-        let f = p.add(
-            LogicalOp::Filter { pred: Pred::True },
-            vec![PortRef::Source(0)],
-        );
+        let f = p.add(LogicalOp::Filter { pred: Pred::True }, vec![PortRef::Source(0)]);
         assert_eq!(p.schema_of(f), src());
         let j = p.add(
             LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Any },
@@ -210,7 +207,13 @@ mod tests {
         assert_eq!(js.index_of("l.x"), Some(0));
         assert_eq!(js.index_of("r.v"), Some(3));
         let a = p.add(
-            LogicalOp::Aggregate { func: AggFunc::Min, attr: 0, width: 10.0, slide: 2.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Min,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: true,
+            },
             vec![j],
         );
         let asch = p.schema_of(a);

@@ -6,8 +6,10 @@
 //! touched, predicate comparison, and window-state increment is counted, so
 //! harnesses can report both wall time and algorithmic work.
 
+use serde::Serialize;
+
 /// Counters shared by all operators (discrete and continuous).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct OpMetrics {
     /// Items (tuples or segments) consumed.
     pub items_in: u64,
@@ -38,6 +40,18 @@ impl OpMetrics {
     pub fn work(&self) -> u64 {
         self.comparisons + self.state_updates + self.systems_solved
     }
+
+    /// `(field_name, value)` pairs — the iteration order metric exporters
+    /// use to publish each counter under `<prefix>.<op>.<field>`.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("items_in", self.items_in),
+            ("items_out", self.items_out),
+            ("comparisons", self.comparisons),
+            ("state_updates", self.state_updates),
+            ("systems_solved", self.systems_solved),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -46,7 +60,13 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a = OpMetrics { items_in: 1, items_out: 2, comparisons: 3, state_updates: 4, systems_solved: 5 };
+        let mut a = OpMetrics {
+            items_in: 1,
+            items_out: 2,
+            comparisons: 3,
+            state_updates: 4,
+            systems_solved: 5,
+        };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.items_in, 2);

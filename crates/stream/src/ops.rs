@@ -16,6 +16,9 @@ use crate::logical::{AggFunc, KeyJoin};
 
 /// A push-based discrete operator.
 pub trait Operator {
+    /// Stable lower-case operator name — the middle component of the
+    /// operator's metric names (`stream.<name>.<metric>`).
+    fn name(&self) -> &'static str;
     /// Processes one tuple arriving on `input`, appending outputs.
     fn process(&mut self, input: usize, tuple: &Tuple, out: &mut Vec<Tuple>);
     /// Cost counters.
@@ -38,6 +41,10 @@ impl FilterOp {
 }
 
 impl Operator for FilterOp {
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
     fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         self.m.items_in += 1;
         self.m.comparisons += 1;
@@ -65,6 +72,10 @@ impl MapOp {
 }
 
 impl Operator for MapOp {
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
     fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         self.m.items_in += 1;
         self.m.items_out += 1;
@@ -111,6 +122,10 @@ impl JoinOp {
 }
 
 impl Operator for JoinOp {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
     fn process(&mut self, input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         self.m.items_in += 1;
         Self::expire(&mut self.left, tuple.ts, self.window);
@@ -151,6 +166,10 @@ impl UnionOp {
 }
 
 impl Operator for UnionOp {
+    fn name(&self) -> &'static str {
+        "union"
+    }
+
     fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         self.m.items_in += 1;
         self.m.items_out += 1;
@@ -267,6 +286,10 @@ impl AggregateOp {
 }
 
 impl Operator for AggregateOp {
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+
     fn process(&mut self, _input: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         self.m.items_in += 1;
         self.close_until(tuple.ts, out);

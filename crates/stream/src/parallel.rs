@@ -54,7 +54,8 @@ impl Pipeline {
         let (out_tx, out_rx) = unbounded::<Tuple>();
         // Wiring: consumers of each node's output / each source.
         let mut node_consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        let mut source_consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); logical.sources.len()];
+        let mut source_consumers: Vec<Vec<(usize, usize)>> =
+            vec![Vec::new(); logical.sources.len()];
         let mut producer_counts = vec![0usize; n];
         for (i, ln) in logical.nodes.iter().enumerate() {
             for (port, input) in ln.inputs.iter().enumerate() {
@@ -92,10 +93,8 @@ impl Pipeline {
                 LogicalOp::Union => Box::new(UnionOp::new()),
             };
             let rx = rxs[i].clone();
-            let downstream: Vec<(Sender<Msg>, usize)> = node_consumers[i]
-                .iter()
-                .map(|&(node, port)| (txs[node].clone(), port))
-                .collect();
+            let downstream: Vec<(Sender<Msg>, usize)> =
+                node_consumers[i].iter().map(|&(node, port)| (txs[node].clone(), port)).collect();
             let out = sinks[i].then(|| out_tx.clone());
             let mut eofs_needed = producer_counts[i];
             handles.push(thread::spawn(move || {
@@ -198,7 +197,13 @@ mod tests {
             vec![PortRef::Source(0)],
         );
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Sum, attr: 0, width: 10.0, slide: 10.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Sum,
+                attr: 0,
+                width: 10.0,
+                slide: 10.0,
+                group_by_key: true,
+            },
             vec![f],
         );
         lp
@@ -207,9 +212,8 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let lp = pipeline_plan();
-        let tuples: Vec<Tuple> = (0..100)
-            .map(|i| tup(0, i as f64 * 0.5, if i % 2 == 0 { 1.0 } else { -1.0 }))
-            .collect();
+        let tuples: Vec<Tuple> =
+            (0..100).map(|i| tup(0, i as f64 * 0.5, if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
         // Sequential reference.
         let mut seq_plan = Plan::compile(&lp);
         let mut seq = Vec::new();

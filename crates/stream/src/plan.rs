@@ -60,10 +60,8 @@ impl Plan {
     /// Pushes one tuple from source `source`, returning query outputs.
     pub fn push(&mut self, source: usize, tuple: &Tuple) -> Vec<Tuple> {
         let mut results = Vec::new();
-        let mut queue: Vec<(usize, usize, Tuple)> = self.source_edges[source]
-            .iter()
-            .map(|&(n, p)| (n, p, tuple.clone()))
-            .collect();
+        let mut queue: Vec<(usize, usize, Tuple)> =
+            self.source_edges[source].iter().map(|&(n, p)| (n, p, tuple.clone())).collect();
         let mut scratch = Vec::new();
         while let Some((node, port, t)) = queue.pop() {
             scratch.clear();
@@ -105,10 +103,8 @@ impl Plan {
                     results.push(out.clone());
                 }
                 // Route through descendants with the normal push machinery.
-                let mut queue: Vec<(usize, usize, Tuple)> = self.node_edges[node]
-                    .iter()
-                    .map(|&(n, p)| (n, p, out.clone()))
-                    .collect();
+                let mut queue: Vec<(usize, usize, Tuple)> =
+                    self.node_edges[node].iter().map(|&(n, p)| (n, p, out.clone())).collect();
                 while let Some((n, p, t)) = queue.pop() {
                     let mut produced = Vec::new();
                     self.nodes[n].process(p, &t, &mut produced);
@@ -139,6 +135,21 @@ impl Plan {
     pub fn node_metrics(&self, node: usize) -> OpMetrics {
         self.nodes[node].metrics()
     }
+
+    /// Publishes every operator's counters into `reg` under
+    /// `stream.<op>.<metric>`, merging operators of the same kind.
+    pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
+        let mut per: std::collections::BTreeMap<&'static str, OpMetrics> =
+            std::collections::BTreeMap::new();
+        for n in &self.nodes {
+            per.entry(n.name()).or_default().absorb(&n.metrics());
+        }
+        for (name, m) in per {
+            for (field, v) in m.fields() {
+                reg.counter(&format!("stream.{name}.{field}")).set(v);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +175,13 @@ mod tests {
             vec![PortRef::Source(0)],
         );
         lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Sum, attr: 0, width: 10.0, slide: 10.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Sum,
+                attr: 0,
+                width: 10.0,
+                slide: 10.0,
+                group_by_key: true,
+            },
             vec![f],
         );
         let mut plan = Plan::compile(&lp);
@@ -225,7 +242,13 @@ mod tests {
         // pass through the filter before reaching the output.
         let mut lp = LogicalPlan::new(vec![src()]);
         let a = lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Sum, attr: 0, width: 10.0, slide: 10.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Sum,
+                attr: 0,
+                width: 10.0,
+                slide: 10.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
         lp.add(
@@ -266,11 +289,23 @@ mod tests {
         // the structural shape of the paper's MACD query.
         let mut lp = LogicalPlan::new(vec![src()]);
         let short = lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 4.0, slide: 2.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Avg,
+                attr: 0,
+                width: 4.0,
+                slide: 2.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
         let long = lp.add(
-            LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 8.0, slide: 2.0, group_by_key: true },
+            LogicalOp::Aggregate {
+                func: AggFunc::Avg,
+                attr: 0,
+                width: 8.0,
+                slide: 2.0,
+                group_by_key: true,
+            },
             vec![PortRef::Source(0)],
         );
         let j = lp.add(

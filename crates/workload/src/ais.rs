@@ -136,10 +136,8 @@ impl AisGen {
                         v.vy = vy;
                     }
                     None => {
-                        let (vx, vy) = (
-                            self.rng.gen_range(-10.0..10.0),
-                            self.rng.gen_range(-10.0..10.0),
-                        );
+                        let (vx, vy) =
+                            (self.rng.gen_range(-10.0..10.0), self.rng.gen_range(-10.0..10.0));
                         let v = &mut self.vessels[key];
                         v.vx = vx;
                         v.vy = vy;
@@ -166,9 +164,7 @@ impl AisGen {
 
     /// The designated follower pairs `(leader, follower)`.
     pub fn follower_pairs(&self) -> Vec<(u64, u64)> {
-        (0..self.cfg.follower_pairs)
-            .map(|p| (2 * p as u64, 2 * p as u64 + 1))
-            .collect()
+        (0..self.cfg.follower_pairs).map(|p| (2 * p as u64, 2 * p as u64 + 1)).collect()
     }
 }
 

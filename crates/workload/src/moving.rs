@@ -129,11 +129,7 @@ impl MovingObjectGen {
                     (0.0, 0.0)
                 };
                 let o = &self.objects[key];
-                out.push(Tuple::new(
-                    key as u64,
-                    ts,
-                    vec![o.x + nx, o.vx, o.y + ny, o.vy],
-                ));
+                out.push(Tuple::new(key as u64, ts, vec![o.x + nx, o.vx, o.y + ny, o.vy]));
                 let o = &mut self.objects[key];
                 o.x += o.vx * self.cfg.sample_dt;
                 o.y += o.vy * self.cfg.sample_dt;
@@ -160,10 +156,8 @@ impl MovingObjectGen {
             };
             if is_new {
                 // Close the previous leg at this timestamp.
-                if let Some(seg) = out
-                    .iter_mut()
-                    .rev()
-                    .find(|s| s.key == t.key && s.span.hi > duration - 1e-9)
+                if let Some(seg) =
+                    out.iter_mut().rev().find(|s| s.key == t.key && s.span.hi > duration - 1e-9)
                 {
                     seg.span = Span::new(seg.span.lo, t.ts);
                 }
@@ -181,6 +175,25 @@ impl MovingObjectGen {
     pub fn tuples_per_segment(cfg: &MovingConfig) -> f64 {
         cfg.leg_duration / cfg.sample_dt
     }
+}
+
+/// Finds the ground-truth segment covering `(key, ts)`. Errors (instead of
+/// panicking) with the key's covered spans when coverage is missing, so a
+/// generator/ground-truth mismatch is diagnosable from the message.
+pub fn segment_covering(segs: &[Segment], key: u64, ts: f64) -> Result<&Segment, String> {
+    segs.iter().find(|s| s.key == key && s.span.contains(ts)).ok_or_else(|| {
+        let spans: Vec<String> = segs
+            .iter()
+            .filter(|s| s.key == key)
+            .map(|s| format!("[{:.3}, {:.3})", s.span.lo, s.span.hi))
+            .collect();
+        format!(
+            "no ground-truth segment covers key {key} at ts {ts}; \
+             key has {} segment(s): {}",
+            spans.len(),
+            spans.join(" ")
+        )
+    })
 }
 
 #[cfg(test)]
@@ -233,10 +246,7 @@ mod tests {
         let segs = MovingObjectGen::ground_truth(&cfg, 8.0);
         let tuples = MovingObjectGen::new(cfg).generate(8.0);
         for t in &tuples {
-            let seg = segs
-                .iter()
-                .find(|s| s.key == t.key && s.span.contains(t.ts))
-                .unwrap_or_else(|| panic!("no segment covers key {} ts {}", t.key, t.ts));
+            let seg = segment_covering(&segs, t.key, t.ts).expect("full coverage");
             assert!((seg.eval(0, t.ts) - t.values[0]).abs() < 1e-6, "x mismatch");
             assert!((seg.eval(1, t.ts) - t.values[2]).abs() < 1e-6, "y mismatch");
         }

@@ -86,11 +86,8 @@ impl NyseGen {
             let elapsed = ts - last_ts[key];
             last_ts[key] = ts;
             let noise_amp = self.cfg.tick_noise * self.symbols[key].price;
-            let noise = if noise_amp > 0.0 {
-                self.rng.gen_range(-noise_amp..noise_amp)
-            } else {
-                0.0
-            };
+            let noise =
+                if noise_amp > 0.0 { self.rng.gen_range(-noise_amp..noise_amp) } else { 0.0 };
             let qty = self.rng.gen_range(1..=10) as f64 * 100.0;
             let s = &mut self.symbols[key];
             s.price = (s.price + s.drift * elapsed).max(0.01);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and the full test suite.
+# Run before every commit; CI mirrors these steps.
+#
+# The observability overhead gate (suppressed fast path within 5% with
+# telemetry on) is measured separately — it needs a quiet machine:
+#   cargo bench -p pulse-bench --bench obs_overhead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

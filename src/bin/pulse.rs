@@ -133,8 +133,7 @@ fn run(args: &Args) -> Result<(), String> {
     let horizon = args.get_f64("horizon", 10.0)?;
     let limit = args.get_f64("limit", 10.0)? as usize;
 
-    let compiled: Compiled =
-        parse_query(&query_text, &catalog()).map_err(|e| e.to_string())?;
+    let compiled: Compiled = parse_query(&query_text, &catalog()).map_err(|e| e.to_string())?;
     if args.get("explain").is_some() {
         print!("{}", pulse::stream::explain(&compiled.plan));
         return Ok(());

@@ -2,6 +2,7 @@
 pub use pulse_core as core;
 pub use pulse_math as math;
 pub use pulse_model as model;
+pub use pulse_obs as obs;
 pub use pulse_sql as sql;
 pub use pulse_stream as stream;
 pub use pulse_workload as workload;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1a07b221d9f65bd2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1a07b221d9f65bd2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-502fc63d15a04eaf.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-502fc63d15a04eaf: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

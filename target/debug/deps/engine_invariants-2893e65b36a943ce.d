@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_invariants-2893e65b36a943ce.d: tests/engine_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_invariants-2893e65b36a943ce.rmeta: tests/engine_invariants.rs Cargo.toml
+
+tests/engine_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

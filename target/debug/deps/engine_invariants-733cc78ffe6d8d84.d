@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-733cc78ffe6d8d84.d: tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-733cc78ffe6d8d84: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-bcd708d780f959ea.d: tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-bcd708d780f959ea: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

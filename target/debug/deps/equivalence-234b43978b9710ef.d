@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-234b43978b9710ef.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-234b43978b9710ef: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-37898f51d3a3fc21.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-37898f51d3a3fc21: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-a8b387326f17bd60.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-a8b387326f17bd60.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

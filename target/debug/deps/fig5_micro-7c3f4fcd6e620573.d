@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_micro-7c3f4fcd6e620573.d: crates/bench/src/bin/fig5_micro.rs
+
+/root/repo/target/debug/deps/fig5_micro-7c3f4fcd6e620573: crates/bench/src/bin/fig5_micro.rs
+
+crates/bench/src/bin/fig5_micro.rs:

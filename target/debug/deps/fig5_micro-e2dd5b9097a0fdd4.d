@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_micro-e2dd5b9097a0fdd4.d: crates/bench/src/bin/fig5_micro.rs
+
+/root/repo/target/debug/deps/fig5_micro-e2dd5b9097a0fdd4: crates/bench/src/bin/fig5_micro.rs
+
+crates/bench/src/bin/fig5_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_cost-dbfd6092215c7874.d: crates/bench/src/bin/fig7_cost.rs
+
+/root/repo/target/debug/deps/fig7_cost-dbfd6092215c7874: crates/bench/src/bin/fig7_cost.rs
+
+crates/bench/src/bin/fig7_cost.rs:

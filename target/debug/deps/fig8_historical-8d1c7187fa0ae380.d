@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_historical-8d1c7187fa0ae380.d: crates/bench/src/bin/fig8_historical.rs
+
+/root/repo/target/debug/deps/fig8_historical-8d1c7187fa0ae380: crates/bench/src/bin/fig8_historical.rs
+
+crates/bench/src/bin/fig8_historical.rs:

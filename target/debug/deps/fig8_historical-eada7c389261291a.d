@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_historical-eada7c389261291a.d: crates/bench/src/bin/fig8_historical.rs
+
+/root/repo/target/debug/deps/fig8_historical-eada7c389261291a: crates/bench/src/bin/fig8_historical.rs
+
+crates/bench/src/bin/fig8_historical.rs:

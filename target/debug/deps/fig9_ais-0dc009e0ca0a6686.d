@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ais-0dc009e0ca0a6686.d: crates/bench/src/bin/fig9_ais.rs
+
+/root/repo/target/debug/deps/fig9_ais-0dc009e0ca0a6686: crates/bench/src/bin/fig9_ais.rs
+
+crates/bench/src/bin/fig9_ais.rs:

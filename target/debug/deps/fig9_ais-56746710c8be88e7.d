@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ais-56746710c8be88e7.d: crates/bench/src/bin/fig9_ais.rs
+
+/root/repo/target/debug/deps/fig9_ais-56746710c8be88e7: crates/bench/src/bin/fig9_ais.rs
+
+crates/bench/src/bin/fig9_ais.rs:

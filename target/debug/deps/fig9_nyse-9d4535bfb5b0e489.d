@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_nyse-9d4535bfb5b0e489.d: crates/bench/src/bin/fig9_nyse.rs
+
+/root/repo/target/debug/deps/fig9_nyse-9d4535bfb5b0e489: crates/bench/src/bin/fig9_nyse.rs
+
+crates/bench/src/bin/fig9_nyse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_nyse-c1358fe903e9e19e.d: crates/bench/src/bin/fig9_nyse.rs
+
+/root/repo/target/debug/deps/fig9_nyse-c1358fe903e9e19e: crates/bench/src/bin/fig9_nyse.rs
+
+crates/bench/src/bin/fig9_nyse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_precision-3401deb9b4ec6c2d.d: crates/bench/src/bin/fig9_precision.rs
+
+/root/repo/target/debug/deps/fig9_precision-3401deb9b4ec6c2d: crates/bench/src/bin/fig9_precision.rs
+
+crates/bench/src/bin/fig9_precision.rs:

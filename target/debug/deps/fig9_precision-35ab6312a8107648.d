@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_precision-35ab6312a8107648.d: crates/bench/src/bin/fig9_precision.rs
+
+/root/repo/target/debug/deps/fig9_precision-35ab6312a8107648: crates/bench/src/bin/fig9_precision.rs
+
+crates/bench/src/bin/fig9_precision.rs:

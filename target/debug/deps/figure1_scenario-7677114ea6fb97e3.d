@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_scenario-7677114ea6fb97e3.d: tests/figure1_scenario.rs
+
+/root/repo/target/debug/deps/figure1_scenario-7677114ea6fb97e3: tests/figure1_scenario.rs
+
+tests/figure1_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_scenario-c3991f811d0df951.d: tests/figure1_scenario.rs
+
+/root/repo/target/debug/deps/figure1_scenario-c3991f811d0df951: tests/figure1_scenario.rs
+
+tests/figure1_scenario.rs:

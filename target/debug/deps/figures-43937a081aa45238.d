@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-43937a081aa45238.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-43937a081aa45238: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-c02fea4ccddbd42f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-c02fea4ccddbd42f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macd_pipeline-3e4280f6a7c6dd5b.d: tests/macd_pipeline.rs
+
+/root/repo/target/debug/deps/macd_pipeline-3e4280f6a7c6dd5b: tests/macd_pipeline.rs
+
+tests/macd_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macd_pipeline-6287a47eee7e6cef.d: tests/macd_pipeline.rs
+
+/root/repo/target/debug/deps/macd_pipeline-6287a47eee7e6cef: tests/macd_pipeline.rs
+
+tests/macd_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macd_pipeline-c7b07aaf2ad0cb12.d: tests/macd_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacd_pipeline-c7b07aaf2ad0cb12.rmeta: tests/macd_pipeline.rs Cargo.toml
+
+tests/macd_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

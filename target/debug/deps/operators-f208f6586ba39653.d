@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operators-f208f6586ba39653.d: crates/bench/benches/operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperators-f208f6586ba39653.rmeta: crates/bench/benches/operators.rs Cargo.toml
+
+crates/bench/benches/operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

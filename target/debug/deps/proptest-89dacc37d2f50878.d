@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-89dacc37d2f50878.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-89dacc37d2f50878.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-89dacc37d2f50878.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

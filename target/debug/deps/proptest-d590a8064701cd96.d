@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d590a8064701cd96.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d590a8064701cd96: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-33136b759ca37e6c.d: src/lib.rs
+
+/root/repo/target/debug/deps/pulse-33136b759ca37e6c: src/lib.rs
+
+src/lib.rs:

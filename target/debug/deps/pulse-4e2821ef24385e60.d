@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-4e2821ef24385e60.d: src/bin/pulse.rs
+
+/root/repo/target/debug/deps/pulse-4e2821ef24385e60: src/bin/pulse.rs
+
+src/bin/pulse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-4e5e088494d9c341.d: src/bin/pulse.rs
+
+/root/repo/target/debug/deps/pulse-4e5e088494d9c341: src/bin/pulse.rs
+
+src/bin/pulse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-5a60e13aabad0917.d: src/lib.rs
+
+/root/repo/target/debug/deps/pulse-5a60e13aabad0917: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse-bcb583e62e87f0eb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse-bcb583e62e87f0eb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse-c8c89eeb5e67588d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpulse-c8c89eeb5e67588d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpulse-c8c89eeb5e67588d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-cf33e7a9c06e2238.d: src/bin/pulse.rs
+
+/root/repo/target/debug/deps/pulse-cf33e7a9c06e2238: src/bin/pulse.rs
+
+src/bin/pulse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-e527971f406dcc33.d: src/bin/pulse.rs
+
+/root/repo/target/debug/deps/pulse-e527971f406dcc33: src/bin/pulse.rs
+
+src/bin/pulse.rs:

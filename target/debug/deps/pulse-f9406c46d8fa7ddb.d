@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse-f9406c46d8fa7ddb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpulse-f9406c46d8fa7ddb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpulse-f9406c46d8fa7ddb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_bench-55e03b5d87455bb1.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libpulse_bench-55e03b5d87455bb1.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libpulse_bench-55e03b5d87455bb1.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/params.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_bench-f15c4f72210ce4f9.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/pulse_bench-f15c4f72210ce4f9: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/params.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/report.rs:

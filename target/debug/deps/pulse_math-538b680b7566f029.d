@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_math-538b680b7566f029.d: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+/root/repo/target/debug/deps/libpulse_math-538b680b7566f029.rlib: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+/root/repo/target/debug/deps/libpulse_math-538b680b7566f029.rmeta: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+crates/math/src/lib.rs:
+crates/math/src/cmp.rs:
+crates/math/src/interval.rs:
+crates/math/src/linsys.rs:
+crates/math/src/poly.rs:
+crates/math/src/roots.rs:
+crates/math/src/sturm.rs:

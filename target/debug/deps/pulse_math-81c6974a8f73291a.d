@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_math-81c6974a8f73291a.d: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+/root/repo/target/debug/deps/pulse_math-81c6974a8f73291a: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+crates/math/src/lib.rs:
+crates/math/src/cmp.rs:
+crates/math/src/interval.rs:
+crates/math/src/linsys.rs:
+crates/math/src/poly.rs:
+crates/math/src/roots.rs:
+crates/math/src/sturm.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pulse_math-82eea0a319c4879f.d: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_math-82eea0a319c4879f.rmeta: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs Cargo.toml
+
+crates/math/src/lib.rs:
+crates/math/src/cmp.rs:
+crates/math/src/interval.rs:
+crates/math/src/linsys.rs:
+crates/math/src/poly.rs:
+crates/math/src/roots.rs:
+crates/math/src/sturm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

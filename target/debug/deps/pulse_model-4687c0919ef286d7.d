@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pulse_model-4687c0919ef286d7.d: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_model-4687c0919ef286d7.rmeta: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/archive.rs:
+crates/model/src/expr.rs:
+crates/model/src/fitting.rs:
+crates/model/src/modelspec.rs:
+crates/model/src/piecewise.rs:
+crates/model/src/schema.rs:
+crates/model/src/segment.rs:
+crates/model/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pulse_model-ad19fbaabd7b5649.d: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+/root/repo/target/debug/deps/libpulse_model-ad19fbaabd7b5649.rlib: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+/root/repo/target/debug/deps/libpulse_model-ad19fbaabd7b5649.rmeta: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+crates/model/src/lib.rs:
+crates/model/src/archive.rs:
+crates/model/src/expr.rs:
+crates/model/src/fitting.rs:
+crates/model/src/modelspec.rs:
+crates/model/src/piecewise.rs:
+crates/model/src/schema.rs:
+crates/model/src/segment.rs:
+crates/model/src/tuple.rs:

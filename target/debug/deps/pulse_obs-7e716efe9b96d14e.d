@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pulse_obs-7e716efe9b96d14e.d: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_obs-7e716efe9b96d14e.rmeta: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pulse_obs-dd25899f85d52ee8.d: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/pulse_obs-dd25899f85d52ee8: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_sql-28d1f342e00d1613.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/debug/deps/libpulse_sql-28d1f342e00d1613.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/debug/deps/libpulse_sql-28d1f342e00d1613.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/compile.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

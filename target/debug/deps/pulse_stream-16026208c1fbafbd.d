@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_stream-16026208c1fbafbd.d: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+/root/repo/target/debug/deps/libpulse_stream-16026208c1fbafbd.rlib: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+/root/repo/target/debug/deps/libpulse_stream-16026208c1fbafbd.rmeta: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/explain.rs:
+crates/stream/src/logical.rs:
+crates/stream/src/metrics.rs:
+crates/stream/src/ops.rs:
+crates/stream/src/parallel.rs:
+crates/stream/src/plan.rs:

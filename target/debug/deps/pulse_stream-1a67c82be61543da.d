@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pulse_stream-1a67c82be61543da.d: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_stream-1a67c82be61543da.rmeta: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/explain.rs:
+crates/stream/src/logical.rs:
+crates/stream/src/metrics.rs:
+crates/stream/src/ops.rs:
+crates/stream/src/parallel.rs:
+crates/stream/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_stream-85ec595eab4a0214.d: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+/root/repo/target/debug/deps/pulse_stream-85ec595eab4a0214: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/explain.rs:
+crates/stream/src/logical.rs:
+crates/stream/src/metrics.rs:
+crates/stream/src/ops.rs:
+crates/stream/src/parallel.rs:
+crates/stream/src/plan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_workload-1a2cafe8eee05235.d: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+/root/repo/target/debug/deps/libpulse_workload-1a2cafe8eee05235.rlib: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+/root/repo/target/debug/deps/libpulse_workload-1a2cafe8eee05235.rmeta: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ais.rs:
+crates/workload/src/moving.rs:
+crates/workload/src/nyse.rs:
+crates/workload/src/replay.rs:

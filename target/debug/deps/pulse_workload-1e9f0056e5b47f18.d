@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_workload-1e9f0056e5b47f18.d: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_workload-1e9f0056e5b47f18.rmeta: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/ais.rs:
+crates/workload/src/moving.rs:
+crates/workload/src/nyse.rs:
+crates/workload/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_workload-a799be231fe1fb55.d: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+/root/repo/target/debug/deps/pulse_workload-a799be231fe1fb55: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ais.rs:
+crates/workload/src/moving.rs:
+crates/workload/src/nyse.rs:
+crates/workload/src/replay.rs:

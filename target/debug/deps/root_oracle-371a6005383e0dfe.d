@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/root_oracle-371a6005383e0dfe.d: crates/math/tests/root_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroot_oracle-371a6005383e0dfe.rmeta: crates/math/tests/root_oracle.rs Cargo.toml
+
+crates/math/tests/root_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/root_oracle-e0dac64cd5b6460a.d: crates/math/tests/root_oracle.rs
+
+/root/repo/target/debug/deps/root_oracle-e0dac64cd5b6460a: crates/math/tests/root_oracle.rs
+
+crates/math/tests/root_oracle.rs:

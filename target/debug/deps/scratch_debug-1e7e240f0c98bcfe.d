@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_debug-1e7e240f0c98bcfe.d: tests/scratch_debug.rs
+
+/root/repo/target/debug/deps/scratch_debug-1e7e240f0c98bcfe: tests/scratch_debug.rs
+
+tests/scratch_debug.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b9fa9cc4af682af3.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b9fa9cc4af682af3.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b9fa9cc4af682af3.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_algebra-243d9c935cc24038.d: tests/solver_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_algebra-243d9c935cc24038.rmeta: tests/solver_algebra.rs Cargo.toml
+
+tests/solver_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_algebra-4f635ddf40b83a9f.d: tests/solver_algebra.rs
+
+/root/repo/target/debug/deps/solver_algebra-4f635ddf40b83a9f: tests/solver_algebra.rs
+
+tests/solver_algebra.rs:

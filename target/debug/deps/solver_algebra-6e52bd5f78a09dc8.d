@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_algebra-6e52bd5f78a09dc8.d: tests/solver_algebra.rs
+
+/root/repo/target/debug/deps/solver_algebra-6e52bd5f78a09dc8: tests/solver_algebra.rs
+
+tests/solver_algebra.rs:

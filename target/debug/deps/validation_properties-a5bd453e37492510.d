@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_properties-a5bd453e37492510.d: tests/validation_properties.rs
+
+/root/repo/target/debug/deps/validation_properties-a5bd453e37492510: tests/validation_properties.rs
+
+tests/validation_properties.rs:

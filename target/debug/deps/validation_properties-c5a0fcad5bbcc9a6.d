@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_properties-c5a0fcad5bbcc9a6.d: tests/validation_properties.rs
+
+/root/repo/target/debug/deps/validation_properties-c5a0fcad5bbcc9a6: tests/validation_properties.rs
+
+tests/validation_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collision_detection-16086d218d246b68.d: examples/collision_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollision_detection-16086d218d246b68.rmeta: examples/collision_detection.rs Cargo.toml
+
+examples/collision_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_detection-1f8444c01119b885.d: examples/collision_detection.rs
+
+/root/repo/target/debug/examples/collision_detection-1f8444c01119b885: examples/collision_detection.rs
+
+examples/collision_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_detection-8bddafcabc434ad8.d: examples/collision_detection.rs
+
+/root/repo/target/debug/examples/collision_detection-8bddafcabc434ad8: examples/collision_detection.rs
+
+examples/collision_detection.rs:

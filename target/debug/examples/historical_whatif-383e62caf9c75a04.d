@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/historical_whatif-383e62caf9c75a04.d: examples/historical_whatif.rs
+
+/root/repo/target/debug/examples/historical_whatif-383e62caf9c75a04: examples/historical_whatif.rs
+
+examples/historical_whatif.rs:

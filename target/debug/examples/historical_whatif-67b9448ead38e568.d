@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/historical_whatif-67b9448ead38e568.d: examples/historical_whatif.rs
+
+/root/repo/target/debug/examples/historical_whatif-67b9448ead38e568: examples/historical_whatif.rs
+
+examples/historical_whatif.rs:

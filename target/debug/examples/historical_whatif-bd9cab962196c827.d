@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/historical_whatif-bd9cab962196c827.d: examples/historical_whatif.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhistorical_whatif-bd9cab962196c827.rmeta: examples/historical_whatif.rs Cargo.toml
+
+examples/historical_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

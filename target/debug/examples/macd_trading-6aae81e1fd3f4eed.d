@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/macd_trading-6aae81e1fd3f4eed.d: examples/macd_trading.rs
+
+/root/repo/target/debug/examples/macd_trading-6aae81e1fd3f4eed: examples/macd_trading.rs
+
+examples/macd_trading.rs:

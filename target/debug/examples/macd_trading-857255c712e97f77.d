@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/macd_trading-857255c712e97f77.d: examples/macd_trading.rs
+
+/root/repo/target/debug/examples/macd_trading-857255c712e97f77: examples/macd_trading.rs
+
+examples/macd_trading.rs:

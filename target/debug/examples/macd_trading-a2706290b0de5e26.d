@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/macd_trading-a2706290b0de5e26.d: examples/macd_trading.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmacd_trading-a2706290b0de5e26.rmeta: examples/macd_trading.rs Cargo.toml
+
+examples/macd_trading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

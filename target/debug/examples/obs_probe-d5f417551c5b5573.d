@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/obs_probe-d5f417551c5b5573.d: examples/obs_probe.rs
+
+/root/repo/target/debug/examples/obs_probe-d5f417551c5b5573: examples/obs_probe.rs
+
+examples/obs_probe.rs:

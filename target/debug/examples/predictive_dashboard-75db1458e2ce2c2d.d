@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/predictive_dashboard-75db1458e2ce2c2d.d: examples/predictive_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpredictive_dashboard-75db1458e2ce2c2d.rmeta: examples/predictive_dashboard.rs Cargo.toml
+
+examples/predictive_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictive_dashboard-c3890fc5c3accfa3.d: examples/predictive_dashboard.rs
+
+/root/repo/target/debug/examples/predictive_dashboard-c3890fc5c3accfa3: examples/predictive_dashboard.rs
+
+examples/predictive_dashboard.rs:

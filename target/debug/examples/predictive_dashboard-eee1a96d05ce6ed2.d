@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictive_dashboard-eee1a96d05ce6ed2.d: examples/predictive_dashboard.rs
+
+/root/repo/target/debug/examples/predictive_dashboard-eee1a96d05ce6ed2: examples/predictive_dashboard.rs
+
+examples/predictive_dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-34e1bbf02e4ccda5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-34e1bbf02e4ccda5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4c3ea5567384b84e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4c3ea5567384b84e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_queries-93073efdbaa69a3c.d: examples/sql_queries.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_queries-93073efdbaa69a3c.rmeta: examples/sql_queries.rs Cargo.toml
+
+examples/sql_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

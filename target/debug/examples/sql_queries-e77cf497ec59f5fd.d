@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_queries-e77cf497ec59f5fd.d: examples/sql_queries.rs
+
+/root/repo/target/debug/examples/sql_queries-e77cf497ec59f5fd: examples/sql_queries.rs
+
+examples/sql_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_queries-ef1beefedcb34604.d: examples/sql_queries.rs
+
+/root/repo/target/debug/examples/sql_queries-ef1beefedcb34604: examples/sql_queries.rs
+
+examples/sql_queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vessel_following-8f486e7fc9b39a14.d: examples/vessel_following.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvessel_following-8f486e7fc9b39a14.rmeta: examples/vessel_following.rs Cargo.toml
+
+examples/vessel_following.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

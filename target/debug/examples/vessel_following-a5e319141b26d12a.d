@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vessel_following-a5e319141b26d12a.d: examples/vessel_following.rs
+
+/root/repo/target/debug/examples/vessel_following-a5e319141b26d12a: examples/vessel_following.rs
+
+examples/vessel_following.rs:

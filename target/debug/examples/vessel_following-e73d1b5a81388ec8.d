@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vessel_following-e73d1b5a81388ec8.d: examples/vessel_following.rs
+
+/root/repo/target/debug/examples/vessel_following-e73d1b5a81388ec8: examples/vessel_following.rs
+
+examples/vessel_following.rs:

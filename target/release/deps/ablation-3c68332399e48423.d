@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-3c68332399e48423.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-3c68332399e48423: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

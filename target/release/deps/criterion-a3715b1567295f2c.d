@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-a3715b1567295f2c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a3715b1567295f2c.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a3715b1567295f2c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

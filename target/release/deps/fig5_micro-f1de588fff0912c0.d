@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_micro-f1de588fff0912c0.d: crates/bench/src/bin/fig5_micro.rs
+
+/root/repo/target/release/deps/fig5_micro-f1de588fff0912c0: crates/bench/src/bin/fig5_micro.rs
+
+crates/bench/src/bin/fig5_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cost-cdedb3d1967e0e90.d: crates/bench/src/bin/fig7_cost.rs
+
+/root/repo/target/release/deps/fig7_cost-cdedb3d1967e0e90: crates/bench/src/bin/fig7_cost.rs
+
+crates/bench/src/bin/fig7_cost.rs:

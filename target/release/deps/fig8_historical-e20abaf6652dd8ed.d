@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_historical-e20abaf6652dd8ed.d: crates/bench/src/bin/fig8_historical.rs
+
+/root/repo/target/release/deps/fig8_historical-e20abaf6652dd8ed: crates/bench/src/bin/fig8_historical.rs
+
+crates/bench/src/bin/fig8_historical.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ais-839ff42621f9ad73.d: crates/bench/src/bin/fig9_ais.rs
+
+/root/repo/target/release/deps/fig9_ais-839ff42621f9ad73: crates/bench/src/bin/fig9_ais.rs
+
+crates/bench/src/bin/fig9_ais.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_nyse-965848c4c8d69e06.d: crates/bench/src/bin/fig9_nyse.rs
+
+/root/repo/target/release/deps/fig9_nyse-965848c4c8d69e06: crates/bench/src/bin/fig9_nyse.rs
+
+crates/bench/src/bin/fig9_nyse.rs:

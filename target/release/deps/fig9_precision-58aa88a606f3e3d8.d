@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_precision-58aa88a606f3e3d8.d: crates/bench/src/bin/fig9_precision.rs
+
+/root/repo/target/release/deps/fig9_precision-58aa88a606f3e3d8: crates/bench/src/bin/fig9_precision.rs
+
+crates/bench/src/bin/fig9_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-a44f56fd99b0f02a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-a44f56fd99b0f02a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

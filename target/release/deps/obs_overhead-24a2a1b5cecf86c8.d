@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-24a2a1b5cecf86c8.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-24a2a1b5cecf86c8: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

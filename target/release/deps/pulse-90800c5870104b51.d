@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pulse-90800c5870104b51.d: src/bin/pulse.rs
+
+/root/repo/target/release/deps/pulse-90800c5870104b51: src/bin/pulse.rs
+
+src/bin/pulse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse-ed716d025e254da4.d: src/lib.rs
+
+/root/repo/target/release/deps/libpulse-ed716d025e254da4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpulse-ed716d025e254da4.rmeta: src/lib.rs
+
+src/lib.rs:

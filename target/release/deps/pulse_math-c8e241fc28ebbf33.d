@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pulse_math-c8e241fc28ebbf33.d: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+/root/repo/target/release/deps/libpulse_math-c8e241fc28ebbf33.rlib: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+/root/repo/target/release/deps/libpulse_math-c8e241fc28ebbf33.rmeta: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+crates/math/src/lib.rs:
+crates/math/src/cmp.rs:
+crates/math/src/interval.rs:
+crates/math/src/linsys.rs:
+crates/math/src/poly.rs:
+crates/math/src/roots.rs:
+crates/math/src/sturm.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pulse_model-fcec9ffa5150fe7d.d: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+/root/repo/target/release/deps/libpulse_model-fcec9ffa5150fe7d.rlib: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+/root/repo/target/release/deps/libpulse_model-fcec9ffa5150fe7d.rmeta: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+crates/model/src/lib.rs:
+crates/model/src/archive.rs:
+crates/model/src/expr.rs:
+crates/model/src/fitting.rs:
+crates/model/src/modelspec.rs:
+crates/model/src/piecewise.rs:
+crates/model/src/schema.rs:
+crates/model/src/segment.rs:
+crates/model/src/tuple.rs:

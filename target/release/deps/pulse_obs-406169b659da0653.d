@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pulse_obs-406169b659da0653.d: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libpulse_obs-406169b659da0653.rlib: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libpulse_obs-406169b659da0653.rmeta: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_sql-7dab1476714bfb93.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/release/deps/libpulse_sql-7dab1476714bfb93.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/release/deps/libpulse_sql-7dab1476714bfb93.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/compile.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

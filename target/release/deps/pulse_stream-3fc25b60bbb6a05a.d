@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pulse_stream-3fc25b60bbb6a05a.d: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+/root/repo/target/release/deps/libpulse_stream-3fc25b60bbb6a05a.rlib: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+/root/repo/target/release/deps/libpulse_stream-3fc25b60bbb6a05a.rmeta: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/explain.rs:
+crates/stream/src/logical.rs:
+crates/stream/src/metrics.rs:
+crates/stream/src/ops.rs:
+crates/stream/src/parallel.rs:
+crates/stream/src/plan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_workload-fa19a2ae6eed1948.d: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+/root/repo/target/release/deps/libpulse_workload-fa19a2ae6eed1948.rlib: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+/root/repo/target/release/deps/libpulse_workload-fa19a2ae6eed1948.rmeta: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ais.rs:
+crates/workload/src/moving.rs:
+crates/workload/src/nyse.rs:
+crates/workload/src/replay.rs:

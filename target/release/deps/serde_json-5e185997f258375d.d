@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-5e185997f258375d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5e185997f258375d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5e185997f258375d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -78,14 +78,19 @@ fn min_aggregate_envelope_matches_discrete_window_min() {
         disc_out.extend(discrete.push(0, t));
     }
     disc_out.extend(discrete.finish());
-    // Continuous: envelope + window extraction.
+    // Continuous: envelope + window extraction. Windows must be read as
+    // the stream passes each closing — the operator expires state older
+    // than `now − width`, so querying historical windows after the fact
+    // would see partially-expired envelopes.
     let mut pulse = CPlan::compile(&query).unwrap();
-    for s in &segs {
-        pulse.push(0, s);
-    }
-    let env = pulse.op(0).as_any().downcast_ref::<CMinMax>().unwrap();
+    let mut next_seg = 0;
     let mut checked = 0;
     for d in &disc_out {
+        while next_seg < segs.len() && segs[next_seg].span.lo < d.ts {
+            pulse.push(0, &segs[next_seg]);
+            next_seg += 1;
+        }
+        let env = pulse.op(0).as_any().downcast_ref::<CMinMax>().unwrap();
         // Discrete min is over samples; continuous min over the continuum
         // of the same window. They agree on piecewise-linear data whose
         // kinks land on sample instants (our generator's construction).
@@ -125,12 +130,7 @@ fn avg_aggregate_window_function_matches_discrete_average() {
         tuples.push(Tuple::new(1, ts, vec![poly.eval(ts), 0.5, 0.0, 0.0]));
         i += 1;
     }
-    let seg = Segment::new(
-        1,
-        Span::new(0.0, 30.0),
-        vec![poly.clone(), Poly::zero()],
-        Vec::new(),
-    );
+    let seg = Segment::new(1, Span::new(0.0, 30.0), vec![poly.clone(), Poly::zero()], Vec::new());
     let mut discrete = Plan::compile(&query);
     let mut disc_out = Vec::new();
     for t in &tuples {

@@ -12,11 +12,23 @@ use pulse::workload::{ais, nyse, AisConfig, AisGen, NyseConfig, NyseGen};
 fn macd(short: f64, long: f64, slide: f64) -> LogicalPlan {
     let mut lp = LogicalPlan::new(vec![nyse::schema()]);
     let s = lp.add(
-        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: short, slide, group_by_key: true },
+        LogicalOp::Aggregate {
+            func: AggFunc::Avg,
+            attr: 0,
+            width: short,
+            slide,
+            group_by_key: true,
+        },
         vec![PortRef::Source(0)],
     );
     let l = lp.add(
-        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: long, slide, group_by_key: true },
+        LogicalOp::Aggregate {
+            func: AggFunc::Avg,
+            attr: 0,
+            width: long,
+            slide,
+            group_by_key: true,
+        },
         vec![PortRef::Source(0)],
     );
     let j = lp.add(
@@ -117,7 +129,13 @@ fn following_query_detects_planted_pairs_in_both_engines() {
         vec![j],
     );
     let a = lp.add(
-        LogicalOp::Aggregate { func: AggFunc::Avg, attr: 0, width: 60.0, slide: 10.0, group_by_key: true },
+        LogicalOp::Aggregate {
+            func: AggFunc::Avg,
+            attr: 0,
+            width: 60.0,
+            slide: 10.0,
+            group_by_key: true,
+        },
         vec![d],
     );
     lp.add(
@@ -159,10 +177,7 @@ fn following_query_detects_planted_pairs_in_both_engines() {
     // No false positives on vessels that roam independently for long.
     for pairs in [&disc_pairs, &pulse_pairs] {
         for &(a, b) in pairs {
-            assert!(
-                a < 2 && b < 2,
-                "unexpected pair ({a},{b}) — only vessels 0/1 were planted"
-            );
+            assert!(a < 2 && b < 2, "unexpected pair ({a},{b}) — only vessels 0/1 were planted");
         }
     }
 }

@@ -11,9 +11,7 @@ use pulse::stream::KeyJoin;
 
 fn arb_rangeset() -> impl Strategy<Value = RangeSet> {
     prop::collection::vec((0.0..20.0_f64, 0.1..5.0_f64), 0..6).prop_map(|spans| {
-        RangeSet::from_spans(
-            spans.into_iter().map(|(lo, len)| Span::new(lo, lo + len)).collect(),
-        )
+        RangeSet::from_spans(spans.into_iter().map(|(lo, len)| Span::new(lo, lo + len)).collect())
     })
 }
 

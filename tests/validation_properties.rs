@@ -157,9 +157,7 @@ fn suppressed_tuples_lie_within_bound() {
     let bound = 0.8;
     let mut lp = LogicalPlan::new(vec![moving::schema()]);
     lp.add(
-        LogicalOp::Filter {
-            pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(-1e9)),
-        },
+        LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(-1e9)) },
         vec![PortRef::Source(0)],
     );
     let mut rt = PulseRuntime::new(

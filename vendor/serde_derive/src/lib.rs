@@ -1,0 +1,221 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` using only
+//! the built-in `proc_macro` API (no syn/quote — the build is offline).
+//! Supported shapes are exactly what the workspace derives on: non-generic
+//! structs with named fields, and enums whose variants are all unit-like.
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant names, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses the derive input. Returns `Err(reason)` on unsupported shapes.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // pub(crate) etc: a parenthesized group follows.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("derive on generic type {name} is not supported"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct {name} is not supported"));
+            }
+            Some(_) => continue,
+            None => return Err(format!("no body found for {name}")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item { name, shape: Shape::Struct(parse_named_fields(body.stream())?) }),
+        "enum" => Ok(Item { name, shape: Shape::Enum(parse_unit_variants(body.stream())?) }),
+        other => Err(format!("cannot derive for {other} {name}")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("expected field name, got {tok:?}"));
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Skip the type: consume until a top-level comma. Angle brackets
+        // arrive as plain puncts, so track their depth by hand.
+        let mut depth = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            return Err(format!("expected variant name, got {tok:?}"));
+        };
+        variants.push(variant.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant {variant} carries data; only unit variants are supported"
+                ));
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("serde::Value::Object(vec![{pushes}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| format!("{name}::{v} => {v:?},")).collect();
+            format!("serde::Value::String((match self {{ {arms} }}).to_string())")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> serde::Value {{ {body} }}\n\
+        }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get({f:?}).unwrap_or(&serde::Value::Null))\
+                         .map_err(|e| serde::Error::custom(format!(\"{name}.{f}: {{}}\", e.0)))?,"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Shape::Enum(variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("Some({v:?}) => Ok({name}::{v}),")).collect();
+            format!(
+                "match v.as_str() {{ {arms} other => Err(serde::Error::custom(\
+                 format!(\"unknown {name} variant {{:?}}\", other))) }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+            fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+        }}"
+    )
+    .parse()
+    .unwrap()
+}
