@@ -1,0 +1,173 @@
+//! Shard-scaling sweep for the predictive runtime.
+//!
+//! Runs a keyed NYSE-style MACD workload (thousands of symbols, adaptive
+//! linear price models) through the single-threaded `PulseRuntime` and the
+//! `ShardedRuntime` at increasing shard counts, reporting tuples/sec and
+//! ns/tuple per configuration. Results land in `BENCH_scaling.json` at the
+//! repo root so the perf trajectory is tracked across PRs.
+//!
+//! Key-partitioned sharding wins twice: shards run on separate cores, and
+//! each shard's operator state only holds its own keys — the join/aggregate
+//! candidate scans that dominate violation cost shrink with the shard
+//! count, which is why speedups show up even on core-starved machines.
+//!
+//! Env knobs: `PULSE_SCALING_TUPLES`, `PULSE_SCALING_SYMBOLS`,
+//! `PULSE_SCALING_SHARDS` (comma-separated), `PULSE_SCALING_SMOKE=1` for a
+//! seconds-long CI smoke run.
+
+use pulse_bench::measure::merge_feeds;
+use pulse_bench::queries;
+use pulse_core::runtime::Predictor;
+use pulse_core::{PulseRuntime, RuntimeConfig, RuntimeStats, ShardedRuntime};
+use pulse_model::Tuple;
+use pulse_workload::{nyse, NyseConfig, NyseGen};
+use std::time::Instant;
+
+struct Knobs {
+    tuples: usize,
+    symbols: usize,
+    shards: Vec<usize>,
+    smoke: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn knobs() -> Knobs {
+    let smoke = std::env::var("PULSE_SCALING_SMOKE").is_ok_and(|v| v == "1");
+    let (tuples, symbols, shards) =
+        if smoke { (20_000, 1_000, vec![1, 2]) } else { (120_000, 10_000, vec![1, 2, 4, 8]) };
+    let shards = std::env::var("PULSE_SCALING_SHARDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or(shards);
+    Knobs {
+        tuples: env_usize("PULSE_SCALING_TUPLES", tuples),
+        symbols: env_usize("PULSE_SCALING_SYMBOLS", symbols),
+        shards,
+        smoke,
+    }
+}
+
+/// The keyed workload: many symbols, visible tick noise so violations (and
+/// therefore solver work) happen at a realistic clip.
+fn workload(k: &Knobs) -> Vec<Tuple> {
+    let rate = 3000.0;
+    let duration = k.tuples as f64 / rate;
+    NyseGen::new(NyseConfig {
+        symbols: k.symbols,
+        rate,
+        drift_duration: 2.0,
+        tick_noise: 0.002,
+        seed: 11,
+    })
+    .generate(duration)
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig { horizon: 5.0, bound: 0.05, ..Default::default() }
+}
+
+#[derive(serde::Serialize)]
+struct Row {
+    shards: usize,
+    tuples_per_sec: f64,
+    ns_per_tuple: f64,
+    outputs: u64,
+    violations: u64,
+}
+
+fn single_threaded(lp: &pulse_stream::LogicalPlan, tuples: &[Tuple]) -> (f64, RuntimeStats) {
+    let merged = merge_feeds(&[(0, tuples)]);
+    let mut rt = PulseRuntime::with_predictors(
+        vec![Predictor::AdaptiveLinear(nyse::schema())],
+        lp,
+        config(),
+    )
+    .expect("MACD transforms");
+    let start = Instant::now();
+    for (i, (src, t)) in merged.iter().enumerate() {
+        rt.on_tuple(*src, t);
+        if i % 50_000 == 0 {
+            rt.gc_before(t.ts - 50.0);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (secs, rt.stats())
+}
+
+fn sharded(lp: &pulse_stream::LogicalPlan, tuples: &[Tuple], shards: usize) -> (f64, RuntimeStats) {
+    let merged = merge_feeds(&[(0, tuples)]);
+    let mut rt =
+        ShardedRuntime::new(vec![Predictor::AdaptiveLinear(nyse::schema())], lp, config(), shards)
+            .expect("MACD is key-partitionable");
+    let start = Instant::now();
+    for (i, (src, t)) in merged.iter().enumerate() {
+        rt.on_tuple(*src, t);
+        if i % 50_000 == 0 {
+            rt.gc_before(t.ts - 50.0);
+        }
+    }
+    let run = rt.finish();
+    let secs = start.elapsed().as_secs_f64();
+    (secs, run.stats)
+}
+
+fn row(label: &str, shards: usize, secs: f64, n: usize, stats: &RuntimeStats) -> Row {
+    let r = Row {
+        shards,
+        tuples_per_sec: n as f64 / secs,
+        ns_per_tuple: secs * 1e9 / n as f64,
+        outputs: stats.outputs,
+        violations: stats.violations,
+    };
+    println!(
+        "{label:>16}: {:>10.0} t/s  {:>8.0} ns/tuple  ({} violations, {} outputs)",
+        r.tuples_per_sec, r.ns_per_tuple, r.violations, r.outputs,
+    );
+    r
+}
+
+fn main() {
+    let k = knobs();
+    let tuples = workload(&k);
+    let lp = queries::macd(10.0, 60.0, 2.0);
+    println!(
+        "scaling: {} tuples, {} symbols, shard counts {:?}",
+        tuples.len(),
+        k.symbols,
+        k.shards
+    );
+
+    // Shard count 0 denotes the single-threaded reference (no channels,
+    // no worker thread) — the pre-sharding baseline.
+    let (st_secs, st_stats) = single_threaded(&lp, &tuples);
+    let mut rows = vec![row("single-threaded", 0, st_secs, tuples.len(), &st_stats)];
+    for &s in &k.shards {
+        let (secs, stats) = sharded(&lp, &tuples, s);
+        assert_eq!(stats.tuples_in, tuples.len() as u64);
+        rows.push(row(&format!("{s} shard(s)"), s, secs, tuples.len(), &stats));
+    }
+
+    if let Some(r4) = rows.iter().find(|r| r.shards == 4) {
+        println!(
+            "speedup at 4 shards vs 1 shard: {:.2}x",
+            rows.iter()
+                .find(|r| r.shards == 1)
+                .map_or(f64::NAN, |r1| r1.ns_per_tuple / r4.ns_per_tuple)
+        );
+    }
+
+    // Smoke runs (CI) land in target/ so they never clobber the tracked
+    // full-sweep results at the repo root.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = if k.smoke {
+        format!("{root}/target/BENCH_scaling_smoke.json")
+    } else {
+        format!("{root}/BENCH_scaling.json")
+    };
+    let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+    std::fs::write(&path, json).expect("write scaling results");
+    println!("wrote {path}");
+}

@@ -9,7 +9,7 @@
 
 use super::{meaningful_spans, COperator};
 use crate::binding::Binding;
-use crate::eqsys::System;
+use crate::eqsys::SystemTemplate;
 use crate::index::SegmentIndex;
 use crate::lineage::SharedLineage;
 use pulse_math::Poly;
@@ -77,7 +77,9 @@ impl SideState {
 /// Continuous join operator.
 pub struct CJoin {
     window: f64,
-    pred: Pred,
+    /// Per-pair equation system compiled once from the normalized join
+    /// predicate; each candidate pair substitutes its models into it.
+    template: SystemTemplate,
     on_keys: KeyJoin,
     bindings: [Binding; 2],
     left: SideState,
@@ -111,9 +113,10 @@ impl CJoin {
     ) -> Self {
         let pred = pred.normalize();
         let dep_count = pred.referenced_attrs().len().max(1);
+        let template = SystemTemplate::compile(&pred);
         CJoin {
             window,
-            pred,
+            template,
             on_keys,
             bindings,
             left: SideState::new(state),
@@ -159,7 +162,7 @@ impl COperator for CJoin {
                     rb.poly_of(r, attr)
                 }
             };
-            let Ok(sys) = System::build(&self.pred, &lookup) else { continue };
+            let Ok(sys) = self.template.substitute(&lookup) else { continue };
             let mut rows = 0;
             let sol = sys.solve(overlap, &mut rows);
             self.m.systems_solved += 1;
@@ -201,6 +204,10 @@ impl COperator for CJoin {
 
     fn last_slack(&self) -> Option<f64> {
         self.slack
+    }
+
+    fn reset_slack(&mut self) {
+        self.slack = None;
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -18,9 +18,9 @@ pub use minmax::CMinMax;
 pub use sumavg::CSumAvg;
 
 use crate::binding::Binding;
-use crate::eqsys::System;
+use crate::eqsys::{ExprProgram, SystemTemplate};
 use crate::lineage::SharedLineage;
-use pulse_math::EPS;
+use pulse_math::{Poly, EPS};
 use pulse_model::{Pred, Segment};
 use pulse_stream::OpMetrics;
 use std::any::Any;
@@ -47,6 +47,11 @@ pub trait COperator: Any {
     fn last_slack(&self) -> Option<f64> {
         None
     }
+    /// Clears recorded null-result slack. The plan calls this at the start
+    /// of every push so [`Self::last_slack`] only ever reflects the push in
+    /// progress — stale slack from an earlier push (typically a different
+    /// key's segment) must not drive another key's validation mode.
+    fn reset_slack(&mut self) {}
     /// Downcast support (harnesses inspect operator state, e.g. the min/max
     /// envelope, when sampling query results).
     fn as_any(&self) -> &dyn Any;
@@ -56,7 +61,9 @@ pub trait COperator: Any {
 /// the segment's lifespan; each satisfying time range becomes an output
 /// segment restricted to that range.
 pub struct CFilter {
-    pred: Pred,
+    /// Equation-system template compiled once from the normalized
+    /// predicate; per-segment work is coefficient substitution.
+    template: SystemTemplate,
     binding: Binding,
     lineage: SharedLineage,
     dep_count: usize,
@@ -69,7 +76,8 @@ impl CFilter {
     pub fn new(pred: Pred, binding: Binding, lineage: SharedLineage) -> Self {
         let pred = pred.normalize();
         let dep_count = pred.referenced_attrs().len().max(1);
-        CFilter { pred, binding, lineage, dep_count, slack: None, m: OpMetrics::default() }
+        let template = SystemTemplate::compile(&pred);
+        CFilter { template, binding, lineage, dep_count, slack: None, m: OpMetrics::default() }
     }
 }
 
@@ -82,7 +90,7 @@ impl COperator for CFilter {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let binding = &self.binding;
-        let sys = match System::build(&self.pred, &|_, attr| binding.poly_of(seg, attr)) {
+        let sys = match self.template.substitute(&|_, attr| binding.poly_of(seg, attr)) {
             Ok(sys) => sys,
             Err(_) => return, // non-polynomial predicate: no continuous result
         };
@@ -117,6 +125,10 @@ impl COperator for CFilter {
         self.slack
     }
 
+    fn reset_slack(&mut self) {
+        self.slack = None;
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -125,15 +137,20 @@ impl COperator for CFilter {
 /// Continuous map: substitutes models into each projection expression,
 /// producing a segment whose models are the projected polynomials.
 pub struct CMap {
-    exprs: Vec<pulse_model::Expr>,
+    /// One compiled program per projection expression; per-segment work is
+    /// substitution into the flattened programs.
+    programs: Vec<ExprProgram>,
     binding: Binding,
     lineage: SharedLineage,
+    /// Scratch stack reused across segments by the programs.
+    stack: Vec<Poly>,
     m: OpMetrics,
 }
 
 impl CMap {
     pub fn new(exprs: Vec<pulse_model::Expr>, binding: Binding, lineage: SharedLineage) -> Self {
-        CMap { exprs, binding, lineage, m: OpMetrics::default() }
+        let programs = exprs.iter().map(ExprProgram::compile).collect();
+        CMap { programs, binding, lineage, stack: Vec::new(), m: OpMetrics::default() }
     }
 }
 
@@ -145,8 +162,12 @@ impl COperator for CMap {
     fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
         self.m.items_in += 1;
         let binding = &self.binding;
-        let models: Result<Vec<_>, _> =
-            self.exprs.iter().map(|e| e.to_poly(&|_, attr| binding.poly_of(seg, attr))).collect();
+        let stack = &mut self.stack;
+        let models: Result<Vec<_>, _> = self
+            .programs
+            .iter()
+            .map(|p| p.eval(&|_, attr| binding.poly_of(seg, attr), stack))
+            .collect();
         let Ok(models) = models else { return };
         let mapped = Segment::new(seg.key, seg.span, models, Vec::new());
         self.lineage.lock().emit(&mapped, &[seg.id]);

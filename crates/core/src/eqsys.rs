@@ -14,7 +14,7 @@
 //! here because time is the only unknown).
 
 use pulse_math::{solve_poly_cmp, CmpOp, Poly, RangeSet, Span};
-use pulse_model::{ExprError, Pred};
+use pulse_model::{Expr, ExprError, Pred};
 
 /// Default root-finding tolerance used by the operators.
 pub const SOLVE_TOL: f64 = 1e-9;
@@ -171,6 +171,22 @@ impl System {
         }
     }
 
+    /// Mutable row access in the same left-to-right order as [`rows`]
+    /// (the order [`SystemTemplate`] compiles its row programs in).
+    ///
+    /// [`rows`]: System::rows
+    fn visit_rows_mut<'a>(&'a mut self, out: &mut Vec<&'a mut DiffEq>) {
+        match self {
+            System::Row(r) => out.push(r),
+            System::And(a, b) | System::Or(a, b) => {
+                a.visit_rows_mut(out);
+                b.visit_rows_mut(out);
+            }
+            System::Not(a) => a.visit_rows_mut(out),
+            System::True | System::False => {}
+        }
+    }
+
     /// Slack (§IV): `min_t ‖D·t‖∞` over the domain — a continuous measure
     /// of how close the system comes to producing a result. Computed by
     /// sampling the max-norm envelope and refining the best bracket by
@@ -209,6 +225,200 @@ impl System {
             }
         }
         best.min(norm(0.5 * (lo + hi)))
+    }
+}
+
+/// One step of a compiled expression program (reverse-Polish over a
+/// polynomial stack).
+#[derive(Debug, Clone)]
+enum Step {
+    Const(f64),
+    Attr {
+        input: usize,
+        attr: usize,
+    },
+    Time,
+    Add,
+    Sub,
+    Mul,
+    Neg,
+    Pow(u32),
+    /// Divisor must substitute to a non-zero constant (mirrors
+    /// [`Expr::to_poly`]'s polynomial-fragment rule).
+    Div,
+    /// `sqrt`/`abs` survived normalization: always errors at substitution,
+    /// exactly like the tree walk would.
+    Err(&'static str),
+}
+
+/// A compiled projection expression: the [`Expr`] tree flattened once into
+/// a linear program, so per-segment evaluation is a tight loop of
+/// polynomial ops with no tree traversal.
+#[derive(Debug, Clone)]
+pub struct ExprProgram {
+    steps: Vec<Step>,
+}
+
+impl ExprProgram {
+    /// Flattens `expr` (postorder).
+    pub fn compile(expr: &Expr) -> ExprProgram {
+        let mut steps = Vec::new();
+        compile_expr(expr, &mut steps);
+        ExprProgram { steps }
+    }
+
+    /// Evaluates against a model `lookup`, reusing `stack` across calls.
+    pub fn eval<F>(&self, lookup: &F, stack: &mut Vec<Poly>) -> Result<Poly, ExprError>
+    where
+        F: Fn(usize, usize) -> Result<Poly, ExprError>,
+    {
+        stack.clear();
+        for step in &self.steps {
+            match step {
+                Step::Const(v) => stack.push(Poly::constant(*v)),
+                Step::Attr { input, attr } => stack.push(lookup(*input, *attr)?),
+                Step::Time => stack.push(Poly::t()),
+                Step::Add => {
+                    let b = stack.pop().expect("balanced program");
+                    let a = stack.last_mut().expect("balanced program");
+                    *a = a.add(&b);
+                }
+                Step::Sub => {
+                    let b = stack.pop().expect("balanced program");
+                    let a = stack.last_mut().expect("balanced program");
+                    *a = a.sub(&b);
+                }
+                Step::Mul => {
+                    let b = stack.pop().expect("balanced program");
+                    let a = stack.last_mut().expect("balanced program");
+                    *a = a.mul(&b);
+                }
+                Step::Neg => {
+                    let a = stack.last_mut().expect("balanced program");
+                    *a = a.neg();
+                }
+                Step::Pow(n) => {
+                    let a = stack.last_mut().expect("balanced program");
+                    *a = a.powi(*n);
+                }
+                Step::Div => {
+                    let d = stack.pop().expect("balanced program");
+                    if d.is_constant() && !d.is_zero() {
+                        let a = stack.last_mut().expect("balanced program");
+                        *a = a.scale(1.0 / d.coeff(0));
+                    } else {
+                        return Err(ExprError::NotPolynomial("division by non-constant"));
+                    }
+                }
+                Step::Err(what) => return Err(ExprError::NotPolynomial(what)),
+            }
+        }
+        Ok(stack.pop().expect("balanced program"))
+    }
+}
+
+fn compile_expr(e: &Expr, out: &mut Vec<Step>) {
+    match e {
+        Expr::Const(v) => out.push(Step::Const(*v)),
+        Expr::Attr { input, attr } => out.push(Step::Attr { input: *input, attr: *attr }),
+        Expr::Time => out.push(Step::Time),
+        Expr::Add(a, b) => {
+            compile_expr(a, out);
+            compile_expr(b, out);
+            out.push(Step::Add);
+        }
+        Expr::Sub(a, b) => {
+            compile_expr(a, out);
+            compile_expr(b, out);
+            out.push(Step::Sub);
+        }
+        Expr::Mul(a, b) => {
+            compile_expr(a, out);
+            compile_expr(b, out);
+            out.push(Step::Mul);
+        }
+        Expr::Div(a, b) => {
+            compile_expr(a, out);
+            compile_expr(b, out);
+            out.push(Step::Div);
+        }
+        Expr::Neg(a) => {
+            compile_expr(a, out);
+            out.push(Step::Neg);
+        }
+        Expr::Pow(a, n) => {
+            compile_expr(a, out);
+            out.push(Step::Pow(*n));
+        }
+        Expr::Sqrt(_) => out.push(Step::Err("sqrt (normalize the predicate)")),
+        Expr::Abs(_) => out.push(Step::Err("abs (normalize the predicate)")),
+    }
+}
+
+/// A per-operator equation-system template: the predicate's boolean shape
+/// and each row's difference-form program compiled once at operator
+/// construction, so per-segment work reduces to substituting the incoming
+/// models into the precompiled row programs — no `Pred` traversal and no
+/// system-tree allocation on the hot path.
+#[derive(Debug, Clone)]
+pub struct SystemTemplate {
+    sys: System,
+    /// Row programs in [`System::rows`] order; each computes `lhs − rhs`.
+    programs: Vec<ExprProgram>,
+    /// Scratch reused across substitutions.
+    stack: Vec<Poly>,
+}
+
+impl SystemTemplate {
+    /// Compiles a (normalized) predicate. Never fails: expressions outside
+    /// the polynomial fragment surface as errors at [`substitute`] time,
+    /// matching [`System::build`]'s behavior.
+    ///
+    /// [`substitute`]: SystemTemplate::substitute
+    pub fn compile(pred: &Pred) -> SystemTemplate {
+        let mut programs = Vec::new();
+        let sys = Self::shape(pred, &mut programs);
+        SystemTemplate { sys, programs, stack: Vec::new() }
+    }
+
+    fn shape(pred: &Pred, programs: &mut Vec<ExprProgram>) -> System {
+        match pred {
+            Pred::True => System::True,
+            Pred::False => System::False,
+            Pred::Cmp { lhs, op, rhs } => {
+                let mut steps = Vec::new();
+                compile_expr(lhs, &mut steps);
+                compile_expr(rhs, &mut steps);
+                steps.push(Step::Sub);
+                programs.push(ExprProgram { steps });
+                System::Row(DiffEq { poly: Poly::constant(0.0), op: *op })
+            }
+            Pred::And(a, b) => {
+                System::And(Box::new(Self::shape(a, programs)), Box::new(Self::shape(b, programs)))
+            }
+            Pred::Or(a, b) => {
+                System::Or(Box::new(Self::shape(a, programs)), Box::new(Self::shape(b, programs)))
+            }
+            Pred::Not(a) => System::Not(Box::new(Self::shape(a, programs))),
+        }
+    }
+
+    /// Substitutes models through `lookup` into every row, returning the
+    /// ready-to-solve system. On error the system must not be solved (it
+    /// may be partially substituted); the next successful substitution
+    /// rewrites every row.
+    pub fn substitute<F>(&mut self, lookup: &F) -> Result<&System, ExprError>
+    where
+        F: Fn(usize, usize) -> Result<Poly, ExprError>,
+    {
+        let SystemTemplate { sys, programs, stack } = self;
+        let mut rows = Vec::new();
+        sys.visit_rows_mut(&mut rows);
+        debug_assert_eq!(rows.len(), programs.len());
+        for (row, prog) in rows.into_iter().zip(programs.iter()) {
+            row.poly = prog.eval(lookup, stack)?;
+        }
+        Ok(&*sys)
     }
 }
 
@@ -356,6 +566,84 @@ mod tests {
         let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 0.0)).unwrap();
         let slack = sys.slack(Span::new(-5.0, 5.0));
         assert!((slack - 2.0).abs() < 1e-6, "slack {slack}");
+    }
+
+    #[test]
+    fn template_matches_build_across_shapes() {
+        // The template must produce byte-identical rows to a fresh
+        // System::build for every boolean/arithmetic shape in the language.
+        let preds = [
+            Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0)),
+            Pred::cmp(
+                Expr::attr_of(0, 0) * Expr::c(2.0) + Expr::Time,
+                CmpOp::Ge,
+                Expr::Pow(Box::new(Expr::attr_of(1, 0)), 2) - Expr::c(3.0),
+            ),
+            Pred::cmp(Expr::attr_of(0, 0), CmpOp::Eq, Expr::c(1.0)).and(Pred::cmp(
+                Expr::attr_of(1, 0),
+                CmpOp::Gt,
+                Expr::c(0.0),
+            )),
+            Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::c(-1.0)).or(Pred::cmp(
+                Expr::attr_of(0, 0),
+                CmpOp::Gt,
+                Expr::c(1.0),
+            )
+            .not()),
+            Pred::cmp(
+                Expr::Div(Box::new(Expr::attr_of(0, 0)), Box::new(Expr::c(4.0))),
+                CmpOp::Le,
+                Expr::Neg(Box::new(Expr::attr_of(1, 0))),
+            ),
+            Pred::True,
+            Pred::False,
+        ];
+        let lookup = linear_lookup(2.0, -1.0, 0.5, 3.0);
+        for pred in preds {
+            let built = System::build(&pred, &lookup).unwrap();
+            let mut tpl = SystemTemplate::compile(&pred);
+            let sys = tpl.substitute(&lookup).unwrap();
+            let (br, tr) = (built.rows(), sys.rows());
+            assert_eq!(br.len(), tr.len(), "{pred:?}");
+            for (b, t) in br.iter().zip(&tr) {
+                assert_eq!(b.poly, t.poly, "{pred:?}");
+                assert_eq!(b.op, t.op, "{pred:?}");
+            }
+            // Solutions agree too (exercises the boolean structure).
+            let (mut n1, mut n2) = (0, 0);
+            assert_eq!(
+                built.solve(Span::new(-10.0, 10.0), &mut n1).spans(),
+                sys.solve(Span::new(-10.0, 10.0), &mut n2).spans()
+            );
+        }
+    }
+
+    #[test]
+    fn template_reuse_across_substitutions() {
+        // Substituting twice with different models must fully overwrite the
+        // first substitution's rows.
+        let pred = Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0));
+        let mut tpl = SystemTemplate::compile(&pred);
+        tpl.substitute(&linear_lookup(1.0, 0.0, 0.0, 5.0)).unwrap();
+        let sys = tpl.substitute(&linear_lookup(3.0, 2.0, 0.0, 8.0)).unwrap();
+        // x = 3t + 2, y = 8: difference 3t − 6.
+        assert_eq!(sys.rows()[0].poly, Poly::linear(-6.0, 3.0));
+    }
+
+    #[test]
+    fn template_errors_match_build() {
+        let sqrt_pred =
+            Pred::cmp(Expr::Sqrt(Box::new(Expr::attr_of(0, 0))), CmpOp::Lt, Expr::c(1.0));
+        let lookup = linear_lookup(1.0, 0.0, 0.0, 0.0);
+        assert!(SystemTemplate::compile(&sqrt_pred).substitute(&lookup).is_err());
+        let div_pred = Pred::cmp(
+            Expr::Div(Box::new(Expr::c(1.0)), Box::new(Expr::attr_of(0, 0))),
+            CmpOp::Lt,
+            Expr::c(1.0),
+        );
+        // Divisor x = t is non-constant: both paths must reject.
+        assert!(System::build(&div_pred, &lookup).is_err());
+        assert!(SystemTemplate::compile(&div_pred).substitute(&lookup).is_err());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   query inputs (§IV);
 //! * [`runtime`] — the online predictive processing loop: models predict,
 //!   validation detects errors, and the solver re-runs only on violations
-//!   (§II-A, §IV).
+//!   (§II-A, §IV);
+//! * [`shard`] — key-partitioned parallel execution: N worker threads each
+//!   run a full runtime over the keys a hash assigns them, for plans whose
+//!   operators keep keys separate.
 //!
 //! ```
 //! use pulse_core::CPlan;
@@ -48,17 +51,19 @@ pub mod lineage;
 pub mod plan;
 pub mod runtime;
 pub mod sampler;
+pub mod shard;
 pub mod validate;
 
 pub use binding::Binding;
 pub use cops::{CFilter, CGroupBy, CJoin, CMap, CMinMax, COperator, CSumAvg, CUnion};
-pub use eqsys::{DiffEq, System, SOLVE_TOL};
+pub use eqsys::{DiffEq, ExprProgram, System, SystemTemplate, SOLVE_TOL};
 pub use historical::HistoricalStore;
 pub use index::SegmentIndex;
 pub use lineage::{LineageStore, SharedLineage};
 pub use plan::{CPlan, TransformError};
-pub use runtime::{PulseRuntime, RuntimeConfig, RuntimeStats};
+pub use runtime::{Heuristic, Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 pub use sampler::Sampler;
+pub use shard::{MergedRun, ShardError, ShardedRuntime};
 pub use validate::{
-    BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, Validator, ValidatorStats,
+    BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, VKey, Validator, ValidatorStats,
 };

@@ -125,25 +125,39 @@ impl CPlan {
         Ok(CPlan { nodes, node_edges, source_edges, sinks, lineage: store })
     }
 
+    /// Sentinel index standing for the pushed source segment in the
+    /// produced-buffer queue.
+    const SRC: usize = usize::MAX;
+
     /// Pushes one segment from source `source`, returning query outputs.
+    ///
+    /// Produced segments live in one arena; the work queue and fan-out
+    /// edges carry indices into it, so a segment consumed by several
+    /// operators (or kept as a result *and* consumed downstream) is never
+    /// cloned.
     pub fn push(&mut self, source: usize, seg: &Segment) -> Vec<Segment> {
-        let mut results = Vec::new();
-        let mut queue: Vec<(usize, usize, Segment)> =
-            self.source_edges[source].iter().map(|&(n, p)| (n, p, seg.clone())).collect();
+        for n in &mut self.nodes {
+            n.reset_slack();
+        }
+        let mut produced: Vec<Segment> = Vec::new();
+        let mut is_result: Vec<bool> = Vec::new();
+        let mut queue: Vec<(usize, usize, usize)> =
+            self.source_edges[source].iter().map(|&(n, p)| (n, p, Self::SRC)).collect();
         let mut scratch = Vec::new();
-        while let Some((node, port, s)) = queue.pop() {
+        while let Some((node, port, idx)) = queue.pop() {
             scratch.clear();
-            self.nodes[node].process(port, &s, &mut scratch);
+            let input = if idx == Self::SRC { seg } else { &produced[idx] };
+            self.nodes[node].process(port, input, &mut scratch);
             for out in scratch.drain(..) {
-                if self.sinks[node] {
-                    results.push(out.clone());
-                }
+                let oi = produced.len();
+                is_result.push(self.sinks[node]);
                 for &(n, p) in &self.node_edges[node] {
-                    queue.push((n, p, out.clone()));
+                    queue.push((n, p, oi));
                 }
+                produced.push(out);
             }
         }
-        results
+        produced.into_iter().zip(is_result).filter_map(|(s, r)| r.then_some(s)).collect()
     }
 
     /// Pushes a batch of segments (time-ordered per source).
@@ -155,31 +169,37 @@ impl CPlan {
         out
     }
 
-    /// End-of-stream flush through the DAG.
+    /// End-of-stream flush through the DAG (same arena scheme as `push`).
     pub fn finish(&mut self) -> Vec<Segment> {
         let mut results = Vec::new();
+        let mut scratch = Vec::new();
         for node in 0..self.nodes.len() {
             let mut pending = Vec::new();
             self.nodes[node].flush(&mut pending);
+            let mut produced: Vec<Segment> = Vec::new();
+            let mut is_result: Vec<bool> = Vec::new();
+            let mut queue: Vec<(usize, usize, usize)> = Vec::new();
             for out in pending {
-                if self.sinks[node] {
-                    results.push(out.clone());
+                let oi = produced.len();
+                is_result.push(self.sinks[node]);
+                for &(n, p) in &self.node_edges[node] {
+                    queue.push((n, p, oi));
                 }
-                let mut queue: Vec<(usize, usize, Segment)> =
-                    self.node_edges[node].iter().map(|&(n, p)| (n, p, out.clone())).collect();
-                while let Some((n, p, s)) = queue.pop() {
-                    let mut produced = Vec::new();
-                    self.nodes[n].process(p, &s, &mut produced);
-                    for o in produced {
-                        if self.sinks[n] {
-                            results.push(o.clone());
-                        }
+                produced.push(out);
+                while let Some((n, p, idx)) = queue.pop() {
+                    scratch.clear();
+                    self.nodes[n].process(p, &produced[idx], &mut scratch);
+                    for o in scratch.drain(..) {
+                        let oi = produced.len();
+                        is_result.push(self.sinks[n]);
                         for &(n2, p2) in &self.node_edges[n] {
-                            queue.push((n2, p2, o.clone()));
+                            queue.push((n2, p2, oi));
                         }
+                        produced.push(o);
                     }
                 }
             }
+            results.extend(produced.into_iter().zip(is_result).filter_map(|(s, r)| r.then_some(s)));
         }
         results
     }
@@ -202,6 +222,13 @@ impl CPlan {
     /// `cops.<op>.<metric>`, merging operators of the same kind (e.g. both
     /// filters of a join query sum into `cops.filter.*`).
     pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
+        self.export_metrics_prefixed(reg, "");
+    }
+
+    /// [`Self::export_metrics`] with a name prefix (`shard0.` etc.), so the
+    /// sharded runtime can publish every worker's operator counters into the
+    /// same registry without them clobbering each other.
+    pub fn export_metrics_prefixed(&self, reg: &pulse_obs::MetricsRegistry, prefix: &str) {
         let mut per: std::collections::BTreeMap<&'static str, OpMetrics> =
             std::collections::BTreeMap::new();
         for n in &self.nodes {
@@ -209,7 +236,7 @@ impl CPlan {
         }
         for (name, m) in per {
             for (field, v) in m.fields() {
-                reg.counter(&format!("cops.{name}.{field}")).set(v);
+                reg.counter(&format!("{prefix}cops.{name}.{field}")).set(v);
             }
         }
     }

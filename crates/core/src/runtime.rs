@@ -8,7 +8,9 @@
 //! fresh input bounds; a null result switches the key to slack validation.
 
 use crate::plan::{CPlan, TransformError};
-use crate::validate::{Bound, BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, Validator};
+use crate::validate::{
+    Bound, BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, VKey, Validator,
+};
 use pulse_math::{Poly, Span};
 use pulse_model::{Schema, Segment, SegmentId, StreamModel, Tuple};
 use pulse_obs::{Histogram, KeyedCounter};
@@ -18,6 +20,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// How predictive segments are built for a source stream.
+///
+/// `Clone` lets the sharded runtime hand each worker its own copy (the
+/// adaptive predictor's anchors live in the runtime, not here, so clones
+/// share nothing).
+#[derive(Debug, Clone)]
 pub enum Predictor {
     /// Declarative MODEL clause (§II-B): coefficients come from the tuple.
     Clause(StreamModel),
@@ -80,6 +87,18 @@ pub struct RuntimeStats {
     pub model_errors: u64,
 }
 
+impl RuntimeStats {
+    /// Accumulates another runtime's counters (shard merging).
+    pub fn absorb(&mut self, other: &RuntimeStats) {
+        self.tuples_in += other.tuples_in;
+        self.suppressed += other.suppressed;
+        self.violations += other.violations;
+        self.segments_pushed += other.segments_pushed;
+        self.outputs += other.outputs;
+        self.model_errors += other.model_errors;
+    }
+}
+
 /// Cached observability handles, resolved once from the global registry at
 /// construction so the per-tuple path never touches the name maps. All
 /// recording is gated on a single [`pulse_obs::enabled`] load per tuple,
@@ -120,7 +139,7 @@ pub struct PulseRuntime {
     predicted: HashMap<(usize, u64), Segment>,
     /// Reverse map: live predictive segment id → its validator key, so
     /// inverted allocations land on the stream that owns each segment.
-    seg_owner: HashMap<SegmentId, u64>,
+    seg_owner: HashMap<SegmentId, VKey>,
     validator: Validator,
     /// Inverted per-source-segment bounds from the last results.
     stats: RuntimeStats,
@@ -198,8 +217,8 @@ impl PulseRuntime {
     }
 
     /// Key used for validator state (source-qualified).
-    fn vkey(source: usize, key: u64) -> u64 {
-        (source as u64) << 48 ^ key
+    fn vkey(source: usize, key: u64) -> VKey {
+        VKey::new(source, key)
     }
 
     /// Feeds one real tuple. Returns freshly produced result segments
@@ -229,7 +248,7 @@ impl PulseRuntime {
                 }
                 self.stats.violations += 1;
                 if obs_on {
-                    self.obs.violations_by_key.inc(vkey);
+                    self.obs.violations_by_key.inc(vkey.key);
                 }
             }
         }
@@ -254,14 +273,17 @@ impl PulseRuntime {
                 seg.span = pulse_math::Span::new(old.span.hi.min(seg.span.lo), seg.span.hi);
             }
         }
-        if let Some(old) = self.predicted.insert(pkey, seg.clone()) {
+        // Store first, then push a borrow of the stored segment — the old
+        // code cloned the whole segment into `predicted` on every violation.
+        if let Some(old) = self.predicted.insert(pkey, seg) {
             self.seg_owner.remove(&old.id);
         }
+        let seg = self.predicted.get(&pkey).expect("just inserted");
         self.seg_owner.insert(seg.id, vkey);
         self.stats.segments_pushed += 1;
         let outs = {
             let _span = pulse_obs::span!("runtime.solve_ns", tuple.key);
-            self.plan.push(source, &seg)
+            self.plan.push(source, seg)
         };
         self.stats.outputs += outs.len() as u64;
         if outs.is_empty() {
@@ -284,7 +306,7 @@ impl PulseRuntime {
     /// Inverts the output bound through lineage and installs each source
     /// segment's allocation on the stream key that owns it (the split
     /// heuristics exist exactly to differentiate these shares, §IV-C).
-    fn install_bounds(&mut self, outs: &[Segment], trigger_vkey: u64) {
+    fn install_bounds(&mut self, outs: &[Segment], trigger_vkey: VKey) {
         let store = self.plan.lineage().lock();
         let equi = EquiSplit;
         let grad = GradientSplit;
@@ -294,7 +316,7 @@ impl PulseRuntime {
         };
         let inverter = BoundInverter::new(&store, heuristic, 1);
         // Tightest allocation per owning validator key.
-        let mut per_key: HashMap<u64, Bound> = HashMap::new();
+        let mut per_key: HashMap<VKey, Bound> = HashMap::new();
         for out in outs {
             for (sid, b) in inverter.invert(out.id, Bound::symmetric(self.cfg.bound)) {
                 let Some(&vk) = self.seg_owner.get(&sid) else { continue };
@@ -342,6 +364,13 @@ impl PulseRuntime {
     /// run when observability is enabled; this fills in the totals that are
     /// kept in plain fields for the hot path.
     pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
+        self.export_metrics_prefixed(reg, "");
+    }
+
+    /// [`Self::export_metrics`] with every counter name prefixed — shard
+    /// workers export under `shard<i>.` so per-shard totals stay separable
+    /// in one registry.
+    pub fn export_metrics_prefixed(&self, reg: &pulse_obs::MetricsRegistry, prefix: &str) {
         let s = &self.stats;
         for (name, v) in [
             ("runtime.tuples_in", s.tuples_in),
@@ -351,14 +380,18 @@ impl PulseRuntime {
             ("runtime.outputs", s.outputs),
             ("runtime.model_errors", s.model_errors),
         ] {
-            reg.counter(name).set(v);
+            reg.counter(&format!("{prefix}{name}")).set(v);
         }
         let v = self.validator.stats();
-        reg.counter("validate.checks").set(v.checks);
-        reg.counter("validate.violations").set(v.violations);
-        reg.counter("validate.accuracy_keys").set(v.accuracy_keys);
-        reg.counter("validate.slack_keys").set(v.slack_keys);
-        self.plan.export_metrics(reg);
+        for (name, v) in [
+            ("validate.checks", v.checks),
+            ("validate.violations", v.violations),
+            ("validate.accuracy_keys", v.accuracy_keys),
+            ("validate.slack_keys", v.slack_keys),
+        ] {
+            reg.counter(&format!("{prefix}{name}")).set(v);
+        }
+        self.plan.export_metrics_prefixed(reg, prefix);
     }
 }
 
@@ -520,6 +553,34 @@ mod tests {
         assert!(d.histogram("validate.invert_ns").unwrap().count >= 1);
         assert!(d.counter("cops.filter.systems_solved").unwrap() >= 2);
         assert!(d.counter("validate.checks").unwrap() >= 2);
+    }
+
+    #[test]
+    fn vkey_collision_regression() {
+        // Under the old `(source << 48) ^ key` packing, (source 1, key 0)
+        // and (source 0, key 2^48) shared a validator slot: installing a
+        // tight slack for one stream clobbered the other's wide slack and
+        // forced spurious violations. The composite key keeps them apart.
+        let k_big = 1u64 << 48;
+        assert_ne!(PulseRuntime::vkey(1, 0), PulseRuntime::vkey(0, k_big));
+
+        let (schema, sm0) = source();
+        let (_, sm1) = source();
+        let mut lp = LogicalPlan::new(vec![schema.clone(), schema]);
+        let far = Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(1e6));
+        lp.add(LogicalOp::Filter { pred: far.clone() }, vec![PortRef::Source(0)]);
+        lp.add(LogicalOp::Filter { pred: far }, vec![PortRef::Source(1)]);
+        let cfg = RuntimeConfig { horizon: 100.0, bound: 1.0, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm0, sm1], &lp, cfg).unwrap();
+        // Source 0, key 2^48: x far from the threshold → huge slack.
+        rt.on_tuple(0, &tup(k_big, 0.0, 0.0, 0.0));
+        // Source 1, key 0: x just below the threshold → tiny slack, which
+        // used to overwrite the colliding slot above.
+        rt.on_tuple(1, &tup(0, 0.0, 1e6 - 0.5, 0.0));
+        // A 10-unit deviation on source 0 sits far inside its own slack.
+        assert!(rt.on_tuple(0, &tup(k_big, 1.0, 10.0, 0.0)).is_empty());
+        assert_eq!(rt.stats().violations, 0, "{:?}", rt.stats());
+        assert_eq!(rt.stats().suppressed, 1);
     }
 
     #[test]

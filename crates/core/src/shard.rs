@@ -1,0 +1,367 @@
+//! Key-partitioned parallel execution of the predictive runtime.
+//!
+//! [`ShardedRuntime`] hash-partitions stream keys across N worker threads,
+//! each owning a complete [`PulseRuntime`] (its own continuous plan,
+//! lineage store and validator) compiled from the same logical plan. This
+//! is sound only when every operator keeps keys separate — per-key models
+//! (§II-B) make filters and maps trivially per-key, but a join must match
+//! keys exactly and an aggregate must group by key, or one operator's state
+//! would need tuples from several shards. [`LogicalPlan`]s that mix keys
+//! are rejected up front with [`ShardError::NotPartitionable`]; callers
+//! fall back to a single-threaded runtime.
+//!
+//! Beyond core-level parallelism, sharding shrinks each worker's state:
+//! a shard's join and aggregate operators hold only that shard's keys, so
+//! temporal-overlap candidate scans that would visit every buffered key in
+//! one runtime visit ~1/N of them per shard — a throughput win even on a
+//! single core for scan-dominated keyed workloads.
+//!
+//! Tuples travel in batches over bounded channels (the same backpressure
+//! scheme as the discrete engine's `pulse_stream::parallel` pipeline) to
+//! amortise channel cost; ordering is preserved per shard, which is all
+//! key-partitioned semantics need.
+
+use crate::plan::{CPlan, TransformError};
+use crate::runtime::{Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
+use crate::validate::ValidatorStats;
+use crossbeam::channel::{bounded, Sender};
+use pulse_model::{Segment, Tuple};
+use pulse_stream::{LogicalPlan, OpMetrics, PartitionViolation};
+use std::thread::JoinHandle;
+
+/// Tuples per channel message. Large enough that the per-message mutex
+/// and allocation cost vanishes against per-tuple work, small enough that
+/// batches stay cache-resident and backpressure stays responsive.
+pub const DEFAULT_BATCH: usize = 256;
+
+/// Batches in flight per shard before `send` blocks (bounded backpressure,
+/// like the discrete pipeline's per-node channel depth).
+const CHANNEL_DEPTH: usize = 4;
+
+/// Why a sharded runtime could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The plan mixes keys inside an operator and cannot be partitioned;
+    /// run it single-threaded instead.
+    NotPartitionable(PartitionViolation),
+    /// The plan failed the continuous transform (would fail single-threaded
+    /// too); surfaced here so workers never panic on compile.
+    Transform(TransformError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NotPartitionable(v) => {
+                write!(f, "plan is not key-partitionable: {v}")
+            }
+            ShardError::Transform(e) => write!(f, "continuous transform failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<TransformError> for ShardError {
+    fn from(e: TransformError) -> Self {
+        ShardError::Transform(e)
+    }
+}
+
+/// Work sent to a shard worker.
+#[derive(Debug)]
+enum Msg {
+    /// A batch of `(source, tuple)` pairs, all keys owned by this shard.
+    Batch(Vec<(usize, Tuple)>),
+    /// Garbage-collect lineage older than `t` (mirrors
+    /// [`PulseRuntime::gc_before`]).
+    Gc(f64),
+}
+
+/// What one worker hands back at end of stream.
+struct ShardResult {
+    stats: RuntimeStats,
+    validator: ValidatorStats,
+    metrics: OpMetrics,
+    outputs: Vec<Segment>,
+}
+
+/// Merged end-of-run totals across all shards.
+#[derive(Debug, Default)]
+pub struct MergedRun {
+    /// Summed runtime counters.
+    pub stats: RuntimeStats,
+    /// Summed validation counters.
+    pub validator: ValidatorStats,
+    /// Summed continuous-operator counters.
+    pub metrics: OpMetrics,
+    /// Every shard's result segments, concatenated shard-by-shard (order
+    /// across shards is not meaningful; per-key order is preserved).
+    pub outputs: Vec<Segment>,
+}
+
+/// The key-partitioned parallel predictive processor.
+pub struct ShardedRuntime {
+    txs: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<ShardResult>>,
+    /// Per-shard batch under construction.
+    pending: Vec<Vec<(usize, Tuple)>>,
+    batch: usize,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("shards", &self.handles.len())
+            .field("batch", &self.batch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Finalizer from splitmix64: avalanches low-entropy keys (sequential
+/// symbol ids, packed pair keys) so `% shards` balances the load.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardedRuntime {
+    /// Builds `shards` worker runtimes over the same logical plan.
+    ///
+    /// Fails fast — before spawning anything — if the plan mixes keys
+    /// ([`ShardError::NotPartitionable`]) or does not transform
+    /// ([`ShardError::Transform`]).
+    pub fn new(
+        predictors: Vec<Predictor>,
+        logical: &LogicalPlan,
+        cfg: RuntimeConfig,
+        shards: usize,
+    ) -> Result<Self, ShardError> {
+        assert!(shards >= 1, "need at least one shard");
+        assert_eq!(predictors.len(), logical.sources.len(), "one predictor per source");
+        if let Some(v) = logical.key_partition_violation() {
+            return Err(ShardError::NotPartitionable(v));
+        }
+        // Compile once here so the per-worker compile below cannot fail.
+        CPlan::compile(logical)?;
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = bounded::<Msg>(CHANNEL_DEPTH);
+            let preds = predictors.clone();
+            let lp = logical.clone();
+            let cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("pulse-shard-{i}"))
+                .spawn(move || {
+                    let mut rt = PulseRuntime::with_predictors(preds, &lp, cfg)
+                        .expect("plan compiled before spawn");
+                    let mut outputs = Vec::new();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Batch(batch) => {
+                                for (source, tuple) in &batch {
+                                    outputs.extend(rt.on_tuple(*source, tuple));
+                                }
+                            }
+                            Msg::Gc(t) => rt.gc_before(t),
+                        }
+                    }
+                    if pulse_obs::enabled() {
+                        rt.export_metrics_prefixed(pulse_obs::global(), &format!("shard{i}."));
+                    }
+                    ShardResult {
+                        stats: rt.stats(),
+                        validator: rt.validator().stats(),
+                        metrics: rt.plan().metrics(),
+                        outputs,
+                    }
+                })
+                .expect("spawn shard worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Ok(ShardedRuntime { txs, handles, pending: vec![Vec::new(); shards], batch: DEFAULT_BATCH })
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Overrides the tuples-per-message batch size (tests use 1 to exercise
+    /// the channel per tuple).
+    pub fn set_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
+    /// Which shard owns a key.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (splitmix64(key) % self.txs.len() as u64) as usize
+    }
+
+    /// Routes one tuple to its key's shard. Batches internally; the send
+    /// blocks (backpressure) when the shard is `CHANNEL_DEPTH` batches
+    /// behind. Result segments surface at [`Self::finish`].
+    pub fn on_tuple(&mut self, source: usize, tuple: &Tuple) {
+        let s = self.shard_of(tuple.key);
+        self.pending[s].push((source, tuple.clone()));
+        if self.pending[s].len() >= self.batch {
+            self.flush(s);
+        }
+    }
+
+    /// Asks every shard to garbage-collect lineage older than `t`. Flushes
+    /// pending batches first so GC stays ordered with the tuples before it.
+    pub fn gc_before(&mut self, t: f64) {
+        for s in 0..self.txs.len() {
+            self.flush(s);
+            self.txs[s].send(Msg::Gc(t)).expect("shard worker alive");
+        }
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if self.pending[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending[shard]);
+        self.txs[shard].send(Msg::Batch(batch)).expect("shard worker alive");
+    }
+
+    /// Ends the stream: flushes every pending batch, closes the channels,
+    /// joins the workers and merges their counters and outputs.
+    pub fn finish(mut self) -> MergedRun {
+        for s in 0..self.txs.len() {
+            self.flush(s);
+        }
+        // Dropping the senders closes each channel; workers drain and exit.
+        self.txs.clear();
+        let mut merged = MergedRun::default();
+        for h in self.handles.drain(..) {
+            let r = h.join().expect("shard worker panicked");
+            merged.stats.absorb(&r.stats);
+            merged.validator.absorb(&r.validator);
+            merged.metrics.absorb(&r.metrics);
+            merged.outputs.extend(r.outputs);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_math::CmpOp;
+    use pulse_model::{AttrKind, Expr, ModelSpec, Pred, Schema, StreamModel};
+    use pulse_stream::{LogicalOp, PortRef};
+
+    fn source() -> (Schema, StreamModel) {
+        let schema = Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)]);
+        let sm = StreamModel::new(
+            schema.clone(),
+            vec![ModelSpec::new(0, Expr::attr(0) + Expr::attr(1) * Expr::Time)],
+        )
+        .unwrap();
+        (schema, sm)
+    }
+
+    fn filter_plan(schema: Schema) -> LogicalPlan {
+        let mut lp = LogicalPlan::new(vec![schema]);
+        lp.add(
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(-100.0)) },
+            vec![PortRef::Source(0)],
+        );
+        lp
+    }
+
+    #[test]
+    fn shard_of_covers_all_shards() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema);
+        let rt = ShardedRuntime::new(vec![Predictor::Clause(sm)], &lp, RuntimeConfig::default(), 4)
+            .unwrap();
+        let mut hit = [false; 4];
+        for key in 0..64u64 {
+            hit[rt.shard_of(key)] = true;
+        }
+        assert_eq!(hit, [true; 4], "sequential keys must spread over shards");
+        // Routing is deterministic.
+        assert_eq!(rt.shard_of(7), rt.shard_of(7));
+        rt.finish();
+    }
+
+    #[test]
+    fn basic_run_merges_stats() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema);
+        let mut rt = ShardedRuntime::new(
+            vec![Predictor::Clause(sm)],
+            &lp,
+            RuntimeConfig { horizon: 100.0, bound: 1.0, ..Default::default() },
+            3,
+        )
+        .unwrap();
+        rt.set_batch(2);
+        for i in 0..60 {
+            let key = (i % 6) as u64;
+            let ts = (i / 6) as f64;
+            rt.on_tuple(0, &Tuple::new(key, ts, vec![2.0 * ts, 2.0]));
+        }
+        rt.gc_before(0.0);
+        let run = rt.finish();
+        assert_eq!(run.stats.tuples_in, 60);
+        // Six keys following their model exactly: one solve each.
+        assert_eq!(run.stats.segments_pushed, 6);
+        assert_eq!(run.stats.suppressed, 54);
+        assert_eq!(run.stats.violations, 0);
+        assert_eq!(run.outputs.len() as u64, run.stats.outputs);
+        assert!(run.validator.checks >= 54);
+        assert!(run.metrics.systems_solved >= 6);
+    }
+
+    #[test]
+    fn non_partitionable_plan_is_rejected_before_spawn() {
+        let (schema, sm) = source();
+        let mut lp = LogicalPlan::new(vec![schema]);
+        lp.add(
+            LogicalOp::Aggregate {
+                func: pulse_stream::AggFunc::Min,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: false,
+            },
+            vec![PortRef::Source(0)],
+        );
+        let err =
+            ShardedRuntime::new(vec![Predictor::Clause(sm)], &lp, RuntimeConfig::default(), 2)
+                .unwrap_err();
+        let ShardError::NotPartitionable(v) = &err else {
+            panic!("expected NotPartitionable, got {err:?}")
+        };
+        assert_eq!(v.node, 0);
+        assert!(err.to_string().contains("aggregate"), "{err}");
+    }
+
+    #[test]
+    fn untransformable_plan_is_a_transform_error() {
+        let (schema, sm) = source();
+        let mut lp = LogicalPlan::new(vec![schema]);
+        lp.add(
+            LogicalOp::Aggregate {
+                func: pulse_stream::AggFunc::Count,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: true,
+            },
+            vec![PortRef::Source(0)],
+        );
+        let err =
+            ShardedRuntime::new(vec![Predictor::Clause(sm)], &lp, RuntimeConfig::default(), 2)
+                .unwrap_err();
+        assert!(matches!(err, ShardError::Transform(_)), "{err:?}");
+    }
+}

@@ -156,6 +156,33 @@ impl<'a> BoundInverter<'a> {
     }
 }
 
+/// Source-qualified validation key: a real composite, not a packed word.
+/// (An earlier build packed `(source << 48) ^ key` into one `u64`, which
+/// silently collided for keys ≥ 2⁴⁸ — e.g. `(1, 0)` and `(0, 1 << 48)` —
+/// letting one stream's validation mode shadow another's.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VKey {
+    pub source: u32,
+    pub key: u64,
+}
+
+impl VKey {
+    pub fn new(source: usize, key: u64) -> Self {
+        VKey { source: source as u32, key }
+    }
+}
+
+impl std::hash::Hash for VKey {
+    /// One 8-byte write instead of the derived two (12 bytes): validator
+    /// lookups run on the per-tuple fast path, where the extra SipHash
+    /// block costs measurable ns. Mixing `source` into the high bits may
+    /// *hash*-collide for keys ≥ 2⁴⁸, which — unlike the old packed key —
+    /// is harmless: `Eq` compares both fields.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64((self.source as u64).rotate_left(48) ^ self.key);
+    }
+}
+
 /// Per-key validation state: accuracy bounds while results exist, slack
 /// bounds after a null result ("Pulse alternates between performing
 /// accuracy and slack validation based on whether previous inputs caused
@@ -181,11 +208,21 @@ pub struct ValidatorStats {
     pub slack_keys: u64,
 }
 
+impl ValidatorStats {
+    /// Accumulates another validator's counters (shard merging).
+    pub fn absorb(&mut self, other: &ValidatorStats) {
+        self.checks += other.checks;
+        self.violations += other.violations;
+        self.accuracy_keys += other.accuracy_keys;
+        self.slack_keys += other.slack_keys;
+    }
+}
+
 /// Input-side validator: decides, per tuple, whether the current prediction
 /// still stands (true) or the solver must re-run (false).
 #[derive(Debug, Default)]
 pub struct Validator {
-    modes: HashMap<u64, ValidationMode>,
+    modes: HashMap<VKey, ValidationMode>,
     /// Checks performed (the cheap per-tuple cost of Pulse's fast path).
     pub checks: u64,
     /// Violations detected.
@@ -198,17 +235,17 @@ impl Validator {
     }
 
     /// Installs an accuracy bound for a key (after successful inversion).
-    pub fn set_accuracy(&mut self, key: u64, bound: Bound) {
+    pub fn set_accuracy(&mut self, key: VKey, bound: Bound) {
         self.modes.insert(key, ValidationMode::Accuracy(bound));
     }
 
     /// Installs a slack bound for a key (after a null result).
-    pub fn set_slack(&mut self, key: u64, slack: f64) {
+    pub fn set_slack(&mut self, key: VKey, slack: f64) {
         self.modes.insert(key, ValidationMode::Slack(slack.max(0.0)));
     }
 
     /// Current mode for a key.
-    pub fn mode(&self, key: u64) -> Option<ValidationMode> {
+    pub fn mode(&self, key: VKey) -> Option<ValidationMode> {
         self.modes.get(&key).copied()
     }
 
@@ -216,7 +253,7 @@ impl Validator {
     /// installed mode fail validation (no previously known result — the
     /// solver must run, per the paper's "only … in the presence of errors,
     /// or no previously known results").
-    pub fn check(&mut self, key: u64, predicted: f64, actual: f64) -> bool {
+    pub fn check(&mut self, key: VKey, predicted: f64, actual: f64) -> bool {
         self.checks += 1;
         let ok = match self.modes.get(&key) {
             Some(ValidationMode::Accuracy(b)) => b.admits(predicted, actual),
@@ -230,7 +267,7 @@ impl Validator {
     }
 
     /// Clears a key's mode (e.g. after re-modeling).
-    pub fn reset(&mut self, key: u64) {
+    pub fn reset(&mut self, key: VKey) {
         self.modes.remove(&key);
     }
 
@@ -351,19 +388,46 @@ mod tests {
     #[test]
     fn validator_mode_alternation() {
         let mut v = Validator::new();
+        let k = VKey::new(0, 1);
         // Unknown key: must fail (no previously known results).
-        assert!(!v.check(1, 10.0, 10.0));
-        v.set_accuracy(1, Bound::symmetric(0.5));
-        assert!(v.check(1, 10.0, 10.3));
-        assert!(!v.check(1, 10.0, 11.0));
+        assert!(!v.check(k, 10.0, 10.0));
+        v.set_accuracy(k, Bound::symmetric(0.5));
+        assert!(v.check(k, 10.0, 10.3));
+        assert!(!v.check(k, 10.0, 11.0));
         // After a null result: slack mode.
-        v.set_slack(1, 3.0);
-        assert!(matches!(v.mode(1), Some(ValidationMode::Slack(_))));
-        assert!(v.check(1, 10.0, 12.0));
-        assert!(!v.check(1, 10.0, 14.0));
+        v.set_slack(k, 3.0);
+        assert!(matches!(v.mode(k), Some(ValidationMode::Slack(_))));
+        assert!(v.check(k, 10.0, 12.0));
+        assert!(!v.check(k, 10.0, 14.0));
         assert_eq!(v.checks, 5);
         assert_eq!(v.violations, 3);
-        v.reset(1);
-        assert!(v.mode(1).is_none());
+        v.reset(k);
+        assert!(v.mode(k).is_none());
+    }
+
+    #[test]
+    fn vkeys_that_collided_under_packing_stay_distinct() {
+        // The old `(source << 48) ^ key` packing mapped both of these to
+        // the same slot; each stream must keep its own mode.
+        let a = VKey::new(1, 0);
+        let b = VKey::new(0, 1 << 48);
+        assert_ne!(a, b);
+        let mut v = Validator::new();
+        v.set_slack(a, 1e6);
+        v.set_accuracy(b, Bound::symmetric(0.5));
+        assert!(matches!(v.mode(a), Some(ValidationMode::Slack(_))));
+        assert!(matches!(v.mode(b), Some(ValidationMode::Accuracy(_))));
+        assert!(v.check(a, 0.0, 100.0), "a's wide slack must survive b's install");
+    }
+
+    #[test]
+    fn validator_stats_absorb_sums_fields() {
+        let mut a = ValidatorStats { checks: 1, violations: 2, accuracy_keys: 3, slack_keys: 4 };
+        let b = ValidatorStats { checks: 10, violations: 20, accuracy_keys: 30, slack_keys: 40 };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            ValidatorStats { checks: 11, violations: 22, accuracy_keys: 33, slack_keys: 44 }
+        );
     }
 }

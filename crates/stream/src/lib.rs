@@ -19,7 +19,7 @@ pub mod parallel;
 pub mod plan;
 
 pub use explain::{explain, expr_to_string, pred_to_string};
-pub use logical::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PortRef};
+pub use logical::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PartitionViolation, PortRef};
 pub use metrics::OpMetrics;
 pub use ops::{AggregateOp, FilterOp, JoinOp, MapOp, Operator, UnionOp};
 pub use parallel::Pipeline;

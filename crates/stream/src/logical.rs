@@ -88,6 +88,22 @@ pub enum LogicalOp {
     Union,
 }
 
+/// Why a plan cannot be key-partitioned (see
+/// [`LogicalPlan::is_key_partitionable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionViolation {
+    /// Index of the offending operator node.
+    pub node: usize,
+    /// Human-readable explanation.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for PartitionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {}: {}", self.node, self.reason)
+    }
+}
+
 /// Reference to an operator input: an external source stream or another
 /// node's output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +165,38 @@ impl LogicalPlan {
                 }
             }
         }
+    }
+
+    /// Whether every operator keeps keys separate, so the plan can be
+    /// hash-partitioned by key across independent runtime instances
+    /// without changing its results. Filters, maps and unions are per-key
+    /// by construction; joins qualify only when they match keys exactly
+    /// ([`KeyJoin::Eq`]), and aggregates only when grouped by key —
+    /// anything else mixes keys inside one operator's state.
+    pub fn is_key_partitionable(&self) -> bool {
+        self.key_partition_violation().is_none()
+    }
+
+    /// The first operator that prevents key partitioning, if any, with a
+    /// human-readable reason (used in sharding errors).
+    pub fn key_partition_violation(&self) -> Option<PartitionViolation> {
+        for (node, ln) in self.nodes.iter().enumerate() {
+            let reason = match &ln.op {
+                LogicalOp::Join { on_keys: KeyJoin::Eq, .. } => continue,
+                LogicalOp::Join { on_keys: KeyJoin::Any, .. } => {
+                    "join without a key-equality condition pairs segments across keys"
+                }
+                LogicalOp::Join { on_keys: KeyJoin::Ne, .. } => {
+                    "key-inequality join pairs segments of different keys"
+                }
+                LogicalOp::Aggregate { group_by_key: false, .. } => {
+                    "ungrouped aggregate combines all keys into one state"
+                }
+                _ => continue,
+            };
+            return Some(PartitionViolation { node, reason });
+        }
+        None
     }
 
     /// Nodes that feed no other node — the query outputs.
@@ -229,6 +277,58 @@ mod tests {
             LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Any },
             vec![PortRef::Source(0)],
         );
+    }
+
+    #[test]
+    fn key_partitionability_rules() {
+        // Filter + grouped aggregate + Eq join: partitionable.
+        let mut p = LogicalPlan::new(vec![src()]);
+        let f = p.add(LogicalOp::Filter { pred: Pred::True }, vec![PortRef::Source(0)]);
+        let a = p.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Avg,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: true,
+            },
+            vec![f],
+        );
+        p.add(
+            LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Eq },
+            vec![a, PortRef::Source(0)],
+        );
+        assert!(p.is_key_partitionable());
+        assert_eq!(p.key_partition_violation(), None);
+
+        // Ungrouped aggregate: not partitionable, violation names the node.
+        let mut p = LogicalPlan::new(vec![src()]);
+        p.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Min,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: false,
+            },
+            vec![PortRef::Source(0)],
+        );
+        let v = p.key_partition_violation().expect("must refuse");
+        assert_eq!(v.node, 0);
+        assert!(v.reason.contains("aggregate"), "{}", v.reason);
+
+        // Cross-key joins: not partitionable.
+        for on_keys in [KeyJoin::Any, KeyJoin::Ne] {
+            let mut p = LogicalPlan::new(vec![src(), src()]);
+            p.add(
+                LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys },
+                vec![PortRef::Source(0), PortRef::Source(1)],
+            );
+            assert!(!p.is_key_partitionable(), "{on_keys:?}");
+            let v = p.key_partition_violation().unwrap();
+            assert!(v.reason.contains("join"), "{}", v.reason);
+            assert!(v.to_string().starts_with("node 0: "), "{v}");
+        }
     }
 
     #[test]

@@ -17,4 +17,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "== cargo build --release --bins --benches"
+cargo build --release --workspace --bins --benches
+
+echo "== scaling smoke (2-shard sweep)"
+PULSE_SCALING_SMOKE=1 PULSE_SCALING_SHARDS=2 ./target/release/scaling
+
 echo "All checks passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4ec35a9e9c9e0ea2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4ec35a9e9c9e0ea2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-b5083abd2b869e93.d: tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-b5083abd2b869e93: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_invariants-b843b19934ce626a.d: tests/engine_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_invariants-b843b19934ce626a.rmeta: tests/engine_invariants.rs Cargo.toml
+
+tests/engine_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-9a24e002269023f6.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-9a24e002269023f6.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-e62f8b59cc3ded20.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-e62f8b59cc3ded20: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_micro-25dbe45036bbc39b.d: crates/bench/src/bin/fig5_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_micro-25dbe45036bbc39b.rmeta: crates/bench/src/bin/fig5_micro.rs Cargo.toml
+
+crates/bench/src/bin/fig5_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_micro-a8dc33cc7f3a48f5.d: crates/bench/src/bin/fig5_micro.rs
+
+/root/repo/target/debug/deps/fig5_micro-a8dc33cc7f3a48f5: crates/bench/src/bin/fig5_micro.rs
+
+crates/bench/src/bin/fig5_micro.rs:

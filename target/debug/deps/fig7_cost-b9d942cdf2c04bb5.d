@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_cost-b9d942cdf2c04bb5.d: crates/bench/src/bin/fig7_cost.rs
+
+/root/repo/target/debug/deps/fig7_cost-b9d942cdf2c04bb5: crates/bench/src/bin/fig7_cost.rs
+
+crates/bench/src/bin/fig7_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_cost-d37282f2043aea62.d: crates/bench/src/bin/fig7_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_cost-d37282f2043aea62.rmeta: crates/bench/src/bin/fig7_cost.rs Cargo.toml
+
+crates/bench/src/bin/fig7_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_historical-6e0ec830af62d3b5.d: crates/bench/src/bin/fig8_historical.rs
+
+/root/repo/target/debug/deps/fig8_historical-6e0ec830af62d3b5: crates/bench/src/bin/fig8_historical.rs
+
+crates/bench/src/bin/fig8_historical.rs:

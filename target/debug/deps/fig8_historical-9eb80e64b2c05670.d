@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_historical-9eb80e64b2c05670.d: crates/bench/src/bin/fig8_historical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_historical-9eb80e64b2c05670.rmeta: crates/bench/src/bin/fig8_historical.rs Cargo.toml
+
+crates/bench/src/bin/fig8_historical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

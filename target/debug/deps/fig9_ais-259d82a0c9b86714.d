@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ais-259d82a0c9b86714.d: crates/bench/src/bin/fig9_ais.rs
+
+/root/repo/target/debug/deps/fig9_ais-259d82a0c9b86714: crates/bench/src/bin/fig9_ais.rs
+
+crates/bench/src/bin/fig9_ais.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_ais-6804ba4239e2e014.d: crates/bench/src/bin/fig9_ais.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_ais-6804ba4239e2e014.rmeta: crates/bench/src/bin/fig9_ais.rs Cargo.toml
+
+crates/bench/src/bin/fig9_ais.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

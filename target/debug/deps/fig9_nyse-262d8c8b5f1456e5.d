@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_nyse-262d8c8b5f1456e5.d: crates/bench/src/bin/fig9_nyse.rs
+
+/root/repo/target/debug/deps/fig9_nyse-262d8c8b5f1456e5: crates/bench/src/bin/fig9_nyse.rs
+
+crates/bench/src/bin/fig9_nyse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_precision-195155db23c9f4e2.d: crates/bench/src/bin/fig9_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_precision-195155db23c9f4e2.rmeta: crates/bench/src/bin/fig9_precision.rs Cargo.toml
+
+crates/bench/src/bin/fig9_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_precision-de1ddb6d9f438a6e.d: crates/bench/src/bin/fig9_precision.rs
+
+/root/repo/target/debug/deps/fig9_precision-de1ddb6d9f438a6e: crates/bench/src/bin/fig9_precision.rs
+
+crates/bench/src/bin/fig9_precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1_scenario-7b4b856b75defdef.d: tests/figure1_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1_scenario-7b4b856b75defdef.rmeta: tests/figure1_scenario.rs Cargo.toml
+
+tests/figure1_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

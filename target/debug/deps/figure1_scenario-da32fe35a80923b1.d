@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_scenario-da32fe35a80923b1.d: tests/figure1_scenario.rs
+
+/root/repo/target/debug/deps/figure1_scenario-da32fe35a80923b1: tests/figure1_scenario.rs
+
+tests/figure1_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a30941cfbeeca0c9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-a30941cfbeeca0c9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

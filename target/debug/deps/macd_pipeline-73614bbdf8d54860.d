@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macd_pipeline-73614bbdf8d54860.d: tests/macd_pipeline.rs
+
+/root/repo/target/debug/deps/macd_pipeline-73614bbdf8d54860: tests/macd_pipeline.rs
+
+tests/macd_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macd_pipeline-7ff001753c34ddb3.d: tests/macd_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacd_pipeline-7ff001753c34ddb3.rmeta: tests/macd_pipeline.rs Cargo.toml
+
+tests/macd_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

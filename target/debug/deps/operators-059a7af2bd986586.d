@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operators-059a7af2bd986586.d: crates/bench/benches/operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperators-059a7af2bd986586.rmeta: crates/bench/benches/operators.rs Cargo.toml
+
+crates/bench/benches/operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse-0acfe368f5e7bf42.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpulse-0acfe368f5e7bf42.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpulse-0acfe368f5e7bf42.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-34361da062969ff1.d: src/bin/pulse.rs
+
+/root/repo/target/debug/deps/pulse-34361da062969ff1: src/bin/pulse.rs
+
+src/bin/pulse.rs:

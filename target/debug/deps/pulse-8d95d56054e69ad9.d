@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-8d95d56054e69ad9.d: src/lib.rs
+
+/root/repo/target/debug/deps/pulse-8d95d56054e69ad9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse-c9732e4ca6f69e2e.d: src/bin/pulse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse-c9732e4ca6f69e2e.rmeta: src/bin/pulse.rs Cargo.toml
+
+src/bin/pulse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

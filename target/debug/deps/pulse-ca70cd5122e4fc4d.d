@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse-ca70cd5122e4fc4d.d: src/bin/pulse.rs
+
+/root/repo/target/debug/deps/pulse-ca70cd5122e4fc4d: src/bin/pulse.rs
+
+src/bin/pulse.rs:

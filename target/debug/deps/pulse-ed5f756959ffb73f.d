@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse-ed5f756959ffb73f.d: src/bin/pulse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse-ed5f756959ffb73f.rmeta: src/bin/pulse.rs Cargo.toml
+
+src/bin/pulse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

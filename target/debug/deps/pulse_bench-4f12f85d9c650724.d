@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_bench-4f12f85d9c650724.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libpulse_bench-4f12f85d9c650724.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libpulse_bench-4f12f85d9c650724.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/params.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_bench-a7b5b2b5b8c857b4.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/pulse_bench-a7b5b2b5b8c857b4: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/params.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/report.rs:

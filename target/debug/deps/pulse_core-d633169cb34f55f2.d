@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/pulse_core-d633169cb34f55f2.d: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cops/mod.rs crates/core/src/cops/group.rs crates/core/src/cops/join.rs crates/core/src/cops/minmax.rs crates/core/src/cops/sumavg.rs crates/core/src/eqsys.rs crates/core/src/historical.rs crates/core/src/index.rs crates/core/src/lineage.rs crates/core/src/plan.rs crates/core/src/runtime.rs crates/core/src/sampler.rs crates/core/src/shard.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_core-d633169cb34f55f2.rmeta: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cops/mod.rs crates/core/src/cops/group.rs crates/core/src/cops/join.rs crates/core/src/cops/minmax.rs crates/core/src/cops/sumavg.rs crates/core/src/eqsys.rs crates/core/src/historical.rs crates/core/src/index.rs crates/core/src/lineage.rs crates/core/src/plan.rs crates/core/src/runtime.rs crates/core/src/sampler.rs crates/core/src/shard.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/binding.rs:
+crates/core/src/cops/mod.rs:
+crates/core/src/cops/group.rs:
+crates/core/src/cops/join.rs:
+crates/core/src/cops/minmax.rs:
+crates/core/src/cops/sumavg.rs:
+crates/core/src/eqsys.rs:
+crates/core/src/historical.rs:
+crates/core/src/index.rs:
+crates/core/src/lineage.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sampler.rs:
+crates/core/src/shard.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

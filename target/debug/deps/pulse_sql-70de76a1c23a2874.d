@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_sql-70de76a1c23a2874.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/debug/deps/pulse_sql-70de76a1c23a2874: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/compile.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

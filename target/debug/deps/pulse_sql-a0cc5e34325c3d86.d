@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_sql-a0cc5e34325c3d86.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_sql-a0cc5e34325c3d86.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/compile.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

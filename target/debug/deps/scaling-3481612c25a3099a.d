@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-3481612c25a3099a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-3481612c25a3099a: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

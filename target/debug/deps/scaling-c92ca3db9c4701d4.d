@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scaling-c92ca3db9c4701d4.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-c92ca3db9c4701d4: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

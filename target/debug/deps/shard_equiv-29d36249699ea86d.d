@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shard_equiv-29d36249699ea86d.d: crates/core/tests/shard_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshard_equiv-29d36249699ea86d.rmeta: crates/core/tests/shard_equiv.rs Cargo.toml
+
+crates/core/tests/shard_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

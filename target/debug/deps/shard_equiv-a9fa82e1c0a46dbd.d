@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shard_equiv-a9fa82e1c0a46dbd.d: crates/core/tests/shard_equiv.rs
+
+/root/repo/target/debug/deps/shard_equiv-a9fa82e1c0a46dbd: crates/core/tests/shard_equiv.rs
+
+crates/core/tests/shard_equiv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_algebra-4006caac50932d88.d: tests/solver_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_algebra-4006caac50932d88.rmeta: tests/solver_algebra.rs Cargo.toml
+
+tests/solver_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

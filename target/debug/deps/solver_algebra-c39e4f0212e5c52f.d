@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_algebra-c39e4f0212e5c52f.d: tests/solver_algebra.rs
+
+/root/repo/target/debug/deps/solver_algebra-c39e4f0212e5c52f: tests/solver_algebra.rs
+
+tests/solver_algebra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation_properties-a4a89435de9c820b.d: tests/validation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation_properties-a4a89435de9c820b.rmeta: tests/validation_properties.rs Cargo.toml
+
+tests/validation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

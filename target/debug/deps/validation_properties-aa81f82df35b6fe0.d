@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_properties-aa81f82df35b6fe0.d: tests/validation_properties.rs
+
+/root/repo/target/debug/deps/validation_properties-aa81f82df35b6fe0: tests/validation_properties.rs
+
+tests/validation_properties.rs:

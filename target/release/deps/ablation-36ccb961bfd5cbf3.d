@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-36ccb961bfd5cbf3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-36ccb961bfd5cbf3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c6374bf67bf5a9dd.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c6374bf67bf5a9dd: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-4c2f2a41fac183e0.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-4c2f2a41fac183e0: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

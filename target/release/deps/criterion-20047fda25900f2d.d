@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-20047fda25900f2d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-20047fda25900f2d: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-5faf69d22dd56849.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-5faf69d22dd56849: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_micro-27d946e35e8ce5f7.d: crates/bench/src/bin/fig5_micro.rs
+
+/root/repo/target/release/deps/fig5_micro-27d946e35e8ce5f7: crates/bench/src/bin/fig5_micro.rs
+
+crates/bench/src/bin/fig5_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_micro-f3622b5dda6ceee0.d: crates/bench/src/bin/fig5_micro.rs
+
+/root/repo/target/release/deps/fig5_micro-f3622b5dda6ceee0: crates/bench/src/bin/fig5_micro.rs
+
+crates/bench/src/bin/fig5_micro.rs:

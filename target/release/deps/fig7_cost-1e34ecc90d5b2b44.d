@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cost-1e34ecc90d5b2b44.d: crates/bench/src/bin/fig7_cost.rs
+
+/root/repo/target/release/deps/fig7_cost-1e34ecc90d5b2b44: crates/bench/src/bin/fig7_cost.rs
+
+crates/bench/src/bin/fig7_cost.rs:

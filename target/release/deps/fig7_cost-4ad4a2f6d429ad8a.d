@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cost-4ad4a2f6d429ad8a.d: crates/bench/src/bin/fig7_cost.rs
+
+/root/repo/target/release/deps/fig7_cost-4ad4a2f6d429ad8a: crates/bench/src/bin/fig7_cost.rs
+
+crates/bench/src/bin/fig7_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_historical-833a9bd235811d44.d: crates/bench/src/bin/fig8_historical.rs
+
+/root/repo/target/release/deps/fig8_historical-833a9bd235811d44: crates/bench/src/bin/fig8_historical.rs
+
+crates/bench/src/bin/fig8_historical.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_historical-ee6f511d99f5d0bb.d: crates/bench/src/bin/fig8_historical.rs
+
+/root/repo/target/release/deps/fig8_historical-ee6f511d99f5d0bb: crates/bench/src/bin/fig8_historical.rs
+
+crates/bench/src/bin/fig8_historical.rs:

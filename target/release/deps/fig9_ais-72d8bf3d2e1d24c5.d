@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ais-72d8bf3d2e1d24c5.d: crates/bench/src/bin/fig9_ais.rs
+
+/root/repo/target/release/deps/fig9_ais-72d8bf3d2e1d24c5: crates/bench/src/bin/fig9_ais.rs
+
+crates/bench/src/bin/fig9_ais.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ais-fd40165984dcd7f6.d: crates/bench/src/bin/fig9_ais.rs
+
+/root/repo/target/release/deps/fig9_ais-fd40165984dcd7f6: crates/bench/src/bin/fig9_ais.rs
+
+crates/bench/src/bin/fig9_ais.rs:

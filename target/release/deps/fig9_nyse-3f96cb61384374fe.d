@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_nyse-3f96cb61384374fe.d: crates/bench/src/bin/fig9_nyse.rs
+
+/root/repo/target/release/deps/fig9_nyse-3f96cb61384374fe: crates/bench/src/bin/fig9_nyse.rs
+
+crates/bench/src/bin/fig9_nyse.rs:

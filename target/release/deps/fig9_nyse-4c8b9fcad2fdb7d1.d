@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_nyse-4c8b9fcad2fdb7d1.d: crates/bench/src/bin/fig9_nyse.rs
+
+/root/repo/target/release/deps/fig9_nyse-4c8b9fcad2fdb7d1: crates/bench/src/bin/fig9_nyse.rs
+
+crates/bench/src/bin/fig9_nyse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_precision-04bfec290d8ffc7d.d: crates/bench/src/bin/fig9_precision.rs
+
+/root/repo/target/release/deps/fig9_precision-04bfec290d8ffc7d: crates/bench/src/bin/fig9_precision.rs
+
+crates/bench/src/bin/fig9_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_precision-32ad22a286bcfb30.d: crates/bench/src/bin/fig9_precision.rs
+
+/root/repo/target/release/deps/fig9_precision-32ad22a286bcfb30: crates/bench/src/bin/fig9_precision.rs
+
+crates/bench/src/bin/fig9_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c4fc8bcb8baa2423.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-c4fc8bcb8baa2423: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-d987104428565018.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-d987104428565018: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-faa2790f54ae1846.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-faa2790f54ae1846: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

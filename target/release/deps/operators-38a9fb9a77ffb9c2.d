@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operators-38a9fb9a77ffb9c2.d: crates/bench/benches/operators.rs
+
+/root/repo/target/release/deps/operators-38a9fb9a77ffb9c2: crates/bench/benches/operators.rs
+
+crates/bench/benches/operators.rs:

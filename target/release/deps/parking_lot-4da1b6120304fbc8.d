@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-4da1b6120304fbc8.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-4da1b6120304fbc8: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

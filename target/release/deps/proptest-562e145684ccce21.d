@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-562e145684ccce21.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-562e145684ccce21.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-562e145684ccce21.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

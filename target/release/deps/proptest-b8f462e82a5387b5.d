@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-b8f462e82a5387b5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-b8f462e82a5387b5: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pulse-4953bfea618aa719.d: src/bin/pulse.rs
+
+/root/repo/target/release/deps/pulse-4953bfea618aa719: src/bin/pulse.rs
+
+src/bin/pulse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pulse-5782fc7b7e14c104.d: src/bin/pulse.rs
+
+/root/repo/target/release/deps/pulse-5782fc7b7e14c104: src/bin/pulse.rs
+
+src/bin/pulse.rs:

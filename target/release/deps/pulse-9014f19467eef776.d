@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pulse-9014f19467eef776.d: src/lib.rs
+
+/root/repo/target/release/deps/pulse-9014f19467eef776: src/lib.rs
+
+src/lib.rs:

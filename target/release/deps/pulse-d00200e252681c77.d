@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse-d00200e252681c77.d: src/lib.rs
+
+/root/repo/target/release/deps/libpulse-d00200e252681c77.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpulse-d00200e252681c77.rmeta: src/lib.rs
+
+src/lib.rs:

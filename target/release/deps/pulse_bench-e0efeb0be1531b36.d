@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_bench-e0efeb0be1531b36.d: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libpulse_bench-e0efeb0be1531b36.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libpulse_bench-e0efeb0be1531b36.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs crates/bench/src/params.rs crates/bench/src/queries.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/params.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pulse_core-2e231f500eb0d8eb.d: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cops/mod.rs crates/core/src/cops/group.rs crates/core/src/cops/join.rs crates/core/src/cops/minmax.rs crates/core/src/cops/sumavg.rs crates/core/src/eqsys.rs crates/core/src/historical.rs crates/core/src/index.rs crates/core/src/lineage.rs crates/core/src/plan.rs crates/core/src/runtime.rs crates/core/src/sampler.rs crates/core/src/shard.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/pulse_core-2e231f500eb0d8eb: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cops/mod.rs crates/core/src/cops/group.rs crates/core/src/cops/join.rs crates/core/src/cops/minmax.rs crates/core/src/cops/sumavg.rs crates/core/src/eqsys.rs crates/core/src/historical.rs crates/core/src/index.rs crates/core/src/lineage.rs crates/core/src/plan.rs crates/core/src/runtime.rs crates/core/src/sampler.rs crates/core/src/shard.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/binding.rs:
+crates/core/src/cops/mod.rs:
+crates/core/src/cops/group.rs:
+crates/core/src/cops/join.rs:
+crates/core/src/cops/minmax.rs:
+crates/core/src/cops/sumavg.rs:
+crates/core/src/eqsys.rs:
+crates/core/src/historical.rs:
+crates/core/src/index.rs:
+crates/core/src/lineage.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sampler.rs:
+crates/core/src/shard.rs:
+crates/core/src/validate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_math-3b207c83b822186e.d: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+/root/repo/target/release/deps/pulse_math-3b207c83b822186e: crates/math/src/lib.rs crates/math/src/cmp.rs crates/math/src/interval.rs crates/math/src/linsys.rs crates/math/src/poly.rs crates/math/src/roots.rs crates/math/src/sturm.rs
+
+crates/math/src/lib.rs:
+crates/math/src/cmp.rs:
+crates/math/src/interval.rs:
+crates/math/src/linsys.rs:
+crates/math/src/poly.rs:
+crates/math/src/roots.rs:
+crates/math/src/sturm.rs:

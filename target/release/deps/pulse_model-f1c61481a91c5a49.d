@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pulse_model-f1c61481a91c5a49.d: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+/root/repo/target/release/deps/pulse_model-f1c61481a91c5a49: crates/model/src/lib.rs crates/model/src/archive.rs crates/model/src/expr.rs crates/model/src/fitting.rs crates/model/src/modelspec.rs crates/model/src/piecewise.rs crates/model/src/schema.rs crates/model/src/segment.rs crates/model/src/tuple.rs
+
+crates/model/src/lib.rs:
+crates/model/src/archive.rs:
+crates/model/src/expr.rs:
+crates/model/src/fitting.rs:
+crates/model/src/modelspec.rs:
+crates/model/src/piecewise.rs:
+crates/model/src/schema.rs:
+crates/model/src/segment.rs:
+crates/model/src/tuple.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pulse_obs-c1e85d01c6151374.d: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/pulse_obs-c1e85d01c6151374: crates/obs/src/lib.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_sql-bc2daf46f8d9840f.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/release/deps/pulse_sql-bc2daf46f8d9840f: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/compile.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/compile.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

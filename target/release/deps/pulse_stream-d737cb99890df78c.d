@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_stream-d737cb99890df78c.d: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+/root/repo/target/release/deps/pulse_stream-d737cb99890df78c: crates/stream/src/lib.rs crates/stream/src/explain.rs crates/stream/src/logical.rs crates/stream/src/metrics.rs crates/stream/src/ops.rs crates/stream/src/parallel.rs crates/stream/src/plan.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/explain.rs:
+crates/stream/src/logical.rs:
+crates/stream/src/metrics.rs:
+crates/stream/src/ops.rs:
+crates/stream/src/parallel.rs:
+crates/stream/src/plan.rs:

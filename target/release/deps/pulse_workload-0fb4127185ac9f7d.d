@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_workload-0fb4127185ac9f7d.d: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+/root/repo/target/release/deps/pulse_workload-0fb4127185ac9f7d: crates/workload/src/lib.rs crates/workload/src/ais.rs crates/workload/src/moving.rs crates/workload/src/nyse.rs crates/workload/src/replay.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ais.rs:
+crates/workload/src/moving.rs:
+crates/workload/src/nyse.rs:
+crates/workload/src/replay.rs:

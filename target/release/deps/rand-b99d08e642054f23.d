@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-b99d08e642054f23.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-b99d08e642054f23: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

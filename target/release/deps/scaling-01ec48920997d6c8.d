@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scaling-01ec48920997d6c8.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-01ec48920997d6c8: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

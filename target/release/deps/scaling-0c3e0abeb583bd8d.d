@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-0c3e0abeb583bd8d.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-0c3e0abeb583bd8d: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scaling-ad47b9e319c47ee6.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-ad47b9e319c47ee6: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

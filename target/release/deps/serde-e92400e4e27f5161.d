@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-e92400e4e27f5161.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-e92400e4e27f5161: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

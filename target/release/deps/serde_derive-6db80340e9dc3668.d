@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-6db80340e9dc3668.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-6db80340e9dc3668: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

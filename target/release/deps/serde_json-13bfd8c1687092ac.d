@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-13bfd8c1687092ac.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-13bfd8c1687092ac: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:
