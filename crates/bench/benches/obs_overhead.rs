@@ -59,6 +59,19 @@ fn bench_fast_path(c: &mut Criterion) {
         "enabled runs must land in the fast-path histogram"
     );
 
+    // Flight recorder on: every suppressed tuple records an arrival and a
+    // validation verdict into the ring. This is the debugging posture, not
+    // the production one — no gate, just visibility into the cost.
+    let (mut rt, t) = suppressed_runtime();
+    pulse_obs::set_enabled(true);
+    pulse_obs::set_trace_enabled(true);
+    group.bench_function("obs_on_trace", |b| {
+        b.iter(|| black_box(rt.on_tuple(0, black_box(&t)).len()))
+    });
+    pulse_obs::set_trace_enabled(false);
+    pulse_obs::set_enabled(false);
+    assert!(!rt.tracer().is_empty(), "traced runs must land events in the ring");
+
     group.finish();
 }
 

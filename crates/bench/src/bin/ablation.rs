@@ -176,7 +176,7 @@ fn split_ablation() {
         let mut rt = PulseRuntime::new(
             vec![moving::stream_model(), moving::stream_model()],
             &lp,
-            RuntimeConfig { horizon: 10.0, bound: 1.0, heuristic },
+            RuntimeConfig { horizon: 10.0, bound: 1.0, heuristic, ..Default::default() },
         )
         .unwrap();
         for i in 0..fast.len().min(slow.len()) {

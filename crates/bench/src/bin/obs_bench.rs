@@ -1,0 +1,129 @@
+//! Observability overhead gate on the suppressed-tuple fast path.
+//!
+//! The criterion bench (`benches/obs_overhead.rs`) gives pretty
+//! distributions for humans; this binary gives CI a number and an exit
+//! code. It times the suppressed path — validation absorbing a perfectly
+//! on-model tuple — under three postures:
+//!
+//! - `obs_off`: metrics and the flight recorder compiled in but disabled
+//!   (production default; the cost is two relaxed atomic loads);
+//! - `obs_on`: counters/histograms live, recorder off (ops posture);
+//! - `obs_on_trace`: recorder ring capturing arrival + validation events
+//!   per tuple (debugging posture).
+//!
+//! Each posture reports the *minimum* ns/tuple over many batches — the
+//! min is the steady-state cost, immune to scheduler noise that swamps
+//! the few-ns deltas being measured. Results land in `BENCH_obs.json` at
+//! the repo root. With `PULSE_OBS_GATE=1`, the run fails unless
+//! `obs_on − obs_off` stays within `PULSE_OBS_GATE_NS` (default 25 ns),
+//! which is how `scripts/check.sh` keeps instrumentation honest.
+
+use pulse_core::{PulseRuntime, RuntimeConfig};
+use pulse_math::CmpOp;
+use pulse_model::{AttrKind, Expr, ModelSpec, Pred, Schema, StreamModel, Tuple};
+use pulse_stream::{LogicalOp, LogicalPlan, PortRef};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runtime primed so every benched tuple is absorbed by validation alone
+/// (same setup as the criterion bench).
+fn suppressed_runtime() -> (PulseRuntime, Tuple) {
+    let schema = Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)]);
+    let sm = StreamModel::new(
+        schema.clone(),
+        vec![ModelSpec::new(0, Expr::attr(0) + Expr::attr(1) * Expr::Time)],
+    )
+    .unwrap();
+    let mut lp = LogicalPlan::new(vec![schema]);
+    lp.add(
+        LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(-1e9)) },
+        vec![PortRef::Source(0)],
+    );
+    let cfg = RuntimeConfig { horizon: 1e12, bound: 1.0, ..Default::default() };
+    let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+    rt.on_tuple(0, &Tuple::new(1, 0.0, vec![0.0, 2.0]));
+    let t = Tuple::new(1, 1.0, vec![2.0, 2.0]);
+    assert!(rt.on_tuple(0, &t).is_empty(), "bench tuple must be suppressed");
+    (rt, t)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Min ns/tuple over `reps` batches of `per` suppressed tuples.
+fn measure(reps: usize, per: usize) -> f64 {
+    let (mut rt, t) = suppressed_runtime();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..per {
+            black_box(rt.on_tuple(0, black_box(&t)).len());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / per as f64);
+    }
+    assert_eq!(rt.stats().suppressed + 1, rt.stats().tuples_in, "tuples must stay suppressed");
+    best
+}
+
+#[derive(serde::Serialize)]
+struct Posture {
+    config: String,
+    ns_per_tuple: f64,
+    overhead_ns: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Results {
+    reps: usize,
+    tuples_per_rep: usize,
+    postures: Vec<Posture>,
+}
+
+fn main() {
+    let reps = env_usize("PULSE_OBS_BENCH_REPS", 300);
+    let per = env_usize("PULSE_OBS_BENCH_TUPLES", 4000);
+
+    pulse_obs::set_enabled(false);
+    pulse_obs::set_trace_enabled(false);
+    let off = measure(reps, per);
+
+    pulse_obs::set_enabled(true);
+    let on = measure(reps, per);
+
+    pulse_obs::set_trace_enabled(true);
+    let traced = measure(reps, per);
+    pulse_obs::set_trace_enabled(false);
+    pulse_obs::set_enabled(false);
+
+    let postures = vec![
+        Posture { config: "obs_off".into(), ns_per_tuple: off, overhead_ns: 0.0 },
+        Posture { config: "obs_on".into(), ns_per_tuple: on, overhead_ns: on - off },
+        Posture { config: "obs_on_trace".into(), ns_per_tuple: traced, overhead_ns: traced - off },
+    ];
+    for p in &postures {
+        println!("{:>14}: {:>7.1} ns/tuple  (+{:.1} ns)", p.config, p.ns_per_tuple, p.overhead_ns);
+    }
+
+    let results = Results { reps, tuples_per_rep: per, postures };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, serde_json::to_string_pretty(&results).expect("serialize"))
+        .expect("write BENCH_obs.json");
+    println!("wrote {path}");
+
+    if std::env::var("PULSE_OBS_GATE").is_ok_and(|v| v == "1") {
+        let limit = std::env::var("PULSE_OBS_GATE_NS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(25.0);
+        let overhead = on - off;
+        if overhead > limit {
+            eprintln!(
+                "obs overhead gate FAILED: obs_on adds {overhead:.1} ns/tuple \
+                 to the suppressed path (limit {limit:.1} ns)"
+            );
+            std::process::exit(1);
+        }
+        println!("obs overhead gate OK: +{overhead:.1} ns/tuple (limit {limit:.1} ns)");
+    }
+}

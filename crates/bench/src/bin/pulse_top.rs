@@ -1,0 +1,212 @@
+//! `top` for a live Pulse process: polls the `/snapshot` endpoint of a
+//! serving runtime (see `PULSE_SERVE_ADDR` in the scaling bench) and
+//! renders throughput, violation rate, solver latency percentiles and
+//! per-shard load skew, refreshed in place.
+//!
+//! Usage: `pulse_top [--addr 127.0.0.1:9187] [--interval 2] [--once]`.
+//! `--once` prints a single snapshot (totals, no rates) and exits — handy
+//! in scripts. Rates come from deltas between consecutive polls; the
+//! snapshot JSON is the serialized `pulse_obs::Snapshot`, so per-shard
+//! series arrive as `runtime.tuples_in{shard="3"}`-style counter names.
+
+use serde::Value;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    interval: f64,
+    once: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { addr: "127.0.0.1:9187".into(), interval: 2.0, once: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = it.next().expect("--addr needs host:port"),
+            "--interval" => {
+                args.interval =
+                    it.next().and_then(|v| v.parse().ok()).expect("--interval needs seconds")
+            }
+            "--once" => args.once = true,
+            "--help" | "-h" => {
+                println!("usage: pulse_top [--addr host:port] [--interval secs] [--once]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One-shot HTTP GET over a raw socket (no client library in the image).
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw)?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok(body)
+}
+
+/// Splits a registry counter name into its base and `shard` label, e.g.
+/// `runtime.tuples_in{shard="3"}` → `("runtime.tuples_in", Some("3"))`.
+fn split_shard(name: &str) -> (&str, Option<&str>) {
+    let Some((base, rest)) = name.split_once('{') else { return (name, None) };
+    let shard = rest
+        .trim_end_matches('}')
+        .split(',')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == "shard")
+        .map(|(_, v)| v.trim_matches('"'));
+    (base, shard)
+}
+
+/// Counter values keyed by full registry name.
+fn counters(snapshot: &Value) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for entry in snapshot.get("counters").and_then(Value::as_array).unwrap_or(&[]) {
+        if let [name, v] = entry.as_array().unwrap_or(&[]) {
+            if let (Some(name), Some(v)) = (name.as_str(), v.as_u64()) {
+                out.insert(name.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Sum of a counter family across all label variants.
+fn family_total(counters: &HashMap<String, u64>, base: &str) -> u64 {
+    counters.iter().filter(|(n, _)| split_shard(n).0 == base).map(|(_, v)| v).sum()
+}
+
+/// Per-shard values of one counter family, sorted by shard id.
+fn by_shard(counters: &HashMap<String, u64>, base: &str) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = counters
+        .iter()
+        .filter_map(|(n, v)| {
+            let (b, shard) = split_shard(n);
+            (b == base).then(|| shard.map(|s| (s.to_string(), *v))).flatten()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn render_histograms(snapshot: &Value, out: &mut String) {
+    let hists = snapshot.get("histograms").and_then(Value::as_array).unwrap_or(&[]);
+    if hists.is_empty() {
+        return;
+    }
+    out.push_str("\nlatency (ns)         count        p50        p95        p99        max\n");
+    for h in hists {
+        let field = |k: &str| h.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let name = h.get("name").and_then(Value::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "{name:<20} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            field("count"),
+            field("p50_ns"),
+            field("p95_ns"),
+            field("p99_ns"),
+            field("max_ns"),
+        ));
+    }
+}
+
+fn render(
+    addr: &str,
+    now: &HashMap<String, u64>,
+    prev: Option<(&HashMap<String, u64>, f64)>,
+    snapshot: &Value,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("pulse_top — {addr}\n\n"));
+    let families =
+        ["runtime.tuples_in", "runtime.suppressed", "runtime.violations", "runtime.outputs"];
+    match prev {
+        Some((before, secs)) if secs > 0.0 => {
+            out.push_str(&format!("{:<22} {:>14} {:>14}\n", "counter", "total", "per-sec"));
+            for base in families {
+                let total = family_total(now, base);
+                let rate = total.saturating_sub(family_total(before, base)) as f64 / secs;
+                out.push_str(&format!("{base:<22} {total:>14} {rate:>14.0}\n"));
+            }
+            let t_now = family_total(now, "runtime.tuples_in");
+            let v_now = family_total(now, "runtime.violations");
+            let dt = t_now.saturating_sub(family_total(before, "runtime.tuples_in"));
+            let dv = v_now.saturating_sub(family_total(before, "runtime.violations"));
+            if dt > 0 {
+                out.push_str(&format!(
+                    "\nviolation rate: {:.2}% of tuples this interval\n",
+                    100.0 * dv as f64 / dt as f64
+                ));
+            }
+        }
+        _ => {
+            out.push_str(&format!("{:<22} {:>14}\n", "counter", "total"));
+            for base in families {
+                out.push_str(&format!("{base:<22} {:>14}\n", family_total(now, base)));
+            }
+        }
+    }
+
+    let shards = by_shard(now, "runtime.tuples_in");
+    if shards.len() > 1 {
+        let max = shards.iter().map(|(_, v)| *v).max().unwrap_or(0) as f64;
+        let mean = shards.iter().map(|(_, v)| *v).sum::<u64>() as f64 / shards.len() as f64;
+        out.push_str(&format!(
+            "\nshard load (tuples_in): {}  skew max/mean {:.2}\n",
+            shards.iter().map(|(s, v)| format!("{s}:{v}")).collect::<Vec<_>>().join("  "),
+            if mean > 0.0 { max / mean } else { 0.0 }
+        ));
+    }
+    render_histograms(snapshot, &mut out);
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut prev: Option<(HashMap<String, u64>, Instant)> = None;
+    loop {
+        let body = match http_get(&args.addr, "/snapshot") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("pulse_top: {} unreachable: {e}", args.addr);
+                std::process::exit(1);
+            }
+        };
+        let snapshot = match serde_json::parse_value(&body) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("pulse_top: bad snapshot JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        let now = counters(&snapshot);
+        let at = Instant::now();
+        let view = render(
+            &args.addr,
+            &now,
+            prev.as_ref().map(|(c, t)| (c, at.duration_since(*t).as_secs_f64())),
+            &snapshot,
+        );
+        if args.once {
+            print!("{view}");
+            return;
+        }
+        // Clear screen + home, then repaint.
+        print!("\x1b[2J\x1b[H{view}");
+        let _ = std::io::stdout().flush();
+        prev = Some((now, at));
+        std::thread::sleep(Duration::from_secs_f64(args.interval));
+    }
+}

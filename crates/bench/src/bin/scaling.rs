@@ -14,14 +14,26 @@
 //! Env knobs: `PULSE_SCALING_TUPLES`, `PULSE_SCALING_SYMBOLS`,
 //! `PULSE_SCALING_SHARDS` (comma-separated), `PULSE_SCALING_SMOKE=1` for a
 //! seconds-long CI smoke run.
+//!
+//! Set `PULSE_SERVE_ADDR=127.0.0.1:9187` to expose `/metrics`, `/snapshot`
+//! and `/explain` over HTTP while the sweep runs (sharded phases publish
+//! per-shard labelled counters every ~25k tuples and answer explain
+//! queries via the owning shard); `PULSE_SERVE_LINGER=<secs>` keeps the
+//! listener up after the sweep so scrapers (CI curl, `pulse_top`) have a
+//! stable window.
 
 use pulse_bench::measure::merge_feeds;
 use pulse_bench::queries;
 use pulse_core::runtime::Predictor;
-use pulse_core::{PulseRuntime, RuntimeConfig, RuntimeStats, ShardedRuntime};
+use pulse_core::{ExplainHandle, PulseRuntime, RuntimeConfig, RuntimeStats, ShardedRuntime};
 use pulse_model::Tuple;
 use pulse_workload::{nyse, NyseConfig, NyseGen};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The `/explain` endpoint's route to whichever sharded runtime is live:
+/// each sharded phase installs its handle, and clears it before finishing.
+type ExplainSlot = Arc<Mutex<Option<ExplainHandle>>>;
 
 struct Knobs {
     tuples: usize,
@@ -97,17 +109,34 @@ fn single_threaded(lp: &pulse_stream::LogicalPlan, tuples: &[Tuple]) -> (f64, Ru
     (secs, rt.stats())
 }
 
-fn sharded(lp: &pulse_stream::LogicalPlan, tuples: &[Tuple], shards: usize) -> (f64, RuntimeStats) {
+fn sharded(
+    lp: &pulse_stream::LogicalPlan,
+    tuples: &[Tuple],
+    shards: usize,
+    slot: Option<&ExplainSlot>,
+) -> (f64, RuntimeStats) {
     let merged = merge_feeds(&[(0, tuples)]);
     let mut rt =
         ShardedRuntime::new(vec![Predictor::AdaptiveLinear(nyse::schema())], lp, config(), shards)
             .expect("MACD is key-partitionable");
+    if let Some(slot) = slot {
+        *slot.lock().unwrap() = Some(rt.explain_handle());
+    }
     let start = Instant::now();
     for (i, (src, t)) in merged.iter().enumerate() {
         rt.on_tuple(*src, t);
         if i % 50_000 == 0 {
             rt.gc_before(t.ts - 50.0);
         }
+        // Live scrape support: refresh the per-shard labelled counters in
+        // the global registry a few times a second at benchmark rates.
+        if slot.is_some() && i % 25_000 == 0 {
+            rt.publish_metrics();
+        }
+    }
+    if let Some(slot) = slot {
+        rt.publish_metrics();
+        *slot.lock().unwrap() = None;
     }
     let run = rt.finish();
     let secs = start.elapsed().as_secs_f64();
@@ -129,8 +158,28 @@ fn row(label: &str, shards: usize, secs: f64, n: usize, stats: &RuntimeStats) ->
     r
 }
 
+/// Starts the HTTP surface when `PULSE_SERVE_ADDR` is set, returning the
+/// listener handle plus the slot sharded phases publish their explain
+/// handle into. Turns metrics and tracing on — a served run is an observed
+/// run by definition.
+fn maybe_serve() -> Option<(pulse_obs::ServeHandle, ExplainSlot)> {
+    let addr = std::env::var("PULSE_SERVE_ADDR").ok()?;
+    pulse_obs::set_enabled(true);
+    pulse_obs::set_trace_enabled(true);
+    let slot: ExplainSlot = Arc::new(Mutex::new(None));
+    let route = slot.clone();
+    let explain: pulse_obs::ExplainFn = Arc::new(move |key, t0, t1| {
+        let handle = route.lock().unwrap().clone()?;
+        handle.explain(key, t0, t1).map(|r| r.to_json())
+    });
+    let h = pulse_obs::serve(&addr, Some(explain)).expect("bind PULSE_SERVE_ADDR");
+    println!("serving /metrics, /snapshot, /explain on http://{}", h.addr());
+    Some((h, slot))
+}
+
 fn main() {
     let k = knobs();
+    let serve = maybe_serve();
     let tuples = workload(&k);
     let lp = queries::macd(10.0, 60.0, 2.0);
     println!(
@@ -145,7 +194,7 @@ fn main() {
     let (st_secs, st_stats) = single_threaded(&lp, &tuples);
     let mut rows = vec![row("single-threaded", 0, st_secs, tuples.len(), &st_stats)];
     for &s in &k.shards {
-        let (secs, stats) = sharded(&lp, &tuples, s);
+        let (secs, stats) = sharded(&lp, &tuples, s, serve.as_ref().map(|(_, slot)| slot));
         assert_eq!(stats.tuples_in, tuples.len() as u64);
         rows.push(row(&format!("{s} shard(s)"), s, secs, tuples.len(), &stats));
     }
@@ -170,4 +219,12 @@ fn main() {
     let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
     std::fs::write(&path, json).expect("write scaling results");
     println!("wrote {path}");
+
+    if let Some((handle, _slot)) = serve {
+        let linger = env_usize("PULSE_SERVE_LINGER", 0);
+        if linger > 0 {
+            println!("lingering {linger}s on http://{} for scrapers", handle.addr());
+            std::thread::sleep(std::time::Duration::from_secs(linger as u64));
+        }
+    }
 }

@@ -3,6 +3,7 @@
 
 use super::COperator;
 use pulse_model::Segment;
+use pulse_obs::Tracer;
 use pulse_stream::OpMetrics;
 use std::any::Any;
 use std::collections::HashMap;
@@ -42,9 +43,15 @@ impl COperator for CGroupBy {
         self.groups.values().next().map_or("groupby", |g| g.name())
     }
 
-    fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        input: usize,
+        seg: &Segment,
+        tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         let op = self.groups.entry(seg.key).or_insert_with(|| (self.factory)(seg.key));
-        op.process(input, seg, out);
+        op.process_traced(input, seg, tr, out);
     }
 
     fn metrics(&self) -> OpMetrics {

@@ -14,6 +14,7 @@ use crate::index::SegmentIndex;
 use crate::lineage::SharedLineage;
 use pulse_math::Poly;
 use pulse_model::{ExprError, Pred, Segment};
+use pulse_obs::{TraceKind, Tracer};
 use pulse_stream::{KeyJoin, OpMetrics};
 use std::any::Any;
 
@@ -134,7 +135,13 @@ impl COperator for CJoin {
         "join"
     }
 
-    fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        input: usize,
+        seg: &Segment,
+        tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let now = seg.span.lo;
@@ -146,6 +153,8 @@ impl COperator for CJoin {
         let mut any_overlap = false;
         let mut worst_slack: Option<f64> = None;
         let mut scanned = 0;
+        let mut trace_rows = 0u64;
+        let mut trace_outputs = 0u32;
         for opp in opposite.candidates(seg.span, &mut scanned) {
             let (l, r) = if from_left { (seg, opp) } else { (opp, seg) };
             if !self.on_keys.test(l.key, r.key) {
@@ -167,6 +176,7 @@ impl COperator for CJoin {
             let sol = sys.solve(overlap, &mut rows);
             self.m.systems_solved += 1;
             self.m.comparisons += rows;
+            trace_rows += rows;
             if sol.is_empty() {
                 let s = sys.slack(overlap);
                 worst_slack = Some(worst_slack.map_or(s, |w: f64| w.min(s)));
@@ -182,10 +192,15 @@ impl COperator for CJoin {
                 let joined = Segment::new(key, span, models.clone(), unmodeled.clone());
                 lineage.emit(&joined, &[l.id, r.id]);
                 self.m.items_out += 1;
+                trace_outputs += 1;
                 out.push(joined);
             }
         }
         self.m.comparisons += scanned;
+        if tr.on() && any_overlap {
+            let kind = TraceKind::OpSolve { op: "join", rows: trace_rows, outputs: trace_outputs };
+            tr.emit_scoped(seg.key, now, kind);
+        }
         self.slack = if any_overlap { worst_slack } else { None };
         if from_left {
             self.left.push(seg.clone());

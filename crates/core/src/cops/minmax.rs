@@ -12,6 +12,7 @@ use crate::eqsys::SOLVE_TOL;
 use crate::lineage::SharedLineage;
 use pulse_math::{poly_roots_in, solve_poly_cmp, CmpOp, RangeSet, Span, EPS};
 use pulse_model::{Piecewise, Segment};
+use pulse_obs::{TraceKind, Tracer};
 use pulse_stream::OpMetrics;
 use std::any::Any;
 
@@ -78,7 +79,13 @@ impl COperator for CMinMax {
         "minmax"
     }
 
-    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        _input: usize,
+        seg: &Segment,
+        tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         self.envelope.expire_before(seg.span.lo - self.width);
@@ -91,12 +98,14 @@ impl COperator for CMinMax {
         let mut covered = RangeSet::empty();
         let mut win = RangeSet::empty();
         let mut displaced = Vec::new();
+        let mut solved = 0u64;
         for piece in self.envelope.overlapping(domain) {
             let Some(ov) = piece.span.intersect(&domain) else { continue };
             covered = covered.union(&RangeSet::single(ov));
             let d = x.sub(&piece.models[0]);
             let sol = solve_poly_cmp(&d, better_op, ov, SOLVE_TOL);
             self.m.systems_solved += 1;
+            solved += 1;
             if !sol.is_empty() {
                 displaced.push(piece.id);
             }
@@ -106,6 +115,7 @@ impl COperator for CMinMax {
         win = win.union(&covered.complement(domain));
 
         let mut lineage = self.lineage.lock();
+        let mut emitted = 0u32;
         for span in win.spans().iter().filter(|s| s.len() > EPS) {
             let piece = Segment::single(seg.key, *span, x.clone());
             // The update is caused by the newcomer and the pieces it beat.
@@ -114,7 +124,14 @@ impl COperator for CMinMax {
             lineage.emit(&piece, &parents);
             self.envelope.insert(piece.clone());
             self.m.items_out += 1;
+            emitted += 1;
             out.push(piece);
+        }
+        drop(lineage);
+        if tr.on() {
+            // `rows` = difference equations solved against the envelope.
+            let kind = TraceKind::OpSolve { op: "minmax", rows: solved, outputs: emitted };
+            tr.emit_scoped(seg.key, domain.lo, kind);
         }
     }
 

@@ -22,6 +22,7 @@ use crate::eqsys::{ExprProgram, SystemTemplate};
 use crate::lineage::SharedLineage;
 use pulse_math::{Poly, EPS};
 use pulse_model::{Pred, Segment};
+use pulse_obs::{TraceKind, Tracer};
 use pulse_stream::OpMetrics;
 use std::any::Any;
 
@@ -31,7 +32,21 @@ pub trait COperator: Any {
     /// operator's metric names (`cops.<name>.<metric>`).
     fn name(&self) -> &'static str;
     /// Processes a segment arriving on `input`, appending output segments.
-    fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>);
+    /// Convenience over [`Self::process_traced`] with recording off.
+    fn process(&mut self, input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+        self.process_traced(input, seg, &mut Tracer::off(), out);
+    }
+    /// [`Self::process`] with a flight recorder: operators that grind
+    /// equation systems stamp an [`TraceKind::OpSolve`] event (scoped onto
+    /// the runtime's enclosing `SolveStart`) describing the rows solved and
+    /// segments emitted for this arrival.
+    fn process_traced(
+        &mut self,
+        input: usize,
+        seg: &Segment,
+        tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    );
     /// Cost counters (systems solved, segments in/out).
     fn metrics(&self) -> OpMetrics;
     /// End-of-stream.
@@ -86,7 +101,13 @@ impl COperator for CFilter {
         "filter"
     }
 
-    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        _input: usize,
+        seg: &Segment,
+        tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let binding = &self.binding;
@@ -98,6 +119,10 @@ impl COperator for CFilter {
         let sol = sys.solve(seg.span, &mut rows);
         self.m.systems_solved += 1;
         self.m.comparisons += rows;
+        if tr.on() {
+            let kind = TraceKind::OpSolve { op: "filter", rows, outputs: sol.spans().len() as u32 };
+            tr.emit_scoped(seg.key, seg.span.lo, kind);
+        }
         if sol.is_empty() {
             // Null result: record slack for §IV's slack validation.
             self.slack = Some(sys.slack(seg.span));
@@ -159,7 +184,13 @@ impl COperator for CMap {
         "map"
     }
 
-    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        _input: usize,
+        seg: &Segment,
+        _tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         self.m.items_in += 1;
         let binding = &self.binding;
         let stack = &mut self.stack;
@@ -201,7 +232,13 @@ impl COperator for CUnion {
         "union"
     }
 
-    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        _input: usize,
+        seg: &Segment,
+        _tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         self.m.items_in += 1;
         self.m.items_out += 1;
         out.push(seg.clone());

@@ -20,6 +20,7 @@ use super::COperator;
 use crate::lineage::SharedLineage;
 use pulse_math::{Poly, Span, EPS};
 use pulse_model::{Segment, SegmentId};
+use pulse_obs::{TraceKind, Tracer};
 use pulse_stream::OpMetrics;
 use std::any::Any;
 
@@ -119,7 +120,13 @@ impl COperator for CSumAvg {
         "sumavg"
     }
 
-    fn process(&mut self, _input: usize, seg: &Segment, out: &mut Vec<Segment>) {
+    fn process_traced(
+        &mut self,
+        _input: usize,
+        seg: &Segment,
+        tr: &mut Tracer,
+        out: &mut Vec<Segment>,
+    ) {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let x = seg.models[self.slot].clone();
@@ -162,6 +169,8 @@ impl COperator for CSumAvg {
         cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         cuts.dedup_by(|a, b| (*a - *b).abs() < EPS);
         let mut lineage = self.lineage.lock();
+        let mut built = 0u64;
+        let mut emitted = 0u32;
         for w in cuts.windows(2) {
             let (a, b) = (w[0], w[1]);
             if b - a <= EPS {
@@ -169,15 +178,22 @@ impl COperator for CSumAvg {
             }
             let Some((mut wf, parents)) = self.window_fn(a, b) else { continue };
             self.m.systems_solved += 1;
+            built += 1;
             if self.avg {
                 wf = wf.scale(1.0 / self.width);
             }
             let piece = Segment::single(seg.key, Span::new(a, b), wf);
             lineage.emit(&piece, &parents);
             self.m.items_out += 1;
+            emitted += 1;
             out.push(piece);
         }
         drop(lineage);
+        if tr.on() && built > 0 {
+            // `rows` = window functions assembled for this arrival.
+            let kind = TraceKind::OpSolve { op: "sumavg", rows: built, outputs: emitted };
+            tr.emit_scoped(seg.key, span.lo, kind);
+        }
         self.expire(span.hi);
     }
 

@@ -159,6 +159,17 @@ impl System {
         out
     }
 
+    /// Number of rows in the system without materializing them — the
+    /// `system_size` stamped into flight-recorder solve events.
+    pub fn row_count(&self) -> usize {
+        match self {
+            System::True | System::False => 0,
+            System::Row(_) => 1,
+            System::And(a, b) | System::Or(a, b) => a.row_count() + b.row_count(),
+            System::Not(a) => a.row_count(),
+        }
+    }
+
     fn visit_rows<'a>(&'a self, out: &mut Vec<&'a DiffEq>) {
         match self {
             System::Row(r) => out.push(r),
@@ -436,6 +447,21 @@ mod tests {
         move |input, _| {
             Ok(if input == 0 { Poly::linear(icpt0, slope0) } else { Poly::linear(icpt1, slope1) })
         }
+    }
+
+    #[test]
+    fn row_count_matches_rows() {
+        let pred = Pred::Or(
+            Box::new(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0))),
+            Box::new(Pred::Not(Box::new(Pred::And(
+                Box::new(Pred::cmp(Expr::attr_of(0, 0), CmpOp::Gt, Expr::c(1.0))),
+                Box::new(Pred::True),
+            )))),
+        );
+        let sys = System::build(&pred, &linear_lookup(1.0, 0.0, 0.0, 5.0)).unwrap();
+        assert_eq!(sys.row_count(), sys.rows().len());
+        assert_eq!(sys.row_count(), 2);
+        assert_eq!(System::True.row_count(), 0);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use lineage::{LineageStore, SharedLineage};
 pub use plan::{CPlan, TransformError};
 pub use runtime::{Heuristic, Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 pub use sampler::Sampler;
-pub use shard::{MergedRun, ShardError, ShardedRuntime};
+pub use shard::{ExplainHandle, MergedRun, ShardError, ShardedRuntime};
 pub use validate::{
     BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, VKey, Validator, ValidatorStats,
 };

@@ -57,16 +57,20 @@ impl LineageStore {
     }
 
     /// Transitive closure down to source segments (those with no recorded
-    /// parents), deduplicated.
+    /// parents), deduplicated. Each node is expanded once — diamond-shaped
+    /// lineage (shared ancestors along several paths) stays linear instead
+    /// of re-walking the shared subgraph per path.
     pub fn sources_of(&self, id: SegmentId) -> Vec<SegmentId> {
+        let mut visited = std::collections::HashSet::new();
         let mut out = Vec::new();
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
+            if !visited.insert(cur) {
+                continue;
+            }
             let ps = self.parents_of(cur);
             if ps.is_empty() {
-                if !out.contains(&cur) {
-                    out.push(cur);
-                }
+                out.push(cur);
             } else {
                 stack.extend_from_slice(ps);
             }

@@ -10,6 +10,7 @@ use crate::binding::Binding;
 use crate::cops::{CFilter, CGroupBy, CJoin, CMap, CMinMax, COperator, CSumAvg, CUnion};
 use crate::lineage::{self, SharedLineage};
 use pulse_model::Segment;
+use pulse_obs::Tracer;
 use pulse_stream::{AggFunc, LogicalOp, LogicalPlan, OpMetrics, PortRef};
 
 /// Errors from the continuous query transform.
@@ -130,12 +131,19 @@ impl CPlan {
     const SRC: usize = usize::MAX;
 
     /// Pushes one segment from source `source`, returning query outputs.
+    /// [`Self::push_traced`] with recording off.
+    pub fn push(&mut self, source: usize, seg: &Segment) -> Vec<Segment> {
+        self.push_traced(source, seg, &mut Tracer::off())
+    }
+
+    /// Pushes one segment from source `source`, returning query outputs;
+    /// operators stamp their equation-system work into `tr` as they go.
     ///
     /// Produced segments live in one arena; the work queue and fan-out
     /// edges carry indices into it, so a segment consumed by several
     /// operators (or kept as a result *and* consumed downstream) is never
     /// cloned.
-    pub fn push(&mut self, source: usize, seg: &Segment) -> Vec<Segment> {
+    pub fn push_traced(&mut self, source: usize, seg: &Segment, tr: &mut Tracer) -> Vec<Segment> {
         for n in &mut self.nodes {
             n.reset_slack();
         }
@@ -147,7 +155,7 @@ impl CPlan {
         while let Some((node, port, idx)) = queue.pop() {
             scratch.clear();
             let input = if idx == Self::SRC { seg } else { &produced[idx] };
-            self.nodes[node].process(port, input, &mut scratch);
+            self.nodes[node].process_traced(port, input, tr, &mut scratch);
             for out in scratch.drain(..) {
                 let oi = produced.len();
                 is_result.push(self.sinks[node]);
@@ -222,13 +230,37 @@ impl CPlan {
     /// `cops.<op>.<metric>`, merging operators of the same kind (e.g. both
     /// filters of a join query sum into `cops.filter.*`).
     pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
-        self.export_metrics_prefixed(reg, "");
+        self.export_metrics_with(reg, &|name| name.to_string());
     }
 
-    /// [`Self::export_metrics`] with a name prefix (`shard0.` etc.), so the
+    /// [`Self::export_metrics`] with Prometheus-style labels attached to
+    /// every metric name (`cops.filter.items_in{shard="3"}`), so the
     /// sharded runtime can publish every worker's operator counters into the
     /// same registry without them clobbering each other.
+    pub fn export_metrics_labeled(
+        &self,
+        reg: &pulse_obs::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        self.export_metrics_with(reg, &|name| pulse_obs::labeled(name, labels));
+    }
+
+    /// [`Self::export_metrics`] with a name prefix (`shard0.` etc.).
+    ///
+    /// Deprecated in favor of [`Self::export_metrics_labeled`]: prefixes
+    /// mangle the metric family name, so each shard becomes its own family
+    /// downstream. Kept for one more release while dashboards migrate.
     pub fn export_metrics_prefixed(&self, reg: &pulse_obs::MetricsRegistry, prefix: &str) {
+        self.export_metrics_with(reg, &|name| format!("{prefix}{name}"));
+    }
+
+    /// Shared export core: publishes every operator's counters under the
+    /// name produced by `decorate` (identity, prefix, or label block).
+    fn export_metrics_with(
+        &self,
+        reg: &pulse_obs::MetricsRegistry,
+        decorate: &dyn Fn(&str) -> String,
+    ) {
         let mut per: std::collections::BTreeMap<&'static str, OpMetrics> =
             std::collections::BTreeMap::new();
         for n in &self.nodes {
@@ -236,7 +268,7 @@ impl CPlan {
         }
         for (name, m) in per {
             for (field, v) in m.fields() {
-                reg.counter(&format!("{prefix}cops.{name}.{field}")).set(v);
+                reg.counter(&decorate(&format!("cops.{name}.{field}"))).set(v);
             }
         }
     }

@@ -13,7 +13,7 @@ use crate::validate::{
 };
 use pulse_math::{Poly, Span};
 use pulse_model::{Schema, Segment, SegmentId, StreamModel, Tuple};
-use pulse_obs::{Histogram, KeyedCounter};
+use pulse_obs::{ExplainReport, Histogram, KeyedCounter, TraceKind, Tracer};
 use pulse_stream::LogicalPlan;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -62,11 +62,20 @@ pub struct RuntimeConfig {
     pub bound: f64,
     /// Bound-splitting heuristic.
     pub heuristic: Heuristic,
+    /// Flight-recorder ring capacity (events retained per runtime). The
+    /// ring never allocates until tracing is actually switched on via
+    /// [`pulse_obs::set_trace_enabled`]; 0 disables recording entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { horizon: 10.0, bound: 1.0, heuristic: Heuristic::Equi }
+        RuntimeConfig {
+            horizon: 10.0,
+            bound: 1.0,
+            heuristic: Heuristic::Equi,
+            trace_capacity: 16384,
+        }
     }
 }
 
@@ -144,6 +153,10 @@ pub struct PulseRuntime {
     /// Inverted per-source-segment bounds from the last results.
     stats: RuntimeStats,
     obs: RuntimeObs,
+    /// Flight recorder: single-writer ring owned by this runtime's thread
+    /// (the sharded runtime routes cross-thread explain queries here over
+    /// the worker channel instead of reading the ring remotely).
+    tracer: Tracer,
 }
 
 impl PulseRuntime {
@@ -167,6 +180,7 @@ impl PulseRuntime {
         let plan = CPlan::compile(logical)?;
         let modeled = predictors.iter().map(|m| m.schema().modeled_indices()).collect();
         let unmodeled = predictors.iter().map(|m| m.schema().unmodeled_indices()).collect();
+        let tracer = Tracer::ring(cfg.trace_capacity);
         Ok(PulseRuntime {
             predictors,
             modeled,
@@ -179,6 +193,7 @@ impl PulseRuntime {
             validator: Validator::new(),
             stats: RuntimeStats::default(),
             obs: RuntimeObs::new(),
+            tracer,
         })
     }
 
@@ -229,16 +244,56 @@ impl PulseRuntime {
         // The suppressed path's latency is sampled 1-in-64 so timestamping
         // doesn't dominate its ~60 ns of real work.
         let obs_on = pulse_obs::enabled();
+        let trace_on = self.tracer.on();
         let start = (obs_on && self.stats.suppressed & 63 == 0).then(Instant::now);
         self.stats.tuples_in += 1;
         let pkey = (source, tuple.key);
         let vkey = Self::vkey(source, tuple.key);
+        let arrival = if trace_on {
+            let kind = TraceKind::SegmentArrival { source: source as u32 };
+            self.tracer.emit(0, tuple.key, tuple.ts, kind)
+        } else {
+            0
+        };
+        // Id of this tuple's ValidationOutcome event, the causal parent of
+        // everything the solver does for it.
+        let mut validation = 0u64;
+        let mut checked = false;
         if let Some(seg) = self.predicted.get(&pkey) {
             if seg.span.contains(tuple.ts) {
+                checked = true;
                 let modeled = &self.modeled[source];
-                let ok = modeled.iter().enumerate().all(|(slot, &attr)| {
-                    self.validator.check(vkey, seg.eval(slot, tuple.ts), tuple.values[attr])
-                });
+                let ok = if trace_on {
+                    // Mirrors the untraced closure below — same attribute
+                    // order, same short-circuit on the first failure — so
+                    // validator counters are identical with tracing on.
+                    let mut ok = true;
+                    let (mut dev, mut allow) = (0.0f64, f64::INFINITY);
+                    for (slot, &attr) in modeled.iter().enumerate() {
+                        let o = self.validator.check_explained(
+                            vkey,
+                            seg.eval(slot, tuple.ts),
+                            tuple.values[attr],
+                        );
+                        if !o.ok {
+                            (dev, allow) = (o.deviation, o.allowance);
+                            ok = false;
+                            break;
+                        }
+                        // Passing verdicts report the attribute closest to
+                        // its allowance (most informative margin).
+                        if o.deviation - o.allowance > dev - allow {
+                            (dev, allow) = (o.deviation, o.allowance);
+                        }
+                    }
+                    let kind = TraceKind::ValidationOutcome { slack: dev, bound: allow, ok };
+                    validation = self.tracer.emit(arrival, tuple.key, tuple.ts, kind);
+                    ok
+                } else {
+                    modeled.iter().enumerate().all(|(slot, &attr)| {
+                        self.validator.check(vkey, seg.eval(slot, tuple.ts), tuple.values[attr])
+                    })
+                };
                 if ok {
                     self.stats.suppressed += 1;
                     if let Some(t0) = start {
@@ -251,6 +306,13 @@ impl PulseRuntime {
                     self.obs.violations_by_key.inc(vkey.key);
                 }
             }
+        }
+        if trace_on && !checked {
+            // Unseen key or expired prediction: no check ran, but the chain
+            // must still explain why the solver fired — "no previously known
+            // results" is an infinite deviation against a zero allowance.
+            let kind = TraceKind::ValidationOutcome { slack: f64::INFINITY, bound: 0.0, ok: false };
+            validation = self.tracer.emit(arrival, tuple.key, tuple.ts, kind);
         }
         // Violation/re-model path: rare and expensive, so it always times
         // itself (reusing the entry timestamp when sampling took one).
@@ -281,10 +343,49 @@ impl PulseRuntime {
         let seg = self.predicted.get(&pkey).expect("just inserted");
         self.seg_owner.insert(seg.id, vkey);
         self.stats.segments_pushed += 1;
+        let solve_start = if trace_on {
+            let remodel = self.tracer.emit(
+                validation,
+                tuple.key,
+                tuple.ts,
+                TraceKind::Remodel { seg: seg.id.0 },
+            );
+            let kind = TraceKind::SolveStart { system_size: self.plan.len() as u32 };
+            let id = self.tracer.emit(remodel, tuple.key, tuple.ts, kind);
+            // Operators inside the push parent their OpSolve events here.
+            self.tracer.set_scope(id);
+            id
+        } else {
+            0
+        };
+        let solve_t0 = trace_on.then(Instant::now);
         let outs = {
             let _span = pulse_obs::span!("runtime.solve_ns", tuple.key);
-            self.plan.push(source, seg)
+            self.plan.push_traced(source, seg, &mut self.tracer)
         };
+        if trace_on {
+            self.tracer.set_scope(0);
+            let (iters, _) = self.tracer.scope_op_totals(solve_start);
+            let ns = solve_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let kind = TraceKind::SolveEnd {
+                system_size: self.plan.len() as u32,
+                roots: outs.len() as u32,
+                iters,
+                ns,
+            };
+            let solve_end = self.tracer.emit(solve_start, tuple.key, tuple.ts, kind);
+            let store = self.plan.lineage().lock();
+            for out in &outs {
+                let sources = store.sources_of(out.id).iter().map(|s| s.0).collect();
+                let kind = TraceKind::OutputEmit {
+                    seg: out.id.0,
+                    lo: out.span.lo,
+                    hi: out.span.hi,
+                    sources,
+                };
+                self.tracer.emit(solve_end, out.key, out.span.lo, kind);
+            }
+        }
         self.stats.outputs += outs.len() as u64;
         if outs.is_empty() {
             // Null result: slack validation until inputs leave the band.
@@ -358,19 +459,60 @@ impl PulseRuntime {
         self.plan.lineage().lock().gc_before(t);
     }
 
+    /// Walks the flight recorder backwards for `key` over stream-time
+    /// `[t0, t1]`: every retained solve the key triggered in (or emitting
+    /// into) the range, unwound to input arrival → validation verdict →
+    /// re-model → solve → output ranges. Empty when tracing was off.
+    pub fn explain(&self, key: u64, t0: f64, t1: f64) -> ExplainReport {
+        self.tracer.explain(key, t0, t1)
+    }
+
+    /// The runtime's flight recorder (read-only).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Publishes end-of-run totals into `reg`: the runtime counters (under
     /// `runtime.*`), the validator's (`validate.*`), and every plan
     /// operator's (`cops.*`). Live span histograms accumulate during the
     /// run when observability is enabled; this fills in the totals that are
     /// kept in plain fields for the hot path.
     pub fn export_metrics(&self, reg: &pulse_obs::MetricsRegistry) {
-        self.export_metrics_prefixed(reg, "");
+        self.export_metrics_with(reg, &|name| name.to_string());
+        self.plan.export_metrics(reg);
     }
 
-    /// [`Self::export_metrics`] with every counter name prefixed — shard
-    /// workers export under `shard<i>.` so per-shard totals stay separable
-    /// in one registry.
+    /// [`Self::export_metrics`] with Prometheus-style labels on every name
+    /// (`runtime.tuples_in{shard="3"}`) — shard workers export this way so
+    /// per-shard series share one metric family in the exposition.
+    pub fn export_metrics_labeled(
+        &self,
+        reg: &pulse_obs::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        self.export_metrics_with(reg, &|name| pulse_obs::labeled(name, labels));
+        self.plan.export_metrics_labeled(reg, labels);
+    }
+
+    /// [`Self::export_metrics`] with every counter name prefixed
+    /// (`shard<i>.`).
+    ///
+    /// Deprecated in favor of [`Self::export_metrics_labeled`]: prefixed
+    /// names splinter each shard into its own metric family downstream.
+    /// Kept for one more release while dashboards migrate.
     pub fn export_metrics_prefixed(&self, reg: &pulse_obs::MetricsRegistry, prefix: &str) {
+        self.export_metrics_with(reg, &|name| format!("{prefix}{name}"));
+        self.plan.export_metrics_prefixed(reg, prefix);
+    }
+
+    /// Shared export core: runtime counters (under `runtime.*`) and the
+    /// validator's (`validate.*`), each published under the name produced
+    /// by `decorate` (identity, prefix, or label block).
+    fn export_metrics_with(
+        &self,
+        reg: &pulse_obs::MetricsRegistry,
+        decorate: &dyn Fn(&str) -> String,
+    ) {
         let s = &self.stats;
         for (name, v) in [
             ("runtime.tuples_in", s.tuples_in),
@@ -380,7 +522,7 @@ impl PulseRuntime {
             ("runtime.outputs", s.outputs),
             ("runtime.model_errors", s.model_errors),
         ] {
-            reg.counter(&format!("{prefix}{name}")).set(v);
+            reg.counter(&decorate(name)).set(v);
         }
         let v = self.validator.stats();
         for (name, v) in [
@@ -389,9 +531,8 @@ impl PulseRuntime {
             ("validate.accuracy_keys", v.accuracy_keys),
             ("validate.slack_keys", v.slack_keys),
         ] {
-            reg.counter(&format!("{prefix}{name}")).set(v);
+            reg.counter(&decorate(name)).set(v);
         }
-        self.plan.export_metrics_prefixed(reg, prefix);
     }
 }
 

@@ -26,6 +26,7 @@ use crate::runtime::{Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 use crate::validate::ValidatorStats;
 use crossbeam::channel::{bounded, Sender};
 use pulse_model::{Segment, Tuple};
+use pulse_obs::ExplainReport;
 use pulse_stream::{LogicalPlan, OpMetrics, PartitionViolation};
 use std::thread::JoinHandle;
 
@@ -69,13 +70,40 @@ impl From<TransformError> for ShardError {
 }
 
 /// Work sent to a shard worker.
-#[derive(Debug)]
 enum Msg {
     /// A batch of `(source, tuple)` pairs, all keys owned by this shard.
     Batch(Vec<(usize, Tuple)>),
     /// Garbage-collect lineage older than `t` (mirrors
     /// [`PulseRuntime::gc_before`]).
     Gc(f64),
+    /// Answer a provenance query from the worker's flight recorder. The
+    /// recorder ring is single-writer, so the query runs on the owning
+    /// thread and the report travels back over `reply`.
+    Explain { key: u64, t0: f64, t1: f64, reply: Sender<ExplainReport> },
+    /// Publish this shard's counters into the global registry with a
+    /// `shard="i"` label (live scrape support; end-of-run export happens
+    /// unconditionally at channel close).
+    Export,
+    /// Stop the worker loop even though sender clones (e.g. an
+    /// [`ExplainHandle`]) may still be alive.
+    Shutdown,
+}
+
+impl std::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Msg::Batch(b) => f.debug_tuple("Batch").field(&b.len()).finish(),
+            Msg::Gc(t) => f.debug_tuple("Gc").field(t).finish(),
+            Msg::Explain { key, t0, t1, .. } => f
+                .debug_struct("Explain")
+                .field("key", key)
+                .field("t0", t0)
+                .field("t1", t1)
+                .finish_non_exhaustive(),
+            Msg::Export => f.write_str("Export"),
+            Msg::Shutdown => f.write_str("Shutdown"),
+        }
+    }
 }
 
 /// What one worker hands back at end of stream.
@@ -167,10 +195,28 @@ impl ShardedRuntime {
                                 }
                             }
                             Msg::Gc(t) => rt.gc_before(t),
+                            Msg::Explain { key, t0, t1, reply } => {
+                                // The querier may have given up (timeout,
+                                // dropped handle); ignore a dead reply slot.
+                                let _ = reply.send(rt.explain(key, t0, t1));
+                            }
+                            Msg::Export => {
+                                if pulse_obs::enabled() {
+                                    rt.export_metrics_labeled(
+                                        pulse_obs::global(),
+                                        &[("shard", &i.to_string())],
+                                    );
+                                }
+                            }
+                            Msg::Shutdown => break,
                         }
                     }
                     if pulse_obs::enabled() {
-                        rt.export_metrics_prefixed(pulse_obs::global(), &format!("shard{i}."));
+                        let reg = pulse_obs::global();
+                        rt.export_metrics_labeled(reg, &[("shard", &i.to_string())]);
+                        // Deprecated dotted-prefix names, kept one more
+                        // release while dashboards migrate to labels.
+                        rt.export_metrics_prefixed(reg, &format!("shard{i}."));
                     }
                     ShardResult {
                         stats: rt.stats(),
@@ -222,6 +268,39 @@ impl ShardedRuntime {
         }
     }
 
+    /// Publishes every shard's counters into the global registry with
+    /// `shard="i"` labels, for live scraping mid-run. Flushes pending
+    /// batches first so the export reflects every tuple routed so far;
+    /// each worker exports when it drains to the message, so a scrape
+    /// racing the export may see the previous publication.
+    pub fn publish_metrics(&mut self) {
+        for s in 0..self.txs.len() {
+            self.flush(s);
+            self.txs[s].send(Msg::Export).expect("shard worker alive");
+        }
+    }
+
+    /// Fans a provenance query to the shard owning `key` and blocks for
+    /// the report. The owning shard's pending batch is flushed first so
+    /// the flight recorder has seen every tuple routed before the call.
+    pub fn explain(&mut self, key: u64, t0: f64, t1: f64) -> ExplainReport {
+        let s = self.shard_of(key);
+        self.flush(s);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.txs[s]
+            .send(Msg::Explain { key, t0, t1, reply: reply_tx })
+            .expect("shard worker alive");
+        reply_rx.recv().expect("shard worker alive")
+    }
+
+    /// A cloneable handle other threads (e.g. the HTTP serving surface)
+    /// can use to answer explain queries while this runtime keeps
+    /// ingesting. Reports reflect state as of the last flushed batch —
+    /// tuples still pending in the router are not yet visible.
+    pub fn explain_handle(&self) -> ExplainHandle {
+        ExplainHandle { txs: self.txs.clone() }
+    }
+
     fn flush(&mut self, shard: usize) {
         if self.pending[shard].is_empty() {
             return;
@@ -235,8 +314,11 @@ impl ShardedRuntime {
     pub fn finish(mut self) -> MergedRun {
         for s in 0..self.txs.len() {
             self.flush(s);
+            // An explicit stop rather than relying on channel close:
+            // cloned [`ExplainHandle`]s may outlive this runtime and would
+            // otherwise hold the channel open forever.
+            self.txs[s].send(Msg::Shutdown).expect("shard worker alive");
         }
-        // Dropping the senders closes each channel; workers drain and exit.
         self.txs.clear();
         let mut merged = MergedRun::default();
         for h in self.handles.drain(..) {
@@ -247,6 +329,36 @@ impl ShardedRuntime {
             merged.outputs.extend(r.outputs);
         }
         merged
+    }
+}
+
+/// Cross-thread provenance access to a live [`ShardedRuntime`]. Routes
+/// each query to the owning shard over its work channel; the recorder ring
+/// stays single-writer because the query executes on the worker thread.
+#[derive(Clone)]
+pub struct ExplainHandle {
+    txs: Vec<Sender<Msg>>,
+}
+
+impl ExplainHandle {
+    /// Number of shards behind this handle.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Asks the shard owning `key` to explain its outputs over
+    /// `[t0, t1]`. Returns `None` once the runtime has shut down.
+    pub fn explain(&self, key: u64, t0: f64, t1: f64) -> Option<ExplainReport> {
+        let s = (splitmix64(key) % self.txs.len() as u64) as usize;
+        let (reply_tx, reply_rx) = bounded(1);
+        self.txs[s].send(Msg::Explain { key, t0, t1, reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
+    }
+}
+
+impl std::fmt::Debug for ExplainHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplainHandle").field("shards", &self.txs.len()).finish()
     }
 }
 

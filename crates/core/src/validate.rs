@@ -218,6 +218,18 @@ impl ValidatorStats {
     }
 }
 
+/// The numbers behind one validation verdict (what
+/// [`Validator::check_explained`] reports to the flight recorder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckOutcome {
+    /// Verdict: prediction still stands.
+    pub ok: bool,
+    /// Observed |actual − predicted| (infinite for unknown keys).
+    pub deviation: f64,
+    /// The allowance in force for the deviation's direction.
+    pub allowance: f64,
+}
+
 /// Input-side validator: decides, per tuple, whether the current prediction
 /// still stands (true) or the solver must re-run (false).
 #[derive(Debug, Default)]
@@ -264,6 +276,29 @@ impl Validator {
             self.violations += 1;
         }
         ok
+    }
+
+    /// [`Self::check`] plus the numbers behind the verdict, for the flight
+    /// recorder's `ValidationOutcome` events: the observed deviation and the
+    /// allowance it was measured against (the directional side of an
+    /// accuracy bound, the band of a slack bound). Unknown keys report an
+    /// infinite deviation against a zero allowance — "no previously known
+    /// results" always solves. Counter updates are identical to `check`.
+    pub fn check_explained(&mut self, key: VKey, predicted: f64, actual: f64) -> CheckOutcome {
+        self.checks += 1;
+        let d = actual - predicted;
+        let (deviation, allowance) = match self.modes.get(&key) {
+            Some(ValidationMode::Accuracy(b)) => {
+                (d.abs(), if d >= 0.0 { b.above } else { b.below })
+            }
+            Some(ValidationMode::Slack(s)) => (d.abs(), *s),
+            None => (f64::INFINITY, 0.0),
+        };
+        let ok = deviation <= allowance + EPS;
+        if !ok {
+            self.violations += 1;
+        }
+        CheckOutcome { ok, deviation, allowance }
     }
 
     /// Clears a key's mode (e.g. after re-modeling).
@@ -418,6 +453,37 @@ mod tests {
         assert!(matches!(v.mode(a), Some(ValidationMode::Slack(_))));
         assert!(matches!(v.mode(b), Some(ValidationMode::Accuracy(_))));
         assert!(v.check(a, 0.0, 100.0), "a's wide slack must survive b's install");
+    }
+
+    #[test]
+    fn check_explained_agrees_with_check() {
+        let mut explained = Validator::new();
+        let mut plain = Validator::new();
+        let k = VKey::new(0, 1);
+        // Unknown key: infinite deviation against zero allowance.
+        let o = explained.check_explained(k, 10.0, 10.0);
+        assert!(!o.ok && o.deviation.is_infinite() && o.allowance == 0.0);
+        assert!(!plain.check(k, 10.0, 10.0));
+        for v in [&mut explained, &mut plain] {
+            v.set_accuracy(k, Bound { below: 0.2, above: 0.5 });
+        }
+        for (pred, act) in [(10.0, 10.3), (10.0, 11.0), (10.0, 9.9), (10.0, 9.0)] {
+            let o = explained.check_explained(k, pred, act);
+            assert_eq!(o.ok, plain.check(k, pred, act), "accuracy {pred}→{act}");
+            // A violating outcome always shows deviation beyond allowance.
+            assert!(o.ok || o.deviation > o.allowance, "{o:?}");
+        }
+        for v in [&mut explained, &mut plain] {
+            v.set_slack(k, 3.0);
+        }
+        for (pred, act) in [(10.0, 12.0), (10.0, 14.0)] {
+            let o = explained.check_explained(k, pred, act);
+            assert_eq!(o.ok, plain.check(k, pred, act), "slack {pred}→{act}");
+            assert_eq!(o.allowance, 3.0);
+        }
+        // Counters advance identically on both paths.
+        assert_eq!(explained.checks, plain.checks);
+        assert_eq!(explained.violations, plain.violations);
     }
 
     #[test]

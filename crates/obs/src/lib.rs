@@ -29,15 +29,22 @@
 //! ```
 
 mod registry;
+pub mod serve;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use registry::{
-    bucket_index, bucket_upper, Counter, HistTimer, Histogram, KeyedCounter, MetricsRegistry,
-    BUCKETS,
+    bucket_index, bucket_upper, labeled, Counter, HistTimer, Histogram, KeyedCounter,
+    MetricsRegistry, BUCKETS,
 };
+pub use serve::{serve, ExplainFn, ServeHandle};
 pub use snapshot::{HistogramSnapshot, KeyedSnapshot, Snapshot};
 pub use span::{Event, EventLog, SpanGuard};
+pub use trace::{
+    explain_from_events, set_trace_enabled, trace_enabled, ExplainReport, SolveTrace, TraceEvent,
+    TraceKind, Tracer,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

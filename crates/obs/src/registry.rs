@@ -154,6 +154,39 @@ impl KeyedCounter {
     }
 }
 
+/// Canonical labeled-metric name: `base{k="v",k2="v2"}`. Labels ride inside
+/// the registry key, so the existing name-keyed machinery (snapshots,
+/// deltas, lookups) works unchanged; the Prometheus exporter re-parses the
+/// block. Label order follows the argument order — callers must pass labels
+/// in a stable order for `base{…}` strings to compare equal.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        // Escape per the Prometheus text format so values round-trip.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Registry of named metrics. `counter`/`histogram`/`keyed_counter` are
 /// get-or-create; reads take a shared lock, creation an exclusive one.
 #[derive(Default)]
@@ -280,6 +313,26 @@ mod tests {
         assert_eq!(k.get(9), 1);
         assert_eq!(k.get(8), 0);
         assert_eq!(k.total(), 3);
+    }
+
+    #[test]
+    fn labeled_names_encode_and_escape() {
+        assert_eq!(labeled("runtime.tuples_in", &[]), "runtime.tuples_in");
+        assert_eq!(
+            labeled("runtime.tuples_in", &[("shard", "3")]),
+            "runtime.tuples_in{shard=\"3\"}"
+        );
+        assert_eq!(
+            labeled("x", &[("a", "1"), ("b", "q\"uo\\te")]),
+            "x{a=\"1\",b=\"q\\\"uo\\\\te\"}"
+        );
+        // Labeled and unlabeled names are distinct registry entries.
+        let reg = MetricsRegistry::new();
+        reg.counter("c").set(1);
+        reg.counter(&labeled("c", &[("shard", "0")])).set(2);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("c"), Some(1));
+        assert_eq!(s.counter("c{shard=\"0\"}"), Some(2));
     }
 
     #[test]

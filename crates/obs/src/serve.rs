@@ -1,0 +1,207 @@
+//! Dependency-free HTTP serving surface for a running Pulse process.
+//!
+//! A blocking single-threaded listener (std::net only — the build
+//! environment is offline, so no hyper/axum) exposing:
+//!
+//! - `GET /metrics` — Prometheus text exposition (format 0.0.4) of the
+//!   process-global registry snapshot, per-shard series as `shard="i"`
+//!   labels;
+//! - `GET /snapshot` — the same snapshot as JSON (what `pulse_top` polls);
+//! - `GET /explain?key=K&t0=A&t1=B` — the flight recorder's provenance
+//!   tree for key `K` over stream-time `[A, B]`, as JSON. The handler is
+//!   injected by the host (e.g. a closure fanning the query to the owning
+//!   shard), keeping this crate decoupled from the runtime.
+//!
+//! One request per connection, `Connection: close` — scrape endpoints do
+//! not need keep-alive, and the accept loop polls a stop flag so
+//! [`ServeHandle`] (and its `Drop`) can shut the listener down cleanly.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Host-provided `/explain` handler: `(key, t0, t1)` → serialized JSON
+/// report, or `None` when the key/span has nothing to explain.
+pub type ExplainFn = Arc<dyn Fn(u64, f64, f64) -> Option<String> + Send + Sync>;
+
+/// Running listener; dropping it stops the serving thread.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9187`, port 0 for ephemeral) and serves
+/// until the returned handle is dropped. Pass `None` to disable `/explain`.
+pub fn serve(addr: &str, explain: Option<ExplainFn>) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let thread = std::thread::Builder::new().name("pulse-obs-serve".into()).spawn(move || {
+        while !stop2.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((mut conn, _)) => {
+                    let _ = handle_conn(&mut conn, explain.as_ref());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    })?;
+    Ok(ServeHandle { addr, stop, thread: Some(thread) })
+}
+
+fn handle_conn(conn: &mut TcpStream, explain: Option<&ExplainFn>) -> std::io::Result<()> {
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // Only the request line matters; read until the header terminator (or
+    // 4 KiB) so well-behaved clients aren't cut off mid-request.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 4096 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let line = request.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, ctype, body) = if method != "GET" {
+        (405, "text/plain", "method not allowed\n".to_string())
+    } else {
+        route(target, explain)
+    };
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Not Implemented",
+    };
+    let resp = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(resp.as_bytes())
+}
+
+fn route(target: &str, explain: Option<&ExplainFn>) -> (u16, &'static str, String) {
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::global().snapshot().to_prometheus(),
+        ),
+        "/snapshot" => (200, "application/json", crate::global().snapshot().to_json()),
+        "/explain" => {
+            let Some(explain) = explain else {
+                return (501, "text/plain", "explain is not wired on this process\n".into());
+            };
+            let Some((key, t0, t1)) = parse_explain_query(query) else {
+                return (400, "text/plain", "usage: /explain?key=K&t0=A&t1=B\n".into());
+            };
+            match explain(key, t0, t1) {
+                Some(json) => (200, "application/json", json),
+                None => (404, "application/json", "{\"error\":\"nothing to explain\"}".into()),
+            }
+        }
+        _ => (404, "text/plain", "try /metrics, /snapshot or /explain\n".into()),
+    }
+}
+
+/// Parses `key=K&t0=A&t1=B`; `t0`/`t1` default to an unbounded span.
+fn parse_explain_query(query: &str) -> Option<(u64, f64, f64)> {
+    let mut key = None;
+    let mut t0 = f64::NEG_INFINITY;
+    let mut t1 = f64::INFINITY;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=')?;
+        match k {
+            "key" => key = Some(v.parse().ok()?),
+            "t0" => t0 = v.parse().ok()?,
+            "t1" => t1 = v.parse().ok()?,
+            _ => return None,
+        }
+    }
+    key.map(|k| (k, t0, t1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_explain() {
+        crate::global().counter("serve.test.hits").set(3);
+        let explain: ExplainFn = Arc::new(|key, t0, t1| {
+            (key == 7).then(|| format!("{{\"key\":{key},\"t0\":{t0},\"t1\":{t1}}}"))
+        });
+        let h = serve("127.0.0.1:0", Some(explain)).expect("bind");
+        let addr = h.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(metrics.contains("pulse_serve_test_hits 3"), "{metrics}");
+
+        let snap = get(addr, "/snapshot");
+        assert!(snap.starts_with("HTTP/1.1 200"), "{snap}");
+        assert!(snap.contains("\"serve.test.hits\""), "{snap}");
+
+        let ex = get(addr, "/explain?key=7&t0=1&t1=2");
+        assert!(ex.starts_with("HTTP/1.1 200"), "{ex}");
+        assert!(ex.contains("\"key\":7"), "{ex}");
+        assert!(get(addr, "/explain?key=9").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/explain?bogus=1").starts_with("HTTP/1.1 400"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        drop(h); // must join cleanly
+    }
+
+    #[test]
+    fn explain_defaults_to_unbounded_span() {
+        assert_eq!(parse_explain_query("key=4"), Some((4, f64::NEG_INFINITY, f64::INFINITY)));
+        assert_eq!(parse_explain_query("key=4&t0=1.5&t1=2.5"), Some((4, 1.5, 2.5)));
+        assert_eq!(parse_explain_query(""), None);
+        assert_eq!(parse_explain_query("t0=1"), None);
+    }
+}

@@ -16,6 +16,7 @@ pub struct HistogramSnapshot {
     pub mean_ns: f64,
     pub p50_ns: u64,
     pub p90_ns: u64,
+    pub p95_ns: u64,
     pub p99_ns: u64,
     /// `(inclusive_upper_bound, count)` for non-empty buckets only.
     pub buckets: Vec<(u64, u64)>,
@@ -47,6 +48,7 @@ impl HistogramSnapshot {
             mean_ns: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
             p50_ns: pct(0.50),
             p90_ns: pct(0.90),
+            p95_ns: pct(0.95),
             p99_ns: pct(0.99),
             buckets: dense
                 .iter()
@@ -193,13 +195,13 @@ impl Snapshot {
             let w = self.histograms.iter().map(|h| h.name.len()).max().unwrap_or(0);
             out.push_str("histograms (ns)\n");
             out.push_str(&format!(
-                "  {:<w$}  {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-                "name", "count", "mean", "p50", "p99", "max"
+                "  {:<w$}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "mean", "p50", "p95", "p99", "max"
             ));
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "  {:<w$}  {:>10} {:>10.0} {:>10} {:>10} {:>10}\n",
-                    h.name, h.count, h.mean_ns, h.p50_ns, h.p99_ns, h.max_ns
+                    "  {:<w$}  {:>10} {:>10.0} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name, h.count, h.mean_ns, h.p50_ns, h.p95_ns, h.p99_ns, h.max_ns
                 ));
             }
         }
@@ -215,6 +217,87 @@ impl Snapshot {
             }
         }
         out
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the whole snapshot.
+    /// Registry names mangle to `pulse_<name>` with dots as underscores; a
+    /// `{k="v"}` block in a registry name (see [`crate::labeled`]) passes
+    /// through as Prometheus labels, so per-shard series share one metric
+    /// family instead of one family per shard.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut type_line = |out: &mut String, fam: &str, kind: &str| {
+            if typed.insert(fam.to_string()) {
+                out.push_str(&format!("# TYPE {fam} {kind}\n"));
+            }
+        };
+        for (name, v) in &self.counters {
+            let (fam, labels) = prom_name(name);
+            type_line(&mut out, &fam, "counter");
+            out.push_str(&format!("{fam}{labels} {v}\n"));
+        }
+        for h in &self.histograms {
+            let (fam, labels) = prom_name(&h.name);
+            type_line(&mut out, &fam, "histogram");
+            // Power-of-two buckets are stored per-bucket; Prometheus wants
+            // cumulative counts per inclusive `le` upper bound.
+            let mut cum = 0u64;
+            for (upper, c) in &h.buckets {
+                cum += c;
+                let le = if *upper == u64::MAX { "+Inf".into() } else { upper.to_string() };
+                out.push_str(&format!(
+                    "{fam}_bucket{} {cum}\n",
+                    merge_labels(&labels, &format!("le=\"{le}\""))
+                ));
+            }
+            if h.buckets.last().is_none_or(|(u, _)| *u != u64::MAX) {
+                out.push_str(&format!(
+                    "{fam}_bucket{} {cum}\n",
+                    merge_labels(&labels, "le=\"+Inf\"")
+                ));
+            }
+            out.push_str(&format!("{fam}_sum{labels} {}\n", h.sum_ns));
+            out.push_str(&format!("{fam}_count{labels} {}\n", h.count));
+        }
+        for k in &self.keyed {
+            let (fam, labels) = prom_name(&k.name);
+            type_line(&mut out, &fam, "counter");
+            for (key, c) in &k.by_key {
+                out.push_str(&format!(
+                    "{fam}{} {c}\n",
+                    merge_labels(&labels, &format!("key=\"{key}\""))
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Splits a registry name into a mangled Prometheus family name and its
+/// (possibly empty) `{…}` label block.
+fn prom_name(name: &str) -> (String, String) {
+    let (base, labels) = match name.split_once('{') {
+        Some((b, rest)) => (b, format!("{{{rest}")),
+        None => (name, String::new()),
+    };
+    let mut fam = String::with_capacity(base.len() + 6);
+    fam.push_str("pulse_");
+    for c in base.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            fam.push(c);
+        } else {
+            fam.push('_');
+        }
+    }
+    (fam, labels)
+}
+
+/// Adds one `k="v"` pair to a (possibly empty) `{…}` label block.
+fn merge_labels(labels: &str, extra: &str) -> String {
+    match labels.strip_suffix('}') {
+        Some(open) if open.len() > 1 => format!("{open},{extra}}}"),
+        _ => format!("{{{extra}}}"),
     }
 }
 
@@ -272,6 +355,65 @@ mod tests {
         assert_eq!(hs.max_ns, 65_000);
         // Percentile never exceeds the true max.
         assert!(hs.p99_ns <= hs.max_ns);
+    }
+
+    #[test]
+    fn derived_percentiles_from_known_distribution() {
+        // 94 values at 10ns (bucket ≤15), 4 at 1000ns (bucket ≤1023), and
+        // 2 at 30000ns (bucket ≤32767): ranks 50/90 land in the first
+        // bucket, 95 in the second, 99 and max in the third.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("known");
+        for _ in 0..94 {
+            h.record(10);
+        }
+        for _ in 0..4 {
+            h.record(1000);
+        }
+        for _ in 0..2 {
+            h.record(30_000);
+        }
+        let s = reg.snapshot();
+        let hs = s.histogram("known").unwrap();
+        assert_eq!(hs.count, 100);
+        assert_eq!(hs.p50_ns, 15);
+        assert_eq!(hs.p90_ns, 15);
+        assert_eq!(hs.p95_ns, 1023);
+        assert_eq!(hs.p99_ns, 30_000, "capped by true max inside the top bucket");
+        assert_eq!(hs.max_ns, 30_000);
+        assert!(hs.p50_ns <= hs.p95_ns && hs.p95_ns <= hs.p99_ns && hs.p99_ns <= hs.max_ns);
+        // Both exporters carry the derived fields.
+        assert!(s.to_json().contains("\"p95_ns\""));
+        assert!(s.to_table().contains("p95"));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_families_and_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("runtime.tuples_in").set(7);
+        reg.counter(&crate::labeled("runtime.tuples_in", &[("shard", "3")])).set(4);
+        reg.histogram("runtime.solve_ns").record(100);
+        reg.histogram("runtime.solve_ns").record(5000);
+        reg.keyed_counter("runtime.violations_by_key").inc(9);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE pulse_runtime_tuples_in counter"), "{text}");
+        // One TYPE line per family even with several label variants.
+        assert_eq!(text.matches("# TYPE pulse_runtime_tuples_in ").count(), 1, "{text}");
+        assert!(text.contains("pulse_runtime_tuples_in 7"), "{text}");
+        assert!(text.contains("pulse_runtime_tuples_in{shard=\"3\"} 4"), "{text}");
+        assert!(text.contains("# TYPE pulse_runtime_solve_ns histogram"), "{text}");
+        assert!(text.contains("pulse_runtime_solve_ns_bucket{le=\"127\"} 1"), "{text}");
+        assert!(text.contains("pulse_runtime_solve_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("pulse_runtime_solve_ns_sum 5100"), "{text}");
+        assert!(text.contains("pulse_runtime_solve_ns_count 2"), "{text}");
+        assert!(text.contains("pulse_runtime_violations_by_key{key=\"9\"} 1"), "{text}");
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
     }
 
     #[test]

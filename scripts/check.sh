@@ -1,10 +1,9 @@
 #!/usr/bin/env bash
-# Repo health gate: formatting, lints, and the full test suite.
-# Run before every commit; CI mirrors these steps.
-#
-# The observability overhead gate (suppressed fast path within 5% with
-# telemetry on) is measured separately — it needs a quiet machine:
-#   cargo bench -p pulse-bench --bench obs_overhead
+# Repo health gate: formatting, lints, the full test suite, a live
+# /metrics scrape of a 4-shard scaling run, and the observability
+# overhead gate (obs_bench min-of-batches delta; the criterion bench
+# `cargo bench -p pulse-bench --bench obs_overhead` gives distributions
+# for humans on a quiet machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +19,25 @@ cargo test --workspace -q
 echo "== cargo build --release --bins --benches"
 cargo build --release --workspace --bins --benches
 
-echo "== scaling smoke (2-shard sweep)"
-PULSE_SCALING_SMOKE=1 PULSE_SCALING_SHARDS=2 ./target/release/scaling
+echo "== scaling smoke (4-shard sweep) with live /metrics scrape"
+PULSE_SCALING_SMOKE=1 PULSE_SCALING_SHARDS=4 \
+PULSE_SERVE_ADDR=127.0.0.1:9187 PULSE_SERVE_LINGER=6 \
+  ./target/release/scaling &
+scaling_pid=$!
+metrics=""
+for _ in $(seq 1 60); do
+  metrics=$(curl -sf --max-time 2 http://127.0.0.1:9187/metrics || true)
+  [[ "$metrics" == *'pulse_runtime_tuples_in{shard="'* ]] && break
+  sleep 0.25
+done
+wait "$scaling_pid"
+if [[ "$metrics" != *'pulse_runtime_tuples_in{shard="'* ]]; then
+  echo "FAIL: live /metrics scrape returned no per-shard labelled series" >&2
+  exit 1
+fi
+echo "live /metrics scrape OK (per-shard labelled series present)"
+
+echo "== observability overhead gate (suppressed fast path)"
+PULSE_OBS_GATE=1 ./target/release/obs_bench
 
 echo "All checks passed."
