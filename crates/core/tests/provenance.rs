@@ -194,3 +194,78 @@ fn sharded_explain_reaches_the_owning_worker() {
     set_trace_enabled(false);
     assert!(handle.explain(3, 0.0, 100.0).is_none(), "dead runtime explains nothing");
 }
+
+/// Edge cases: `explain()` must degrade to an empty (but well-formed)
+/// report rather than panic or fabricate solves — for keys the runtime
+/// never saw, keys that never violated inside the queried range, and
+/// degenerate time ranges.
+#[test]
+fn explain_edge_cases_return_empty_reports() {
+    let _g = flag_lock();
+    set_trace_enabled(true);
+    let lp = macd_plan();
+    let mut rt =
+        PulseRuntime::with_predictors(vec![Predictor::AdaptiveLinear(schema())], &lp, config())
+            .unwrap();
+    for t in tuples(4, 120) {
+        rt.on_tuple(0, &t);
+    }
+    set_trace_enabled(false);
+
+    // A key the stream never carried: nothing to explain.
+    let rep = rt.explain(999, 0.0, 100.0);
+    assert_eq!(rep.key, 999);
+    assert!(rep.solves.is_empty(), "unseen key must explain to an empty tree");
+
+    // A range entirely before the stream started: no solve can match.
+    let rep = rt.explain(0, -50.0, -1.0);
+    assert!(rep.solves.is_empty(), "pre-stream range must be empty");
+
+    // An inverted range matches nothing (and must not panic).
+    let rep = rt.explain(0, 80.0, 2.0);
+    assert!(rep.solves.is_empty(), "inverted range must be empty");
+
+    // The reports above still serialize (the `/explain` endpoint path).
+    assert!(rt.explain(999, 0.0, 100.0).to_json().contains("\"solves\""));
+}
+
+/// A key whose model never violates after its initial unseen-key solve:
+/// explaining a range past that first solve finds nothing, while the full
+/// range finds exactly the initial solve.
+#[test]
+fn explain_zero_violation_key_reports_only_the_initial_solve() {
+    let _g = flag_lock();
+    set_trace_enabled(true);
+    // Passthrough filter over a constant stream with a generous bound:
+    // after each key's first tuple instantiates a model, every later
+    // tuple validates and is suppressed — zero violations.
+    let mut lp = LogicalPlan::new(vec![schema()]);
+    lp.add(
+        LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(-1.0)) },
+        vec![PortRef::Source(0)],
+    );
+    let cfg = RuntimeConfig { horizon: 100.0, bound: 5.0, ..config() };
+    let mut rt =
+        PulseRuntime::with_predictors(vec![Predictor::AdaptiveLinear(schema())], &lp, cfg).unwrap();
+    for round in 0..50 {
+        for key in 0..3u64 {
+            rt.on_tuple(0, &Tuple::new(key, round as f64 * 0.1, vec![7.0]));
+        }
+    }
+    set_trace_enabled(false);
+    let stats = rt.stats();
+    assert_eq!(stats.violations, 0, "constant stream within bound must not violate");
+
+    // Full range: exactly the unseen-key solve at t = 0.
+    let rep = rt.explain(1, 0.0, 100.0);
+    assert_eq!(rep.solves.len(), 1, "only the initial model instantiation solves");
+    assert_eq!(rep.solves[0].solve_end.key, 1);
+
+    // A range *inside* the initial model's coverage still explains to that
+    // solve — its prediction is what covers the range — but a range beyond
+    // everything the key's model ever claimed is violation-free and empty.
+    let rep = rt.explain(1, 0.5, 99.0);
+    assert_eq!(rep.solves.len(), 1, "covering solve explains the window it predicts");
+    let rep = rt.explain(1, 150.0, 200.0);
+    assert!(rep.solves.is_empty(), "range beyond all coverage must explain to nothing");
+}

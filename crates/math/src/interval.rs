@@ -122,7 +122,10 @@ impl RangeSet {
     /// Builds a set from arbitrary spans, normalizing (sorting + merging
     /// overlapping or touching spans; points absorbed into ranges).
     pub fn from_spans(mut spans: Vec<Span>) -> Self {
-        spans.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());
+        // NaN policy: `Span::new` asserts finite endpoints, so `total_cmp`
+        // orders exactly like `partial_cmp` here — minus the unwrap that a
+        // fuzzer could in principle reach through unchecked constructors.
+        spans.sort_by(|a, b| a.lo.total_cmp(&b.lo));
         let mut merged: Vec<Span> = Vec::with_capacity(spans.len());
         for s in spans {
             match merged.last_mut() {

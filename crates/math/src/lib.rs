@@ -24,4 +24,7 @@ pub use interval::{RangeSet, Span, EPS};
 pub use linsys::{fit_poly, solve_dense, IncrementalLinFit, LinSysError};
 pub use poly::Poly;
 pub use roots::{brent, newton, poly_newton, poly_roots_in};
-pub use sturm::{certified_roots, count_roots, isolate_roots, sturm_chain};
+pub use sturm::{
+    certified_roots, count_roots, isolate_roots, sturm_chain, try_div_rem, try_sturm_chain,
+    SturmError,
+};

@@ -40,10 +40,12 @@ pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, LinSysError> {
     let mut rhs = b.to_vec();
     for col in 0..n {
         // Partial pivot: largest magnitude in this column at or below `col`.
-        let piv = (col..n)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
-            .unwrap();
-        if m[piv][col].abs() < 1e-12 {
+        // NaN policy: `total_cmp` ranks NaN above +inf, so a NaN entry wins
+        // the pivot search and is then rejected by the finiteness check
+        // below — fuzzed non-finite matrices report `Singular` instead of
+        // panicking or silently propagating NaN through elimination.
+        let piv = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs())).unwrap();
+        if !m[piv][col].is_finite() || m[piv][col].abs() < 1e-12 {
             return Err(LinSysError::Singular);
         }
         m.swap(col, piv);
@@ -187,6 +189,18 @@ mod tests {
         for (g, w) in x.iter().zip(want) {
             assert!((g - w).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn non_finite_entries_report_singular_instead_of_panicking() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let a = vec![vec![bad, 1.0], vec![1.0, 1.0]];
+            assert_eq!(solve_dense(&a, &[1.0, 2.0]), Err(LinSysError::Singular), "{bad}");
+        }
+        // A NaN elsewhere in the pivot column must not beat a finite pivot
+        // into the elimination (total_cmp ranks it last after rejection).
+        let a = vec![vec![1.0, 2.0], vec![f64::NAN, 4.0]];
+        assert_eq!(solve_dense(&a, &[1.0, 2.0]), Err(LinSysError::Singular));
     }
 
     #[test]

@@ -132,7 +132,9 @@ fn quadratic_roots_in(c0: f64, c1: f64, c2: f64, lo: f64, hi: f64) -> Vec<f64> {
     let (r1, r2) = if q.abs() < 1e-300 { (0.0, 0.0) } else { (q / c2, c0 / q) };
     let mut out: Vec<f64> =
         [r1, r2].into_iter().filter(|r| r.is_finite() && *r >= lo && *r <= hi).collect();
-    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // NaN policy: candidates are pre-filtered to finite values, and
+    // `total_cmp` keeps the sort panic-free even if that filter changes.
+    out.sort_by(f64::total_cmp);
     out.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     out
 }
@@ -176,7 +178,10 @@ pub fn poly_roots_in(p: &Poly, lo: f64, hi: f64, tol: f64) -> Vec<f64> {
             if p.eval(hi).abs() <= tol {
                 roots.push(hi);
             }
-            roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // NaN policy: Brent/bisection only return finite roots, so the
+            // total order is identical to the partial one; `total_cmp` just
+            // removes the panic edge for fuzzed coefficient extremes.
+            roots.sort_by(f64::total_cmp);
             roots.dedup_by(|a, b| (*a - *b).abs() < tol.max(1e-9) * 10.0);
             roots
         }

@@ -12,16 +12,39 @@
 use crate::poly::Poly;
 use crate::roots::brent;
 
-/// Quotient and remainder of polynomial long division.
-///
-/// Panics if `divisor` is zero.
-pub fn div_rem(dividend: &Poly, divisor: &Poly) -> (Poly, Poly) {
-    assert!(!divisor.is_zero(), "polynomial division by zero");
-    let dd = divisor.degree().unwrap();
+/// Error from Sturm-chain construction or polynomial division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SturmError {
+    /// Division by the zero polynomial (its degree is undefined).
+    ZeroDivisor,
+    /// Chain construction over a zero or constant polynomial, which has no
+    /// meaningful Sturm sequence (no sign changes to count).
+    DegenerateInput,
+}
+
+impl std::fmt::Display for SturmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SturmError::ZeroDivisor => write!(f, "polynomial division by zero"),
+            SturmError::DegenerateInput => {
+                write!(f, "Sturm chain of a zero or constant polynomial")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SturmError {}
+
+/// Quotient and remainder of polynomial long division, or
+/// [`SturmError::ZeroDivisor`] when the divisor is the zero polynomial —
+/// the degenerate case whose `degree()` is `None` and which the panicking
+/// wrapper [`div_rem`] historically `unwrap`ped on.
+pub fn try_div_rem(dividend: &Poly, divisor: &Poly) -> Result<(Poly, Poly), SturmError> {
+    let dd = divisor.degree().ok_or(SturmError::ZeroDivisor)?;
     let lead = divisor.leading();
     let mut rem: Vec<f64> = dividend.coeffs().to_vec();
     if rem.len() < dd + 1 {
-        return (Poly::zero(), dividend.clone());
+        return Ok((Poly::zero(), dividend.clone()));
     }
     let qlen = rem.len() - dd;
     let mut quot = vec![0.0; qlen];
@@ -35,7 +58,15 @@ pub fn div_rem(dividend: &Poly, divisor: &Poly) -> (Poly, Poly) {
         }
     }
     rem.truncate(dd);
-    (Poly::new(quot), Poly::new(rem))
+    Ok((Poly::new(quot), Poly::new(rem)))
+}
+
+/// Quotient and remainder of polynomial long division.
+///
+/// Panics if `divisor` is zero; use [`try_div_rem`] when the divisor comes
+/// from untrusted (e.g. fuzzed) input.
+pub fn div_rem(dividend: &Poly, divisor: &Poly) -> (Poly, Poly) {
+    try_div_rem(dividend, divisor).expect("polynomial division by zero")
 }
 
 /// Greatest common divisor via the Euclidean algorithm (monic-normalized).
@@ -61,8 +92,13 @@ pub fn gcd(a: &Poly, b: &Poly) -> Poly {
     }
 }
 
-/// The Sturm chain of `p`: `p, p', −rem(p, p'), …`.
-pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
+/// The Sturm chain of `p`: `p, p', −rem(p, p'), …`, or a
+/// [`SturmError::DegenerateInput`] when `p` is zero or constant (no chain
+/// exists: there is nothing to count sign changes of).
+pub fn try_sturm_chain(p: &Poly) -> Result<Vec<Poly>, SturmError> {
+    if p.is_zero() || p.is_constant() {
+        return Err(SturmError::DegenerateInput);
+    }
     let mut chain = vec![p.clone(), p.derivative()];
     loop {
         let n = chain.len();
@@ -73,7 +109,9 @@ pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
         if chain[n - 1].is_constant() {
             break;
         }
-        let (_, r) = div_rem(&chain[n - 2], &chain[n - 1]);
+        // The loop head guarantees a non-zero divisor, so division cannot
+        // hit the degenerate case; propagate rather than unwrap anyway.
+        let (_, r) = try_div_rem(&chain[n - 2], &chain[n - 1])?;
         if r.is_zero() {
             break;
         }
@@ -81,7 +119,16 @@ pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
         let m = r.max_coeff();
         chain.push(r.neg().scale(1.0 / m.max(1e-300)));
     }
-    chain
+    Ok(chain)
+}
+
+/// The Sturm chain of `p`: `p, p', −rem(p, p'), …`.
+///
+/// Degenerate inputs (zero or constant `p`) yield the single-element chain
+/// `[p]`, matching the historical behavior; [`try_sturm_chain`] reports
+/// them as an error instead.
+pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
+    try_sturm_chain(p).unwrap_or_else(|_| vec![p.clone()])
 }
 
 /// Sign changes of the chain evaluated at `t` (zeros are skipped, per
@@ -163,7 +210,9 @@ pub fn isolate_roots(p: &Poly, lo: f64, hi: f64) -> Vec<(f64, f64)> {
         stack.push((a, m));
         stack.push((m, b));
     }
-    out.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    // NaN policy: bracket endpoints come from finite bisection midpoints;
+    // `total_cmp` keeps degenerate (e.g. overflowed) chains panic-free.
+    out.sort_by(|x, y| x.0.total_cmp(&y.0));
     out
 }
 
@@ -184,9 +233,11 @@ pub fn certified_roots(p: &Poly, lo: f64, hi: f64) -> Vec<f64> {
             } else {
                 // Bracket certified by Sturm but no visible sign change:
                 // dense sampling fallback.
+                // NaN policy: `total_cmp` ranks NaN evaluations above every
+                // finite residual, so they can never be selected as minima.
                 (0..=64)
                     .map(|i| a + (b - a) * i as f64 / 64.0)
-                    .min_by(|x, y| sf.eval(*x).abs().partial_cmp(&sf.eval(*y).abs()).unwrap())
+                    .min_by(|x, y| sf.eval(*x).abs().total_cmp(&sf.eval(*y).abs()))
             }
         })
         .collect()
@@ -215,6 +266,25 @@ mod tests {
             assert!((x - y).abs() < 1e-9);
         }
         assert!(r.degree().unwrap_or(0) < b.degree().unwrap());
+    }
+
+    #[test]
+    fn degenerate_divisors_are_errors_not_panics() {
+        assert_eq!(try_div_rem(&poly(&[1.0, 2.0]), &Poly::zero()), Err(SturmError::ZeroDivisor));
+        assert_eq!(try_sturm_chain(&Poly::zero()), Err(SturmError::DegenerateInput));
+        assert_eq!(try_sturm_chain(&Poly::constant(3.0)), Err(SturmError::DegenerateInput));
+        // Valid inputs round-trip identically through both APIs.
+        let p = poly(&[-6.0, 11.0, -6.0, 1.0]);
+        assert_eq!(try_sturm_chain(&p).unwrap(), sturm_chain(&p));
+        // The infallible wrapper keeps its historical degenerate behavior.
+        assert_eq!(sturm_chain(&Poly::constant(3.0)), vec![Poly::constant(3.0)]);
+        assert_eq!(sturm_chain(&Poly::zero()), vec![Poly::zero()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial division by zero")]
+    fn div_rem_by_zero_still_panics() {
+        div_rem(&poly(&[1.0, 1.0]), &Poly::zero());
     }
 
     #[test]

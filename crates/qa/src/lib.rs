@@ -1,0 +1,65 @@
+//! Differential-testing harness for the Pulse engines.
+//!
+//! Everything here is seeded and reproducible: a single `u64` determines a
+//! whole test case — a random well-typed query plan ([`plangen`]), an exact
+//! piecewise-polynomial stream with known ground truth ([`streamgen`], over
+//! [`pulse_workload::tracks`]), and the three-way oracle ([`oracle`]) that
+//! runs the case through the discrete engine, the single-threaded
+//! continuous runtime, and the 4-shard partitioned runtime (or its
+//! single-threaded fallback when the plan is not partitionable).
+//!
+//! Failures shrink structurally ([`shrink`]) and report the seed; dropping
+//! the seed into `crates/qa/corpus/*.seed` turns any hunted bug into a
+//! permanent regression test (`tests/corpus.rs` replays every corpus seed
+//! on every `cargo test`).
+
+pub mod oracle;
+pub mod plangen;
+pub mod shrink;
+pub mod streamgen;
+
+pub use oracle::{run_case, CaseFailure, CaseReport};
+pub use plangen::{gen_plan, GenPlan, OpKind, Shape, KINDS};
+pub use shrink::{explain_failure, minimize};
+pub use streamgen::{Case, StreamSpec};
+
+/// Runs the case for `seed`; on failure, shrinks it and panics with a
+/// replayable report. This is the single entry point both the randomized
+/// suite and the corpus replayer use.
+pub fn check_seed(seed: u64) -> CaseReport {
+    let case = Case::from_seed(seed);
+    match run_case(&case) {
+        Ok(report) => report,
+        Err(failure) => {
+            let (shrunk, failure) = minimize(&case, failure);
+            panic!("{}", explain_failure(&shrunk, &failure));
+        }
+    }
+}
+
+/// Parses a corpus `.seed` file: one seed per line, decimal or `0x` hex,
+/// `#` comments and blank lines ignored.
+pub fn parse_seeds(contents: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            l.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| l.parse())
+                .unwrap_or_else(|e| panic!("bad seed line {l:?}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_seeds_handles_comments_hex_and_blanks() {
+        let got = parse_seeds("# corpus\n12\n\n0x10 # join regression\n  7\n");
+        assert_eq!(got, vec![12, 16, 7]);
+    }
+}

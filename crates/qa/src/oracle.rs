@@ -1,0 +1,731 @@
+//! The three-way differential oracle.
+//!
+//! Each case runs through three engines:
+//!
+//! 1. the **discrete** tuple-at-a-time plan ([`pulse_stream::Plan`]) — the
+//!    semantic baseline;
+//! 2. the **continuous** single-threaded [`PulseRuntime`] — the system
+//!    under test;
+//! 3. the **sharded** [`ShardedRuntime`] (4 shards) when the plan is
+//!    key-partitionable, or a second single-threaded run when it is not
+//!    (the documented fallback path).
+//!
+//! Discrete vs continuous is *not* compared output-to-output: the two
+//! engines legitimately disagree near filter boundaries, slope breaks, and
+//! by the validator's error bound ε. Instead every comparison is **anchored
+//! to exact ground truth** (the [`TrackSet`] signal): the oracle recomputes
+//! what each plan *should* produce from the noiseless signal, and only
+//! checks instants whose truth margin clears a tolerance budget derived
+//! from ε, the observation noise, and the sampling interval. Within that
+//! margin, disagreement is a real bug — not numerics.
+//!
+//! Continuous vs sharded *is* compared output-to-output: partitioned
+//! execution must be bit-for-bit equivalent (id-blind), so the comparison
+//! is exact on the f64 bit patterns of spans, model coefficients, and
+//! unmodeled values.
+
+use crate::plangen::{branch_slots, residual, AggSpec, JoinSpec, Shape, Step};
+use crate::streamgen::Case;
+use pulse_core::{
+    CGroupBy, CMinMax, COperator, CSumAvg, Heuristic, Predictor, PulseRuntime, RuntimeConfig,
+    ShardError, ShardedRuntime,
+};
+use pulse_model::{Segment, Tuple};
+use pulse_stream::{AggFunc, KeyJoin, LogicalPlan};
+use pulse_workload::{tracks, TrackSet};
+
+/// How a case failed: enough context to reproduce and diagnose.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    pub seed: u64,
+    pub stage: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "case seed {} failed at stage `{}`:", self.seed, self.stage)?;
+        writeln!(f, "  {}", self.detail)?;
+        write!(
+            f,
+            "  replay: add the seed to crates/qa/corpus/*.seed or run Case::from_seed({})",
+            self.seed
+        )
+    }
+}
+
+/// What a passing case exercised (aggregated by the test driver to assert
+/// the suite actually covered every operator kind and comparator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseReport {
+    pub partitionable: bool,
+    /// Discrete passthrough outputs value-checked against continuous models.
+    pub value_points: usize,
+    /// Grid instants checked for coverage agreement (noise-free cases).
+    pub coverage_points: usize,
+    /// Join matches checked (both directions).
+    pub join_points: usize,
+    /// Min/max window closes compared.
+    pub minmax_points: usize,
+    /// Sum/avg window closes compared.
+    pub sumavg_points: usize,
+    /// Sharded output segments compared bit-exactly.
+    pub shard_outputs: usize,
+    /// Instants skipped as within tolerance of a decision boundary.
+    pub skipped: usize,
+}
+
+struct Batch {
+    key: u64,
+    ts: f64,
+    outs: Vec<Segment>,
+}
+
+/// Result of evaluating a filter/map chain on ground truth at one instant.
+struct ChainEval {
+    /// Sink model-slot values.
+    vals: Vec<f64>,
+    /// Sensitivity (L1 coefficient mass) per slot: how much the value moves
+    /// per unit of input perturbation. Scales every tolerance.
+    sens: Vec<f64>,
+    /// Worst filter margin, normalized to input units (positive ⇒ all
+    /// filters robustly pass; negative ⇒ some filter robustly rejects).
+    worst: f64,
+}
+
+fn eval_chain(tr: &TrackSet, key: u64, ts: f64, steps: &[Step]) -> ChainEval {
+    let mut vals = vec![
+        tr.truth(key, 0, ts),
+        tr.slope(key, 0, ts),
+        tr.truth(key, 1, ts),
+        tr.slope(key, 1, ts),
+    ];
+    let mut sens: Vec<f64> = vec![1.0; 4];
+    let mut worst = f64::INFINITY;
+    for step in steps {
+        match step {
+            Step::Filter { attr, op, c } => {
+                let m = residual(*op, vals[*attr], *c) / sens[*attr].max(1e-9);
+                worst = worst.min(m);
+            }
+            Step::Map { rows } => {
+                let new_vals: Vec<f64> = rows
+                    .iter()
+                    .map(|r| r.terms.iter().map(|(a, c)| c * vals[*a]).sum::<f64>() + r.c)
+                    .collect();
+                sens = rows
+                    .iter()
+                    .map(|r| r.terms.iter().map(|(a, c)| c.abs() * sens[*a]).sum::<f64>())
+                    .collect();
+                vals = new_vals;
+            }
+        }
+    }
+    let slots = branch_slots(steps);
+    ChainEval {
+        vals: slots.iter().map(|&a| vals[a]).collect(),
+        sens: slots.iter().map(|&a| sens[a]).collect(),
+        worst,
+    }
+}
+
+/// One id-blind segment identity: key, span bits, model coefficient bits,
+/// unmodeled value bits.
+type SegPrint = (u64, u64, u64, Vec<u64>, Vec<u64>);
+
+/// Id-blind bit-exact fingerprint of an output multiset. Segment ids are
+/// process-global (fresh per runtime), so equality must ignore them; spans,
+/// model coefficients, and unmodeled values must match to the bit.
+fn fingerprint(segs: &[Segment]) -> Vec<SegPrint> {
+    let mut v: Vec<_> = segs
+        .iter()
+        .map(|s| {
+            (
+                s.key,
+                s.span.lo.to_bits(),
+                s.span.hi.to_bits(),
+                s.models.iter().flat_map(|p| p.coeffs().iter().map(|c| c.to_bits())).collect(),
+                s.unmodeled.iter().map(|u| u.to_bits()).collect(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn agg_window_value(
+    rt: &PulseRuntime,
+    sink: usize,
+    spec: &AggSpec,
+    group: u64,
+    close: f64,
+) -> Option<f64> {
+    let op: &dyn COperator = rt.plan().op(sink);
+    let inner: &dyn COperator =
+        if spec.grouped { op.as_any().downcast_ref::<CGroupBy>()?.group(group)? } else { op };
+    match spec.func {
+        AggFunc::Min | AggFunc::Max => {
+            inner.as_any().downcast_ref::<CMinMax>()?.window_value(close)
+        }
+        _ => inner.as_any().downcast_ref::<CSumAvg>()?.window_value(close),
+    }
+}
+
+/// Runs one case through all three engines and every applicable comparator.
+pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
+    let fail = |stage: &'static str, detail: String| CaseFailure { seed: case.seed, stage, detail };
+    let (lp, sink) = case.plan.to_logical();
+    let tr = TrackSet::generate(case.stream.tracks.clone(), case.stream.duration);
+    let tuples = tr.tuples();
+    let dt = case.stream.tracks.sample_dt;
+    let noise = case.stream.tracks.noise;
+    let bound = case.stream.bound;
+    let horizon = case.stream.horizon;
+    let max_slope = case.stream.tracks.max_slope;
+    let breaks = tr.breakpoints();
+
+    let cfg = RuntimeConfig { horizon, bound, heuristic: Heuristic::Equi, trace_capacity: 0 };
+    let predictors = || vec![Predictor::Clause(tracks::stream_model())];
+    let mut rt = PulseRuntime::with_predictors(predictors(), &lp, cfg.clone())
+        .map_err(|e| fail("compile", format!("continuous transform failed: {e}\n{lp}")))?;
+    let mut disc = pulse_stream::Plan::compile(&lp);
+
+    // ---- interleaved drive: single-threaded continuous + discrete -------
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut cont_all: Vec<Segment> = Vec::new();
+    let mut disc_out: Vec<Tuple> = Vec::new();
+    // Aggregate closes captured interleaved, because the continuous
+    // operators expire state older than `now − width`: (group, close,
+    // discrete value, continuous window value at capture time).
+    let mut agg_pairs: Vec<(u64, f64, f64, Option<f64>)> = Vec::new();
+    let agg_spec = match &case.plan.shape {
+        Shape::Agg(a) => Some(a.clone()),
+        _ => None,
+    };
+    for t in &tuples {
+        let suppressed_before = rt.stats().suppressed;
+        let outs = rt.on_tuple(0, t);
+        if rt.stats().suppressed == suppressed_before {
+            // Not the fast path ⇒ this tuple re-modeled and re-solved; its
+            // (possibly empty) output batch supersedes earlier claims for
+            // this key from now on.
+            batches.push(Batch { key: t.key, ts: t.ts, outs: outs.clone() });
+        }
+        cont_all.extend(outs);
+        for d in disc.push(0, t) {
+            if let Some(spec) = &agg_spec {
+                let qv = agg_window_value(&rt, sink, spec, d.key, d.ts);
+                agg_pairs.push((d.key, d.ts, d.values[0], qv));
+            } else {
+                disc_out.push(d);
+            }
+        }
+    }
+    let last_ts = tuples.last().map(|t| t.ts).unwrap_or(0.0);
+    let stats = rt.stats();
+    if stats.model_errors != 0 {
+        return Err(fail(
+            "drive",
+            format!("{} model errors with an exact MODEL clause", stats.model_errors),
+        ));
+    }
+
+    let mut report = CaseReport { partitionable: lp.is_key_partitionable(), ..Default::default() };
+    // Tolerance unit: how far a fresh, validated model may sit from truth.
+    let unit = bound + noise;
+    // Margin gate (input units): boundary band inside which engines may
+    // legitimately disagree about a predicate.
+    let gate = 3.0 * unit + max_slope * dt + 1e-6;
+
+    match &case.plan.shape {
+        Shape::Chain { steps } => {
+            chain_forward(case, &tr, steps, &disc_out, &batches, &mut report, &|s, d| fail(s, d))?;
+            if noise == 0.0 {
+                chain_converse(
+                    case,
+                    &tr,
+                    steps,
+                    &tuples,
+                    &disc_out,
+                    &batches,
+                    &mut report,
+                    &|s, d| fail(s, d),
+                )?;
+            }
+        }
+        Shape::Join(j) => {
+            join_forward(case, &tr, j, &disc_out, &cont_all, gate, &mut report, &|s, d| {
+                fail(s, d)
+            })?;
+            if noise == 0.0 {
+                join_converse(case, &tr, j, &disc_out, &tuples, gate, &mut report, &|s, d| {
+                    fail(s, d)
+                })?;
+            }
+        }
+        Shape::Agg(a) => match a.func {
+            AggFunc::Min | AggFunc::Max => {
+                let tol = max_slope * dt + 2.0 * unit + 1e-3;
+                for (_, close, dv, qv) in &agg_pairs {
+                    if close - a.width < -1e-9 || *close > last_ts + 1e-9 {
+                        continue;
+                    }
+                    // The envelope keeps no retractions: predictions made
+                    // just before a slope break stay in it until their
+                    // horizon runs out, so only break-free windows compare.
+                    if breaks
+                        .iter()
+                        .any(|b| *b > close - a.width - horizon - dt && *b <= close + dt)
+                    {
+                        report.skipped += 1;
+                        continue;
+                    }
+                    let Some(qv) = qv else {
+                        report.skipped += 1;
+                        continue;
+                    };
+                    if (dv - qv).abs() > tol {
+                        return Err(fail(
+                            "minmax",
+                            format!(
+                                "{:?} window closing at {close:.3}: discrete {dv:.6} vs continuous {qv:.6} (tol {tol:.6})",
+                                a.func
+                            ),
+                        ));
+                    }
+                    report.minmax_points += 1;
+                }
+            }
+            _ => {
+                let max_abs = tr.max_abs() + noise;
+                // Discrete sum is Σ samples; continuous sum is ∫ f dt — the
+                // paper's aggregates are time-weighted, so Σ·dt ≈ ∫. Budget:
+                // model error over the window, Riemann slope error, and one
+                // sample of edge misalignment.
+                let tol_sum = (unit + max_slope * dt) * a.width + 2.0 * max_abs * dt + 1e-3;
+                let tol_avg = unit + max_slope * dt + 2.0 * max_abs * dt / a.width + 1e-3;
+                for (_, close, dv, qv) in &agg_pairs {
+                    if close - a.width < -1e-9 || *close > last_ts + 1e-9 {
+                        continue;
+                    }
+                    let Some(qv) = qv else {
+                        report.skipped += 1;
+                        continue;
+                    };
+                    let (lhs, tol) = match a.func {
+                        AggFunc::Sum => (dv * dt, tol_sum),
+                        _ => (*dv, tol_avg),
+                    };
+                    if (lhs - qv).abs() > tol {
+                        return Err(fail(
+                            "sumavg",
+                            format!(
+                                "{:?} window closing at {close:.3}: discrete {lhs:.6} vs continuous {qv:.6} (tol {tol:.6})",
+                                a.func
+                            ),
+                        ));
+                    }
+                    report.sumavg_points += 1;
+                }
+            }
+        },
+    }
+
+    // ---- engine 3: sharded run or single-threaded fallback --------------
+    run_third_engine(case, &lp, &tuples, &cont_all, &stats, &cfg, predictors, &mut report)?;
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_third_engine(
+    case: &Case,
+    lp: &LogicalPlan,
+    tuples: &[Tuple],
+    cont_all: &[Segment],
+    stats: &pulse_core::RuntimeStats,
+    cfg: &RuntimeConfig,
+    predictors: impl Fn() -> Vec<Predictor>,
+    report: &mut CaseReport,
+) -> Result<(), CaseFailure> {
+    let fail = |stage: &'static str, detail: String| CaseFailure { seed: case.seed, stage, detail };
+    match lp.key_partition_violation() {
+        None => {
+            let mut sh = ShardedRuntime::new(predictors(), lp, cfg.clone(), 4)
+                .map_err(|e| fail("shard", format!("partitionable plan rejected: {e}")))?;
+            for t in tuples {
+                sh.on_tuple(0, t);
+            }
+            let merged = sh.finish();
+            if merged.stats != *stats {
+                return Err(fail(
+                    "shard",
+                    format!("stats diverge: sharded {:?} vs single {:?}", merged.stats, stats),
+                ));
+            }
+            let (a, b) = (fingerprint(&merged.outputs), fingerprint(cont_all));
+            if a != b {
+                return Err(fail(
+                    "shard",
+                    format!(
+                        "output multisets diverge: sharded {} segments vs single {}",
+                        merged.outputs.len(),
+                        cont_all.len()
+                    ),
+                ));
+            }
+            report.shard_outputs = merged.outputs.len();
+        }
+        Some(v) => {
+            match ShardedRuntime::new(predictors(), lp, cfg.clone(), 4) {
+                Err(ShardError::NotPartitionable(pv)) => {
+                    if pv != v {
+                        return Err(fail(
+                            "shard",
+                            format!("violation mismatch: builder said {pv}, plan said {v}"),
+                        ));
+                    }
+                }
+                Err(e) => return Err(fail("shard", format!("wrong error: {e}"))),
+                Ok(_) => {
+                    return Err(fail(
+                        "shard",
+                        format!("non-partitionable plan accepted (violation: {v})"),
+                    ))
+                }
+            }
+            // The documented fallback is a single-threaded run; it must be
+            // deterministic — bit-identical to the first run.
+            let mut rt2 = PulseRuntime::with_predictors(predictors(), lp, cfg.clone())
+                .map_err(|e| fail("shard", format!("fallback compile failed: {e}")))?;
+            let mut outs2 = Vec::new();
+            for t in tuples {
+                outs2.extend(rt2.on_tuple(0, t));
+            }
+            if rt2.stats() != *stats {
+                return Err(fail("shard", "fallback run stats diverge".into()));
+            }
+            if fingerprint(&outs2) != fingerprint(cont_all) {
+                return Err(fail("shard", "fallback run outputs diverge".into()));
+            }
+            report.shard_outputs = outs2.len();
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn chain_forward(
+    case: &Case,
+    tr: &TrackSet,
+    steps: &[Step],
+    disc_out: &[Tuple],
+    batches: &[Batch],
+    report: &mut CaseReport,
+    fail: &dyn Fn(&'static str, String) -> CaseFailure,
+) -> Result<(), CaseFailure> {
+    let dt = case.stream.tracks.sample_dt;
+    let noise = case.stream.tracks.noise;
+    let unit = case.stream.bound + noise;
+    let gate = 3.0 * unit + case.stream.tracks.max_slope * dt + 1e-6;
+    let horizon = case.stream.horizon;
+    let slots = branch_slots(steps);
+    for d in disc_out {
+        if tr.breakpoints().iter().any(|b| (d.ts - b).abs() <= 2.0 * dt) {
+            report.skipped += 1;
+            continue;
+        }
+        let ev = eval_chain(tr, d.key, d.ts, steps);
+        if ev.worst < -gate {
+            return Err(fail(
+                "chain-forward",
+                format!(
+                    "discrete engine emitted a robustly-rejected tuple (key {}, t={:.3}, margin {:.3})",
+                    d.key, d.ts, ev.worst
+                ),
+            ));
+        }
+        if ev.worst < gate {
+            report.skipped += 1;
+            continue;
+        }
+        let Some(b) = batches.iter().rev().find(|b| b.key == d.key && b.ts <= d.ts + 1e-9) else {
+            return Err(fail(
+                "chain-forward",
+                format!(
+                    "discrete output at t={:.3} key {} precedes any continuous solve",
+                    d.ts, d.key
+                ),
+            ));
+        };
+        if d.ts > b.ts + horizon - 2.0 * dt {
+            report.skipped += 1;
+            continue;
+        }
+        let Some(seg) = b.outs.iter().find(|s| s.key == d.key && s.span.contains(d.ts)) else {
+            return Err(fail(
+                "chain-forward",
+                format!(
+                    "robustly-passing tuple (key {}, t={:.3}, margin {:.3}) not covered by the continuous result",
+                    d.key, d.ts, ev.worst
+                ),
+            ));
+        };
+        for (slot, (truth, sens)) in ev.vals.iter().zip(&ev.sens).enumerate() {
+            let tol = sens.max(1.0) * 1.5 * (case.stream.bound + 3.0 * noise) + 1e-6;
+            let cv = seg.eval(slot, d.ts);
+            if (cv - truth).abs() > tol {
+                return Err(fail(
+                    "chain-forward",
+                    format!(
+                        "continuous model slot {slot} at t={:.3} key {}: {cv:.6} vs truth {truth:.6} (tol {tol:.6})",
+                        d.ts, d.key
+                    ),
+                ));
+            }
+            let dv = d.values[slots[slot]];
+            let dtol = sens.max(1.0) * 1.5 * noise + 1e-6;
+            if (dv - truth).abs() > dtol {
+                return Err(fail(
+                    "chain-forward",
+                    format!(
+                        "discrete value slot {slot} at t={:.3} key {}: {dv:.6} vs truth {truth:.6} (tol {dtol:.6})",
+                        d.ts, d.key
+                    ),
+                ));
+            }
+        }
+        report.value_points += 1;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn chain_converse(
+    case: &Case,
+    tr: &TrackSet,
+    steps: &[Step],
+    tuples: &[Tuple],
+    disc_out: &[Tuple],
+    batches: &[Batch],
+    report: &mut CaseReport,
+    fail: &dyn Fn(&'static str, String) -> CaseFailure,
+) -> Result<(), CaseFailure> {
+    let dt = case.stream.tracks.sample_dt;
+    let gate = 3.0 * case.stream.bound + case.stream.tracks.max_slope * dt + 1e-6;
+    let horizon = case.stream.horizon;
+    let breaks = tr.breakpoints();
+    // Discrete chains pass tuples through unchanged, so a robustly-passing
+    // grid instant must have a matching discrete output (and vice versa).
+    let disc_set: std::collections::HashSet<(u64, i64)> =
+        disc_out.iter().map(|d| (d.key, (d.ts / dt).round() as i64)).collect();
+    for t in tuples {
+        if breaks.iter().any(|b| (t.ts - b).abs() <= 2.0 * dt) {
+            report.skipped += 1;
+            continue;
+        }
+        let ev = eval_chain(tr, t.key, t.ts, steps);
+        let b = batches.iter().rev().find(|b| b.key == t.key && b.ts <= t.ts + 1e-9);
+        let in_disc = disc_set.contains(&(t.key, (t.ts / dt).round() as i64));
+        if ev.worst > gate {
+            if !in_disc {
+                return Err(fail(
+                    "chain-converse",
+                    format!(
+                        "discrete engine dropped a robustly-passing tuple (key {}, t={:.3}, margin {:.3})",
+                        t.key, t.ts, ev.worst
+                    ),
+                ));
+            }
+            let Some(b) = b else {
+                return Err(fail(
+                    "chain-converse",
+                    format!("no continuous solve for key {} by t={:.3}", t.key, t.ts),
+                ));
+            };
+            if t.ts > b.ts + horizon - 2.0 * dt {
+                report.skipped += 1;
+                continue;
+            }
+            if !b.outs.iter().any(|s| s.key == t.key && s.span.contains(t.ts)) {
+                return Err(fail(
+                    "chain-converse",
+                    format!(
+                        "robustly-passing instant (key {}, t={:.3}, margin {:.3}) missing from continuous coverage",
+                        t.key, t.ts, ev.worst
+                    ),
+                ));
+            }
+            report.coverage_points += 1;
+        } else if ev.worst < -gate {
+            if in_disc {
+                return Err(fail(
+                    "chain-converse",
+                    format!(
+                        "discrete engine kept a robustly-rejected tuple (key {}, t={:.3}, margin {:.3})",
+                        t.key, t.ts, ev.worst
+                    ),
+                ));
+            }
+            if let Some(b) = b {
+                if t.ts <= b.ts + horizon
+                    && b.outs.iter().any(|s| {
+                        s.key == t.key && s.span.lo + 1e-6 < t.ts && t.ts < s.span.hi - 1e-6
+                    })
+                {
+                    return Err(fail(
+                        "chain-converse",
+                        format!(
+                            "robustly-rejected instant (key {}, t={:.3}, margin {:.3}) covered by continuous output",
+                            t.key, t.ts, ev.worst
+                        ),
+                    ));
+                }
+            }
+            report.coverage_points += 1;
+        } else {
+            report.skipped += 1;
+        }
+    }
+    Ok(())
+}
+
+fn decode_pair(on: KeyJoin, okey: u64) -> (u64, u64) {
+    match on {
+        KeyJoin::Eq => (okey, okey),
+        KeyJoin::Any | KeyJoin::Ne => (okey >> 32, okey & 0xFFFF_FFFF),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_forward(
+    case: &Case,
+    tr: &TrackSet,
+    j: &JoinSpec,
+    disc_out: &[Tuple],
+    cont_all: &[Segment],
+    gate: f64,
+    report: &mut CaseReport,
+    fail: &dyn Fn(&'static str, String) -> CaseFailure,
+) -> Result<(), CaseFailure> {
+    let dt = case.stream.tracks.sample_dt;
+    let breaks = tr.breakpoints();
+    for d in disc_out {
+        if breaks.iter().any(|b| (d.ts - b).abs() <= 2.0 * dt) {
+            report.skipped += 1;
+            continue;
+        }
+        let (lk, rk) = decode_pair(j.on, d.key);
+        let le = eval_chain(tr, lk, d.ts, &j.left);
+        let re = eval_chain(tr, rk, d.ts, &j.right);
+        if le.worst < gate || re.worst < gate {
+            report.skipped += 1;
+            continue;
+        }
+        let jsens = (le.sens[j.lslot] + re.sens[j.rslot]).max(1e-9);
+        let jr = residual(j.op, le.vals[j.lslot], re.vals[j.rslot]) / jsens;
+        if jr < -gate {
+            // Both branches robustly pass yet truth robustly rejects the
+            // join predicate at this instant: the match can only have come
+            // from a stale buffered tuple whose value drifted across the
+            // boundary — excluded by the window-wide margin below — or a
+            // real bug. Gate on the worst residual over the buffer window
+            // before declaring failure.
+            let worst_window = (0..=(j.window / dt).ceil() as usize)
+                .map(|k| {
+                    let t0 = (d.ts - k as f64 * dt).max(0.0);
+                    let l0 = eval_chain(tr, lk, t0, &j.left);
+                    let r0 = eval_chain(tr, rk, t0, &j.right);
+                    residual(j.op, l0.vals[j.lslot], re.vals[j.rslot]).max(residual(
+                        j.op,
+                        le.vals[j.lslot],
+                        r0.vals[j.rslot],
+                    )) / jsens
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            if worst_window < -gate {
+                return Err(fail(
+                    "join-forward",
+                    format!(
+                        "discrete join emitted a robustly-rejected match (keys {lk}⋈{rk}, t={:.3}, margin {jr:.3})",
+                        d.ts
+                    ),
+                ));
+            }
+            report.skipped += 1;
+            continue;
+        }
+        if jr < gate {
+            report.skipped += 1;
+            continue;
+        }
+        let pad = 2.0 * dt;
+        if !cont_all
+            .iter()
+            .any(|s| s.key == d.key && s.span.lo - pad <= d.ts && d.ts <= s.span.hi + pad)
+        {
+            return Err(fail(
+                "join-forward",
+                format!(
+                    "robust discrete match (keys {lk}⋈{rk}, t={:.3}, margin {jr:.3}) not covered by any continuous join segment",
+                    d.ts
+                ),
+            ));
+        }
+        report.join_points += 1;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_converse(
+    case: &Case,
+    tr: &TrackSet,
+    j: &JoinSpec,
+    disc_out: &[Tuple],
+    tuples: &[Tuple],
+    gate: f64,
+    report: &mut CaseReport,
+    fail: &dyn Fn(&'static str, String) -> CaseFailure,
+) -> Result<(), CaseFailure> {
+    let dt = case.stream.tracks.sample_dt;
+    let keys = case.stream.tracks.keys;
+    let breaks = tr.breakpoints();
+    let disc_set: std::collections::HashSet<(u64, i64)> =
+        disc_out.iter().map(|d| (d.key, (d.ts / dt).round() as i64)).collect();
+    let mut grid: Vec<f64> = Vec::new();
+    for t in tuples {
+        if grid.last().map(|g| (g - t.ts).abs() > 1e-9).unwrap_or(true) {
+            grid.push(t.ts);
+        }
+    }
+    for &ts in &grid {
+        if breaks.iter().any(|b| (ts - b).abs() <= 2.0 * dt) {
+            continue;
+        }
+        for lk in 0..keys {
+            for rk in 0..keys {
+                if !j.on.test(lk, rk) {
+                    continue;
+                }
+                let le = eval_chain(tr, lk, ts, &j.left);
+                let re = eval_chain(tr, rk, ts, &j.right);
+                if le.worst < gate || re.worst < gate {
+                    continue;
+                }
+                let jsens = (le.sens[j.lslot] + re.sens[j.rslot]).max(1e-9);
+                if residual(j.op, le.vals[j.lslot], re.vals[j.rslot]) / jsens < gate {
+                    continue;
+                }
+                let okey = j.on.output_key(lk, rk);
+                if !disc_set.contains(&(okey, (ts / dt).round() as i64)) {
+                    return Err(fail(
+                        "join-converse",
+                        format!("discrete join missed a robust match: keys {lk}⋈{rk} at t={ts:.3}"),
+                    ));
+                }
+                report.join_points += 1;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Structural shrinking of failing cases.
+//!
+//! The vendored `proptest` stand-in has no shrinking machinery (a
+//! documented deviation from upstream), so the differential suite carries
+//! its own: a greedy pass over a fixed menu of structure-preserving
+//! reductions — fewer keys, shorter stream, no noise, fewer chain steps.
+//! Each candidate keeps the original seed for reporting (the *seed* is the
+//! replay handle; the shrunk case is a diagnosis aid, printed in full).
+
+use crate::oracle::{run_case, CaseFailure};
+use crate::plangen::Shape;
+use crate::streamgen::Case;
+
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut Case)| {
+        let mut c = case.clone();
+        f(&mut c);
+        out.push(c);
+    };
+    if case.stream.tracks.keys > 1 {
+        push(&|c| c.stream.tracks.keys /= 2);
+        push(&|c| c.stream.tracks.keys -= 1);
+    }
+    if case.stream.duration > 3.0 {
+        push(&|c| c.stream.duration *= 0.6);
+    }
+    if case.stream.tracks.noise > 0.0 {
+        push(&|c| c.stream.tracks.noise = 0.0);
+    }
+    let steps = match &case.plan.shape {
+        Shape::Chain { steps } => steps.len(),
+        _ => 0,
+    };
+    for i in 0..steps {
+        push(&|c| {
+            if let Shape::Chain { steps } = &mut c.plan.shape {
+                steps.remove(i);
+            }
+        });
+    }
+    if let Shape::Join(j) = &case.plan.shape {
+        if !j.left.is_empty() {
+            push(&|c| {
+                if let Shape::Join(j) = &mut c.plan.shape {
+                    j.left.clear();
+                }
+            });
+        }
+        if !j.right.is_empty() {
+            push(&|c| {
+                if let Shape::Join(j) = &mut c.plan.shape {
+                    j.right.clear();
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Greedily minimizes a failing case: repeatedly adopts the first
+/// still-failing reduction until none applies (bounded, so a flaky
+/// non-reproducing failure cannot loop forever).
+pub fn minimize(case: &Case, original: CaseFailure) -> (Case, CaseFailure) {
+    let mut best = case.clone();
+    let mut failure = original;
+    for _ in 0..24 {
+        let mut progressed = false;
+        for cand in candidates(&best) {
+            // An empty chain would change the plan's sink shape; skip.
+            if matches!(&cand.plan.shape, Shape::Chain { steps } if steps.is_empty()) {
+                continue;
+            }
+            if let Err(f) = run_case(&cand) {
+                best = cand;
+                failure = f;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (best, failure)
+}
+
+/// Formats a failing case for the panic message: the failure, the shrunk
+/// plan (via `LogicalPlan`'s `Display`), and the stream parameters.
+pub fn explain_failure(shrunk: &Case, failure: &CaseFailure) -> String {
+    let (lp, _) = shrunk.plan.to_logical();
+    format!(
+        "{failure}\n--- shrunk plan ---\n{lp}--- stream ---\n{:#?}\nduration {:.2}s, bound {}, horizon {}\n",
+        shrunk.stream.tracks, shrunk.stream.duration, shrunk.stream.bound, shrunk.stream.horizon
+    )
+}

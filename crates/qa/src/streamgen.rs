@@ -1,0 +1,120 @@
+//! Seeded random stream specs and the self-contained [`Case`].
+//!
+//! A case is fully determined by one `u64` seed: the seed picks the forced
+//! operator kind (`KINDS[seed % 5]`), then drives plan generation, then
+//! stream generation. Replaying a seed replays the exact case, which is
+//! what the checked-in regression corpus relies on.
+//!
+//! Stream parameters are drawn *after* the plan because aggregate shapes
+//! constrain them: the min/max envelope keeps no retractions, so stale
+//! predictions from just before a slope break pollute the envelope until
+//! their horizon runs out. The oracle only compares min/max windows with no
+//! break in `[close − width − horizon, close]`, and such windows exist only
+//! when legs are longer than `width + horizon` — so leg duration is drawn
+//! relative to those two.
+
+use crate::plangen::{gen_plan, GenPlan, OpKind, Shape, KINDS};
+use pulse_workload::TrackConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prediction horizon used by every QA case (short, to bound min/max
+/// envelope staleness).
+pub const HORIZON: f64 = 1.5;
+
+/// Stream-side parameters of a case.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    pub tracks: TrackConfig,
+    pub duration: f64,
+    /// Validator accuracy bound ε.
+    pub bound: f64,
+    pub horizon: f64,
+}
+
+fn gen_stream(rng: &mut StdRng, plan: &GenPlan, seed: u64) -> StreamSpec {
+    let agg_width = match &plan.shape {
+        Shape::Agg(a) => Some(a.width),
+        _ => None,
+    };
+    let leg_duration = match agg_width {
+        // Leave room for clean (break-free) windows inside each leg.
+        Some(w) => w + HORIZON + rng.gen_range(1.0..2.5),
+        None => rng.gen_range(2.5..4.5),
+    };
+    let noise = if rng.gen_bool(0.5) { 0.0 } else { rng.gen_range(0.01..0.08) };
+    StreamSpec {
+        tracks: TrackConfig {
+            keys: rng.gen_range(2u64..=5),
+            sample_dt: [0.05, 0.08, 0.1][rng.gen_range(0usize..3)],
+            leg_duration,
+            max_slope: rng.gen_range(1.0..5.0),
+            noise,
+            base_range: rng.gen_range(20.0..60.0),
+            seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5,
+        },
+        duration: rng.gen_range(6.0..9.0),
+        // Both regimes: ε below the noise floor (constant violation churn)
+        // and above it (long suppression runs).
+        bound: if rng.gen_bool(0.5) { 0.04 } else { 0.15 },
+        horizon: HORIZON,
+    }
+}
+
+/// One differential test case, reproducible from its seed alone.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub seed: u64,
+    pub plan: GenPlan,
+    pub stream: StreamSpec,
+}
+
+impl Case {
+    /// Derives the whole case from one seed. The forced operator kind is
+    /// `KINDS[seed % 5]`, so consecutive seeds cycle through all five.
+    pub fn from_seed(seed: u64) -> Case {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let force = KINDS[(seed % 5) as usize];
+        let plan = gen_plan(&mut rng, force, 50.0);
+        let stream = gen_stream(&mut rng, &plan, seed);
+        Case { seed, plan, stream }
+    }
+
+    /// The operator kind this case exercises at its sink.
+    pub fn kind(&self) -> OpKind {
+        self.plan.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let a = Case::from_seed(123);
+        let b = Case::from_seed(123);
+        assert_eq!(format!("{:?}", a.plan.shape), format!("{:?}", b.plan.shape));
+        assert_eq!(a.stream.tracks, b.stream.tracks);
+        assert_eq!(a.stream.duration, b.stream.duration);
+    }
+
+    #[test]
+    fn seed_cycle_covers_all_kinds() {
+        let kinds: Vec<_> = (0..5u64).map(|s| Case::from_seed(s).kind()).collect();
+        assert_eq!(kinds, KINDS.to_vec());
+    }
+
+    #[test]
+    fn agg_cases_leave_room_for_clean_windows() {
+        for seed in 0..60u64 {
+            let case = Case::from_seed(seed);
+            if let Shape::Agg(a) = &case.plan.shape {
+                assert!(
+                    case.stream.tracks.leg_duration > a.width + case.stream.horizon + 0.5,
+                    "seed {seed}: legs too short for break-free windows"
+                );
+            }
+        }
+    }
+}

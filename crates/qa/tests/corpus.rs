@@ -1,0 +1,41 @@
+//! Regression-corpus replay.
+//!
+//! Every `crates/qa/corpus/*.seed` file is a list of case seeds (decimal or
+//! `0x` hex, `#` comments) that once failed — or that pin an important
+//! regime. They replay on every `cargo test`, independent of
+//! `PULSE_QA_CASES`, so a hunted bug stays fixed. To pin a new failure,
+//! append the seed the differential suite printed to any `.seed` file.
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files = 0usize;
+    let mut seeds = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("corpus directory must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        files += 1;
+        let contents = fs::read_to_string(&path).unwrap();
+        for seed in pulse_qa::parse_seeds(&contents) {
+            seeds += 1;
+            // check_seed panics with a shrunk, replayable report on failure.
+            let report = pulse_qa::run_case(&pulse_qa::Case::from_seed(seed));
+            if let Err(failure) = report {
+                panic!(
+                    "corpus file {} regressed:\n{}",
+                    path.file_name().unwrap().to_string_lossy(),
+                    pulse_qa::explain_failure(&pulse_qa::Case::from_seed(seed), &failure)
+                );
+            }
+        }
+    }
+    assert!(files >= 3, "corpus files missing (found {files})");
+    assert!(seeds >= 8, "corpus seeds missing (found {seeds})");
+}

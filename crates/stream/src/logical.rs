@@ -213,6 +213,75 @@ impl LogicalPlan {
     }
 }
 
+/// One-line-per-node rendering for diagnostics and fuzzer counterexamples:
+/// each node prints as `n<i>: <op> <- <inputs>` with enough parameter
+/// detail to re-read the query, e.g.
+/// `n2: join(w=0.5, keys=Eq, pred=...) <- [n0, n1]`.
+impl std::fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.sources.iter().enumerate() {
+            let names: Vec<&str> = s.attrs().iter().map(|a| a.name.as_str()).collect();
+            writeln!(f, "src{i}: ({})", names.join(", "))?;
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let inputs: Vec<String> = n
+                .inputs
+                .iter()
+                .map(|p| match p {
+                    PortRef::Source(s) => format!("src{s}"),
+                    PortRef::Node(m) => format!("n{m}"),
+                })
+                .collect();
+            let op = match &n.op {
+                LogicalOp::Filter { pred } => format!("filter({pred:?})"),
+                LogicalOp::Map { exprs, .. } => format!("map({exprs:?})"),
+                LogicalOp::Join { window, pred, on_keys } => {
+                    format!("join(w={window}, keys={on_keys:?}, pred={pred:?})")
+                }
+                LogicalOp::Aggregate { func, attr, width, slide, group_by_key } => format!(
+                    "aggregate({func:?} attr{attr}, width={width}, slide={slide}, grouped={group_by_key})"
+                ),
+                LogicalOp::Union => "union".to_string(),
+            };
+            writeln!(f, "n{i}: {op} <- [{}]", inputs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use pulse_math::CmpOp;
+
+    #[test]
+    fn plan_renders_one_line_per_node() {
+        let mut p = LogicalPlan::new(vec![Schema::of(&[("x", AttrKind::Modeled)])]);
+        let fnode = p.add(
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(1.0)) },
+            vec![PortRef::Source(0)],
+        );
+        p.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Min,
+                attr: 0,
+                width: 2.0,
+                slide: 1.0,
+                group_by_key: true,
+            },
+            vec![fnode],
+        );
+        let text = p.to_string();
+        assert!(text.contains("src0: (x)"), "{text}");
+        assert!(text.contains("n0: filter"), "{text}");
+        assert!(
+            text.contains("n1: aggregate(Min attr0, width=2, slide=1, grouped=true)"),
+            "{text}"
+        );
+        assert!(text.contains("<- [n0]"), "{text}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

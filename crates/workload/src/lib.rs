@@ -8,14 +8,18 @@
 //! * [`ais`] — synthetic vessel tracks with follower pairs (stand-in for
 //!   the USCG AIS dataset of Fig. 9ii);
 //! * [`replay`] — offered-rate sweeps and the capacity/queueing model that
-//!   converts measured processing cost into the paper's throughput curves.
+//!   converts measured processing cost into the paper's throughput curves;
+//! * [`tracks`] — exact piecewise-linear tracks with queryable ground
+//!   truth, built for the `pulse-qa` differential-testing oracle.
 
 pub mod ais;
 pub mod moving;
 pub mod nyse;
 pub mod replay;
+pub mod tracks;
 
 pub use ais::{AisConfig, AisGen};
 pub use moving::{MovingConfig, MovingObjectGen};
 pub use nyse::{NyseConfig, NyseGen};
 pub use replay::{capacity_from_run, replay_at, sweep, ReplayPoint};
+pub use tracks::{TrackConfig, TrackSet};

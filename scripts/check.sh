@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Repo health gate: formatting, lints, the full test suite, a live
-# /metrics scrape of a 4-shard scaling run, and the observability
-# overhead gate (obs_bench min-of-batches delta; the criterion bench
-# `cargo bench -p pulse-bench --bench obs_overhead` gives distributions
-# for humans on a quiet machine).
+# Repo health gate: formatting, lints, the full test suite, the bounded
+# differential-fuzz stage, a live /metrics scrape of a 4-shard scaling
+# run, and the observability overhead gate (obs_bench min-of-batches
+# delta; the criterion bench `cargo bench -p pulse-bench --bench
+# obs_overhead` gives distributions for humans on a quiet machine).
+#
+# `./scripts/check.sh soak` raises the differential-fuzz budget to 1024
+# generated cases; PULSE_QA_CASES overrides either default explicitly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+qa_cases="${PULSE_QA_CASES:-64}"
+[[ "${1:-}" == "soak" ]] && qa_cases="${PULSE_QA_CASES:-1024}"
 
 echo "== cargo fmt --check"
 cargo fmt --check
@@ -13,8 +19,11 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test --workspace -q"
+echo "== cargo test --workspace -q (differential suite at its default budget)"
 cargo test --workspace -q
+
+echo "== differential fuzz: $qa_cases generated cases + unconditional corpus replay"
+PULSE_QA_CASES="$qa_cases" cargo test -p pulse-qa -q
 
 echo "== cargo build --release --bins --benches"
 cargo build --release --workspace --bins --benches
