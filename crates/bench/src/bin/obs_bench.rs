@@ -8,20 +8,34 @@
 //! - `obs_off`: metrics and the flight recorder compiled in but disabled
 //!   (production default; the cost is two relaxed atomic loads);
 //! - `obs_on`: counters/histograms live, recorder off (ops posture);
+//! - `obs_on_prof`: ops posture plus the violation-path profiler — on the
+//!   suppressed path the profiler reuses the sampled fast-path timestamp,
+//!   so its marginal cost must stay within a couple of nanoseconds;
 //! - `obs_on_trace`: recorder ring capturing arrival + validation events
 //!   per tuple (debugging posture).
+//!
+//! A second, violation-heavy pair (`viol_obs_on`, `viol_obs_on_prof`)
+//! times the slow path — every tuple breaks its model and re-runs the
+//! solver — where the profiler records real phase timestamps and is
+//! gated as a percentage instead.
 //!
 //! Each posture reports the *minimum* ns/tuple over many batches — the
 //! min is the steady-state cost, immune to scheduler noise that swamps
 //! the few-ns deltas being measured. Results land in `BENCH_obs.json` at
 //! the repo root. With `PULSE_OBS_GATE=1`, the run fails unless
 //! `obs_on − obs_off` stays within `PULSE_OBS_GATE_NS` (default 25 ns),
-//! which is how `scripts/check.sh` keeps instrumentation honest.
+//! `obs_on_prof − obs_on` within `PULSE_PROF_GATE_NS` (default 2 ns) and
+//! `viol_obs_on_prof` within `PULSE_PROF_GATE_PCT` (default 5%) of
+//! `viol_obs_on` — which is how `scripts/check.sh` keeps instrumentation
+//! honest.
 
+use pulse_bench::queries;
+use pulse_core::runtime::Predictor;
 use pulse_core::{PulseRuntime, RuntimeConfig};
 use pulse_math::CmpOp;
 use pulse_model::{AttrKind, Expr, ModelSpec, Pred, Schema, StreamModel, Tuple};
 use pulse_stream::{LogicalOp, LogicalPlan, PortRef};
+use pulse_workload::{nyse, NyseConfig, NyseGen};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -66,6 +80,51 @@ fn measure(reps: usize, per: usize) -> f64 {
     best
 }
 
+/// A violation-heavy workload representative of what the profiler is for:
+/// the scaling sweep's keyed MACD query over noisy ticks, where roughly
+/// half the tuples break their model and take the full
+/// remodel → substitute → solve → emit path. A trivial one-filter plan
+/// would make the violation path artificially cheap (~2 µs) and the
+/// profiler's fixed timestamp cost loom correspondingly large.
+fn violation_workload() -> (LogicalPlan, Vec<Tuple>) {
+    let lp = queries::macd(0.8, 3.2, 0.32);
+    let tuples = NyseGen::new(NyseConfig {
+        symbols: 1000,
+        rate: 3000.0,
+        drift_duration: 2.0,
+        tick_noise: 0.002,
+        seed: 11,
+    })
+    .generate(4.0);
+    (lp, tuples)
+}
+
+/// Min ns/tuple over `reps` fresh runs of the violation-heavy workload.
+fn measure_violation(reps: usize, lp: &LogicalPlan, tuples: &[Tuple]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut rt = PulseRuntime::with_predictors(
+            vec![Predictor::AdaptiveLinear(nyse::schema())],
+            lp,
+            RuntimeConfig { horizon: 5.0, bound: 0.05, ..Default::default() },
+        )
+        .expect("MACD transforms");
+        let start = Instant::now();
+        for t in tuples {
+            black_box(rt.on_tuple(0, black_box(t)).len());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        assert!(
+            rt.stats().violations * 4 >= tuples.len() as u64,
+            "workload must stay violation-heavy ({} of {})",
+            rt.stats().violations,
+            tuples.len(),
+        );
+        best = best.min(elapsed / tuples.len() as f64);
+    }
+    best
+}
+
 #[derive(serde::Serialize)]
 struct Posture {
     config: String,
@@ -74,48 +133,95 @@ struct Posture {
 }
 
 #[derive(serde::Serialize)]
+struct ViolPosture {
+    config: String,
+    ns_per_tuple: f64,
+    /// Percent over the `viol_obs_on` reference.
+    overhead_pct: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Results {
     reps: usize,
     tuples_per_rep: usize,
     postures: Vec<Posture>,
+    viol_reps: usize,
+    viol_tuples_per_rep: usize,
+    violation_postures: Vec<ViolPosture>,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn main() {
     let reps = env_usize("PULSE_OBS_BENCH_REPS", 300);
     let per = env_usize("PULSE_OBS_BENCH_TUPLES", 4000);
+    let viol_reps = env_usize("PULSE_OBS_BENCH_VIOL_REPS", 5);
+    let (viol_lp, viol_tuples) = violation_workload();
+    let viol_per = viol_tuples.len();
 
     pulse_obs::set_enabled(false);
     pulse_obs::set_trace_enabled(false);
+    pulse_obs::set_prof_enabled(false);
     let off = measure(reps, per);
 
     pulse_obs::set_enabled(true);
     let on = measure(reps, per);
 
+    pulse_obs::set_prof_enabled(true);
+    let prof = measure(reps, per);
+    pulse_obs::set_prof_enabled(false);
+
     pulse_obs::set_trace_enabled(true);
     let traced = measure(reps, per);
     pulse_obs::set_trace_enabled(false);
+
+    // Violation-heavy pair: obs stays on (the posture operators run with),
+    // only the profiler toggles between the two measurements.
+    let viol_on = measure_violation(viol_reps, &viol_lp, &viol_tuples);
+    pulse_obs::set_prof_enabled(true);
+    let viol_prof = measure_violation(viol_reps, &viol_lp, &viol_tuples);
+    pulse_obs::set_prof_enabled(false);
     pulse_obs::set_enabled(false);
 
     let postures = vec![
         Posture { config: "obs_off".into(), ns_per_tuple: off, overhead_ns: 0.0 },
         Posture { config: "obs_on".into(), ns_per_tuple: on, overhead_ns: on - off },
+        Posture { config: "obs_on_prof".into(), ns_per_tuple: prof, overhead_ns: prof - off },
         Posture { config: "obs_on_trace".into(), ns_per_tuple: traced, overhead_ns: traced - off },
     ];
     for p in &postures {
-        println!("{:>14}: {:>7.1} ns/tuple  (+{:.1} ns)", p.config, p.ns_per_tuple, p.overhead_ns);
+        println!("{:>16}: {:>8.1} ns/tuple  ({:+.1} ns)", p.config, p.ns_per_tuple, p.overhead_ns);
+    }
+    let viol_pct = (viol_prof - viol_on) / viol_on * 100.0;
+    let violation_postures = vec![
+        ViolPosture { config: "viol_obs_on".into(), ns_per_tuple: viol_on, overhead_pct: 0.0 },
+        ViolPosture {
+            config: "viol_obs_on_prof".into(),
+            ns_per_tuple: viol_prof,
+            overhead_pct: viol_pct,
+        },
+    ];
+    for p in &violation_postures {
+        println!("{:>16}: {:>8.0} ns/tuple  ({:+.1}%)", p.config, p.ns_per_tuple, p.overhead_pct);
     }
 
-    let results = Results { reps, tuples_per_rep: per, postures };
+    let results = Results {
+        reps,
+        tuples_per_rep: per,
+        postures,
+        viol_reps,
+        viol_tuples_per_rep: viol_per,
+        violation_postures,
+    };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     std::fs::write(path, serde_json::to_string_pretty(&results).expect("serialize"))
         .expect("write BENCH_obs.json");
     println!("wrote {path}");
 
     if std::env::var("PULSE_OBS_GATE").is_ok_and(|v| v == "1") {
-        let limit = std::env::var("PULSE_OBS_GATE_NS")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(25.0);
+        let limit = env_f64("PULSE_OBS_GATE_NS", 25.0);
         let overhead = on - off;
         if overhead > limit {
             eprintln!(
@@ -124,6 +230,29 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("obs overhead gate OK: +{overhead:.1} ns/tuple (limit {limit:.1} ns)");
+        println!("obs overhead gate OK: {overhead:+.1} ns/tuple (limit {limit:.1} ns)");
+
+        let prof_limit = env_f64("PULSE_PROF_GATE_NS", 2.0);
+        let prof_overhead = prof - on;
+        if prof_overhead > prof_limit {
+            eprintln!(
+                "prof overhead gate FAILED: profiler adds {prof_overhead:.1} ns/tuple \
+                 to the suppressed path (limit {prof_limit:.1} ns)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "prof suppressed-path gate OK: {prof_overhead:+.1} ns/tuple (limit {prof_limit:.1} ns)"
+        );
+
+        let pct_limit = env_f64("PULSE_PROF_GATE_PCT", 5.0);
+        if viol_pct > pct_limit {
+            eprintln!(
+                "prof violation-path gate FAILED: profiler adds {viol_pct:.1}% \
+                 (limit {pct_limit:.1}%)"
+            );
+            std::process::exit(1);
+        }
+        println!("prof violation-path gate OK: {viol_pct:+.1}% (limit {pct_limit:.1}%)");
     }
 }

@@ -1,7 +1,9 @@
-//! `top` for a live Pulse process: polls the `/snapshot` endpoint of a
-//! serving runtime (see `PULSE_SERVE_ADDR` in the scaling bench) and
-//! renders throughput, violation rate, solver latency percentiles and
-//! per-shard load skew, refreshed in place.
+//! `top` for a live Pulse process: polls the `/snapshot`, `/health` and
+//! `/profile` endpoints of a serving runtime (see `PULSE_SERVE_ADDR` in
+//! the scaling bench) and renders throughput, violation rate, solver
+//! latency percentiles, per-shard load skew, the health verdict with any
+//! firing alert rules, and the violation-path phase breakdown, refreshed
+//! in place.
 //!
 //! Usage: `pulse_top [--addr 127.0.0.1:9187] [--interval 2] [--once]`.
 //! `--once` prints a single snapshot (totals, no rates) and exits — handy
@@ -122,11 +124,67 @@ fn render_histograms(snapshot: &Value, out: &mut String) {
     }
 }
 
+/// Health pane: verdict, firing rules, and the derived signals the rules
+/// evaluate. `/health` answers 503 when degraded, but the JSON body is the
+/// same shape either way — the verdict field carries the state.
+fn render_health(health: Option<&Value>, out: &mut String) {
+    let Some(h) = health else { return };
+    let verdict = h.get("verdict").and_then(Value::as_str).unwrap_or("?");
+    let firing: Vec<&str> = h
+        .get("firing")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    out.push_str(&format!(
+        "\nhealth: {verdict}{}\n",
+        if firing.is_empty() { String::new() } else { format!("  firing: {}", firing.join(", ")) }
+    ));
+    if let Some(sig) = h.get("signals") {
+        let f = |k: &str| sig.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  queue depth max {:.0}  violation ratio {:.2}  shard skew {:.2}  violations/s {:.0}\n",
+            f("queue_depth_max"),
+            f("violation_ratio"),
+            f("shard_skew"),
+            f("violation_rate"),
+        ));
+    }
+}
+
+/// Phase pane: the profiler's self-normalizing violation-path breakdown
+/// (shares are of attributed violation time; validate rides the sampled
+/// fast path and is shown by count only).
+fn render_phases(profile: Option<&Value>, out: &mut String) {
+    let Some(p) = profile else { return };
+    let phases = p.get("phases").and_then(Value::as_array).unwrap_or(&[]);
+    let total = p.get("violation_ns").and_then(Value::as_u64).unwrap_or(0);
+    if phases.is_empty() || total == 0 {
+        return;
+    }
+    out.push_str("\nviolation-path phases      count    time(ms)  share\n");
+    for ph in phases {
+        let name = ph.get("phase").and_then(Value::as_str).unwrap_or("?");
+        let count = ph.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let ns = ph.get("ns").and_then(Value::as_u64).unwrap_or(0);
+        let share = ph.get("share").and_then(Value::as_f64).unwrap_or(0.0);
+        let bar = "#".repeat((share * 20.0).round() as usize);
+        out.push_str(&format!(
+            "{name:<24} {count:>8} {:>11.1}  {:>4.0}% {bar}\n",
+            ns as f64 / 1e6,
+            share * 100.0,
+        ));
+    }
+}
+
 fn render(
     addr: &str,
     now: &HashMap<String, u64>,
     prev: Option<(&HashMap<String, u64>, f64)>,
     snapshot: &Value,
+    health: Option<&Value>,
+    profile: Option<&Value>,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("pulse_top — {addr}\n\n"));
@@ -169,6 +227,8 @@ fn render(
             if mean > 0.0 { max / mean } else { 0.0 }
         ));
     }
+    render_health(health, &mut out);
+    render_phases(profile, &mut out);
     render_histograms(snapshot, &mut out);
     out
 }
@@ -192,12 +252,21 @@ fn main() {
             }
         };
         let now = counters(&snapshot);
+        // Optional panes — an older server without these routes (or a 404
+        // body that isn't JSON) just drops the pane rather than killing
+        // the poll loop.
+        let health =
+            http_get(&args.addr, "/health").ok().and_then(|b| serde_json::parse_value(&b).ok());
+        let profile =
+            http_get(&args.addr, "/profile").ok().and_then(|b| serde_json::parse_value(&b).ok());
         let at = Instant::now();
         let view = render(
             &args.addr,
             &now,
             prev.as_ref().map(|(c, t)| (c, at.duration_since(*t).as_secs_f64())),
             &snapshot,
+            health.as_ref(),
+            profile.as_ref(),
         );
         if args.once {
             print!("{view}");

@@ -11,16 +11,24 @@
 //! candidate scans that dominate violation cost shrink with the shard
 //! count, which is why speedups show up even on core-starved machines.
 //!
+//! Every configuration also runs with the violation-path profiler on and
+//! reports the phase breakdown (validate → remodel-fit →
+//! template-substitute → root-isolate → solve → emit) plus
+//! `phase_coverage` — the share of histogram-measured violation-path time
+//! the phase table attributes. The sweep asserts coverage ≥ 0.9 and
+//! `outputs > 0` per row, so a silently-dead workload (windows longer
+//! than the stream) fails loudly instead of reporting zeros.
+//!
 //! Env knobs: `PULSE_SCALING_TUPLES`, `PULSE_SCALING_SYMBOLS`,
 //! `PULSE_SCALING_SHARDS` (comma-separated), `PULSE_SCALING_SMOKE=1` for a
 //! seconds-long CI smoke run.
 //!
-//! Set `PULSE_SERVE_ADDR=127.0.0.1:9187` to expose `/metrics`, `/snapshot`
-//! and `/explain` over HTTP while the sweep runs (sharded phases publish
-//! per-shard labelled counters every ~25k tuples and answer explain
-//! queries via the owning shard); `PULSE_SERVE_LINGER=<secs>` keeps the
-//! listener up after the sweep so scrapers (CI curl, `pulse_top`) have a
-//! stable window.
+//! Set `PULSE_SERVE_ADDR=127.0.0.1:9187` to expose `/metrics`, `/snapshot`,
+//! `/explain`, `/health` and `/profile` over HTTP while the sweep runs
+//! (sharded phases publish per-shard labelled counters every ~25k tuples
+//! and answer explain queries via the owning shard);
+//! `PULSE_SERVE_LINGER=<secs>` keeps the listener up after the sweep so
+//! scrapers (CI curl, `pulse_top`) have a stable window.
 
 use pulse_bench::measure::merge_feeds;
 use pulse_bench::queries;
@@ -62,19 +70,39 @@ fn knobs() -> Knobs {
     }
 }
 
+/// Stream arrival rate (tuples per stream-second). The workload duration
+/// follows from the tuple budget, and the MACD windows follow from the
+/// duration — see [`macd_windows`].
+const RATE: f64 = 3000.0;
+
+fn stream_duration(k: &Knobs) -> f64 {
+    k.tuples as f64 / RATE
+}
+
+/// MACD window parameters fitted to the stream duration. The classic
+/// 10 s/60 s pair silently produced zero outputs on short sweeps: a 6.7 s
+/// smoke stream ends before the first 60 s window ever closes, so the
+/// aggregate never fires. Scale the long window to half the stream (capped
+/// at 20 s) so every run closes many windows and `outputs` is a meaningful
+/// column at any `PULSE_SCALING_TUPLES`.
+fn macd_windows(duration: f64) -> (f64, f64, f64) {
+    let long = (duration / 2.0).min(20.0);
+    let short = long / 4.0;
+    let slide = (long / 10.0).max(0.25);
+    (short, long, slide)
+}
+
 /// The keyed workload: many symbols, visible tick noise so violations (and
 /// therefore solver work) happen at a realistic clip.
 fn workload(k: &Knobs) -> Vec<Tuple> {
-    let rate = 3000.0;
-    let duration = k.tuples as f64 / rate;
     NyseGen::new(NyseConfig {
         symbols: k.symbols,
-        rate,
+        rate: RATE,
         drift_duration: 2.0,
         tick_noise: 0.002,
         seed: 11,
     })
-    .generate(duration)
+    .generate(stream_duration(k))
 }
 
 fn config() -> RuntimeConfig {
@@ -88,9 +116,16 @@ struct Row {
     ns_per_tuple: f64,
     outputs: u64,
     violations: u64,
+    /// Share of histogram-measured violation-path time the phase table
+    /// attributes to a named phase (the acceptance floor is 0.9).
+    phase_coverage: f64,
+    phases: pulse_obs::PhaseBreakdown,
 }
 
-fn single_threaded(lp: &pulse_stream::LogicalPlan, tuples: &[Tuple]) -> (f64, RuntimeStats) {
+fn single_threaded(
+    lp: &pulse_stream::LogicalPlan,
+    tuples: &[Tuple],
+) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
     let merged = merge_feeds(&[(0, tuples)]);
     let mut rt = PulseRuntime::with_predictors(
         vec![Predictor::AdaptiveLinear(nyse::schema())],
@@ -106,7 +141,7 @@ fn single_threaded(lp: &pulse_stream::LogicalPlan, tuples: &[Tuple]) -> (f64, Ru
         }
     }
     let secs = start.elapsed().as_secs_f64();
-    (secs, rt.stats())
+    (secs, rt.stats(), *rt.phases())
 }
 
 fn sharded(
@@ -114,7 +149,7 @@ fn sharded(
     tuples: &[Tuple],
     shards: usize,
     slot: Option<&ExplainSlot>,
-) -> (f64, RuntimeStats) {
+) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
     let merged = merge_feeds(&[(0, tuples)]);
     let mut rt =
         ShardedRuntime::new(vec![Predictor::AdaptiveLinear(nyse::schema())], lp, config(), shards)
@@ -140,31 +175,68 @@ fn sharded(
     }
     let run = rt.finish();
     let secs = start.elapsed().as_secs_f64();
-    (secs, run.stats)
+    (secs, run.stats, run.phases)
 }
 
-fn row(label: &str, shards: usize, secs: f64, n: usize, stats: &RuntimeStats) -> Row {
+fn row(
+    label: &str,
+    shards: usize,
+    secs: f64,
+    n: usize,
+    stats: &RuntimeStats,
+    phases: &pulse_obs::PhaseTable,
+    measured_violation_ns: u64,
+) -> Row {
+    // Coverage: profiled phase time over the wall-clock the
+    // `runtime.violation_path_ns` histogram measured for the same run.
+    // 1.0 when the run had no violation work to attribute.
+    let phase_coverage = if measured_violation_ns == 0 {
+        1.0
+    } else {
+        phases.violation_ns() as f64 / measured_violation_ns as f64
+    };
     let r = Row {
         shards,
         tuples_per_sec: n as f64 / secs,
         ns_per_tuple: secs * 1e9 / n as f64,
         outputs: stats.outputs,
         violations: stats.violations,
+        phase_coverage,
+        phases: phases.breakdown(),
     };
     println!(
-        "{label:>16}: {:>10.0} t/s  {:>8.0} ns/tuple  ({} violations, {} outputs)",
-        r.tuples_per_sec, r.ns_per_tuple, r.violations, r.outputs,
+        "{label:>16}: {:>10.0} t/s  {:>8.0} ns/tuple  ({} violations, {} outputs, {:.0}% phase coverage)",
+        r.tuples_per_sec,
+        r.ns_per_tuple,
+        r.violations,
+        r.outputs,
+        r.phase_coverage * 100.0,
+    );
+    assert!(r.outputs > 0, "{label}: workload produced no outputs — window/duration mismatch");
+    assert!(
+        r.phase_coverage >= 0.9,
+        "{label}: phase table attributes only {:.1}% of measured violation-path time",
+        r.phase_coverage * 100.0,
     );
     r
 }
 
+/// Delta of the global `runtime.violation_path_ns` histogram sum across a
+/// closure — what the violation path actually cost, measured independently
+/// of the phase table it is checked against.
+fn with_measured_violation_ns<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = pulse_obs::global().snapshot();
+    let out = f();
+    let delta = pulse_obs::global().snapshot().delta(&before);
+    (out, delta.histogram("runtime.violation_path_ns").map_or(0, |h| h.sum_ns))
+}
+
 /// Starts the HTTP surface when `PULSE_SERVE_ADDR` is set, returning the
 /// listener handle plus the slot sharded phases publish their explain
-/// handle into. Turns metrics and tracing on — a served run is an observed
-/// run by definition.
+/// handle into. Turns tracing on — a served run is an observed run by
+/// definition (metrics and the profiler are already on for every sweep).
 fn maybe_serve() -> Option<(pulse_obs::ServeHandle, ExplainSlot)> {
     let addr = std::env::var("PULSE_SERVE_ADDR").ok()?;
-    pulse_obs::set_enabled(true);
     pulse_obs::set_trace_enabled(true);
     let slot: ExplainSlot = Arc::new(Mutex::new(None));
     let route = slot.clone();
@@ -172,18 +244,25 @@ fn maybe_serve() -> Option<(pulse_obs::ServeHandle, ExplainSlot)> {
         let handle = route.lock().unwrap().clone()?;
         handle.explain(key, t0, t1).map(|r| r.to_json())
     });
-    let h = pulse_obs::serve(&addr, Some(explain)).expect("bind PULSE_SERVE_ADDR");
-    println!("serving /metrics, /snapshot, /explain on http://{}", h.addr());
+    let h = pulse_obs::serve(&addr, pulse_obs::Routes::new().with_explain(explain))
+        .expect("bind PULSE_SERVE_ADDR");
+    println!("serving /metrics, /snapshot, /explain, /health, /profile on http://{}", h.addr());
     Some((h, slot))
 }
 
 fn main() {
     let k = knobs();
+    // The sweep is an observed run by construction: the profiler's phase
+    // breakdown is part of the tracked result, and the coverage check
+    // needs the violation-path histogram, which only records under obs.
+    pulse_obs::set_enabled(true);
+    pulse_obs::set_prof_enabled(true);
     let serve = maybe_serve();
     let tuples = workload(&k);
-    let lp = queries::macd(10.0, 60.0, 2.0);
+    let (short, long, slide) = macd_windows(stream_duration(&k));
+    let lp = queries::macd(short, long, slide);
     println!(
-        "scaling: {} tuples, {} symbols, shard counts {:?}",
+        "scaling: {} tuples, {} symbols, shard counts {:?}, macd {short:.2}/{long:.2}s slide {slide:.2}s",
         tuples.len(),
         k.symbols,
         k.shards
@@ -191,12 +270,16 @@ fn main() {
 
     // Shard count 0 denotes the single-threaded reference (no channels,
     // no worker thread) — the pre-sharding baseline.
-    let (st_secs, st_stats) = single_threaded(&lp, &tuples);
-    let mut rows = vec![row("single-threaded", 0, st_secs, tuples.len(), &st_stats)];
+    let ((st_secs, st_stats, st_phases), st_viol_ns) =
+        with_measured_violation_ns(|| single_threaded(&lp, &tuples));
+    let mut rows =
+        vec![row("single-threaded", 0, st_secs, tuples.len(), &st_stats, &st_phases, st_viol_ns)];
     for &s in &k.shards {
-        let (secs, stats) = sharded(&lp, &tuples, s, serve.as_ref().map(|(_, slot)| slot));
+        let ((secs, stats, phases), viol_ns) = with_measured_violation_ns(|| {
+            sharded(&lp, &tuples, s, serve.as_ref().map(|(_, slot)| slot))
+        });
         assert_eq!(stats.tuples_in, tuples.len() as u64);
-        rows.push(row(&format!("{s} shard(s)"), s, secs, tuples.len(), &stats));
+        rows.push(row(&format!("{s} shard(s)"), s, secs, tuples.len(), &stats, &phases, viol_ns));
     }
 
     if let Some(r4) = rows.iter().find(|r| r.shards == 4) {

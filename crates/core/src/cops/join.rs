@@ -171,9 +171,16 @@ impl COperator for CJoin {
                     rb.poly_of(r, attr)
                 }
             };
-            let Ok(sys) = self.template.substitute(&lookup) else { continue };
+            let t0 = pulse_obs::prof::start();
+            let sys = match self.template.substitute(&lookup) {
+                Ok(sys) => sys,
+                Err(_) => continue,
+            };
+            tr.prof(t0, pulse_obs::Phase::TemplateSubstitute);
+            let t0 = pulse_obs::prof::start();
             let mut rows = 0;
             let sol = sys.solve(overlap, &mut rows);
+            tr.prof(t0, pulse_obs::Phase::RootIsolate);
             self.m.systems_solved += 1;
             self.m.comparisons += rows;
             trace_rows += rows;

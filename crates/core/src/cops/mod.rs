@@ -111,12 +111,16 @@ impl COperator for CFilter {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let binding = &self.binding;
+        let t0 = pulse_obs::prof::start();
         let sys = match self.template.substitute(&|_, attr| binding.poly_of(seg, attr)) {
             Ok(sys) => sys,
             Err(_) => return, // non-polynomial predicate: no continuous result
         };
+        tr.prof(t0, pulse_obs::Phase::TemplateSubstitute);
+        let t0 = pulse_obs::prof::start();
         let mut rows = 0;
         let sol = sys.solve(seg.span, &mut rows);
+        tr.prof(t0, pulse_obs::Phase::RootIsolate);
         self.m.systems_solved += 1;
         self.m.comparisons += rows;
         if tr.on() {
@@ -188,17 +192,19 @@ impl COperator for CMap {
         &mut self,
         _input: usize,
         seg: &Segment,
-        _tr: &mut Tracer,
+        tr: &mut Tracer,
         out: &mut Vec<Segment>,
     ) {
         self.m.items_in += 1;
         let binding = &self.binding;
         let stack = &mut self.stack;
+        let t0 = pulse_obs::prof::start();
         let models: Result<Vec<_>, _> = self
             .programs
             .iter()
             .map(|p| p.eval(&|_, attr| binding.poly_of(seg, attr), stack))
             .collect();
+        tr.prof(t0, pulse_obs::Phase::TemplateSubstitute);
         let Ok(models) = models else { return };
         let mapped = Segment::new(seg.key, seg.span, models, Vec::new());
         self.lineage.lock().emit(&mapped, &[seg.id]);

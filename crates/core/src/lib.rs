@@ -62,8 +62,9 @@ pub use index::SegmentIndex;
 pub use lineage::{LineageStore, SharedLineage};
 pub use plan::{CPlan, TransformError};
 pub use runtime::{Heuristic, Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
-pub use sampler::Sampler;
+pub use sampler::{SampleStaleness, Sampler};
 pub use shard::{ExplainHandle, MergedRun, ShardError, ShardedRuntime};
 pub use validate::{
-    BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, VKey, Validator, ValidatorStats,
+    AccuracySummary, BoundInverter, EquiSplit, GradientSplit, KeyAccuracy, SplitHeuristic, VKey,
+    Validator, ValidatorStats,
 };

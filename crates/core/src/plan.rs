@@ -245,17 +245,8 @@ impl CPlan {
         self.export_metrics_with(reg, &|name| pulse_obs::labeled(name, labels));
     }
 
-    /// [`Self::export_metrics`] with a name prefix (`shard0.` etc.).
-    ///
-    /// Deprecated in favor of [`Self::export_metrics_labeled`]: prefixes
-    /// mangle the metric family name, so each shard becomes its own family
-    /// downstream. Kept for one more release while dashboards migrate.
-    pub fn export_metrics_prefixed(&self, reg: &pulse_obs::MetricsRegistry, prefix: &str) {
-        self.export_metrics_with(reg, &|name| format!("{prefix}{name}"));
-    }
-
     /// Shared export core: publishes every operator's counters under the
-    /// name produced by `decorate` (identity, prefix, or label block).
+    /// name produced by `decorate` (identity or label block).
     fn export_metrics_with(
         &self,
         reg: &pulse_obs::MetricsRegistry,

@@ -119,6 +119,18 @@ struct RuntimeObs {
     violations_by_key: KeyedCounter,
     fast_path_ns: Histogram,
     violation_path_ns: Histogram,
+    /// Stream-time µs a key's model survived before the violation that
+    /// replaced it — how long emitted outputs stayed valid.
+    output_validity_us: Histogram,
+    /// Stream-time µs an emitted output range starts behind the input
+    /// watermark (how far results lag arrivals).
+    output_lag_us: Histogram,
+    /// Stream-time µs an emitted output range runs ahead of the watermark
+    /// (the speculative horizon the predictions bought).
+    output_lead_us: Histogram,
+    /// Consumed error budget at each violation, in basis points of the
+    /// allowance (10000 = exactly at budget).
+    budget_ratio_bp: Histogram,
 }
 
 impl RuntimeObs {
@@ -128,6 +140,10 @@ impl RuntimeObs {
             violations_by_key: reg.keyed_counter("runtime.violations_by_key"),
             fast_path_ns: reg.histogram("runtime.fast_path_ns"),
             violation_path_ns: reg.histogram("runtime.violation_path_ns"),
+            output_validity_us: reg.histogram("runtime.output_validity_us"),
+            output_lag_us: reg.histogram("runtime.output_lag_us"),
+            output_lead_us: reg.histogram("runtime.output_lead_us"),
+            budget_ratio_bp: reg.histogram("validate.budget_ratio_bp"),
         }
     }
 }
@@ -152,6 +168,8 @@ pub struct PulseRuntime {
     validator: Validator,
     /// Inverted per-source-segment bounds from the last results.
     stats: RuntimeStats,
+    /// Input watermark: max tuple timestamp ingested (stream time).
+    watermark: f64,
     obs: RuntimeObs,
     /// Flight recorder: single-writer ring owned by this runtime's thread
     /// (the sharded runtime routes cross-thread explain queries here over
@@ -192,6 +210,7 @@ impl PulseRuntime {
             seg_owner: HashMap::new(),
             validator: Validator::new(),
             stats: RuntimeStats::default(),
+            watermark: f64::NEG_INFINITY,
             obs: RuntimeObs::new(),
             tracer,
         })
@@ -247,6 +266,9 @@ impl PulseRuntime {
         let trace_on = self.tracer.on();
         let start = (obs_on && self.stats.suppressed & 63 == 0).then(Instant::now);
         self.stats.tuples_in += 1;
+        if tuple.ts > self.watermark {
+            self.watermark = tuple.ts;
+        }
         let pkey = (source, tuple.key);
         let vkey = Self::vkey(source, tuple.key);
         let arrival = if trace_on {
@@ -297,13 +319,32 @@ impl PulseRuntime {
                 if ok {
                     self.stats.suppressed += 1;
                     if let Some(t0) = start {
-                        self.obs.fast_path_ns.record(t0.elapsed().as_nanos() as u64);
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        self.obs.fast_path_ns.record(ns);
+                        // The Validate phase reuses this sampled measurement
+                        // so profiling adds zero timestamps to the fast path.
+                        if pulse_obs::prof_enabled() {
+                            self.tracer.phases_mut().record(pulse_obs::Phase::Validate, ns);
+                        }
                     }
                     return Vec::new();
                 }
                 self.stats.violations += 1;
                 if obs_on {
                     self.obs.violations_by_key.inc(vkey.key);
+                    // How long this key's model (and the outputs solved from
+                    // it) survived before the violation, in stream-time µs.
+                    let validity = tuple.ts - seg.span.lo;
+                    if validity.is_finite() && validity >= 0.0 {
+                        self.obs.output_validity_us.record((validity * 1e6) as u64);
+                    }
+                    // Consumed error budget at the point of failure.
+                    if let Some(o) = self.validator.last_violation() {
+                        if o.deviation.is_finite() && o.allowance > 0.0 {
+                            let bp = (o.deviation / o.allowance * 1e4).min(1e9);
+                            self.obs.budget_ratio_bp.record(bp as u64);
+                        }
+                    }
                 }
             }
         }
@@ -318,10 +359,12 @@ impl PulseRuntime {
         // itself (reusing the entry timestamp when sampling took one).
         let slow_t0 = obs_on.then(|| start.unwrap_or_else(Instant::now));
         // Re-model from this tuple and re-solve.
+        let prof_t0 = pulse_obs::prof::start();
         let seg = {
             let _span = pulse_obs::span!("runtime.remodel_ns", tuple.key);
             self.predict(source, tuple)
         };
+        self.tracer.prof(prof_t0, pulse_obs::Phase::RemodelFit);
         let Some(mut seg) = seg else {
             self.stats.model_errors += 1;
             return Vec::new();
@@ -359,10 +402,27 @@ impl PulseRuntime {
             0
         };
         let solve_t0 = trace_on.then(Instant::now);
+        // Solve-phase attribution: the push total minus whatever the
+        // operators attribute to template substitution and root isolation
+        // while it runs, leaving the plan glue (state scans, lineage,
+        // segment construction) as the Solve cell.
+        let push_t0 = pulse_obs::prof::start();
+        let nested0 = push_t0.map(|_| {
+            let p = self.tracer.phases();
+            p.ns(pulse_obs::Phase::TemplateSubstitute) + p.ns(pulse_obs::Phase::RootIsolate)
+        });
         let outs = {
             let _span = pulse_obs::span!("runtime.solve_ns", tuple.key);
             self.plan.push_traced(source, seg, &mut self.tracer)
         };
+        if let (Some(t0), Some(n0)) = (push_t0, nested0) {
+            let total = t0.elapsed().as_nanos() as u64;
+            let p = self.tracer.phases();
+            let nested = p.ns(pulse_obs::Phase::TemplateSubstitute)
+                + p.ns(pulse_obs::Phase::RootIsolate)
+                - n0;
+            self.tracer.phases_mut().record(pulse_obs::Phase::Solve, total.saturating_sub(nested));
+        }
         if trace_on {
             self.tracer.set_scope(0);
             let (iters, _) = self.tracer.scope_op_totals(solve_start);
@@ -387,6 +447,22 @@ impl PulseRuntime {
             }
         }
         self.stats.outputs += outs.len() as u64;
+        if obs_on {
+            // Where each emitted range stands relative to the watermark:
+            // lag = how far it starts behind arrivals, lead = how far the
+            // prediction answers into the future (both stream-time µs).
+            for out in &outs {
+                let lag = (self.watermark - out.span.lo).max(0.0);
+                let lead = (out.span.hi - self.watermark).max(0.0);
+                if lag.is_finite() {
+                    self.obs.output_lag_us.record((lag * 1e6) as u64);
+                }
+                if lead.is_finite() {
+                    self.obs.output_lead_us.record((lead * 1e6) as u64);
+                }
+            }
+        }
+        let emit_t0 = pulse_obs::prof::start();
         if outs.is_empty() {
             // Null result: slack validation until inputs leave the band.
             if let Some(slack) = self.plan.last_slack() {
@@ -398,6 +474,7 @@ impl PulseRuntime {
             let _span = pulse_obs::span!("validate.invert_ns", tuple.key);
             self.install_bounds(&outs, vkey);
         }
+        self.tracer.prof(emit_t0, pulse_obs::Phase::Emit);
         if let Some(t0) = slow_t0 {
             self.obs.violation_path_ns.record(t0.elapsed().as_nanos() as u64);
         }
@@ -472,6 +549,20 @@ impl PulseRuntime {
         &self.tracer
     }
 
+    /// The violation-path phase table (empty unless profiling was on, see
+    /// [`pulse_obs::set_prof_enabled`]).
+    pub fn phases(&self) -> &pulse_obs::PhaseTable {
+        self.tracer.phases()
+    }
+
+    /// Input watermark: the max tuple timestamp ingested so far
+    /// (`NEG_INFINITY` before the first tuple). Pair with
+    /// [`crate::sampler::Sampler::sample_with_watermark`] to split output
+    /// samples into settled vs speculative.
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+
     /// Publishes end-of-run totals into `reg`: the runtime counters (under
     /// `runtime.*`), the validator's (`validate.*`), and every plan
     /// operator's (`cops.*`). Live span histograms accumulate during the
@@ -494,20 +585,11 @@ impl PulseRuntime {
         self.plan.export_metrics_labeled(reg, labels);
     }
 
-    /// [`Self::export_metrics`] with every counter name prefixed
-    /// (`shard<i>.`).
-    ///
-    /// Deprecated in favor of [`Self::export_metrics_labeled`]: prefixed
-    /// names splinter each shard into its own metric family downstream.
-    /// Kept for one more release while dashboards migrate.
-    pub fn export_metrics_prefixed(&self, reg: &pulse_obs::MetricsRegistry, prefix: &str) {
-        self.export_metrics_with(reg, &|name| format!("{prefix}{name}"));
-        self.plan.export_metrics_prefixed(reg, prefix);
-    }
-
-    /// Shared export core: runtime counters (under `runtime.*`) and the
-    /// validator's (`validate.*`), each published under the name produced
-    /// by `decorate` (identity, prefix, or label block).
+    /// Shared export core: runtime counters (under `runtime.*`), the
+    /// validator's (`validate.*`), the accuracy-telemetry gauges, and the
+    /// profiler's phase cells (`prof.*`), each published under the name
+    /// produced by `decorate` (identity or label block). Everything here
+    /// uses gauge semantics (`set`), so repeated exports are idempotent.
     fn export_metrics_with(
         &self,
         reg: &pulse_obs::MetricsRegistry,
@@ -524,6 +606,9 @@ impl PulseRuntime {
         ] {
             reg.counter(&decorate(name)).set(v);
         }
+        // Watermark in stream-time ms (0 before the first tuple — the
+        // saturating float→int cast maps NEG_INFINITY there).
+        reg.counter(&decorate("runtime.watermark_ms")).set((self.watermark * 1e3) as u64);
         let v = self.validator.stats();
         for (name, v) in [
             ("validate.checks", v.checks),
@@ -533,6 +618,21 @@ impl PulseRuntime {
         ] {
             reg.counter(&decorate(name)).set(v);
         }
+        // Accuracy telemetry: ratios in basis points (10000 = at budget),
+        // drift in milli-units of the measured attribute.
+        let a = self.validator.accuracy();
+        for (name, v) in [
+            ("validate.budget_mean_bp", (a.mean_budget_ratio * 1e4) as u64),
+            ("validate.budget_max_bp", (a.max_budget_ratio * 1e4) as u64),
+            ("validate.drift_mean_milli", (a.mean_drift * 1e3) as u64),
+            ("validate.drift_max_milli", (a.max_drift * 1e3) as u64),
+            ("validate.hot_keys", a.hot_keys),
+            ("validate.bursts", a.bursts),
+            ("validate.burst_max", a.burst_max as u64),
+        ] {
+            reg.counter(&decorate(name)).set(v);
+        }
+        self.tracer.phases().export(reg, decorate);
     }
 }
 

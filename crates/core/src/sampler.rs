@@ -57,6 +57,43 @@ impl Sampler {
         out.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
         out
     }
+
+    /// [`Self::sample`] plus staleness accounting against the input
+    /// watermark (the max tuple timestamp the runtime has ingested).
+    /// Samples at or before the watermark are *settled* — the inputs that
+    /// could invalidate them have been seen; samples beyond it are
+    /// *speculative*, riding on the predictive models (the whole point of
+    /// Pulse, but worth measuring: how far ahead of its inputs the system
+    /// answers, and how much of the output is still exposed to revision).
+    pub fn sample_with_watermark(
+        &self,
+        segs: &[Segment],
+        watermark: f64,
+    ) -> (Vec<Tuple>, SampleStaleness) {
+        let out = self.sample(segs);
+        let mut st = SampleStaleness::default();
+        for t in &out {
+            if t.ts <= watermark + EPS {
+                st.settled += 1;
+            } else {
+                st.speculative += 1;
+                st.max_lead = st.max_lead.max(t.ts - watermark);
+            }
+        }
+        (out, st)
+    }
+}
+
+/// How a batch of output samples stands relative to the input watermark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct SampleStaleness {
+    /// Samples at or behind the watermark (inputs already seen).
+    pub settled: u64,
+    /// Samples ahead of the watermark (predictions still exposed to
+    /// revision by future arrivals).
+    pub speculative: u64,
+    /// Furthest any sample ran ahead of the watermark, in stream seconds.
+    pub max_lead: f64,
 }
 
 #[cfg(test)]
@@ -104,5 +141,21 @@ mod tests {
         let b = Segment::single(2, Span::new(0.0, 1.0), Poly::constant(2.0));
         let tuples = Sampler::new(2.0).sample(&[a, b]);
         assert!(tuples.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn watermark_splits_settled_from_speculative() {
+        // Span [0, 2) at 2 Hz → samples at 0.0, 0.5, 1.0, 1.5.
+        let s = Segment::single(1, Span::new(0.0, 2.0), Poly::constant(1.0));
+        let (tuples, st) = Sampler::new(2.0).sample_with_watermark(&[s], 0.75);
+        assert_eq!(tuples.len(), 4);
+        assert_eq!(st.settled, 2, "0.0 and 0.5 are behind the watermark");
+        assert_eq!(st.speculative, 2);
+        assert!((st.max_lead - 0.75).abs() < 1e-9, "1.5 − 0.75");
+        // Watermark past the span: everything settled, no lead.
+        let s = Segment::single(1, Span::new(0.0, 2.0), Poly::constant(1.0));
+        let (_, st) = Sampler::new(2.0).sample_with_watermark(&[s], 10.0);
+        assert_eq!((st.settled, st.speculative), (4, 0));
+        assert_eq!(st.max_lead, 0.0);
     }
 }

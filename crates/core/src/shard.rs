@@ -26,8 +26,10 @@ use crate::runtime::{Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 use crate::validate::ValidatorStats;
 use crossbeam::channel::{bounded, Sender};
 use pulse_model::{Segment, Tuple};
-use pulse_obs::ExplainReport;
+use pulse_obs::{ExplainReport, PhaseTable};
 use pulse_stream::{LogicalPlan, OpMetrics, PartitionViolation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Tuples per channel message. Large enough that the per-message mutex
@@ -111,6 +113,7 @@ struct ShardResult {
     stats: RuntimeStats,
     validator: ValidatorStats,
     metrics: OpMetrics,
+    phases: PhaseTable,
     outputs: Vec<Segment>,
 }
 
@@ -123,6 +126,9 @@ pub struct MergedRun {
     pub validator: ValidatorStats,
     /// Summed continuous-operator counters.
     pub metrics: OpMetrics,
+    /// Summed violation-path phase attribution (empty unless the profiler
+    /// was enabled, see [`pulse_obs::set_prof_enabled`]).
+    pub phases: PhaseTable,
     /// Every shard's result segments, concatenated shard-by-shard (order
     /// across shards is not meaningful; per-key order is preserved).
     pub outputs: Vec<Segment>,
@@ -135,6 +141,16 @@ pub struct ShardedRuntime {
     /// Per-shard batch under construction.
     pending: Vec<Vec<(usize, Tuple)>>,
     batch: usize,
+    /// Batches in flight per shard: the router increments before `send`,
+    /// the worker decrements on receipt. The vendored channel exposes no
+    /// `len()`, so this shared count is the queue-depth signal behind the
+    /// `shard.queue_depth{shard="i"}` gauges and the `/health`
+    /// `queue_saturated` rule.
+    depths: Vec<Arc<AtomicU64>>,
+    /// Cached labeled gauges mirroring `depths` (only when obs is on).
+    depth_gauges: Vec<Option<pulse_obs::Counter>>,
+    /// Time the router spent blocked in `send` (backpressure stalls).
+    send_wait: Option<pulse_obs::Histogram>,
 }
 
 impl std::fmt::Debug for ShardedRuntime {
@@ -176,11 +192,22 @@ impl ShardedRuntime {
         CPlan::compile(logical)?;
         let mut txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
+        let mut depth_gauges = Vec::with_capacity(shards);
+        let obs_on = pulse_obs::enabled();
+        let send_wait = obs_on.then(|| pulse_obs::global().histogram("shard.send_wait_ns"));
         for i in 0..shards {
             let (tx, rx) = bounded::<Msg>(CHANNEL_DEPTH);
             let preds = predictors.clone();
             let lp = logical.clone();
             let cfg = cfg.clone();
+            let depth = Arc::new(AtomicU64::new(0));
+            let gauge = obs_on.then(|| {
+                pulse_obs::global()
+                    .counter(&pulse_obs::labeled("shard.queue_depth", &[("shard", &i.to_string())]))
+            });
+            depths.push(Arc::clone(&depth));
+            depth_gauges.push(gauge.clone());
             let handle = std::thread::Builder::new()
                 .name(format!("pulse-shard-{i}"))
                 .spawn(move || {
@@ -190,6 +217,10 @@ impl ShardedRuntime {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Msg::Batch(batch) => {
+                                let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                                if let Some(g) = &gauge {
+                                    g.set(d);
+                                }
                                 for (source, tuple) in &batch {
                                     outputs.extend(rt.on_tuple(*source, tuple));
                                 }
@@ -214,14 +245,18 @@ impl ShardedRuntime {
                     if pulse_obs::enabled() {
                         let reg = pulse_obs::global();
                         rt.export_metrics_labeled(reg, &[("shard", &i.to_string())]);
-                        // Deprecated dotted-prefix names, kept one more
-                        // release while dashboards migrate to labels.
-                        rt.export_metrics_prefixed(reg, &format!("shard{i}."));
+                        if let Some(g) = &gauge {
+                            // Worker is done draining; pin the gauge at
+                            // zero so a post-run health scrape sees an
+                            // idle queue, not the last in-flight count.
+                            g.set(0);
+                        }
                     }
                     ShardResult {
                         stats: rt.stats(),
                         validator: rt.validator().stats(),
                         metrics: rt.plan().metrics(),
+                        phases: *rt.phases(),
                         outputs,
                     }
                 })
@@ -229,7 +264,15 @@ impl ShardedRuntime {
             txs.push(tx);
             handles.push(handle);
         }
-        Ok(ShardedRuntime { txs, handles, pending: vec![Vec::new(); shards], batch: DEFAULT_BATCH })
+        Ok(ShardedRuntime {
+            txs,
+            handles,
+            pending: vec![Vec::new(); shards],
+            batch: DEFAULT_BATCH,
+            depths,
+            depth_gauges,
+            send_wait,
+        })
     }
 
     /// Number of worker shards.
@@ -301,12 +344,32 @@ impl ShardedRuntime {
         ExplainHandle { txs: self.txs.clone() }
     }
 
+    /// Batches currently in flight to `shard` (router-side count; the
+    /// worker decrements as it drains). Saturates at [`CHANNEL_DEPTH`] + 1
+    /// — one batch may sit counted while the router blocks in `send`.
+    pub fn queue_depth(&self, shard: usize) -> u64 {
+        self.depths[shard].load(Ordering::Relaxed)
+    }
+
     fn flush(&mut self, shard: usize) {
         if self.pending[shard].is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.pending[shard]);
-        self.txs[shard].send(Msg::Batch(batch)).expect("shard worker alive");
+        // Count the batch before the (possibly blocking) send so a stalled
+        // router reads as a full queue, not an idle one.
+        let d = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(g) = &self.depth_gauges[shard] {
+            g.set(d);
+        }
+        match &self.send_wait {
+            Some(h) => {
+                let t0 = std::time::Instant::now();
+                self.txs[shard].send(Msg::Batch(batch)).expect("shard worker alive");
+                h.record(t0.elapsed().as_nanos() as u64);
+            }
+            None => self.txs[shard].send(Msg::Batch(batch)).expect("shard worker alive"),
+        }
     }
 
     /// Ends the stream: flushes every pending batch, closes the channels,
@@ -326,6 +389,7 @@ impl ShardedRuntime {
             merged.stats.absorb(&r.stats);
             merged.validator.absorb(&r.validator);
             merged.metrics.absorb(&r.metrics);
+            merged.phases.absorb(&r.phases);
             merged.outputs.extend(r.outputs);
         }
         merged

@@ -230,15 +230,156 @@ pub struct CheckOutcome {
     pub allowance: f64,
 }
 
+/// EWMA weight for the per-key drift estimate (≈ the last 16 checks).
+const DRIFT_ALPHA: f64 = 1.0 / 16.0;
+/// Consecutive violations on one key that count as a burst — the model is
+/// systematically wrong for the key, not unlucky on one tuple.
+pub const BURST_LEN: u32 = 3;
+/// Mean consumed-budget ratio above which a key counts as *hot*: still
+/// validating, but so close to its allowance that any drift will violate.
+pub const HOT_RATIO: f64 = 0.8;
+
+/// Per-key error-budget accounting, maintained on every check of a key
+/// with an installed mode. All plain arithmetic on the owning thread — a
+/// handful of flops per check, no allocation, no atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeyAccuracy {
+    /// Checks performed against this key's installed modes.
+    pub checks: u64,
+    /// Σ consumed-budget ratios (deviation / allowance), over `ratio_count`
+    /// checks with a positive allowance. Ratio 0 = prediction exact,
+    /// 1 = budget exhausted, >1 = violation.
+    pub ratio_sum: f64,
+    pub ratio_count: u64,
+    /// Worst consumed-budget ratio observed.
+    pub ratio_max: f64,
+    /// EWMA of the *signed* deviation: a persistent sign means the model
+    /// systematically over/under-predicts (drift), even while every
+    /// individual check still passes.
+    pub drift: f64,
+    /// Current run of consecutive violations.
+    pub burst: u32,
+    /// Longest such run.
+    pub burst_max: u32,
+}
+
+impl KeyAccuracy {
+    /// Folds one verdict in; returns `true` when this violation completed
+    /// a burst (the run just reached [`BURST_LEN`]).
+    fn note(&mut self, d: f64, deviation: f64, allowance: f64, ok: bool) -> bool {
+        self.checks += 1;
+        if allowance > EPS && deviation.is_finite() {
+            let ratio = deviation / allowance;
+            self.ratio_sum += ratio;
+            self.ratio_count += 1;
+            if ratio > self.ratio_max {
+                self.ratio_max = ratio;
+            }
+        }
+        if d.is_finite() {
+            self.drift += (d - self.drift) * DRIFT_ALPHA;
+        }
+        if ok {
+            self.burst = 0;
+            false
+        } else {
+            self.burst += 1;
+            if self.burst > self.burst_max {
+                self.burst_max = self.burst;
+            }
+            if self.burst == BURST_LEN {
+                // Count the burst and restart the run: 2·BURST_LEN
+                // consecutive violations are two bursts, not one long one.
+                self.burst = 0;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Mean consumed-budget ratio (0 when no ratio was recordable).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.ratio_count == 0 {
+            0.0
+        } else {
+            self.ratio_sum / self.ratio_count as f64
+        }
+    }
+}
+
+/// Aggregate accuracy telemetry over a validator's keys — what the runtime
+/// exports as gauges and `BENCH_scaling.json` embeds. Mergeable across
+/// shards ([`Self::absorb`]), like [`ValidatorStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct AccuracySummary {
+    /// Keys with an installed validation mode.
+    pub keys: u64,
+    /// Checks that produced a consumed-budget ratio.
+    pub ratio_count: u64,
+    /// Mean consumed-budget ratio across those checks.
+    pub mean_budget_ratio: f64,
+    /// Worst ratio any key ever saw.
+    pub max_budget_ratio: f64,
+    /// Keys whose *mean* ratio exceeds [`HOT_RATIO`].
+    pub hot_keys: u64,
+    /// Mean |drift| across keys.
+    pub mean_drift: f64,
+    /// Largest |drift| of any key.
+    pub max_drift: f64,
+    /// Violation bursts detected (runs reaching [`BURST_LEN`]).
+    pub bursts: u64,
+    /// Longest violation run on any key.
+    pub burst_max: u32,
+}
+
+impl AccuracySummary {
+    /// Accumulates another summary (shard merging); means merge weighted
+    /// by their respective populations.
+    pub fn absorb(&mut self, o: &AccuracySummary) {
+        let rc = self.ratio_count + o.ratio_count;
+        if rc > 0 {
+            self.mean_budget_ratio = (self.mean_budget_ratio * self.ratio_count as f64
+                + o.mean_budget_ratio * o.ratio_count as f64)
+                / rc as f64;
+        }
+        let keys = self.keys + o.keys;
+        if keys > 0 {
+            self.mean_drift =
+                (self.mean_drift * self.keys as f64 + o.mean_drift * o.keys as f64) / keys as f64;
+        }
+        self.ratio_count = rc;
+        self.keys = keys;
+        self.max_budget_ratio = self.max_budget_ratio.max(o.max_budget_ratio);
+        self.hot_keys += o.hot_keys;
+        self.max_drift = self.max_drift.max(o.max_drift);
+        self.bursts += o.bursts;
+        self.burst_max = self.burst_max.max(o.burst_max);
+    }
+}
+
+/// A key's installed mode plus its accuracy accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct KeyState {
+    mode: ValidationMode,
+    acc: KeyAccuracy,
+}
+
 /// Input-side validator: decides, per tuple, whether the current prediction
 /// still stands (true) or the solver must re-run (false).
 #[derive(Debug, Default)]
 pub struct Validator {
-    modes: HashMap<VKey, ValidationMode>,
+    modes: HashMap<VKey, KeyState>,
     /// Checks performed (the cheap per-tuple cost of Pulse's fast path).
     pub checks: u64,
     /// Violations detected.
     pub violations: u64,
+    /// Violation bursts detected across all keys (runs of [`BURST_LEN`]).
+    pub bursts: u64,
+    /// The numbers behind the most recent *failing* check — read by the
+    /// runtime right after a violation to feed the budget-ratio histogram
+    /// without re-deriving deviation/allowance.
+    last_violation: Option<CheckOutcome>,
 }
 
 impl Validator {
@@ -247,18 +388,67 @@ impl Validator {
     }
 
     /// Installs an accuracy bound for a key (after successful inversion).
+    /// The key's accuracy accounting survives mode changes.
     pub fn set_accuracy(&mut self, key: VKey, bound: Bound) {
-        self.modes.insert(key, ValidationMode::Accuracy(bound));
+        self.modes
+            .entry(key)
+            .and_modify(|s| s.mode = ValidationMode::Accuracy(bound))
+            .or_insert(KeyState { mode: ValidationMode::Accuracy(bound), acc: Default::default() });
     }
 
-    /// Installs a slack bound for a key (after a null result).
+    /// Installs a slack bound for a key (after a null result). The key's
+    /// accuracy accounting survives mode changes.
     pub fn set_slack(&mut self, key: VKey, slack: f64) {
-        self.modes.insert(key, ValidationMode::Slack(slack.max(0.0)));
+        let mode = ValidationMode::Slack(slack.max(0.0));
+        self.modes
+            .entry(key)
+            .and_modify(|s| s.mode = mode)
+            .or_insert(KeyState { mode, acc: Default::default() });
     }
 
     /// Current mode for a key.
     pub fn mode(&self, key: VKey) -> Option<ValidationMode> {
-        self.modes.get(&key).copied()
+        self.modes.get(&key).map(|s| s.mode)
+    }
+
+    /// A key's accuracy accounting (None while no mode was ever installed).
+    pub fn key_accuracy(&self, key: VKey) -> Option<KeyAccuracy> {
+        self.modes.get(&key).map(|s| s.acc)
+    }
+
+    /// The numbers behind the most recent violation.
+    pub fn last_violation(&self) -> Option<CheckOutcome> {
+        self.last_violation
+    }
+
+    /// The shared verdict path: directional deviation/allowance, per-key
+    /// accuracy accounting, counters. (For an accuracy bound the
+    /// directional compare is equivalent to `Bound::admits`: `|d| ≤ side +
+    /// EPS` with `side` picked by `d`'s sign.)
+    fn check_inner(&mut self, key: VKey, predicted: f64, actual: f64) -> CheckOutcome {
+        self.checks += 1;
+        let d = actual - predicted;
+        let outcome = match self.modes.get_mut(&key) {
+            Some(state) => {
+                let (deviation, allowance) = match state.mode {
+                    ValidationMode::Accuracy(b) => {
+                        (d.abs(), if d >= 0.0 { b.above } else { b.below })
+                    }
+                    ValidationMode::Slack(s) => (d.abs(), s),
+                };
+                let ok = deviation <= allowance + EPS;
+                if state.acc.note(d, deviation, allowance, ok) {
+                    self.bursts += 1;
+                }
+                CheckOutcome { ok, deviation, allowance }
+            }
+            None => CheckOutcome { ok: false, deviation: f64::INFINITY, allowance: 0.0 },
+        };
+        if !outcome.ok {
+            self.violations += 1;
+            self.last_violation = Some(outcome);
+        }
+        outcome
     }
 
     /// Validates an observation against its prediction. Keys with no
@@ -266,16 +456,7 @@ impl Validator {
     /// solver must run, per the paper's "only … in the presence of errors,
     /// or no previously known results").
     pub fn check(&mut self, key: VKey, predicted: f64, actual: f64) -> bool {
-        self.checks += 1;
-        let ok = match self.modes.get(&key) {
-            Some(ValidationMode::Accuracy(b)) => b.admits(predicted, actual),
-            Some(ValidationMode::Slack(s)) => (actual - predicted).abs() <= *s + EPS,
-            None => false,
-        };
-        if !ok {
-            self.violations += 1;
-        }
-        ok
+        self.check_inner(key, predicted, actual).ok
     }
 
     /// [`Self::check`] plus the numbers behind the verdict, for the flight
@@ -285,20 +466,7 @@ impl Validator {
     /// infinite deviation against a zero allowance — "no previously known
     /// results" always solves. Counter updates are identical to `check`.
     pub fn check_explained(&mut self, key: VKey, predicted: f64, actual: f64) -> CheckOutcome {
-        self.checks += 1;
-        let d = actual - predicted;
-        let (deviation, allowance) = match self.modes.get(&key) {
-            Some(ValidationMode::Accuracy(b)) => {
-                (d.abs(), if d >= 0.0 { b.above } else { b.below })
-            }
-            Some(ValidationMode::Slack(s)) => (d.abs(), *s),
-            None => (f64::INFINITY, 0.0),
-        };
-        let ok = deviation <= allowance + EPS;
-        if !ok {
-            self.violations += 1;
-        }
-        CheckOutcome { ok, deviation, allowance }
+        self.check_inner(key, predicted, actual)
     }
 
     /// Clears a key's mode (e.g. after re-modeling).
@@ -309,13 +477,41 @@ impl Validator {
     /// Counter and mode-population summary.
     pub fn stats(&self) -> ValidatorStats {
         let accuracy_keys =
-            self.modes.values().filter(|m| matches!(m, ValidationMode::Accuracy(_))).count() as u64;
+            self.modes.values().filter(|s| matches!(s.mode, ValidationMode::Accuracy(_))).count()
+                as u64;
         ValidatorStats {
             checks: self.checks,
             violations: self.violations,
             accuracy_keys,
             slack_keys: self.modes.len() as u64 - accuracy_keys,
         }
+    }
+
+    /// Aggregate accuracy telemetry across all keys with installed modes.
+    pub fn accuracy(&self) -> AccuracySummary {
+        let mut s = AccuracySummary { bursts: self.bursts, ..Default::default() };
+        let mut ratio_sum = 0.0;
+        let mut drift_sum = 0.0;
+        for st in self.modes.values() {
+            s.keys += 1;
+            ratio_sum += st.acc.ratio_sum;
+            s.ratio_count += st.acc.ratio_count;
+            s.max_budget_ratio = s.max_budget_ratio.max(st.acc.ratio_max);
+            let drift = st.acc.drift.abs();
+            drift_sum += drift;
+            s.max_drift = s.max_drift.max(drift);
+            if st.acc.mean_ratio() > HOT_RATIO {
+                s.hot_keys += 1;
+            }
+            s.burst_max = s.burst_max.max(st.acc.burst_max);
+        }
+        if s.ratio_count > 0 {
+            s.mean_budget_ratio = ratio_sum / s.ratio_count as f64;
+        }
+        if s.keys > 0 {
+            s.mean_drift = drift_sum / s.keys as f64;
+        }
+        s
     }
 }
 
@@ -484,6 +680,109 @@ mod tests {
         // Counters advance identically on both paths.
         assert_eq!(explained.checks, plain.checks);
         assert_eq!(explained.violations, plain.violations);
+    }
+
+    #[test]
+    fn budget_ratio_tracks_consumed_allowance() {
+        let mut v = Validator::new();
+        let k = VKey::new(0, 1);
+        v.set_accuracy(k, Bound::symmetric(1.0));
+        v.check(k, 10.0, 10.5); // ratio 0.5
+        v.check(k, 10.0, 9.0); // ratio 1.0 (just at budget)
+        v.check(k, 10.0, 12.0); // ratio 2.0, violation
+        let acc = v.key_accuracy(k).unwrap();
+        assert_eq!(acc.ratio_count, 3);
+        assert!((acc.mean_ratio() - (0.5 + 1.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!((acc.ratio_max - 2.0).abs() < 1e-12);
+        let last = v.last_violation().unwrap();
+        assert!(!last.ok && (last.deviation - 2.0).abs() < 1e-12 && last.allowance == 1.0);
+        let sum = v.accuracy();
+        assert_eq!(sum.keys, 1);
+        assert!((sum.max_budget_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_estimate_converges_to_signed_bias() {
+        let mut v = Validator::new();
+        let k = VKey::new(0, 1);
+        v.set_slack(k, 10.0);
+        // Model persistently predicts 2.0 low: every check passes, but the
+        // drift EWMA must converge toward +2.
+        for _ in 0..200 {
+            assert!(v.check(k, 10.0, 12.0));
+        }
+        let acc = v.key_accuracy(k).unwrap();
+        assert!((acc.drift - 2.0).abs() < 1e-3, "drift {}", acc.drift);
+        assert!(v.accuracy().max_drift > 1.9);
+        // Accuracy accounting survives a mode change.
+        v.set_accuracy(k, Bound::symmetric(5.0));
+        assert_eq!(v.key_accuracy(k).unwrap().checks, 200);
+    }
+
+    #[test]
+    fn violation_bursts_detected_per_key() {
+        let mut v = Validator::new();
+        let k = VKey::new(0, 1);
+        let other = VKey::new(0, 2);
+        v.set_accuracy(k, Bound::symmetric(0.1));
+        v.set_accuracy(other, Bound::symmetric(0.1));
+        // Two violations, a pass, then two more: no run reaches BURST_LEN=3.
+        for actual in [11.0, 11.0, 10.0, 11.0, 11.0] {
+            v.check(k, 10.0, actual);
+        }
+        assert_eq!(v.bursts, 0);
+        assert_eq!(v.key_accuracy(k).unwrap().burst_max, 2);
+        // Interleaved checks on another key must not break k's run.
+        for _ in 0..3 {
+            v.check(k, 10.0, 11.0);
+            v.check(other, 10.0, 10.0);
+        }
+        assert_eq!(v.bursts, 1, "one run of 3 → one burst");
+        assert_eq!(v.key_accuracy(k).unwrap().burst_max, 3);
+        let sum = v.accuracy();
+        assert_eq!(sum.bursts, 1);
+        assert_eq!(sum.burst_max, 3);
+        assert_eq!(sum.hot_keys, 1, "only k runs over HOT_RATIO");
+    }
+
+    #[test]
+    fn accuracy_summary_absorb_weights_means() {
+        let a = AccuracySummary {
+            keys: 1,
+            ratio_count: 10,
+            mean_budget_ratio: 0.2,
+            max_budget_ratio: 0.5,
+            hot_keys: 0,
+            mean_drift: 1.0,
+            max_drift: 1.0,
+            bursts: 1,
+            burst_max: 3,
+        };
+        let b = AccuracySummary {
+            keys: 3,
+            ratio_count: 30,
+            mean_budget_ratio: 0.6,
+            max_budget_ratio: 0.9,
+            hot_keys: 2,
+            mean_drift: 2.0,
+            max_drift: 4.0,
+            bursts: 2,
+            burst_max: 5,
+        };
+        let mut m = a;
+        m.absorb(&b);
+        assert_eq!(m.keys, 4);
+        assert_eq!(m.ratio_count, 40);
+        assert!((m.mean_budget_ratio - 0.5).abs() < 1e-12, "10·0.2+30·0.6 over 40");
+        assert!((m.mean_drift - 1.75).abs() < 1e-12, "1·1+3·2 over 4");
+        assert_eq!(m.max_budget_ratio, 0.9);
+        assert_eq!(m.hot_keys, 2);
+        assert_eq!(m.bursts, 3);
+        assert_eq!(m.burst_max, 5);
+        // Absorbing an empty summary is the identity.
+        let mut id = b;
+        id.absorb(&AccuracySummary::default());
+        assert_eq!(id, b);
     }
 
     #[test]

@@ -28,17 +28,23 @@
 //! pulse_obs::set_enabled(false);
 //! ```
 
+pub mod health;
+pub mod prof;
 mod registry;
 pub mod serve;
 mod snapshot;
 mod span;
 pub mod trace;
 
+pub use health::{HealthEvaluator, HealthReport, Rule, Signal, Signals};
+pub use prof::{
+    prof_enabled, set_prof_enabled, Phase, PhaseBreakdown, PhaseCost, PhaseTable, PHASE_COUNT,
+};
 pub use registry::{
     bucket_index, bucket_upper, labeled, Counter, HistTimer, Histogram, KeyedCounter,
     MetricsRegistry, BUCKETS,
 };
-pub use serve::{serve, ExplainFn, ServeHandle};
+pub use serve::{serve, ExplainFn, Routes, ServeHandle};
 pub use snapshot::{HistogramSnapshot, KeyedSnapshot, Snapshot};
 pub use span::{Event, EventLog, SpanGuard};
 pub use trace::{

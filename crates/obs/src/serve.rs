@@ -7,6 +7,13 @@
 //!   process-global registry snapshot, per-shard series as `shard="i"`
 //!   labels;
 //! - `GET /snapshot` — the same snapshot as JSON (what `pulse_top` polls);
+//! - `GET /health` — the rule evaluator's verdict as JSON: `200` with
+//!   `"verdict": "ok"` when no alert rule is firing, `503` with
+//!   `"verdict": "degraded"` plus the firing rules otherwise. Each request
+//!   is one evaluation of the sustained-duration rules (see
+//!   [`crate::health`]) — poll it to give "sustained" meaning;
+//! - `GET /profile` — the violation-path profiler's self-normalizing phase
+//!   breakdown as JSON (see [`crate::prof`]);
 //! - `GET /explain?key=K&t0=A&t1=B` — the flight recorder's provenance
 //!   tree for key `K` over stream-time `[A, B]`, as JSON. The handler is
 //!   injected by the host (e.g. a closure fanning the query to the owning
@@ -19,13 +26,43 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::health::{HealthEvaluator, Rule};
 
 /// Host-provided `/explain` handler: `(key, t0, t1)` → serialized JSON
 /// report, or `None` when the key/span has nothing to explain.
 pub type ExplainFn = Arc<dyn Fn(u64, f64, f64) -> Option<String> + Send + Sync>;
+
+/// What the listener serves beyond the always-on `/metrics`, `/snapshot`,
+/// `/health`, and `/profile`: the host wires `/explain` here and may
+/// replace the default health rule set.
+#[derive(Default)]
+pub struct Routes {
+    explain: Option<ExplainFn>,
+    health_rules: Option<Vec<Rule>>,
+}
+
+impl Routes {
+    pub fn new() -> Routes {
+        Routes::default()
+    }
+
+    /// Wires the `/explain` handler (otherwise that route answers 501).
+    pub fn with_explain(mut self, f: ExplainFn) -> Routes {
+        self.explain = Some(f);
+        self
+    }
+
+    /// Replaces [`crate::health::default_rules`] for this listener's
+    /// `/health` evaluator.
+    pub fn with_health_rules(mut self, rules: Vec<Rule>) -> Routes {
+        self.health_rules = Some(rules);
+        self
+    }
+}
 
 /// Running listener; dropping it stops the serving thread.
 pub struct ServeHandle {
@@ -51,18 +88,22 @@ impl Drop for ServeHandle {
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:9187`, port 0 for ephemeral) and serves
-/// until the returned handle is dropped. Pass `None` to disable `/explain`.
-pub fn serve(addr: &str, explain: Option<ExplainFn>) -> std::io::Result<ServeHandle> {
+/// until the returned handle is dropped. `Routes::new()` serves the four
+/// built-in endpoints with default health rules and no `/explain`.
+pub fn serve(addr: &str, routes: Routes) -> std::io::Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let thread = std::thread::Builder::new().name("pulse-obs-serve".into()).spawn(move || {
+        let health = Mutex::new(HealthEvaluator::new(
+            routes.health_rules.clone().unwrap_or_else(crate::health::default_rules),
+        ));
         while !stop2.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((mut conn, _)) => {
-                    let _ = handle_conn(&mut conn, explain.as_ref());
+                    let _ = handle_conn(&mut conn, routes.explain.as_ref(), &health);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -74,13 +115,18 @@ pub fn serve(addr: &str, explain: Option<ExplainFn>) -> std::io::Result<ServeHan
     Ok(ServeHandle { addr, stop, thread: Some(thread) })
 }
 
-fn handle_conn(conn: &mut TcpStream, explain: Option<&ExplainFn>) -> std::io::Result<()> {
+fn handle_conn(
+    conn: &mut TcpStream,
+    explain: Option<&ExplainFn>,
+    health: &Mutex<HealthEvaluator>,
+) -> std::io::Result<()> {
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(Duration::from_secs(2)))?;
     // Only the request line matters; read until the header terminator (or
     // 4 KiB) so well-behaved clients aren't cut off mid-request.
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 512];
+    let mut terminated = false;
     loop {
         let n = match conn.read(&mut chunk) {
             Ok(0) => break,
@@ -89,24 +135,46 @@ fn handle_conn(conn: &mut TcpStream, explain: Option<&ExplainFn>) -> std::io::Re
             Err(e) => return Err(e),
         };
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 4096 {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            terminated = true;
             break;
+        }
+        if buf.len() >= 4096 {
+            break;
+        }
+    }
+    if !terminated && !buf.is_empty() {
+        // Drain what the client is still sending (bounded) before replying:
+        // closing with unread bytes in the receive buffer makes the kernel
+        // send RST, which can discard the error response in flight.
+        conn.set_read_timeout(Some(Duration::from_millis(200)))?;
+        let mut drained = 0usize;
+        while drained < 1 << 20 {
+            match conn.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
         }
     }
     let request = String::from_utf8_lossy(&buf);
     let line = request.lines().next().unwrap_or("");
     let mut parts = line.split_whitespace();
     let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, ctype, body) = if method != "GET" {
+    let (status, ctype, body) = if !terminated {
+        (400, "text/plain", "request too large (no header terminator in 4096 bytes)\n".into())
+    } else if method != "GET" {
         (405, "text/plain", "method not allowed\n".to_string())
+    } else if !target.starts_with('/') {
+        (400, "text/plain", "malformed request line\n".to_string())
     } else {
-        route(target, explain)
+        route(target, explain, health)
     };
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Not Implemented",
     };
     let resp = format!(
@@ -116,7 +184,11 @@ fn handle_conn(conn: &mut TcpStream, explain: Option<&ExplainFn>) -> std::io::Re
     conn.write_all(resp.as_bytes())
 }
 
-fn route(target: &str, explain: Option<&ExplainFn>) -> (u16, &'static str, String) {
+fn route(
+    target: &str,
+    explain: Option<&ExplainFn>,
+    health: &Mutex<HealthEvaluator>,
+) -> (u16, &'static str, String) {
     let (path, query) = target.split_once('?').unwrap_or((target, ""));
     match path {
         "/metrics" => (
@@ -125,6 +197,12 @@ fn route(target: &str, explain: Option<&ExplainFn>) -> (u16, &'static str, Strin
             crate::global().snapshot().to_prometheus(),
         ),
         "/snapshot" => (200, "application/json", crate::global().snapshot().to_json()),
+        "/health" => {
+            let report = health.lock().unwrap_or_else(|p| p.into_inner()).evaluate_global();
+            let status = if report.ok() { 200 } else { 503 };
+            (status, "application/json", report.to_json())
+        }
+        "/profile" => (200, "application/json", crate::prof::profile_json()),
         "/explain" => {
             let Some(explain) = explain else {
                 return (501, "text/plain", "explain is not wired on this process\n".into());
@@ -137,7 +215,7 @@ fn route(target: &str, explain: Option<&ExplainFn>) -> (u16, &'static str, Strin
                 None => (404, "application/json", "{\"error\":\"nothing to explain\"}".into()),
             }
         }
-        _ => (404, "text/plain", "try /metrics, /snapshot or /explain\n".into()),
+        _ => (404, "text/plain", "try /metrics, /snapshot, /health, /profile or /explain\n".into()),
     }
 }
 
@@ -170,13 +248,21 @@ mod tests {
         out
     }
 
+    fn raw(addr: SocketAddr, bytes: &[u8]) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(bytes).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
     #[test]
     fn serves_metrics_snapshot_and_explain() {
         crate::global().counter("serve.test.hits").set(3);
         let explain: ExplainFn = Arc::new(|key, t0, t1| {
             (key == 7).then(|| format!("{{\"key\":{key},\"t0\":{t0},\"t1\":{t1}}}"))
         });
-        let h = serve("127.0.0.1:0", Some(explain)).expect("bind");
+        let h = serve("127.0.0.1:0", Routes::new().with_explain(explain)).expect("bind");
         let addr = h.addr();
 
         let metrics = get(addr, "/metrics");
@@ -195,6 +281,100 @@ mod tests {
         assert!(get(addr, "/explain?bogus=1").starts_with("HTTP/1.1 400"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
         drop(h); // must join cleanly
+    }
+
+    #[test]
+    fn serves_health_and_profile() {
+        // An isolated rule set that never fires keeps this test independent
+        // of whatever other tests put in the global registry.
+        let quiet =
+            vec![Rule::new("never", crate::health::Signal::QueueDepthMax, f64::INFINITY, 1)];
+        let h = serve("127.0.0.1:0", Routes::new().with_health_rules(quiet)).expect("bind");
+        let health = get(h.addr(), "/health");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"verdict\": \"ok\""), "{health}");
+        assert!(health.contains("\"rules\""), "{health}");
+        let profile = get(h.addr(), "/profile");
+        assert!(profile.starts_with("HTTP/1.1 200"), "{profile}");
+        assert!(profile.contains("\"phases\""), "{profile}");
+        assert!(profile.contains("\"remodel_fit\""), "{profile}");
+    }
+
+    #[test]
+    fn health_flips_to_503_when_rule_fires() {
+        // Drive the real queue-depth gauge family through a label no other
+        // test uses; sustain=1 so one poll per state suffices.
+        let depth =
+            crate::global().counter(&crate::labeled("shard.queue_depth", &[("shard", "t503")]));
+        depth.set(0);
+        let rules = vec![Rule::new("test_saturated", crate::health::Signal::QueueDepthMax, 4.0, 1)];
+        let h = serve("127.0.0.1:0", Routes::new().with_health_rules(rules)).expect("bind");
+        let ok = get(h.addr(), "/health");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        depth.set(4);
+        let degraded = get(h.addr(), "/health");
+        assert!(degraded.starts_with("HTTP/1.1 503"), "{degraded}");
+        assert!(degraded.contains("\"verdict\": \"degraded\""), "{degraded}");
+        assert!(degraded.contains("test_saturated"), "{degraded}");
+        depth.set(0);
+        let recovered = get(h.addr(), "/health");
+        assert!(recovered.starts_with("HTTP/1.1 200"), "{recovered}");
+    }
+
+    #[test]
+    fn error_paths_malformed_oversized_and_bad_method() {
+        let h = serve("127.0.0.1:0", Routes::new()).expect("bind");
+        let addr = h.addr();
+
+        // Malformed request line: target without a leading slash.
+        let bad = raw(addr, b"GET metrics HTTP/1.1\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let garbage = raw(addr, b"garbage\r\n\r\n");
+        assert!(
+            garbage.starts_with("HTTP/1.1 400") || garbage.starts_with("HTTP/1.1 405"),
+            "{garbage}"
+        );
+
+        // Unknown route → 404 with a hint.
+        let nf = get(addr, "/definitely-not-a-route");
+        assert!(nf.starts_with("HTTP/1.1 404"), "{nf}");
+        assert!(nf.contains("/health"), "404 body lists routes: {nf}");
+
+        // Non-GET → 405.
+        let post = raw(addr, b"POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+        // Oversized request: 8 KiB with no header terminator → 400.
+        let mut big = Vec::from(&b"GET /metrics HTTP/1.1\r\n"[..]);
+        while big.len() < 8192 {
+            big.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        let over = raw(addr, &big);
+        assert!(over.starts_with("HTTP/1.1 400"), "{over}");
+        assert!(over.contains("too large"), "{over}");
+    }
+
+    #[test]
+    fn concurrent_requests_all_answered() {
+        crate::global().counter("serve.test.concurrent").set(1);
+        let h = serve("127.0.0.1:0", Routes::new()).expect("bind");
+        let addr = h.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let target = match i % 3 {
+                        0 => "/metrics",
+                        1 => "/snapshot",
+                        _ => "/profile",
+                    };
+                    get(addr, target)
+                })
+            })
+            .collect();
+        for t in threads {
+            let resp = t.join().expect("client thread");
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        }
     }
 
     #[test]

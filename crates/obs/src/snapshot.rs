@@ -119,6 +119,38 @@ impl Snapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// Whether a counter name belongs to family `base`: either the exact
+    /// name or a labeled variant `base{…}` (see [`crate::labeled`]).
+    fn in_family(name: &str, base: &str) -> bool {
+        name == base || (name.starts_with(base) && name[base.len()..].starts_with('{'))
+    }
+
+    /// All counters of family `base` as `(label_block_or_name, value)`
+    /// pairs — the per-shard series of one logical gauge.
+    pub fn family_values(&self, base: &str) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| Self::in_family(n, base))
+            .map(|(n, v)| (n.clone(), *v))
+            .collect()
+    }
+
+    /// Sum of a counter family across its label variants.
+    pub fn family_sum(&self, base: &str) -> u64 {
+        self.counters.iter().filter(|(n, _)| Self::in_family(n, base)).map(|(_, v)| v).sum()
+    }
+
+    /// Maximum of a counter family across its label variants (0 when the
+    /// family is absent).
+    pub fn family_max(&self, base: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| Self::in_family(n, base))
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// This snapshot minus an `earlier` one: counter and histogram
     /// differences (metrics absent earlier count from zero). The basis of
     /// rate views and per-phase accounting.
@@ -426,6 +458,21 @@ mod tests {
         let table = s.to_table();
         assert!(table.contains("a.in"), "{table}");
         assert!(table.contains("viol (total 3)"), "{table}");
+    }
+
+    #[test]
+    fn family_helpers_merge_label_variants() {
+        let reg = MetricsRegistry::new();
+        reg.counter("shard.queue_depth").set(2);
+        reg.counter(&crate::labeled("shard.queue_depth", &[("shard", "0")])).set(3);
+        reg.counter(&crate::labeled("shard.queue_depth", &[("shard", "1")])).set(7);
+        reg.counter("shard.queue_depth_max").set(99); // different family
+        let s = reg.snapshot();
+        assert_eq!(s.family_sum("shard.queue_depth"), 12);
+        assert_eq!(s.family_max("shard.queue_depth"), 7);
+        assert_eq!(s.family_values("shard.queue_depth").len(), 3);
+        assert_eq!(s.family_sum("absent.metric"), 0);
+        assert_eq!(s.family_max("absent.metric"), 0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl EventLog {
         }
     }
 
-    pub fn push(&self, name: &'static str, key: Option<u64>, ns: u64) {
+    pub fn push(&self, name: impl Into<String>, key: Option<u64>, ns: u64) {
         let mut g = self.buf.lock().unwrap();
         let cap = g.1;
         if cap == 0 {
@@ -57,7 +57,7 @@ impl EventLog {
             g.0.pop_front();
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        g.0.push_back(Event { seq, name: name.to_string(), key, ns });
+        g.0.push_back(Event { seq, name: name.into(), key, ns });
     }
 
     /// Oldest-first copy of the retained events.

@@ -173,12 +173,16 @@ pub struct Tracer {
     /// Current causal scope: events emitted via [`Self::emit_scoped`]
     /// (operator-level events inside a solve) parent onto this id.
     scope: u64,
+    /// Violation-path phase attribution (see [`crate::prof`]). Rides on the
+    /// tracer because the tracer already has the right ownership story:
+    /// exactly one per runtime, touched only from its driving thread.
+    phases: crate::prof::PhaseTable,
 }
 
 impl Tracer {
     /// A recording tracer holding at most `cap` events.
     pub fn ring(cap: usize) -> Self {
-        Tracer { ring: VecDeque::new(), cap, scope: 0 }
+        Tracer { ring: VecDeque::new(), cap, scope: 0, phases: Default::default() }
     }
 
     /// The no-op tracer: never records, never allocates.
@@ -217,6 +221,25 @@ impl Tracer {
     /// Sets the causal scope for subsequent [`Self::emit_scoped`] calls.
     pub fn set_scope(&mut self, id: u64) {
         self.scope = id;
+    }
+
+    /// The accumulated violation-path phase table.
+    pub fn phases(&self) -> &crate::prof::PhaseTable {
+        &self.phases
+    }
+
+    /// Mutable access for direct recording (e.g. piggybacking an
+    /// already-measured duration instead of taking fresh timestamps).
+    pub fn phases_mut(&mut self) -> &mut crate::prof::PhaseTable {
+        &mut self.phases
+    }
+
+    /// Closes a phase measurement opened with [`crate::prof::start`]:
+    /// attributes the elapsed time to `phase`. No-op when profiling was off
+    /// at the open (`t0 == None`).
+    #[inline]
+    pub fn prof(&mut self, t0: Option<std::time::Instant>, phase: crate::prof::Phase) {
+        self.phases.record_since(t0, phase);
     }
 
     /// Events currently retained, oldest first.

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo health gate: formatting, lints, the full test suite, the bounded
-# differential-fuzz stage, a live /metrics scrape of a 4-shard scaling
-# run, and the observability overhead gate (obs_bench min-of-batches
-# delta; the criterion bench `cargo bench -p pulse-bench --bench
-# obs_overhead` gives distributions for humans on a quiet machine).
+# differential-fuzz stage, a live /metrics + /health + /profile scrape of
+# a 4-shard scaling run, and the observability overhead gates (obs_bench
+# min-of-batches deltas for metrics, profiler-on suppressed path, and the
+# profiler's violation-path percentage; the criterion bench `cargo bench
+# -p pulse-bench --bench obs_overhead` gives distributions for humans on
+# a quiet machine).
 #
 # `./scripts/check.sh soak` raises the differential-fuzz budget to 1024
 # generated cases; PULSE_QA_CASES overrides either default explicitly.
@@ -28,15 +30,21 @@ PULSE_QA_CASES="$qa_cases" cargo test -p pulse-qa -q
 echo "== cargo build --release --bins --benches"
 cargo build --release --workspace --bins --benches
 
-echo "== scaling smoke (4-shard sweep) with live /metrics scrape"
+echo "== scaling smoke (4-shard sweep) with live /metrics + /health + /profile scrape"
 PULSE_SCALING_SMOKE=1 PULSE_SCALING_SHARDS=4 \
 PULSE_SERVE_ADDR=127.0.0.1:9187 PULSE_SERVE_LINGER=6 \
   ./target/release/scaling &
 scaling_pid=$!
-metrics=""
+metrics="" health="" profile=""
 for _ in $(seq 1 60); do
   metrics=$(curl -sf --max-time 2 http://127.0.0.1:9187/metrics || true)
-  [[ "$metrics" == *'pulse_runtime_tuples_in{shard="'* ]] && break
+  # No -f: /health legitimately answers 503 while shards are saturated,
+  # and a degraded verdict is still a healthy serving surface.
+  health=$(curl -s --max-time 2 http://127.0.0.1:9187/health || true)
+  profile=$(curl -sf --max-time 2 http://127.0.0.1:9187/profile || true)
+  [[ "$metrics" == *'pulse_runtime_tuples_in{shard="'* \
+     && "$health" == *'"verdict"'* \
+     && "$profile" == *'"phases"'* ]] && break
   sleep 0.25
 done
 wait "$scaling_pid"
@@ -44,9 +52,17 @@ if [[ "$metrics" != *'pulse_runtime_tuples_in{shard="'* ]]; then
   echo "FAIL: live /metrics scrape returned no per-shard labelled series" >&2
   exit 1
 fi
-echo "live /metrics scrape OK (per-shard labelled series present)"
+if [[ "$health" != *'"verdict"'* ]]; then
+  echo "FAIL: live /health scrape returned no verdict" >&2
+  exit 1
+fi
+if [[ "$profile" != *'"phases"'* ]]; then
+  echo "FAIL: live /profile scrape returned no phase breakdown" >&2
+  exit 1
+fi
+echo "live /metrics + /health + /profile scrape OK"
 
-echo "== observability overhead gate (suppressed fast path)"
+echo "== observability overhead gates (suppressed fast path + profiler postures)"
 PULSE_OBS_GATE=1 ./target/release/obs_bench
 
 echo "All checks passed."
