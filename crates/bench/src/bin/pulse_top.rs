@@ -1,9 +1,9 @@
-//! `top` for a live Pulse process: polls the `/snapshot`, `/health` and
-//! `/profile` endpoints of a serving runtime (see `PULSE_SERVE_ADDR` in
-//! the scaling bench) and renders throughput, violation rate, solver
-//! latency percentiles, per-shard load skew, the health verdict with any
-//! firing alert rules, and the violation-path phase breakdown, refreshed
-//! in place.
+//! `top` for a live Pulse process: polls the `/snapshot`, `/timeseries`,
+//! `/health` and `/profile` endpoints of a serving runtime (see
+//! `PULSE_SERVE_ADDR` in the scaling bench) and renders throughput,
+//! violation rate, sparkline history panes, solver latency percentiles,
+//! per-shard load skew, the health verdict with any firing alert rules,
+//! and the violation-path phase breakdown, refreshed in place.
 //!
 //! Usage: `pulse_top [--addr 127.0.0.1:9187] [--interval 2] [--once]`.
 //! `--once` prints a single snapshot (totals, no rates) and exits — handy
@@ -124,6 +124,66 @@ fn render_histograms(snapshot: &Value, out: &mut String) {
     }
 }
 
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(vals: &[f64]) -> String {
+    let (min, max) = vals
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(*v), hi.max(*v)));
+    if !min.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-9);
+    vals.iter().map(|v| SPARKS[(((v - min) / span) * 7.0).round() as usize]).collect()
+}
+
+/// History pane: sparklines over the server's `/timeseries` ring history
+/// (fed by the collector tick, so it covers the whole run — not just the
+/// interval between two polls). Counter families are cumulative, so the
+/// pane charts per-sample deltas; histogram-derived percentile series
+/// chart raw. Servers without the route just drop the pane.
+fn render_history(addr: &str, out: &mut String) {
+    let specs = [
+        ("runtime.tuples_in", true),
+        ("runtime.violations", true),
+        ("runtime.outputs", true),
+        ("runtime.solve_ns.p99_ns", false),
+    ];
+    let mut pane = String::new();
+    for (metric, is_counter) in specs {
+        let Some(doc) = http_get(addr, &format!("/timeseries?metric={metric}&last=33"))
+            .ok()
+            .and_then(|b| serde_json::parse_value(&b).ok())
+        else {
+            continue;
+        };
+        let Some(points) = doc.get("points").and_then(Value::as_array) else { continue };
+        let mut vals: Vec<f64> = points
+            .iter()
+            .filter_map(|p| p.as_array().and_then(|xy| xy.get(1)).and_then(Value::as_f64))
+            .collect();
+        if is_counter {
+            // Ticks are evenly spaced while a phase runs, so the delta
+            // series is a rate up to a constant factor.
+            vals = vals.windows(2).map(|w| (w[1] - w[0]).max(0.0)).collect();
+        }
+        if vals.len() < 2 {
+            continue;
+        }
+        let unit = if is_counter { "/tick" } else { " ns" };
+        pane.push_str(&format!(
+            "{metric:<26} {:>32} {:>10.0}{unit}\n",
+            sparkline(&vals),
+            vals.last().copied().unwrap_or(0.0),
+        ));
+    }
+    if !pane.is_empty() {
+        out.push_str("\nhistory (oldest → newest, one cell per collector tick)\n");
+        out.push_str(&pane);
+    }
+}
+
 /// Health pane: verdict, firing rules, and the derived signals the rules
 /// evaluate. `/health` answers 503 when degraded, but the JSON body is the
 /// same shape either way — the verdict field carries the state.
@@ -227,6 +287,7 @@ fn render(
             if mean > 0.0 { max / mean } else { 0.0 }
         ));
     }
+    render_history(addr, &mut out);
     render_health(health, &mut out);
     render_phases(profile, &mut out);
     render_histograms(snapshot, &mut out);

@@ -21,12 +21,19 @@
 //!
 //! Env knobs: `PULSE_SCALING_TUPLES`, `PULSE_SCALING_SYMBOLS`,
 //! `PULSE_SCALING_SHARDS` (comma-separated), `PULSE_SCALING_SMOKE=1` for a
-//! seconds-long CI smoke run.
+//! seconds-long CI smoke run, `PULSE_SCALING_REPS=N` to run every
+//! configuration N times and report the median-duration rep (what the
+//! `bench_diff` regression gate compares — single runs on a shared/1-core
+//! CI box swing far more than any real perf change), and
+//! `PULSE_SCALING_COVERAGE_FLOOR` to relax the phase-coverage assertion
+//! for runs measured under deliberate scrape contention.
 //!
 //! Set `PULSE_SERVE_ADDR=127.0.0.1:9187` to expose `/metrics`, `/snapshot`,
-//! `/explain`, `/health` and `/profile` over HTTP while the sweep runs
-//! (sharded phases publish per-shard labelled counters every ~25k tuples
-//! and answer explain queries via the owning shard);
+//! `/timeseries`, `/watch`, `/trace.json`, `/explain`, `/health` and
+//! `/profile` over HTTP while the sweep runs (phases tick the collector
+//! every [`PUBLISH_EVERY`] tuples, feeding both the labelled counters and
+//! the time-series history; `/trace.json` renders the live sharded
+//! runtime's flight-recorder rings as a Perfetto-loadable Chrome trace);
 //! `PULSE_SERVE_LINGER=<secs>` keeps the listener up after the sweep so
 //! scrapers (CI curl, `pulse_top`) have a stable window.
 
@@ -42,6 +49,15 @@ use std::time::Instant;
 /// The `/explain` endpoint's route to whichever sharded runtime is live:
 /// each sharded phase installs its handle, and clears it before finishing.
 type ExplainSlot = Arc<Mutex<Option<ExplainHandle>>>;
+
+/// Shared state behind the serving routes. `trace_cache` holds the last
+/// completed sharded phase's rendered Chrome trace, so `/trace.json`
+/// stays answerable between phases and through the linger window (the
+/// live handle can't serve once its runtime finishes).
+struct ServeCtx {
+    slot: ExplainSlot,
+    trace_cache: Arc<Mutex<Option<String>>>,
+}
 
 struct Knobs {
     tuples: usize,
@@ -111,6 +127,12 @@ fn config() -> RuntimeConfig {
 
 #[derive(serde::Serialize)]
 struct Row {
+    /// `"single"` (no channels, no worker threads — the pre-sharding
+    /// baseline) or `"sharded"`. `shards` is honest under both: the
+    /// single-threaded reference runs on exactly one runtime, so it
+    /// reports 1, distinguished from `{"mode": "sharded", "shards": 1}`
+    /// (one worker behind a channel) by `mode` alone.
+    mode: &'static str,
     shards: usize,
     tuples_per_sec: f64,
     ns_per_tuple: f64,
@@ -122,9 +144,24 @@ struct Row {
     phases: pulse_obs::PhaseBreakdown,
 }
 
+/// The whole sweep with its workload parameters, so `bench_diff` only
+/// compares runs of the same workload.
+#[derive(serde::Serialize)]
+struct Report {
+    tuples: usize,
+    symbols: usize,
+    rows: Vec<Row>,
+}
+
+/// Tuples between collector ticks when serving: at benchmark rates this
+/// lands many `/timeseries` samples per second and per phase, dense
+/// enough that even the 20k-tuple smoke run records a real history.
+const PUBLISH_EVERY: usize = 2_500;
+
 fn single_threaded(
     lp: &pulse_stream::LogicalPlan,
     tuples: &[Tuple],
+    publish: bool,
 ) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
     let merged = merge_feeds(&[(0, tuples)]);
     let mut rt = PulseRuntime::with_predictors(
@@ -139,6 +176,12 @@ fn single_threaded(
         if i % 50_000 == 0 {
             rt.gc_before(t.ts - 50.0);
         }
+        if publish && i % PUBLISH_EVERY == 0 {
+            rt.publish_metrics();
+        }
+    }
+    if publish {
+        rt.publish_metrics();
     }
     let secs = start.elapsed().as_secs_f64();
     (secs, rt.stats(), *rt.phases())
@@ -148,14 +191,14 @@ fn sharded(
     lp: &pulse_stream::LogicalPlan,
     tuples: &[Tuple],
     shards: usize,
-    slot: Option<&ExplainSlot>,
+    ctx: Option<&ServeCtx>,
 ) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
     let merged = merge_feeds(&[(0, tuples)]);
     let mut rt =
         ShardedRuntime::new(vec![Predictor::AdaptiveLinear(nyse::schema())], lp, config(), shards)
             .expect("MACD is key-partitionable");
-    if let Some(slot) = slot {
-        *slot.lock().unwrap() = Some(rt.explain_handle());
+    if let Some(ctx) = ctx {
+        *ctx.slot.lock().unwrap() = Some(rt.explain_handle());
     }
     let start = Instant::now();
     for (i, (src, t)) in merged.iter().enumerate() {
@@ -164,14 +207,20 @@ fn sharded(
             rt.gc_before(t.ts - 50.0);
         }
         // Live scrape support: refresh the per-shard labelled counters in
-        // the global registry a few times a second at benchmark rates.
-        if slot.is_some() && i % 25_000 == 0 {
+        // the global registry (and the time-series history behind
+        // `/timeseries`) many times a second at benchmark rates.
+        if ctx.is_some() && i % PUBLISH_EVERY == 0 {
             rt.publish_metrics();
         }
     }
-    if let Some(slot) = slot {
+    if let Some(ctx) = ctx {
         rt.publish_metrics();
-        *slot.lock().unwrap() = None;
+        // Snapshot the full rings while the workers are still alive, so
+        // `/trace.json` keeps answering after this phase finishes.
+        let rings = rt.trace_events();
+        *ctx.trace_cache.lock().unwrap() =
+            Some(pulse_obs::chrome_trace(rings.iter().map(|(s, evs)| (*s, evs.as_slice()))));
+        *ctx.slot.lock().unwrap() = None;
     }
     let run = rt.finish();
     let secs = start.elapsed().as_secs_f64();
@@ -180,11 +229,10 @@ fn sharded(
 
 fn row(
     label: &str,
+    mode: &'static str,
     shards: usize,
-    secs: f64,
     n: usize,
-    stats: &RuntimeStats,
-    phases: &pulse_obs::PhaseTable,
+    (secs, stats, phases): &(f64, RuntimeStats, pulse_obs::PhaseTable),
     measured_violation_ns: u64,
 ) -> Row {
     // Coverage: profiled phase time over the wall-clock the
@@ -196,6 +244,7 @@ fn row(
         phases.violation_ns() as f64 / measured_violation_ns as f64
     };
     let r = Row {
+        mode,
         shards,
         tuples_per_sec: n as f64 / secs,
         ns_per_tuple: secs * 1e9 / n as f64,
@@ -213,12 +262,32 @@ fn row(
         r.phase_coverage * 100.0,
     );
     assert!(r.outputs > 0, "{label}: workload produced no outputs — window/duration mismatch");
+    // The default floor is 0.9; scrape-contended CI smoke runs (curl
+    // loops stealing the only core mid-phase) may relax it via env.
+    let floor = std::env::var("PULSE_SCALING_COVERAGE_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.9);
     assert!(
-        r.phase_coverage >= 0.9,
+        r.phase_coverage >= floor,
         "{label}: phase table attributes only {:.1}% of measured violation-path time",
         r.phase_coverage * 100.0,
     );
     r
+}
+
+/// Runs one configuration `reps` times and keeps the median-duration
+/// rep. Stats, phases and the independently-measured violation time all
+/// come from that same run, so every derived column stays mutually
+/// consistent; the median kills the scheduler outliers that dominate
+/// single-run timings on shared machines.
+fn median_rep(
+    reps: usize,
+    mut run: impl FnMut() -> ((f64, RuntimeStats, pulse_obs::PhaseTable), u64),
+) -> ((f64, RuntimeStats, pulse_obs::PhaseTable), u64) {
+    let mut all: Vec<_> = (0..reps.max(1)).map(|_| run()).collect();
+    all.sort_by(|a, b| a.0 .0.total_cmp(&b.0 .0));
+    all.swap_remove(all.len() / 2)
 }
 
 /// Delta of the global `runtime.violation_path_ns` histogram sum across a
@@ -235,19 +304,41 @@ fn with_measured_violation_ns<T>(f: impl FnOnce() -> T) -> (T, u64) {
 /// listener handle plus the slot sharded phases publish their explain
 /// handle into. Turns tracing on — a served run is an observed run by
 /// definition (metrics and the profiler are already on for every sweep).
-fn maybe_serve() -> Option<(pulse_obs::ServeHandle, ExplainSlot)> {
+fn maybe_serve() -> Option<(pulse_obs::ServeHandle, ServeCtx)> {
     let addr = std::env::var("PULSE_SERVE_ADDR").ok()?;
     pulse_obs::set_trace_enabled(true);
     let slot: ExplainSlot = Arc::new(Mutex::new(None));
+    let trace_cache: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
     let route = slot.clone();
     let explain: pulse_obs::ExplainFn = Arc::new(move |key, t0, t1| {
         let handle = route.lock().unwrap().clone()?;
         handle.explain(key, t0, t1).map(|r| r.to_json())
     });
-    let h = pulse_obs::serve(&addr, pulse_obs::Routes::new().with_explain(explain))
-        .expect("bind PULSE_SERVE_ADDR");
-    println!("serving /metrics, /snapshot, /explain, /health, /profile on http://{}", h.addr());
-    Some((h, slot))
+    // `/trace.json` drains the live runtime's flight-recorder rings into
+    // Chrome Trace Event JSON — open the URL in Perfetto while the sweep
+    // runs (or during the linger window, served from the last completed
+    // phase's snapshot) to see per-shard solve tracks.
+    let trace_route = slot.clone();
+    let cache = trace_cache.clone();
+    let trace: pulse_obs::TraceFn = Arc::new(move || {
+        if let Some(handle) = trace_route.lock().unwrap().clone() {
+            if let Some(rings) = handle.trace_events() {
+                let json =
+                    pulse_obs::chrome_trace(rings.iter().map(|(s, evs)| (*s, evs.as_slice())));
+                *cache.lock().unwrap() = Some(json.clone());
+                return Some(json);
+            }
+        }
+        cache.lock().unwrap().clone()
+    });
+    let h =
+        pulse_obs::serve(&addr, pulse_obs::Routes::new().with_explain(explain).with_trace(trace))
+            .expect("bind PULSE_SERVE_ADDR");
+    println!(
+        "serving /metrics, /snapshot, /timeseries, /watch, /trace.json, /explain, /health, /profile on http://{}",
+        h.addr()
+    );
+    Some((h, ServeCtx { slot, trace_cache }))
 }
 
 fn main() {
@@ -268,27 +359,24 @@ fn main() {
         k.shards
     );
 
-    // Shard count 0 denotes the single-threaded reference (no channels,
-    // no worker thread) — the pre-sharding baseline.
-    let ((st_secs, st_stats, st_phases), st_viol_ns) =
-        with_measured_violation_ns(|| single_threaded(&lp, &tuples));
-    let mut rows =
-        vec![row("single-threaded", 0, st_secs, tuples.len(), &st_stats, &st_phases, st_viol_ns)];
+    let reps = env_usize("PULSE_SCALING_REPS", 1);
+    let (st_run, st_viol_ns) = median_rep(reps, || {
+        with_measured_violation_ns(|| single_threaded(&lp, &tuples, serve.is_some()))
+    });
+    let mut rows = vec![row("single-threaded", "single", 1, tuples.len(), &st_run, st_viol_ns)];
     for &s in &k.shards {
-        let ((secs, stats, phases), viol_ns) = with_measured_violation_ns(|| {
-            sharded(&lp, &tuples, s, serve.as_ref().map(|(_, slot)| slot))
+        let (run, viol_ns) = median_rep(reps, || {
+            with_measured_violation_ns(|| {
+                sharded(&lp, &tuples, s, serve.as_ref().map(|(_, ctx)| ctx))
+            })
         });
-        assert_eq!(stats.tuples_in, tuples.len() as u64);
-        rows.push(row(&format!("{s} shard(s)"), s, secs, tuples.len(), &stats, &phases, viol_ns));
+        assert_eq!(run.1.tuples_in, tuples.len() as u64);
+        rows.push(row(&format!("{s} shard(s)"), "sharded", s, tuples.len(), &run, viol_ns));
     }
 
-    if let Some(r4) = rows.iter().find(|r| r.shards == 4) {
-        println!(
-            "speedup at 4 shards vs 1 shard: {:.2}x",
-            rows.iter()
-                .find(|r| r.shards == 1)
-                .map_or(f64::NAN, |r1| r1.ns_per_tuple / r4.ns_per_tuple)
-        );
+    let sharded_at = |n: usize| rows.iter().find(|r| r.mode == "sharded" && r.shards == n);
+    if let (Some(r1), Some(r4)) = (sharded_at(1), sharded_at(4)) {
+        println!("speedup at 4 shards vs 1 shard: {:.2}x", r1.ns_per_tuple / r4.ns_per_tuple);
     }
 
     // Smoke runs (CI) land in target/ so they never clobber the tracked
@@ -299,11 +387,12 @@ fn main() {
     } else {
         format!("{root}/BENCH_scaling.json")
     };
-    let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+    let report = Report { tuples: tuples.len(), symbols: k.symbols, rows };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&path, json).expect("write scaling results");
     println!("wrote {path}");
 
-    if let Some((handle, _slot)) = serve {
+    if let Some((handle, _ctx)) = serve {
         let linger = env_usize("PULSE_SERVE_LINGER", 0);
         if linger > 0 {
             println!("lingering {linger}s on http://{} for scrapers", handle.addr());

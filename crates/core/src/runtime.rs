@@ -549,6 +549,26 @@ impl PulseRuntime {
         &self.tracer
     }
 
+    /// A copy of the flight recorder's retained events, oldest first —
+    /// what [`pulse_obs::chrome_trace`] turns into a Perfetto-loadable
+    /// trace. Empty when tracing was off.
+    pub fn trace_events(&self) -> Vec<pulse_obs::TraceEvent> {
+        self.tracer.events().cloned().collect()
+    }
+
+    /// The periodic collector tick: exports current totals into the
+    /// global registry and appends one sample of every metric (counters
+    /// plus histogram percentiles) to the global time-series store. A
+    /// no-op when observability is disabled, and never called from the
+    /// per-tuple path — history costs nothing on the suppressed path.
+    pub fn publish_metrics(&self) {
+        if !pulse_obs::enabled() {
+            return;
+        }
+        self.export_metrics(pulse_obs::global());
+        pulse_obs::timeseries::store().sample(&pulse_obs::global().snapshot());
+    }
+
     /// The violation-path phase table (empty unless profiling was on, see
     /// [`pulse_obs::set_prof_enabled`]).
     pub fn phases(&self) -> &pulse_obs::PhaseTable {

@@ -26,7 +26,7 @@ use crate::runtime::{Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 use crate::validate::ValidatorStats;
 use crossbeam::channel::{bounded, Sender};
 use pulse_model::{Segment, Tuple};
-use pulse_obs::{ExplainReport, PhaseTable};
+use pulse_obs::{ExplainReport, PhaseTable, TraceEvent};
 use pulse_stream::{LogicalPlan, OpMetrics, PartitionViolation};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,6 +86,10 @@ enum Msg {
     /// `shard="i"` label (live scrape support; end-of-run export happens
     /// unconditionally at channel close).
     Export,
+    /// Copy the worker's flight-recorder ring back over `reply` (the
+    /// `/trace.json` export path — like `Explain`, the single-writer ring
+    /// is only read on its owning thread).
+    Trace { reply: Sender<Vec<TraceEvent>> },
     /// Stop the worker loop even though sender clones (e.g. an
     /// [`ExplainHandle`]) may still be alive.
     Shutdown,
@@ -103,6 +107,7 @@ impl std::fmt::Debug for Msg {
                 .field("t1", t1)
                 .finish_non_exhaustive(),
             Msg::Export => f.write_str("Export"),
+            Msg::Trace { .. } => f.write_str("Trace"),
             Msg::Shutdown => f.write_str("Shutdown"),
         }
     }
@@ -239,6 +244,9 @@ impl ShardedRuntime {
                                     );
                                 }
                             }
+                            Msg::Trace { reply } => {
+                                let _ = reply.send(rt.trace_events());
+                            }
                             Msg::Shutdown => break,
                         }
                     }
@@ -316,11 +324,32 @@ impl ShardedRuntime {
     /// batches first so the export reflects every tuple routed so far;
     /// each worker exports when it drains to the message, so a scrape
     /// racing the export may see the previous publication.
+    ///
+    /// Doubles as the collector tick of the telemetry-history layer: one
+    /// sample of every global-registry metric lands in the time-series
+    /// store per call. The sample is taken router-side right after the
+    /// export messages are sent, so it may reflect the *previous*
+    /// publication for shards still draining — one tick of staleness,
+    /// consistent with the scrape behavior above.
     pub fn publish_metrics(&mut self) {
         for s in 0..self.txs.len() {
             self.flush(s);
             self.txs[s].send(Msg::Export).expect("shard worker alive");
         }
+        if pulse_obs::enabled() {
+            pulse_obs::timeseries::store().sample(&pulse_obs::global().snapshot());
+        }
+    }
+
+    /// Copies every shard's flight-recorder ring: `(shard, events)` pairs,
+    /// events oldest first. Flushes pending batches first so the rings
+    /// have seen every tuple routed before the call. Empty rings (tracing
+    /// off) come back empty rather than being skipped.
+    pub fn trace_events(&mut self) -> Vec<(u32, Vec<TraceEvent>)> {
+        for s in 0..self.txs.len() {
+            self.flush(s);
+        }
+        collect_trace_events(&self.txs).expect("shard worker alive")
     }
 
     /// Fans a provenance query to the shard owning `key` and blocks for
@@ -418,6 +447,25 @@ impl ExplainHandle {
         self.txs[s].send(Msg::Explain { key, t0, t1, reply: reply_tx }).ok()?;
         reply_rx.recv().ok()
     }
+
+    /// Copies every shard's flight-recorder ring (see
+    /// [`ShardedRuntime::trace_events`]). Reflects state as of the last
+    /// flushed batch; `None` once the runtime has shut down.
+    pub fn trace_events(&self) -> Option<Vec<(u32, Vec<TraceEvent>)>> {
+        collect_trace_events(&self.txs)
+    }
+}
+
+/// Fans a `Msg::Trace` to every shard and gathers the rings in shard
+/// order. `None` if any worker is gone.
+fn collect_trace_events(txs: &[Sender<Msg>]) -> Option<Vec<(u32, Vec<TraceEvent>)>> {
+    let mut out = Vec::with_capacity(txs.len());
+    for (i, tx) in txs.iter().enumerate() {
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(Msg::Trace { reply: reply_tx }).ok()?;
+        out.push((i as u32, reply_rx.recv().ok()?));
+    }
+    Some(out)
 }
 
 impl std::fmt::Debug for ExplainHandle {

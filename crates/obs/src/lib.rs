@@ -28,14 +28,17 @@
 //! pulse_obs::set_enabled(false);
 //! ```
 
+pub mod export;
 pub mod health;
 pub mod prof;
 mod registry;
 pub mod serve;
 mod snapshot;
 mod span;
+pub mod timeseries;
 pub mod trace;
 
+pub use export::chrome_trace;
 pub use health::{HealthEvaluator, HealthReport, Rule, Signal, Signals};
 pub use prof::{
     prof_enabled, set_prof_enabled, Phase, PhaseBreakdown, PhaseCost, PhaseTable, PHASE_COUNT,
@@ -44,9 +47,10 @@ pub use registry::{
     bucket_index, bucket_upper, labeled, Counter, HistTimer, Histogram, KeyedCounter,
     MetricsRegistry, BUCKETS,
 };
-pub use serve::{serve, ExplainFn, Routes, ServeHandle};
+pub use serve::{serve, ExplainFn, Routes, ServeHandle, TraceFn};
 pub use snapshot::{HistogramSnapshot, KeyedSnapshot, Snapshot};
 pub use span::{Event, EventLog, SpanGuard};
+pub use timeseries::{Point, TimeSeriesStore, TsConfig};
 pub use trace::{
     explain_from_events, set_trace_enabled, trace_enabled, ExplainReport, SolveTrace, TraceEvent,
     TraceKind, Tracer,

@@ -17,11 +17,24 @@
 //! - `GET /explain?key=K&t0=A&t1=B` — the flight recorder's provenance
 //!   tree for key `K` over stream-time `[A, B]`, as JSON. The handler is
 //!   injected by the host (e.g. a closure fanning the query to the owning
-//!   shard), keeping this crate decoupled from the runtime.
+//!   shard), keeping this crate decoupled from the runtime;
+//! - `GET /timeseries?metric=M&since=S` — telemetry history from the
+//!   process-global [`crate::timeseries`] store: the sampled series of
+//!   `M` (family-summed across `{shard="i"}` variants unless an exact
+//!   labeled name is given) from store-relative second `S`, as JSON.
+//!   `last=N` trims to the newest N points;
+//! - `GET /watch?interval_ms=I&metric=P&frames=N` — a Server-Sent-Events
+//!   live stream of registry counter deltas every `I` ms (`data: {...}`
+//!   frames, first frame carries current totals). Served from a
+//!   dedicated per-connection thread so a slow or idle watcher blocks
+//!   neither the accept loop nor the collector;
+//! - `GET /trace.json` — the flight recorder rings as Chrome Trace
+//!   Event JSON (see [`crate::export`]), host-injected like `/explain`.
 //!
 //! One request per connection, `Connection: close` — scrape endpoints do
 //! not need keep-alive, and the accept loop polls a stop flag so
-//! [`ServeHandle`] (and its `Drop`) can shut the listener down cleanly.
+//! [`ServeHandle`] (and its `Drop`) can shut the listener down cleanly
+//! (`/watch` streams run on detached threads and end with their client).
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,17 +44,24 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::health::{HealthEvaluator, Rule};
+use serde::Value;
 
 /// Host-provided `/explain` handler: `(key, t0, t1)` → serialized JSON
 /// report, or `None` when the key/span has nothing to explain.
 pub type ExplainFn = Arc<dyn Fn(u64, f64, f64) -> Option<String> + Send + Sync>;
 
-/// What the listener serves beyond the always-on `/metrics`, `/snapshot`,
-/// `/health`, and `/profile`: the host wires `/explain` here and may
-/// replace the default health rule set.
+/// Host-provided `/trace.json` handler: `()` → Chrome Trace Event JSON
+/// (see [`crate::export::chrome_trace`]), or `None` when no recorder is
+/// reachable (tracing off, shards gone).
+pub type TraceFn = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// What the listener serves beyond the always-on endpoints: the host
+/// wires `/explain` and `/trace.json` here and may replace the default
+/// health rule set.
 #[derive(Default)]
 pub struct Routes {
     explain: Option<ExplainFn>,
+    trace: Option<TraceFn>,
     health_rules: Option<Vec<Rule>>,
 }
 
@@ -53,6 +73,12 @@ impl Routes {
     /// Wires the `/explain` handler (otherwise that route answers 501).
     pub fn with_explain(mut self, f: ExplainFn) -> Routes {
         self.explain = Some(f);
+        self
+    }
+
+    /// Wires the `/trace.json` handler (otherwise that route answers 501).
+    pub fn with_trace(mut self, f: TraceFn) -> Routes {
+        self.trace = Some(f);
         self
     }
 
@@ -102,8 +128,8 @@ pub fn serve(addr: &str, routes: Routes) -> std::io::Result<ServeHandle> {
         ));
         while !stop2.load(Ordering::Relaxed) {
             match listener.accept() {
-                Ok((mut conn, _)) => {
-                    let _ = handle_conn(&mut conn, routes.explain.as_ref(), &health);
+                Ok((conn, _)) => {
+                    let _ = handle_conn(conn, &routes, &health);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -116,8 +142,8 @@ pub fn serve(addr: &str, routes: Routes) -> std::io::Result<ServeHandle> {
 }
 
 fn handle_conn(
-    conn: &mut TcpStream,
-    explain: Option<&ExplainFn>,
+    mut conn: TcpStream,
+    routes: &Routes,
     health: &Mutex<HealthEvaluator>,
 ) -> std::io::Result<()> {
     conn.set_nonblocking(false)?;
@@ -160,6 +186,18 @@ fn handle_conn(
     let line = request.lines().next().unwrap_or("");
     let mut parts = line.split_whitespace();
     let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    // `/watch` holds its connection open for the life of the stream, so it
+    // moves to a dedicated thread; everything else answers inline.
+    if terminated && method == "GET" {
+        let (path, query) = target.split_once('?').unwrap_or((target, ""));
+        if path == "/watch" {
+            let params = WatchParams::parse(query);
+            std::thread::Builder::new()
+                .name("pulse-obs-watch".into())
+                .spawn(move || stream_watch(conn, params))?;
+            return Ok(());
+        }
+    }
     let (status, ctype, body) = if !terminated {
         (400, "text/plain", "request too large (no header terminator in 4096 bytes)\n".into())
     } else if method != "GET" {
@@ -167,7 +205,7 @@ fn handle_conn(
     } else if !target.starts_with('/') {
         (400, "text/plain", "malformed request line\n".to_string())
     } else {
-        route(target, explain, health)
+        route(target, routes, health)
     };
     let reason = match status {
         200 => "OK",
@@ -186,7 +224,7 @@ fn handle_conn(
 
 fn route(
     target: &str,
-    explain: Option<&ExplainFn>,
+    routes: &Routes,
     health: &Mutex<HealthEvaluator>,
 ) -> (u16, &'static str, String) {
     let (path, query) = target.split_once('?').unwrap_or((target, ""));
@@ -203,8 +241,18 @@ fn route(
             (status, "application/json", report.to_json())
         }
         "/profile" => (200, "application/json", crate::prof::profile_json()),
+        "/timeseries" => timeseries_response(query),
+        "/trace.json" => {
+            let Some(trace) = routes.trace.as_ref() else {
+                return (501, "text/plain", "trace export is not wired on this process\n".into());
+            };
+            match trace() {
+                Some(json) => (200, "application/json", json),
+                None => (404, "application/json", "{\"error\":\"no trace recorded\"}".into()),
+            }
+        }
         "/explain" => {
-            let Some(explain) = explain else {
+            let Some(explain) = routes.explain.as_ref() else {
                 return (501, "text/plain", "explain is not wired on this process\n".into());
             };
             let Some((key, t0, t1)) = parse_explain_query(query) else {
@@ -215,7 +263,133 @@ fn route(
                 None => (404, "application/json", "{\"error\":\"nothing to explain\"}".into()),
             }
         }
-        _ => (404, "text/plain", "try /metrics, /snapshot, /health, /profile or /explain\n".into()),
+        _ => (
+            404,
+            "text/plain",
+            "try /metrics, /snapshot, /health, /profile, /timeseries, /watch, /trace.json or /explain\n"
+                .into(),
+        ),
+    }
+}
+
+/// `GET /timeseries?metric=M&since=S[&last=N]` against the global store.
+fn timeseries_response(query: &str) -> (u16, &'static str, String) {
+    let mut metric = None;
+    let mut since = 0.0f64;
+    let mut last = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("metric", v)) => metric = Some(v.to_string()),
+            Some(("since", v)) => match v.parse() {
+                Ok(s) => since = s,
+                Err(_) => return (400, "text/plain", "since must be a number\n".into()),
+            },
+            Some(("last", v)) => match v.parse() {
+                Ok(n) => last = Some(n),
+                Err(_) => return (400, "text/plain", "last must be an integer\n".into()),
+            },
+            _ => return (400, "text/plain", "usage: /timeseries?metric=M&since=S&last=N\n".into()),
+        }
+    }
+    let Some(metric) = metric else {
+        return (400, "text/plain", "usage: /timeseries?metric=M&since=S&last=N\n".into());
+    };
+    let store = crate::timeseries::store();
+    let mut points = store.series(&metric, since);
+    if let Some(n) = last {
+        if points.len() > n {
+            points.drain(..points.len() - n);
+        }
+    }
+    let body = serde_json::to_string(&Value::Object(vec![
+        ("metric".into(), Value::String(metric)),
+        ("now".into(), Value::F64(store.now())),
+        ("samples".into(), Value::U64(points.len() as u64)),
+        (
+            "points".into(),
+            Value::Array(
+                points
+                    .iter()
+                    .map(|p| Value::Array(vec![Value::F64(p.t), Value::F64(p.v)]))
+                    .collect(),
+            ),
+        ),
+    ]))
+    .expect("timeseries serialization is infallible");
+    (200, "application/json", body)
+}
+
+/// Parsed `/watch` parameters.
+struct WatchParams {
+    /// Milliseconds between frames (floor 10).
+    interval_ms: u64,
+    /// Counter-name prefix filter (empty = all).
+    metric: String,
+    /// Stop after this many frames; 0 = stream until the client hangs up.
+    frames: u64,
+}
+
+impl WatchParams {
+    fn parse(query: &str) -> WatchParams {
+        let mut p = WatchParams { interval_ms: 1000, metric: String::new(), frames: 0 };
+        for pair in query.split('&').filter(|s| !s.is_empty()) {
+            match pair.split_once('=') {
+                Some(("interval_ms", v)) => {
+                    p.interval_ms = v.parse().unwrap_or(1000).max(10);
+                }
+                Some(("metric", v)) => p.metric = v.to_string(),
+                Some(("frames", v)) => p.frames = v.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        p
+    }
+}
+
+/// The `/watch` SSE loop, run on its own thread: every interval, snapshot
+/// the global registry and push the counter deltas as one `data:` frame.
+/// The first frame carries current totals (delta against zero). Ends when
+/// the client disconnects, a write stalls past the timeout, or the
+/// requested frame count is reached.
+fn stream_watch(mut conn: TcpStream, params: WatchParams) {
+    let _ = conn.set_nonblocking(false);
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+    let header = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if conn.write_all(header.as_bytes()).is_err() {
+        return;
+    }
+    let mut prev: Option<crate::Snapshot> = None;
+    let mut seq = 0u64;
+    loop {
+        let snap = crate::global().snapshot();
+        let delta = match &prev {
+            Some(p) => snap.delta(p),
+            None => snap.clone(),
+        };
+        let counters: Vec<(String, Value)> = delta
+            .counters
+            .iter()
+            .filter(|(n, v)| n.starts_with(&params.metric) && (*v > 0 || prev.is_none()))
+            .map(|(n, v)| (n.clone(), Value::U64(*v)))
+            .collect();
+        let frame = Value::Object(vec![
+            ("seq".into(), Value::U64(seq)),
+            ("t".into(), Value::F64(crate::timeseries::store().now())),
+            ("counters".into(), Value::Object(counters)),
+        ]);
+        let payload = format!(
+            "data: {}\n\n",
+            serde_json::to_string(&frame).expect("frame serialization is infallible")
+        );
+        if conn.write_all(payload.as_bytes()).is_err() {
+            return;
+        }
+        prev = Some(snap);
+        seq += 1;
+        if params.frames > 0 && seq >= params.frames {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(params.interval_ms));
     }
 }
 

@@ -291,6 +291,16 @@ impl Snapshot {
             }
             out.push_str(&format!("{fam}_sum{labels} {}\n", h.sum_ns));
             out.push_str(&format!("{fam}_count{labels} {}\n", h.count));
+            // Derived order statistics as gauges: dashboards get
+            // quantiles without a PromQL histogram_quantile over the
+            // coarse power-of-two buckets.
+            for (q, v) in
+                [("p50", h.p50_ns), ("p95", h.p95_ns), ("p99", h.p99_ns), ("max", h.max_ns)]
+            {
+                let qfam = format!("{fam}_{q}");
+                type_line(&mut out, &qfam, "gauge");
+                out.push_str(&format!("{qfam}{labels} {v}\n"));
+            }
         }
         for k in &self.keyed {
             let (fam, labels) = prom_name(&k.name);
@@ -414,9 +424,16 @@ mod tests {
         assert_eq!(hs.p99_ns, 30_000, "capped by true max inside the top bucket");
         assert_eq!(hs.max_ns, 30_000);
         assert!(hs.p50_ns <= hs.p95_ns && hs.p95_ns <= hs.p99_ns && hs.p99_ns <= hs.max_ns);
-        // Both exporters carry the derived fields.
+        // All three exporters carry the derived fields.
         assert!(s.to_json().contains("\"p95_ns\""));
+        assert!(s.to_json().contains("\"p99_ns\""));
         assert!(s.to_table().contains("p95"));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE pulse_known_p99 gauge"), "{prom}");
+        assert!(prom.contains("pulse_known_p50 15\n"), "{prom}");
+        assert!(prom.contains("pulse_known_p95 1023\n"), "{prom}");
+        assert!(prom.contains("pulse_known_p99 30000\n"), "{prom}");
+        assert!(prom.contains("pulse_known_max 30000\n"), "{prom}");
     }
 
     #[test]

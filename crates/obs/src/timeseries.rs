@@ -1,0 +1,326 @@
+//! In-process telemetry history: tiered ring-buffer time series.
+//!
+//! Every scrape surface built before this module is point-in-time — you
+//! can read `/metrics` *now* but not how violation storms or solver
+//! latency evolved over a run. [`TimeSeriesStore`] closes that gap
+//! without any external dependency: a collector tick (the runtimes'
+//! `publish_metrics`) hands it a [`Snapshot`] and the store appends one
+//! point per counter — plus derived `p50_ns`/`p95_ns`/`p99_ns` points
+//! per histogram — into fixed-capacity per-metric rings.
+//!
+//! Retention is tiered like any RRD: a **raw** ring keeps every sample,
+//! a **mid** ring keeps the last sample of each 15 s bucket, and a
+//! **coarse** ring keeps the last sample of each 60 s bucket. Queries
+//! stitch the tiers back together — coarse where the mid ring no longer
+//! reaches, mid where the raw ring no longer reaches, raw for the
+//! newest window — so a long run degrades to lower resolution instead
+//! of forgetting.
+//!
+//! Cost model: the store is only touched on publish ticks (human-scale
+//! cadence), never on the per-tuple path, so the suppressed fast path
+//! pays nothing for history. Memory is bounded by
+//! `metrics × (raw_cap + mid_cap + coarse_cap)` points of 16 bytes.
+//!
+//! Timestamps are seconds since the store was created (its *epoch*),
+//! which is also what `/timeseries` serves; all series sampled by one
+//! tick share one timestamp, so family sums align point-for-point.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::snapshot::Snapshot;
+
+/// One sample: store-relative time in seconds, metric value.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Point {
+    pub t: f64,
+    pub v: f64,
+}
+
+/// Ring capacities and downsampling bucket widths.
+#[derive(Debug, Clone, Copy)]
+pub struct TsConfig {
+    /// Newest-window ring: every sample, any cadence.
+    pub raw_cap: usize,
+    /// Mid tier: last sample per `mid_bucket_s` bucket.
+    pub mid_cap: usize,
+    /// Coarse tier: last sample per `coarse_bucket_s` bucket.
+    pub coarse_cap: usize,
+    pub mid_bucket_s: f64,
+    pub coarse_bucket_s: f64,
+}
+
+impl Default for TsConfig {
+    fn default() -> Self {
+        // At a 1 s collector cadence: ~10 min raw, 1 h mid, 24 h coarse.
+        TsConfig {
+            raw_cap: 600,
+            mid_cap: 240,
+            coarse_cap: 1440,
+            mid_bucket_s: 15.0,
+            coarse_bucket_s: 60.0,
+        }
+    }
+}
+
+/// The tiered rings of one metric.
+#[derive(Debug, Default)]
+struct Series {
+    raw: VecDeque<Point>,
+    mid: VecDeque<Point>,
+    coarse: VecDeque<Point>,
+}
+
+impl Series {
+    fn push(&mut self, p: Point, cfg: &TsConfig) {
+        if self.raw.len() >= cfg.raw_cap {
+            self.raw.pop_front();
+        }
+        self.raw.push_back(p);
+        push_bucketed(&mut self.mid, p, cfg.mid_cap, cfg.mid_bucket_s);
+        push_bucketed(&mut self.coarse, p, cfg.coarse_cap, cfg.coarse_bucket_s);
+    }
+
+    /// Tiers stitched oldest→newest: coarse points older than the mid
+    /// ring's reach, mid points older than the raw ring's reach, then
+    /// the raw ring itself.
+    fn stitched(&self) -> impl Iterator<Item = Point> + '_ {
+        let raw_start = self.raw.front().map_or(f64::INFINITY, |p| p.t);
+        let mid_start = self.mid.front().map_or(raw_start, |p| p.t.min(raw_start));
+        self.coarse
+            .iter()
+            .filter(move |p| p.t < mid_start)
+            .chain(self.mid.iter().filter(move |p| p.t < raw_start))
+            .chain(self.raw.iter())
+            .copied()
+    }
+}
+
+/// Last-value-per-bucket downsampling: a sample landing in the same
+/// bucket as the ring's newest point replaces it; a new bucket appends
+/// (evicting the oldest past `cap`).
+fn push_bucketed(ring: &mut VecDeque<Point>, p: Point, cap: usize, width: f64) {
+    let bucket = (p.t / width).floor();
+    if let Some(back) = ring.back_mut() {
+        if (back.t / width).floor() == bucket {
+            *back = p;
+            return;
+        }
+    }
+    if ring.len() >= cap {
+        ring.pop_front();
+    }
+    ring.push_back(p);
+}
+
+/// Tiered in-process time-series store over registry snapshots.
+pub struct TimeSeriesStore {
+    epoch: Instant,
+    cfg: TsConfig,
+    inner: Mutex<HashMap<String, Series>>,
+}
+
+impl TimeSeriesStore {
+    pub fn new(cfg: TsConfig) -> Self {
+        TimeSeriesStore { epoch: Instant::now(), cfg, inner: Mutex::new(HashMap::new()) }
+    }
+
+    /// Seconds since the store was created — the time base of every
+    /// stored point and of the `since` query parameter.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Appends one point per counter and `p50_ns`/`p95_ns`/`p99_ns`
+    /// points per histogram, all stamped with [`Self::now`].
+    pub fn sample(&self, snap: &Snapshot) {
+        self.sample_at(snap, self.now());
+    }
+
+    /// [`Self::sample`] with an explicit timestamp (tests and replay).
+    pub fn sample_at(&self, snap: &Snapshot, t: f64) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        for (name, v) in &snap.counters {
+            g.entry(name.clone()).or_default().push(Point { t, v: *v as f64 }, &self.cfg);
+        }
+        for h in &snap.histograms {
+            for (suffix, v) in [(".p50_ns", h.p50_ns), (".p95_ns", h.p95_ns), (".p99_ns", h.p99_ns)]
+            {
+                let key = format!("{}{}", h.name, suffix);
+                g.entry(key).or_default().push(Point { t, v: v as f64 }, &self.cfg);
+            }
+        }
+    }
+
+    /// Appends a single point for one metric (collector-independent
+    /// series, e.g. derived gauges).
+    pub fn push(&self, metric: &str, t: f64, v: f64) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.entry(metric.to_string()).or_default().push(Point { t, v }, &self.cfg);
+    }
+
+    /// The series for `metric` from `since` (store-relative seconds)
+    /// onward, oldest first, tiers stitched.
+    ///
+    /// A `metric` without a `{` is treated as a *family* base name and
+    /// summed across its label variants (`base{shard="0"}` + …), the
+    /// time-series analogue of [`Snapshot::family_sum`]; points align
+    /// because every variant is sampled by the same tick. A name with
+    /// an explicit label block selects that exact series.
+    pub fn series(&self, metric: &str, since: f64) -> Vec<Point> {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let exact = metric.contains('{');
+        // Sum by quantized timestamp (µs): variants sampled by one tick
+        // share a timestamp bit-exactly, this just makes the key Ord.
+        let mut merged: BTreeMap<i64, f64> = BTreeMap::new();
+        for (name, series) in g.iter() {
+            let member = if exact { name == metric } else { in_family(name, metric) };
+            if !member {
+                continue;
+            }
+            for p in series.stitched() {
+                if p.t >= since {
+                    *merged.entry((p.t * 1e6).round() as i64).or_insert(0.0) += p.v;
+                }
+            }
+        }
+        merged.into_iter().map(|(tq, v)| Point { t: tq as f64 / 1e6, v }).collect()
+    }
+
+    /// The newest `n` points of `metric` (family-summed like
+    /// [`Self::series`]), oldest first.
+    pub fn series_last(&self, metric: &str, n: usize) -> Vec<Point> {
+        let mut all = self.series(metric, 0.0);
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+
+    /// Every metric name with at least one stored point, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut names: Vec<String> = g.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Same family rule as [`Snapshot`]: the base name itself or a labeled
+/// variant `base{…}`.
+fn in_family(name: &str, base: &str) -> bool {
+    name == base || (name.starts_with(base) && name[base.len()..].starts_with('{'))
+}
+
+/// The process-global store `/timeseries` serves and the runtimes'
+/// `publish_metrics` collector ticks feed.
+pub fn store() -> &'static TimeSeriesStore {
+    static STORE: OnceLock<TimeSeriesStore> = OnceLock::new();
+    STORE.get_or_init(|| TimeSeriesStore::new(TsConfig::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn tiny() -> TimeSeriesStore {
+        TimeSeriesStore::new(TsConfig {
+            raw_cap: 4,
+            mid_cap: 4,
+            coarse_cap: 4,
+            mid_bucket_s: 15.0,
+            coarse_bucket_s: 60.0,
+        })
+    }
+
+    #[test]
+    fn raw_ring_wraps_and_keeps_newest_window_in_order() {
+        let ts = tiny();
+        for i in 0..10 {
+            ts.push("m", i as f64 * 0.5, i as f64);
+        }
+        let pts = ts.series("m", 0.0);
+        // 10 half-second samples: raw keeps the newest 4, and everything
+        // older was folded into the single 15 s mid/coarse bucket that
+        // the raw window already covers — so the query returns exactly
+        // the newest window, oldest first.
+        assert_eq!(pts.len(), 4, "{pts:?}");
+        assert_eq!(pts.iter().map(|p| p.v as i64).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert!(pts.windows(2).all(|w| w[0].t < w[1].t), "{pts:?}");
+    }
+
+    #[test]
+    fn tiers_downsample_older_history() {
+        let ts = tiny();
+        // One sample per second for 100 s: raw reaches back 4 s, mid
+        // 4×15 s buckets, coarse 4×60 s buckets.
+        for i in 0..100 {
+            ts.push("m", i as f64, i as f64);
+        }
+        let pts = ts.series("m", 0.0);
+        assert!(pts.windows(2).all(|w| w[0].t < w[1].t), "{pts:?}");
+        // Newest window is raw resolution (1 s apart)…
+        let newest: Vec<i64> = pts.iter().rev().take(4).rev().map(|p| p.v as i64).collect();
+        assert_eq!(newest, vec![96, 97, 98, 99]);
+        // …and older points come from the 15 s tier (last sample of
+        // each bucket, i.e. t ≡ 14 mod 15).
+        let older: Vec<i64> =
+            pts.iter().filter(|p| p.t < 96.0).map(|p| (p.t as i64) % 15).collect();
+        assert!(!older.is_empty() && older.iter().all(|m| *m == 14), "mid-tier points: {pts:?}");
+        assert!(pts.len() < 100, "history must be downsampled, got {}", pts.len());
+    }
+
+    #[test]
+    fn since_filters_and_family_sums() {
+        let ts = tiny();
+        for i in 0..3 {
+            let t = i as f64;
+            ts.push("runtime.violations{shard=\"0\"}", t, 10.0 + t);
+            ts.push("runtime.violations{shard=\"1\"}", t, 1.0);
+        }
+        let fam = ts.series("runtime.violations", 0.0);
+        assert_eq!(fam.len(), 3);
+        assert_eq!(fam[0].v, 11.0);
+        assert_eq!(fam[2].v, 13.0);
+        // since trims the front.
+        assert_eq!(ts.series("runtime.violations", 1.5).len(), 1);
+        // Exact labeled name selects one variant.
+        let one = ts.series("runtime.violations{shard=\"1\"}", 0.0);
+        assert!(one.iter().all(|p| p.v == 1.0), "{one:?}");
+        // Unrelated longer name is not in the family.
+        ts.push("runtime.violations_by_key", 0.0, 99.0);
+        assert_eq!(ts.series("runtime.violations", 0.0).len(), 3);
+    }
+
+    #[test]
+    fn sample_records_counters_and_histogram_percentiles() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ts.test.hits").set(5);
+        for _ in 0..100 {
+            reg.histogram("ts.test.lat").record(100);
+        }
+        let ts = tiny();
+        ts.sample_at(&reg.snapshot(), 1.0);
+        reg.counter("ts.test.hits").set(9);
+        ts.sample_at(&reg.snapshot(), 2.0);
+        let hits = ts.series("ts.test.hits", 0.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!((hits[0].v, hits[1].v), (5.0, 9.0));
+        let p99 = ts.series("ts.test.lat.p99_ns", 0.0);
+        assert_eq!(p99.len(), 2);
+        assert!(p99[0].v >= 100.0, "{p99:?}");
+        assert!(ts.metric_names().contains(&"ts.test.lat.p50_ns".to_string()));
+    }
+
+    #[test]
+    fn series_last_returns_newest_n() {
+        let ts = tiny();
+        for i in 0..4 {
+            ts.push("m", i as f64, i as f64);
+        }
+        let last2 = ts.series_last("m", 2);
+        assert_eq!(last2.iter().map(|p| p.v as i64).collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

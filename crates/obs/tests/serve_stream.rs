@@ -1,0 +1,130 @@
+//! Streaming-surface integration tests: the `/watch` SSE stream, the
+//! `/timeseries` history endpoint, and the `/trace.json` export route.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pulse_obs::{serve, Routes, TraceFn};
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// SSE delivers ≥2 delta frames to a deliberately slow reader while the
+/// single-threaded accept loop keeps answering other requests — the
+/// stream must not capture the listener.
+#[test]
+fn watch_streams_delta_frames_without_blocking_listener() {
+    let bump = pulse_obs::global().counter("stream.test.bump");
+    bump.set(1);
+    let h = serve("127.0.0.1:0", Routes::new()).expect("bind");
+    let addr = h.addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect watch");
+    conn.write_all(
+        b"GET /watch?interval_ms=50&frames=20&metric=stream.test HTTP/1.1\r\nHost: x\r\n\r\n",
+    )
+    .unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // While the stream is open, the listener must still serve point
+    // endpoints (the watch runs on its own thread).
+    let snap = get(addr, "/snapshot");
+    assert!(snap.starts_with("HTTP/1.1 200"), "{snap}");
+
+    // Read slowly, bumping the counter so later frames carry a delta.
+    let mut body = String::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        let n = match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        body.push_str(&String::from_utf8_lossy(&chunk[..n]));
+        bump.add(5);
+        if body.matches("data: {").count() >= 3 && body.matches("stream.test.bump").count() >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(75)); // slow reader
+    }
+    assert!(body.starts_with("HTTP/1.1 200"), "{body}");
+    assert!(body.contains("text/event-stream"), "{body}");
+    let frames = body.matches("data: {").count();
+    assert!(frames >= 2, "want ≥2 SSE frames, got {frames}:\n{body}");
+    // Frame 0 is totals; at least one later delta frame re-mentions the
+    // counter because we kept bumping it while reading.
+    assert!(body.contains("\"seq\":0"), "{body}");
+    assert!(body.matches("stream.test.bump").count() >= 2, "{body}");
+
+    // And the listener is still alive afterwards.
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+}
+
+/// Pushing past the raw ring capacity through the global store: the
+/// endpoint returns exactly the newest window, strictly ordered.
+#[test]
+fn timeseries_ring_wraparound_serves_newest_window_in_order() {
+    let store = pulse_obs::timeseries::store();
+    // 650 samples at 10 ms cadence against a 600-point raw ring; all of
+    // them land in the first 15 s downsampling bucket, so the query is
+    // exactly the wrapped raw window.
+    for i in 0..650 {
+        store.push("stream.test.wrap", i as f64 * 0.01, i as f64);
+    }
+    let h = serve("127.0.0.1:0", Routes::new()).expect("bind");
+    let resp = get(h.addr(), "/timeseries?metric=stream.test.wrap");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let json = resp.split("\r\n\r\n").nth(1).expect("body");
+    let doc = serde_json::parse_value(json).expect("valid JSON");
+    assert_eq!(doc.get("samples").unwrap().as_u64(), Some(600), "{json}");
+    let points = doc.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 600);
+    let ts: Vec<f64> = points.iter().map(|p| p.as_array().unwrap()[0].as_f64().unwrap()).collect();
+    assert!(ts.windows(2).all(|w| w[0] < w[1]), "timestamps must ascend");
+    let first_v = points[0].as_array().unwrap()[1].as_f64().unwrap();
+    let last_v = points[599].as_array().unwrap()[1].as_f64().unwrap();
+    assert_eq!((first_v, last_v), (50.0, 649.0), "newest 600 of 650");
+
+    // `last` trims further; `since` filters the front.
+    let resp = get(h.addr(), "/timeseries?metric=stream.test.wrap&last=10");
+    assert!(resp.contains("\"samples\":10"), "{resp}");
+    let resp = get(h.addr(), "/timeseries?metric=stream.test.wrap&since=6.4");
+    let json = resp.split("\r\n\r\n").nth(1).unwrap();
+    let doc = serde_json::parse_value(json).unwrap();
+    assert!(doc.get("samples").unwrap().as_u64().unwrap() < 20, "{json}");
+
+    // Parameter validation.
+    assert!(get(h.addr(), "/timeseries").starts_with("HTTP/1.1 400"));
+    assert!(get(h.addr(), "/timeseries?metric=x&since=abc").starts_with("HTTP/1.1 400"));
+}
+
+/// `/trace.json` serves whatever the host-injected closure renders, and
+/// answers 501/404 when unwired or empty.
+#[test]
+fn trace_route_serves_injected_chrome_trace() {
+    let unwired = serve("127.0.0.1:0", Routes::new()).expect("bind");
+    assert!(get(unwired.addr(), "/trace.json").starts_with("HTTP/1.1 501"));
+
+    let empty: TraceFn = Arc::new(|| None);
+    let h = serve("127.0.0.1:0", Routes::new().with_trace(empty)).expect("bind");
+    assert!(get(h.addr(), "/trace.json").starts_with("HTTP/1.1 404"));
+
+    let traced: TraceFn =
+        Arc::new(|| Some(pulse_obs::chrome_trace(std::iter::empty::<(u32, &[_])>())));
+    let h = serve("127.0.0.1:0", Routes::new().with_trace(traced)).expect("bind");
+    let resp = get(h.addr(), "/trace.json");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("application/json"), "{resp}");
+    let json = resp.split("\r\n\r\n").nth(1).expect("body");
+    let doc = serde_json::parse_value(json).expect("valid Chrome Trace JSON");
+    assert!(doc.get("traceEvents").unwrap().as_array().is_some());
+}

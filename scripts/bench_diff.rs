@@ -1,0 +1,198 @@
+//! Noise-aware benchmark regression gate.
+//!
+//! Compares a fresh benchmark result against the checked-in baseline in
+//! `scripts/baselines/` and fails when any tracked metric regresses
+//! beyond the noise band. Compiled as the `bench_diff` bin of
+//! `pulse-bench`; `scripts/check.sh` runs it after the scaling smoke and
+//! the obs-overhead gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff check  <kind> <fresh.json> [baseline.json]
+//! bench_diff record <kind> <fresh.json> [baseline.json]
+//! ```
+//!
+//! `kind` selects the schema and default baseline:
+//!
+//! - `obs` — `BENCH_obs.json` shape: `postures` / `violation_postures`
+//!   entries keyed by `config`, metric `ns_per_tuple`. Baseline
+//!   `scripts/baselines/BENCH_obs.json`.
+//! - `scaling` — scaling-sweep `Report` shape: `rows` keyed by
+//!   `mode` + `shards`, metric `ns_per_tuple`. Baseline
+//!   `scripts/baselines/BENCH_scaling_smoke.json` (the smoke workload is
+//!   what CI reruns; the full sweep tracks `BENCH_scaling.json` at the
+//!   repo root for humans).
+//!
+//! Noise handling is two-layered: the bench binaries already report
+//! noise-resistant statistics (min over hundreds of batches for the
+//! suppressed path, medians over interleaved reps for the violation
+//! pair), and this gate adds a relative band — a metric fails only above
+//! `baseline × (1 + band)`, with `PULSE_BENCH_BAND_PCT` (default 50)
+//! controlling the band. Improvements beyond the band are called out as
+//! re-record candidates but never fail. Workload-parameter drift
+//! (different tuple counts, reps) fails loudly: numbers from different
+//! workloads must not be compared, re-record instead.
+//!
+//! A missing baseline is seeded from the fresh result and the check
+//! passes — the first run on a new machine or branch bootstraps itself.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <check|record> <obs|scaling> <fresh.json> [baseline.json]");
+    exit(2);
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn load(path: &str) -> Value {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        exit(2);
+    });
+    serde_json::parse_value(&raw).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        exit(2);
+    })
+}
+
+fn f(doc: &Value, key: &str) -> Option<f64> {
+    doc.get(key).and_then(Value::as_f64)
+}
+
+/// The tracked metrics of one result file: name → ns/tuple.
+fn metrics(kind: &str, doc: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    match kind {
+        "obs" => {
+            for (list, prefix) in [("postures", "obs"), ("violation_postures", "viol")] {
+                for p in doc.get(list).and_then(Value::as_array).unwrap_or(&[]) {
+                    if let (Some(cfg), Some(v)) =
+                        (p.get("config").and_then(Value::as_str), f(p, "ns_per_tuple"))
+                    {
+                        out.insert(format!("{prefix}:{cfg}"), v);
+                    }
+                }
+            }
+        }
+        "scaling" => {
+            for r in doc.get("rows").and_then(Value::as_array).unwrap_or(&[]) {
+                if let (Some(mode), Some(shards), Some(v)) = (
+                    r.get("mode").and_then(Value::as_str),
+                    r.get("shards").and_then(Value::as_u64),
+                    f(r, "ns_per_tuple"),
+                ) {
+                    out.insert(format!("scaling:{mode}/{shards}"), v);
+                }
+            }
+        }
+        _ => usage(),
+    }
+    if out.is_empty() {
+        eprintln!("bench_diff: no `{kind}` metrics found — wrong kind or schema drift?");
+        exit(2);
+    }
+    out
+}
+
+/// Workload identity: comparing ns/tuple across different workloads is
+/// meaningless, so these must match exactly between baseline and fresh.
+fn workload_params(kind: &str, doc: &Value) -> Vec<(&'static str, f64)> {
+    let keys: &[&'static str] = match kind {
+        "obs" => &["tuples_per_rep", "viol_tuples_per_rep"],
+        "scaling" => &["tuples", "symbols"],
+        _ => usage(),
+    };
+    keys.iter().filter_map(|k| f(doc, k).map(|v| (*k, v))).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, kind, fresh_path) = match args.as_slice() {
+        [m, k, f, ..] if args.len() <= 4 => (m.as_str(), k.as_str(), f.as_str()),
+        _ => usage(),
+    };
+    let baseline_path = args.get(3).cloned().unwrap_or_else(|| {
+        let name = match kind {
+            "obs" => "BENCH_obs.json",
+            "scaling" => "BENCH_scaling_smoke.json",
+            _ => usage(),
+        };
+        format!("{}/../../scripts/baselines/{name}", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    let fresh = load(fresh_path);
+    let fresh_metrics = metrics(kind, &fresh);
+
+    let seed = |reason: &str| -> ! {
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        std::fs::copy(fresh_path, &baseline_path).expect("write baseline");
+        println!("bench_diff: {reason} — recorded {fresh_path} as {baseline_path}");
+        exit(0);
+    };
+
+    if mode == "record" {
+        seed("record requested");
+    }
+    if mode != "check" {
+        usage();
+    }
+    if !std::path::Path::new(&baseline_path).exists() {
+        seed("no baseline yet");
+    }
+
+    let base = load(&baseline_path);
+    if workload_params(kind, &base) != workload_params(kind, &fresh) {
+        eprintln!(
+            "bench_diff: workload parameters differ between {baseline_path} and {fresh_path} \
+             ({:?} vs {:?}) — numbers are not comparable; re-record with \
+             `bench_diff record {kind} {fresh_path}`",
+            workload_params(kind, &base),
+            workload_params(kind, &fresh),
+        );
+        exit(1);
+    }
+    let base_metrics = metrics(kind, &base);
+
+    let band = env_f64("PULSE_BENCH_BAND_PCT", 50.0);
+    let mut regressions = Vec::new();
+    println!("bench_diff: {kind} trajectory vs {baseline_path} (band ±{band}%)");
+    println!("{:<28} {:>12} {:>12} {:>9}", "metric", "baseline", "fresh", "delta");
+    for (name, b) in &base_metrics {
+        let Some(v) = fresh_metrics.get(name) else {
+            regressions.push(format!("{name}: present in baseline, missing from fresh run"));
+            println!("{name:<28} {b:>12.1} {:>12} {:>9}", "-", "MISSING");
+            continue;
+        };
+        let delta = (v - b) / b * 100.0;
+        let verdict = if delta > band {
+            regressions.push(format!("{name}: {b:.1} -> {v:.1} ns/tuple ({delta:+.1}%)"));
+            "REGRESSION"
+        } else if delta < -band {
+            "improved — consider re-recording"
+        } else {
+            ""
+        };
+        println!("{name:<28} {b:>12.1} {v:>12.1} {delta:>+8.1}% {verdict}");
+    }
+    for name in fresh_metrics.keys().filter(|n| !base_metrics.contains_key(*n)) {
+        println!("{name:<28} {:>12} {:>12.1}   (new, no baseline)", "-", fresh_metrics[name]);
+    }
+
+    if regressions.is_empty() {
+        println!("bench_diff: OK — {} metrics within band", base_metrics.len());
+    } else {
+        eprintln!("bench_diff: FAILED — {} metric(s) beyond the ±{band}% band:", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        exit(1);
+    }
+}
