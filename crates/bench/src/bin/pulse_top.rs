@@ -215,7 +215,11 @@ fn render_health(health: Option<&Value>, out: &mut String) {
 
 /// Phase pane: the profiler's self-normalizing violation-path breakdown
 /// (shares are of attributed violation time; validate rides the sampled
-/// fast path and is shown by count only).
+/// fast path and is shown by count only). The solver's sub-phases —
+/// `solve_assemble`/`solve_sturm`/`solve_refine`, carved out of the
+/// `root_isolate` bracket and disjoint from it — are indented under a
+/// synthetic `solve (nested)` subtotal so the pane reads as a two-level
+/// tree rather than ten flat rows; all shares still sum to 1.
 fn render_phases(profile: Option<&Value>, out: &mut String) {
     let Some(p) = profile else { return };
     let phases = p.get("phases").and_then(Value::as_array).unwrap_or(&[]);
@@ -223,18 +227,53 @@ fn render_phases(profile: Option<&Value>, out: &mut String) {
     if phases.is_empty() || total == 0 {
         return;
     }
-    out.push_str("\nviolation-path phases      count    time(ms)  share\n");
-    for ph in phases {
-        let name = ph.get("phase").and_then(Value::as_str).unwrap_or("?");
+    const SOLVE_NESTED: [&str; 3] = ["solve_assemble", "solve_sturm", "solve_refine"];
+    let row = |ph: &Value| {
         let count = ph.get("count").and_then(Value::as_u64).unwrap_or(0);
         let ns = ph.get("ns").and_then(Value::as_u64).unwrap_or(0);
         let share = ph.get("share").and_then(Value::as_f64).unwrap_or(0.0);
+        (count, ns, share)
+    };
+    let line = |out: &mut String, name: &str, count: u64, ns: u64, share: f64| {
         let bar = "#".repeat((share * 20.0).round() as usize);
         out.push_str(&format!(
             "{name:<24} {count:>8} {:>11.1}  {:>4.0}% {bar}\n",
             ns as f64 / 1e6,
             share * 100.0,
         ));
+    };
+    out.push_str("\nviolation-path phases      count    time(ms)  share\n");
+    for ph in phases {
+        let name = ph.get("phase").and_then(Value::as_str).unwrap_or("?");
+        if SOLVE_NESTED.contains(&name) {
+            continue;
+        }
+        let (count, ns, share) = row(ph);
+        line(out, name, count, ns, share);
+    }
+    // Sub-phase subtotal + children after the top-level rows. They are
+    // disjoint from root_isolate (which is recorded net of them), so the
+    // subtotal is a real share; the indent marks where in the pipeline
+    // the time sits. Counts differ per sub-phase (rows vs root calls),
+    // so the subtotal shows the largest.
+    let nested: Vec<(&str, u64, u64, f64)> = phases
+        .iter()
+        .filter_map(|ph| {
+            let name = ph.get("phase").and_then(Value::as_str)?;
+            SOLVE_NESTED.contains(&name).then(|| {
+                let (count, ns, share) = row(ph);
+                (name, count, ns, share)
+            })
+        })
+        .collect();
+    if nested.iter().any(|(_, _, ns, _)| *ns > 0) {
+        let (count, ns, share) = nested
+            .iter()
+            .fold((0, 0, 0.0), |(c, n, s), (_, pc, pn, ps)| (c.max(*pc), n + pn, s + ps));
+        line(out, "solve (nested)", count, ns, share);
+        for (name, count, ns, share) in nested {
+            line(out, &format!("  {name}"), count, ns, share);
+        }
     }
 }
 

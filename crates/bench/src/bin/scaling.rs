@@ -171,13 +171,20 @@ fn single_threaded(
     )
     .expect("MACD transforms");
     let start = Instant::now();
-    for (i, (src, t)) in merged.iter().enumerate() {
-        rt.on_tuple(*src, t);
-        if i % 50_000 == 0 {
-            rt.gc_before(t.ts - 50.0);
+    // Single mode feeds the same 256-tuple batches the sharded channels
+    // carry, so its violation solves run through the deferred per-key
+    // queue too and the mode comparison is batching-for-batching.
+    let (mut next_gc, mut next_pub, mut seen) = (0usize, 0usize, 0usize);
+    for chunk in merged.chunks(pulse_core::DEFAULT_BATCH) {
+        rt.on_pairs(chunk);
+        seen += chunk.len();
+        if seen > next_gc {
+            rt.gc_before(chunk.last().expect("non-empty chunk").1.ts - 50.0);
+            next_gc += 50_000;
         }
-        if publish && i % PUBLISH_EVERY == 0 {
+        if publish && seen > next_pub {
             rt.publish_metrics();
+            next_pub += PUBLISH_EVERY;
         }
     }
     if publish {

@@ -51,6 +51,27 @@ impl Binding {
         }
     }
 
+    /// [`poly_of`] writing into a caller-owned buffer (a VM coefficient
+    /// slot) instead of allocating — the substitution path of the bytecode
+    /// VM.
+    ///
+    /// [`poly_of`]: Binding::poly_of
+    pub fn poly_into(&self, seg: &Segment, attr: usize, out: &mut Poly) -> Result<(), ExprError> {
+        if attr >= self.schema.len() {
+            return Err(ExprError::UnknownAttr { input: 0, attr });
+        }
+        match self.schema.attr(attr).kind {
+            AttrKind::Modeled => out.copy_from(&seg.models[self.slots[attr].unwrap()]),
+            AttrKind::Unmodeled => out.set_constant(seg.unmodeled[self.unmodeled[attr].unwrap()]),
+            AttrKind::Key | AttrKind::Coefficient => {
+                return Err(ExprError::NotPolynomial(
+                    "key/coefficient attributes are not visible to continuous operators",
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Model slot of a modeled attribute (used by aggregates to pick their
     /// target polynomial).
     pub fn model_slot(&self, attr: usize) -> Option<usize> {

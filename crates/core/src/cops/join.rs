@@ -9,14 +9,14 @@
 
 use super::{meaningful_spans, COperator};
 use crate::binding::Binding;
-use crate::eqsys::SystemTemplate;
+use crate::eqsys::{SolveScratch, SystemTemplate};
 use crate::index::SegmentIndex;
 use crate::lineage::SharedLineage;
-use pulse_math::Poly;
-use pulse_model::{ExprError, Pred, Segment};
-use pulse_obs::{TraceKind, Tracer};
+use pulse_model::{Pred, Segment};
+use pulse_obs::{prof, Phase, TraceKind, Tracer};
 use pulse_stream::{KeyJoin, OpMetrics};
 use std::any::Any;
+use std::collections::HashMap;
 
 /// How the join buffers its per-side segment state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,28 +25,70 @@ pub enum JoinState {
     /// prototype used).
     Scan,
     /// Interval-indexed state (§VII future work): `O(log n + k)` overlap
-    /// lookup — pays off on highly segmented inputs.
+    /// lookup — pays off on highly segmented inputs. For `KeyJoin::Eq`
+    /// joins this upgrades further to one interval index per key, so the
+    /// candidate walk never touches other keys' segments.
     #[default]
     Indexed,
+}
+
+/// Full sweeps of the keyed state happen once per this many arrivals; in
+/// between, only the arriving key's buffer is expired. Lazy expiry cannot
+/// change results: a segment old enough to expire (`hi ≤ now − window`)
+/// can never overlap a probe span starting at `now`.
+const KEYED_SWEEP_EVERY: u32 = 512;
+
+/// One interval index per join key — the `KeyJoin::Eq` state layout. The
+/// key-blind global index made every violation scan candidates across all
+/// keys only to discard them against the key predicate; here the probe
+/// only ever sees its own key's segments. Within a key, segments keep the
+/// same start-order the global index would have produced, so candidate
+/// iteration order (and therefore output order) is unchanged.
+#[derive(Default)]
+struct KeyedIndex {
+    map: HashMap<u64, SegmentIndex>,
+    since_sweep: u32,
+}
+
+impl KeyedIndex {
+    fn expire(&mut self, key: u64, t: f64) {
+        if let Some(idx) = self.map.get_mut(&key) {
+            idx.expire_before(t);
+            if idx.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+        self.since_sweep += 1;
+        if self.since_sweep >= KEYED_SWEEP_EVERY {
+            self.since_sweep = 0;
+            self.map.retain(|_, idx| {
+                idx.expire_before(t);
+                !idx.is_empty()
+            });
+        }
+    }
 }
 
 enum SideState {
     Scan(Vec<Segment>),
     Indexed(SegmentIndex),
+    Keyed(KeyedIndex),
 }
 
 impl SideState {
-    fn new(kind: JoinState) -> Self {
+    fn new(kind: JoinState, on_keys: KeyJoin) -> Self {
         match kind {
             JoinState::Scan => SideState::Scan(Vec::new()),
+            JoinState::Indexed if on_keys == KeyJoin::Eq => SideState::Keyed(KeyedIndex::default()),
             JoinState::Indexed => SideState::Indexed(SegmentIndex::new()),
         }
     }
 
-    fn expire(&mut self, t: f64) {
+    fn expire(&mut self, key: u64, t: f64) {
         match self {
             SideState::Scan(v) => v.retain(|s| s.span.hi > t),
             SideState::Indexed(idx) => idx.expire_before(t),
+            SideState::Keyed(k) => k.expire(key, t),
         }
     }
 
@@ -54,13 +96,15 @@ impl SideState {
         match self {
             SideState::Scan(v) => v.push(seg),
             SideState::Indexed(idx) => idx.insert(seg),
+            SideState::Keyed(k) => k.map.entry(seg.key).or_default().insert(seg),
         }
     }
 
     /// Segments overlapping `span` (the Scan variant reproduces the naive
     /// full-buffer walk, including the comparisons against non-overlapping
-    /// state that the index avoids).
-    fn candidates(&self, span: pulse_math::Span, scanned: &mut u64) -> Vec<&Segment> {
+    /// state that the index avoids; the Keyed variant additionally skips
+    /// every other key's segments).
+    fn candidates(&self, key: u64, span: pulse_math::Span, scanned: &mut u64) -> Vec<&Segment> {
         match self {
             SideState::Scan(v) => {
                 *scanned += v.len() as u64;
@@ -68,6 +112,11 @@ impl SideState {
             }
             SideState::Indexed(idx) => {
                 let hits = idx.overlapping(span);
+                *scanned += hits.len() as u64;
+                hits
+            }
+            SideState::Keyed(k) => {
+                let hits = k.map.get(&key).map(|idx| idx.overlapping(span)).unwrap_or_default();
                 *scanned += hits.len() as u64;
                 hits
             }
@@ -88,6 +137,8 @@ pub struct CJoin {
     lineage: SharedLineage,
     dep_count: usize,
     slack: Option<f64>,
+    /// Solver scratch shared by every candidate pair of every arrival.
+    scratch: SolveScratch,
     m: OpMetrics,
 }
 
@@ -120,11 +171,12 @@ impl CJoin {
             template,
             on_keys,
             bindings,
-            left: SideState::new(state),
-            right: SideState::new(state),
+            left: SideState::new(state, on_keys),
+            right: SideState::new(state, on_keys),
             lineage,
             dep_count,
             slack: None,
+            scratch: SolveScratch::default(),
             m: OpMetrics::default(),
         }
     }
@@ -145,8 +197,8 @@ impl COperator for CJoin {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let now = seg.span.lo;
-        self.left.expire(now - self.window);
-        self.right.expire(now - self.window);
+        self.left.expire(seg.key, now - self.window);
+        self.right.expire(seg.key, now - self.window);
         let from_left = input == 0;
         let opposite = if from_left { &self.right } else { &self.left };
 
@@ -155,7 +207,7 @@ impl COperator for CJoin {
         let mut scanned = 0;
         let mut trace_rows = 0u64;
         let mut trace_outputs = 0u32;
-        for opp in opposite.candidates(seg.span, &mut scanned) {
+        for opp in opposite.candidates(seg.key, seg.span, &mut scanned) {
             let (l, r) = if from_left { (seg, opp) } else { (opp, seg) };
             if !self.on_keys.test(l.key, r.key) {
                 continue;
@@ -164,28 +216,32 @@ impl COperator for CJoin {
             any_overlap = true;
             let lb = &self.bindings[0];
             let rb = &self.bindings[1];
-            let lookup = |inp: usize, attr: usize| -> Result<Poly, ExprError> {
+            let t0 = prof::start();
+            let sys = match self.template.substitute_into(|inp, attr, slot| {
                 if inp == 0 {
-                    lb.poly_of(l, attr)
+                    lb.poly_into(l, attr, slot)
                 } else {
-                    rb.poly_of(r, attr)
+                    rb.poly_into(r, attr, slot)
                 }
-            };
-            let t0 = pulse_obs::prof::start();
-            let sys = match self.template.substitute(&lookup) {
+            }) {
                 Ok(sys) => sys,
                 Err(_) => continue,
             };
-            tr.prof(t0, pulse_obs::Phase::TemplateSubstitute);
-            let t0 = pulse_obs::prof::start();
+            tr.prof(t0, Phase::TemplateSubstitute);
+            let t0 = prof::start();
+            let nested0 = t0.map(|_| Phase::solve_nested_ns(tr.phases()));
             let mut rows = 0;
-            let sol = sys.solve(overlap, &mut rows);
-            tr.prof(t0, pulse_obs::Phase::RootIsolate);
+            let sol = sys.solve_with(overlap, &mut rows, &mut self.scratch, tr);
+            if let (Some(t0), Some(n0)) = (t0, nested0) {
+                let nested = Phase::solve_nested_ns(tr.phases()).saturating_sub(n0);
+                let total = t0.elapsed().as_nanos() as u64;
+                tr.phases_mut().record(Phase::RootIsolate, total.saturating_sub(nested));
+            }
             self.m.systems_solved += 1;
             self.m.comparisons += rows;
             trace_rows += rows;
             if sol.is_empty() {
-                let s = sys.slack(overlap);
+                let s = sys.slack_with(overlap, &mut self.scratch);
                 worst_slack = Some(worst_slack.map_or(s, |w: f64| w.min(s)));
                 continue;
             }
@@ -241,7 +297,7 @@ impl COperator for CJoin {
 mod tests {
     use super::*;
     use crate::lineage;
-    use pulse_math::{CmpOp, Span};
+    use pulse_math::{CmpOp, Poly, Span};
     use pulse_model::{AttrKind, Expr, Schema};
 
     fn schema() -> Schema {

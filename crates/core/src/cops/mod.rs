@@ -18,11 +18,11 @@ pub use minmax::CMinMax;
 pub use sumavg::CSumAvg;
 
 use crate::binding::Binding;
-use crate::eqsys::{ExprProgram, SystemTemplate};
+use crate::eqsys::{legacy_subst_enabled, ExprProgram, SolveScratch, SystemTemplate};
 use crate::lineage::SharedLineage;
 use pulse_math::{Poly, EPS};
-use pulse_model::{Pred, Segment};
-use pulse_obs::{TraceKind, Tracer};
+use pulse_model::{ExprError, ExprVm, Pred, Segment, SlotMap, VmProgram};
+use pulse_obs::{prof, Phase, TraceKind, Tracer};
 use pulse_stream::OpMetrics;
 use std::any::Any;
 
@@ -83,6 +83,8 @@ pub struct CFilter {
     lineage: SharedLineage,
     dep_count: usize,
     slack: Option<f64>,
+    /// Solver scratch shared by every arrival.
+    scratch: SolveScratch,
     m: OpMetrics,
 }
 
@@ -92,7 +94,15 @@ impl CFilter {
         let pred = pred.normalize();
         let dep_count = pred.referenced_attrs().len().max(1);
         let template = SystemTemplate::compile(&pred);
-        CFilter { template, binding, lineage, dep_count, slack: None, m: OpMetrics::default() }
+        CFilter {
+            template,
+            binding,
+            lineage,
+            dep_count,
+            slack: None,
+            scratch: SolveScratch::default(),
+            m: OpMetrics::default(),
+        }
     }
 }
 
@@ -111,16 +121,23 @@ impl COperator for CFilter {
         self.m.items_in += 1;
         self.lineage.lock().register(seg);
         let binding = &self.binding;
-        let t0 = pulse_obs::prof::start();
-        let sys = match self.template.substitute(&|_, attr| binding.poly_of(seg, attr)) {
-            Ok(sys) => sys,
-            Err(_) => return, // non-polynomial predicate: no continuous result
-        };
-        tr.prof(t0, pulse_obs::Phase::TemplateSubstitute);
-        let t0 = pulse_obs::prof::start();
+        let t0 = prof::start();
+        let sys =
+            match self.template.substitute_into(|_, attr, slot| binding.poly_into(seg, attr, slot))
+            {
+                Ok(sys) => sys,
+                Err(_) => return, // non-polynomial predicate: no continuous result
+            };
+        tr.prof(t0, Phase::TemplateSubstitute);
+        let t0 = prof::start();
+        let nested0 = t0.map(|_| Phase::solve_nested_ns(tr.phases()));
         let mut rows = 0;
-        let sol = sys.solve(seg.span, &mut rows);
-        tr.prof(t0, pulse_obs::Phase::RootIsolate);
+        let sol = sys.solve_with(seg.span, &mut rows, &mut self.scratch, tr);
+        if let (Some(t0), Some(n0)) = (t0, nested0) {
+            let nested = Phase::solve_nested_ns(tr.phases()).saturating_sub(n0);
+            let total = t0.elapsed().as_nanos() as u64;
+            tr.phases_mut().record(Phase::RootIsolate, total.saturating_sub(nested));
+        }
         self.m.systems_solved += 1;
         self.m.comparisons += rows;
         if tr.on() {
@@ -129,7 +146,7 @@ impl COperator for CFilter {
         }
         if sol.is_empty() {
             // Null result: record slack for §IV's slack validation.
-            self.slack = Some(sys.slack(seg.span));
+            self.slack = Some(sys.slack_with(seg.span, &mut self.scratch));
             return;
         }
         self.slack = None;
@@ -166,20 +183,61 @@ impl COperator for CFilter {
 /// Continuous map: substitutes models into each projection expression,
 /// producing a segment whose models are the projected polynomials.
 pub struct CMap {
-    /// One compiled program per projection expression; per-segment work is
-    /// substitution into the flattened programs.
-    programs: Vec<ExprProgram>,
+    /// One bytecode program per projection expression, sharing one slot
+    /// map; per-segment work is writing models into the VM's coefficient
+    /// slots and running the programs.
+    programs: Vec<VmProgram>,
+    /// Retained AST-walk programs (legacy substitution path).
+    legacy: Vec<ExprProgram>,
+    slots: SlotMap,
+    vm: ExprVm,
     binding: Binding,
     lineage: SharedLineage,
-    /// Scratch stack reused across segments by the programs.
+    /// Scratch stack reused across segments by the legacy programs.
     stack: Vec<Poly>,
     m: OpMetrics,
 }
 
 impl CMap {
     pub fn new(exprs: Vec<pulse_model::Expr>, binding: Binding, lineage: SharedLineage) -> Self {
-        let programs = exprs.iter().map(ExprProgram::compile).collect();
-        CMap { programs, binding, lineage, stack: Vec::new(), m: OpMetrics::default() }
+        let mut slots = SlotMap::new();
+        let programs = exprs.iter().map(|e| VmProgram::compile(e, &mut slots)).collect();
+        let legacy = exprs.iter().map(ExprProgram::compile).collect();
+        let mut vm = ExprVm::new();
+        vm.ensure_slots(slots.len());
+        CMap {
+            programs,
+            legacy,
+            slots,
+            vm,
+            binding,
+            lineage,
+            stack: Vec::new(),
+            m: OpMetrics::default(),
+        }
+    }
+
+    /// Projects `seg` through every program (VM or legacy, per the
+    /// process-wide toggle).
+    fn project(&mut self, seg: &Segment) -> Result<Vec<Poly>, ExprError> {
+        let CMap { programs, legacy, slots, vm, binding, stack, .. } = self;
+        if legacy_subst_enabled() {
+            return legacy
+                .iter()
+                .map(|p| p.eval(&mut |_, attr| binding.poly_of(seg, attr), stack))
+                .collect();
+        }
+        vm.ensure_slots(slots.len());
+        for (i, &(_, attr)) in slots.attrs().iter().enumerate() {
+            binding.poly_into(seg, attr, vm.slot_mut(i))?;
+        }
+        programs
+            .iter()
+            .map(|prog| {
+                let mut p = Poly::zero();
+                vm.run(prog, &mut p).map(|_| p)
+            })
+            .collect()
     }
 }
 
@@ -196,15 +254,9 @@ impl COperator for CMap {
         out: &mut Vec<Segment>,
     ) {
         self.m.items_in += 1;
-        let binding = &self.binding;
-        let stack = &mut self.stack;
-        let t0 = pulse_obs::prof::start();
-        let models: Result<Vec<_>, _> = self
-            .programs
-            .iter()
-            .map(|p| p.eval(&|_, attr| binding.poly_of(seg, attr), stack))
-            .collect();
-        tr.prof(t0, pulse_obs::Phase::TemplateSubstitute);
+        let t0 = prof::start();
+        let models = self.project(seg);
+        tr.prof(t0, Phase::TemplateSubstitute);
         let Ok(models) = models else { return };
         let mapped = Segment::new(seg.key, seg.span, models, Vec::new());
         self.lineage.lock().emit(&mapped, &[seg.id]);

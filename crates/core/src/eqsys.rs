@@ -13,11 +13,47 @@
 //! linear systems (Gaussian-elimination style back substitution, trivial
 //! here because time is the only unknown).
 
-use pulse_math::{solve_poly_cmp, CmpOp, Poly, RangeSet, Span};
-use pulse_model::{Expr, ExprError, Pred};
+use pulse_math::{
+    poly_roots_into, solve_cmp_degenerate, solve_cmp_from_roots, CmpOp, CmpScratch, Poly, RangeSet,
+    Span,
+};
+use pulse_model::{Expr, ExprError, ExprVm, Pred, SlotMap, VmProgram};
+use pulse_obs::{prof, Phase, Tracer};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default root-finding tolerance used by the operators.
 pub const SOLVE_TOL: f64 = 1e-9;
+
+static LEGACY_SUBST: AtomicBool = AtomicBool::new(false);
+
+/// Routes [`SystemTemplate`] substitution through the retained AST-walk
+/// interpreter instead of the bytecode VM, process-wide. Exists for
+/// differential testing and the `obs_bench` legacy posture; the VM is the
+/// production path.
+pub fn set_legacy_subst(on: bool) {
+    LEGACY_SUBST.store(on, Ordering::Relaxed);
+}
+
+/// Whether legacy (AST-walk) substitution is active (one relaxed load).
+#[inline]
+pub fn legacy_subst_enabled() -> bool {
+    LEGACY_SUBST.load(Ordering::Relaxed)
+}
+
+/// Reusable buffers for the solve and slack paths: the comparison-solver
+/// scratch (root isolation stack, root/cut lists) plus the max-norm
+/// envelope arrays for slack sampling. One per operator; after warm-up the
+/// only per-solve allocations left are the returned [`RangeSet`]s.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    pub cmp: CmpScratch,
+    /// Sample abscissae for the slack envelope (structure-of-arrays).
+    samples: Vec<f64>,
+    /// One row's values at every sample point.
+    row_vals: Vec<f64>,
+    /// Running max-norm envelope across rows.
+    envelope: Vec<f64>,
+}
 
 /// One row of the system: `poly(t) op 0`.
 #[derive(Debug, Clone)]
@@ -68,64 +104,124 @@ impl System {
 
     /// Solves the system over `domain`, returning the satisfying ranges.
     /// Also reports the number of rows solved (for cost accounting).
+    /// Allocating wrapper over [`solve_with`].
+    ///
+    /// [`solve_with`]: System::solve_with
     pub fn solve(&self, domain: Span, rows_solved: &mut u64) -> RangeSet {
-        if let Some(t) = self.linear_equality_solution(domain, rows_solved) {
-            return t;
-        }
-        self.solve_general(domain, rows_solved)
+        self.solve_with(domain, rows_solved, &mut SolveScratch::default(), &mut Tracer::off())
     }
 
-    fn solve_general(&self, domain: Span, rows_solved: &mut u64) -> RangeSet {
+    /// [`solve`] with caller-owned scratch buffers and sub-phase
+    /// attribution — bit-identical results, no intermediate heap
+    /// allocation once the scratch is warm. Time is recorded into the
+    /// tracer's phase table as `solve_assemble` (the linear-equality fast
+    /// path), `solve_sturm` (root isolation/refinement) and `solve_refine`
+    /// (sign analysis between roots).
+    ///
+    /// [`solve`]: System::solve
+    pub fn solve_with(
+        &self,
+        domain: Span,
+        rows_solved: &mut u64,
+        s: &mut SolveScratch,
+        tr: &mut Tracer,
+    ) -> RangeSet {
+        let t0 = prof::start();
+        let fast = self.linear_equality_solution(domain, rows_solved);
+        tr.prof(t0, Phase::SolveAssemble);
+        if let Some(t) = fast {
+            return t;
+        }
+        self.solve_general(domain, rows_solved, s, tr)
+    }
+
+    fn solve_general(
+        &self,
+        domain: Span,
+        rows_solved: &mut u64,
+        s: &mut SolveScratch,
+        tr: &mut Tracer,
+    ) -> RangeSet {
         match self {
             System::True => RangeSet::single(domain),
             System::False => RangeSet::empty(),
             System::Row(r) => {
                 *rows_solved += 1;
-                solve_poly_cmp(&r.poly, r.op, domain, SOLVE_TOL)
+                if let Some(rs) = solve_cmp_degenerate(&r.poly, r.op, domain) {
+                    return rs;
+                }
+                let t0 = prof::start();
+                poly_roots_into(
+                    &r.poly,
+                    domain.lo,
+                    domain.hi,
+                    SOLVE_TOL,
+                    &mut s.cmp.roots,
+                    &mut s.cmp.root_buf,
+                );
+                tr.prof(t0, Phase::SolveSturm);
+                let t0 = prof::start();
+                let rs = solve_cmp_from_roots(
+                    &r.poly,
+                    r.op,
+                    domain,
+                    SOLVE_TOL,
+                    &s.cmp.root_buf,
+                    &mut s.cmp.cuts,
+                );
+                tr.prof(t0, Phase::SolveRefine);
+                rs
             }
             System::And(a, b) => {
-                let left = a.solve_general(domain, rows_solved);
+                let left = a.solve_general(domain, rows_solved, s, tr);
                 if left.is_empty() {
                     // Short-circuit: conjunction can't recover.
                     return left;
                 }
-                left.intersect(&b.solve_general(domain, rows_solved))
+                left.intersect(&b.solve_general(domain, rows_solved, s, tr))
             }
-            System::Or(a, b) => {
-                a.solve_general(domain, rows_solved).union(&b.solve_general(domain, rows_solved))
-            }
-            System::Not(a) => a.solve_general(domain, rows_solved).complement(domain),
+            System::Or(a, b) => a
+                .solve_general(domain, rows_solved, s, tr)
+                .union(&b.solve_general(domain, rows_solved, s, tr)),
+            System::Not(a) => a.solve_general(domain, rows_solved, s, tr).complement(domain),
         }
     }
 
     /// Fast path (§III-A): when the system is a pure conjunction of
     /// equality rows, all linear, the common solution is found by direct
     /// elimination — solve the first row, substitute into the rest.
+    /// Allocation-free: the structure check and the row fold both walk the
+    /// tree directly.
     fn linear_equality_solution(&self, domain: Span, rows_solved: &mut u64) -> Option<RangeSet> {
-        let mut rows = Vec::new();
-        if !self.collect_conjunctive_rows(&mut rows) {
+        if !self.is_conjunctive_linear_eq() {
             return None;
         }
-        if rows.is_empty()
-            || !rows.iter().all(|r| r.op == CmpOp::Eq && r.poly.degree().is_none_or(|d| d <= 1))
-        {
-            return None;
-        }
-        *rows_solved += rows.len() as u64;
+        *rows_solved += self.row_count() as u64;
         let mut t: Option<f64> = None;
-        for r in &rows {
+        let mut inconsistent = false;
+        self.try_fold_rows(&mut |r: &DiffEq| {
             match r.poly.degree() {
-                None => continue, // 0 = 0: always true
-                Some(0) => return Some(RangeSet::empty()),
+                None => {} // 0 = 0: always true
+                Some(0) => {
+                    inconsistent = true;
+                    return false;
+                }
                 Some(_) => {
                     let root = -r.poly.coeff(0) / r.poly.coeff(1);
                     match t {
                         None => t = Some(root),
                         Some(prev) if (prev - root).abs() <= SOLVE_TOL * (1.0 + prev.abs()) => {}
-                        Some(_) => return Some(RangeSet::empty()),
+                        Some(_) => {
+                            inconsistent = true;
+                            return false;
+                        }
                     }
                 }
             }
+            true
+        });
+        if inconsistent {
+            return Some(RangeSet::empty());
         }
         Some(match t {
             Some(t)
@@ -139,16 +235,42 @@ impl System {
         })
     }
 
-    /// Flattens a conjunction into rows; returns false if the structure
-    /// contains Or/Not/True/False (no pure-conjunctive form).
-    fn collect_conjunctive_rows<'a>(&'a self, out: &mut Vec<&'a DiffEq>) -> bool {
+    /// True when the system is a pure conjunction (Row/And only) whose rows
+    /// are all linear equalities — the shape the elimination fast path
+    /// handles. `True`/`False`/`Or`/`Not` anywhere disqualify, matching
+    /// the old conjunctive-rows collection.
+    fn is_conjunctive_linear_eq(&self) -> bool {
         match self {
-            System::Row(r) => {
-                out.push(r);
-                true
-            }
-            System::And(a, b) => a.collect_conjunctive_rows(out) && b.collect_conjunctive_rows(out),
+            System::Row(r) => r.op == CmpOp::Eq && r.poly.degree().is_none_or(|d| d <= 1),
+            System::And(a, b) => a.is_conjunctive_linear_eq() && b.is_conjunctive_linear_eq(),
             _ => false,
+        }
+    }
+
+    /// Folds `f` over rows in [`rows`] order until it returns `false`.
+    ///
+    /// [`rows`]: System::rows
+    fn try_fold_rows<'a>(&'a self, f: &mut impl FnMut(&'a DiffEq) -> bool) -> bool {
+        match self {
+            System::Row(r) => f(r),
+            System::And(a, b) | System::Or(a, b) => a.try_fold_rows(f) && b.try_fold_rows(f),
+            System::Not(a) => a.try_fold_rows(f),
+            System::True | System::False => true,
+        }
+    }
+
+    /// Visits every row in [`rows`] order without materializing the list.
+    ///
+    /// [`rows`]: System::rows
+    fn for_each_row<'a>(&'a self, f: &mut impl FnMut(&'a DiffEq)) {
+        match self {
+            System::Row(r) => f(r),
+            System::And(a, b) | System::Or(a, b) => {
+                a.for_each_row(f);
+                b.for_each_row(f);
+            }
+            System::Not(a) => a.for_each_row(f),
+            System::True | System::False => {}
         }
     }
 
@@ -186,42 +308,72 @@ impl System {
     /// (the order [`SystemTemplate`] compiles its row programs in).
     ///
     /// [`rows`]: System::rows
-    fn visit_rows_mut<'a>(&'a mut self, out: &mut Vec<&'a mut DiffEq>) {
+    fn for_each_row_mut(&mut self, f: &mut impl FnMut(&mut DiffEq)) {
         match self {
-            System::Row(r) => out.push(r),
+            System::Row(r) => f(r),
             System::And(a, b) | System::Or(a, b) => {
-                a.visit_rows_mut(out);
-                b.visit_rows_mut(out);
+                a.for_each_row_mut(f);
+                b.for_each_row_mut(f);
             }
-            System::Not(a) => a.visit_rows_mut(out),
+            System::Not(a) => a.for_each_row_mut(f),
             System::True | System::False => {}
         }
     }
 
+    /// The max-norm `‖D·t‖∞` at one instant (fold over rows, no
+    /// materialized row list).
+    fn norm_at(&self, t: f64) -> f64 {
+        let mut m = 0.0_f64;
+        self.for_each_row(&mut |r| m = m.max(r.poly.eval(t).abs()));
+        m
+    }
+
     /// Slack (§IV): `min_t ‖D·t‖∞` over the domain — a continuous measure
-    /// of how close the system comes to producing a result. Computed by
-    /// sampling the max-norm envelope and refining the best bracket by
-    /// ternary search (the envelope is piecewise-smooth).
+    /// of how close the system comes to producing a result. Allocating
+    /// wrapper over [`slack_with`].
+    ///
+    /// [`slack_with`]: System::slack_with
     pub fn slack(&self, domain: Span) -> f64 {
-        let rows = self.rows();
-        if rows.is_empty() {
+        self.slack_with(domain, &mut SolveScratch::default())
+    }
+
+    /// [`slack`] with caller-owned scratch — bit-identical results.
+    /// Computed by sampling the max-norm envelope (structure-of-arrays:
+    /// each row is Horner-evaluated across all sample points in one pass
+    /// via [`Poly::eval_many`], then max-folded into the envelope) and
+    /// refining the best bracket by ternary search (the envelope is
+    /// piecewise-smooth).
+    ///
+    /// [`slack`]: System::slack
+    pub fn slack_with(&self, domain: Span, s: &mut SolveScratch) -> f64 {
+        if self.row_count() == 0 {
             return 0.0;
         }
-        let norm =
-            |t: f64| -> f64 { rows.iter().fold(0.0_f64, |m, r| m.max(r.poly.eval(t).abs())) };
         if domain.is_point() {
-            return norm(domain.lo);
+            return self.norm_at(domain.lo);
         }
         const SAMPLES: usize = 64;
         let step = domain.len() / SAMPLES as f64;
-        let mut best_t = domain.lo;
-        let mut best = norm(domain.lo);
+        let samples = &mut s.samples;
+        samples.clear();
+        samples.push(domain.lo);
+        samples.extend((1..=SAMPLES).map(|i| domain.lo + step * i as f64));
+        s.row_vals.resize(samples.len(), 0.0);
+        s.envelope.clear();
+        s.envelope.resize(samples.len(), 0.0);
+        let (row_vals, envelope) = (&mut s.row_vals, &mut s.envelope);
+        self.for_each_row(&mut |r| {
+            r.poly.eval_many(samples, row_vals);
+            for (e, v) in envelope.iter_mut().zip(row_vals.iter()) {
+                *e = e.max(v.abs());
+            }
+        });
+        let mut best_t = samples[0];
+        let mut best = envelope[0];
         for i in 1..=SAMPLES {
-            let t = domain.lo + step * i as f64;
-            let v = norm(t);
-            if v < best {
-                best = v;
-                best_t = t;
+            if envelope[i] < best {
+                best = envelope[i];
+                best_t = samples[i];
             }
         }
         // Ternary-search refinement inside the winning bracket.
@@ -229,13 +381,13 @@ impl System {
         for _ in 0..60 {
             let m1 = lo + (hi - lo) / 3.0;
             let m2 = hi - (hi - lo) / 3.0;
-            if norm(m1) <= norm(m2) {
+            if self.norm_at(m1) <= self.norm_at(m2) {
                 hi = m2;
             } else {
                 lo = m1;
             }
         }
-        best.min(norm(0.5 * (lo + hi)))
+        best.min(self.norm_at(0.5 * (lo + hi)))
     }
 }
 
@@ -279,9 +431,9 @@ impl ExprProgram {
     }
 
     /// Evaluates against a model `lookup`, reusing `stack` across calls.
-    pub fn eval<F>(&self, lookup: &F, stack: &mut Vec<Poly>) -> Result<Poly, ExprError>
+    pub fn eval<F>(&self, lookup: &mut F, stack: &mut Vec<Poly>) -> Result<Poly, ExprError>
     where
-        F: Fn(usize, usize) -> Result<Poly, ExprError>,
+        F: FnMut(usize, usize) -> Result<Poly, ExprError>,
     {
         stack.clear();
         for step in &self.steps {
@@ -371,12 +523,26 @@ fn compile_expr(e: &Expr, out: &mut Vec<Step>) {
 /// construction, so per-segment work reduces to substituting the incoming
 /// models into the precompiled row programs — no `Pred` traversal and no
 /// system-tree allocation on the hot path.
+///
+/// Rows are compiled twice: into bytecode [`VmProgram`]s sharing one
+/// [`SlotMap`] (the production path — substitution writes coefficients into
+/// preallocated VM slots, one write per distinct `(input, attr)`, then runs
+/// each row program into the row's polynomial buffer), and into the
+/// retained AST-walk [`ExprProgram`]s (the legacy path, switchable via
+/// [`set_legacy_subst`] for differential testing and benchmarking). Both
+/// paths produce bit-identical polynomials.
 #[derive(Debug, Clone)]
 pub struct SystemTemplate {
     sys: System,
-    /// Row programs in [`System::rows`] order; each computes `lhs − rhs`.
-    programs: Vec<ExprProgram>,
-    /// Scratch reused across substitutions.
+    /// VM row programs in [`System::rows`] order; each computes `lhs − rhs`.
+    programs: Vec<VmProgram>,
+    /// Retained AST-walk row programs (legacy substitution).
+    legacy: Vec<ExprProgram>,
+    /// One slot per distinct `(input, attr)`, shared by all row programs.
+    slots: SlotMap,
+    /// The per-operator VM instance (slot storage + evaluation stack).
+    vm: ExprVm,
+    /// Scratch reused by the legacy path.
     stack: Vec<Poly>,
 }
 
@@ -388,11 +554,20 @@ impl SystemTemplate {
     /// [`substitute`]: SystemTemplate::substitute
     pub fn compile(pred: &Pred) -> SystemTemplate {
         let mut programs = Vec::new();
-        let sys = Self::shape(pred, &mut programs);
-        SystemTemplate { sys, programs, stack: Vec::new() }
+        let mut legacy = Vec::new();
+        let mut slots = SlotMap::new();
+        let sys = Self::shape(pred, &mut programs, &mut legacy, &mut slots);
+        let mut vm = ExprVm::new();
+        vm.ensure_slots(slots.len());
+        SystemTemplate { sys, programs, legacy, slots, vm, stack: Vec::new() }
     }
 
-    fn shape(pred: &Pred, programs: &mut Vec<ExprProgram>) -> System {
+    fn shape(
+        pred: &Pred,
+        programs: &mut Vec<VmProgram>,
+        legacy: &mut Vec<ExprProgram>,
+        slots: &mut SlotMap,
+    ) -> System {
         match pred {
             Pred::True => System::True,
             Pred::False => System::False,
@@ -401,35 +576,108 @@ impl SystemTemplate {
                 compile_expr(lhs, &mut steps);
                 compile_expr(rhs, &mut steps);
                 steps.push(Step::Sub);
-                programs.push(ExprProgram { steps });
+                legacy.push(ExprProgram { steps });
+                programs.push(VmProgram::compile_diff(lhs, rhs, slots));
                 System::Row(DiffEq { poly: Poly::constant(0.0), op: *op })
             }
-            Pred::And(a, b) => {
-                System::And(Box::new(Self::shape(a, programs)), Box::new(Self::shape(b, programs)))
-            }
-            Pred::Or(a, b) => {
-                System::Or(Box::new(Self::shape(a, programs)), Box::new(Self::shape(b, programs)))
-            }
-            Pred::Not(a) => System::Not(Box::new(Self::shape(a, programs))),
+            Pred::And(a, b) => System::And(
+                Box::new(Self::shape(a, programs, legacy, slots)),
+                Box::new(Self::shape(b, programs, legacy, slots)),
+            ),
+            Pred::Or(a, b) => System::Or(
+                Box::new(Self::shape(a, programs, legacy, slots)),
+                Box::new(Self::shape(b, programs, legacy, slots)),
+            ),
+            Pred::Not(a) => System::Not(Box::new(Self::shape(a, programs, legacy, slots))),
         }
     }
 
     /// Substitutes models through `lookup` into every row, returning the
     /// ready-to-solve system. On error the system must not be solved (it
     /// may be partially substituted); the next successful substitution
-    /// rewrites every row.
+    /// rewrites every row. Allocating wrapper over [`substitute_into`].
+    ///
+    /// [`substitute_into`]: SystemTemplate::substitute_into
     pub fn substitute<F>(&mut self, lookup: &F) -> Result<&System, ExprError>
     where
         F: Fn(usize, usize) -> Result<Poly, ExprError>,
     {
-        let SystemTemplate { sys, programs, stack } = self;
-        let mut rows = Vec::new();
-        sys.visit_rows_mut(&mut rows);
-        debug_assert_eq!(rows.len(), programs.len());
-        for (row, prog) in rows.into_iter().zip(programs.iter()) {
-            row.poly = prog.eval(lookup, stack)?;
+        self.substitute_into(|input, attr, out| {
+            out.copy_from(&lookup(input, attr)?);
+            Ok(())
+        })
+    }
+
+    /// [`substitute`] with a writer callback: `bind(input, attr, slot)`
+    /// writes the model for `(input, attr)` directly into the VM slot
+    /// buffer — called once per distinct attribute, not once per
+    /// occurrence, and allocation-free once the template is warm.
+    ///
+    /// [`substitute`]: SystemTemplate::substitute
+    pub fn substitute_into<F>(&mut self, mut bind: F) -> Result<&System, ExprError>
+    where
+        F: FnMut(usize, usize, &mut Poly) -> Result<(), ExprError>,
+    {
+        if legacy_subst_enabled() {
+            let mut lookup = |input: usize, attr: usize| -> Result<Poly, ExprError> {
+                let mut p = Poly::zero();
+                bind(input, attr, &mut p)?;
+                Ok(p)
+            };
+            let SystemTemplate { sys, legacy, stack, .. } = self;
+            return Self::run_legacy(sys, legacy, stack, &mut lookup);
         }
-        Ok(&*sys)
+        let SystemTemplate { sys, programs, slots, vm, .. } = self;
+        vm.ensure_slots(slots.len());
+        for (i, &(input, attr)) in slots.attrs().iter().enumerate() {
+            bind(input, attr, vm.slot_mut(i))?;
+        }
+        let mut idx = 0;
+        let mut err: Option<ExprError> = None;
+        sys.for_each_row_mut(&mut |row| {
+            if err.is_none() {
+                if let Err(e) = vm.run(&programs[idx], &mut row.poly) {
+                    err = Some(e);
+                }
+                idx += 1;
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => {
+                debug_assert_eq!(idx, programs.len());
+                Ok(&*sys)
+            }
+        }
+    }
+
+    fn run_legacy<'a, F>(
+        sys: &'a mut System,
+        legacy: &[ExprProgram],
+        stack: &mut Vec<Poly>,
+        lookup: &mut F,
+    ) -> Result<&'a System, ExprError>
+    where
+        F: FnMut(usize, usize) -> Result<Poly, ExprError>,
+    {
+        let mut idx = 0;
+        let mut err: Option<ExprError> = None;
+        sys.for_each_row_mut(&mut |row| {
+            if err.is_none() {
+                match legacy[idx].eval(lookup, stack) {
+                    Ok(p) => row.poly = p,
+                    Err(e) => err = Some(e),
+                }
+                idx += 1;
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => {
+                debug_assert_eq!(idx, legacy.len());
+                Ok(&*sys)
+            }
+        }
     }
 }
 

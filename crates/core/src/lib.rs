@@ -56,14 +56,17 @@ pub mod validate;
 
 pub use binding::Binding;
 pub use cops::{CFilter, CGroupBy, CJoin, CMap, CMinMax, COperator, CSumAvg, CUnion};
-pub use eqsys::{DiffEq, ExprProgram, System, SystemTemplate, SOLVE_TOL};
+pub use eqsys::{
+    legacy_subst_enabled, set_legacy_subst, DiffEq, ExprProgram, SolveScratch, System,
+    SystemTemplate, SOLVE_TOL,
+};
 pub use historical::HistoricalStore;
 pub use index::SegmentIndex;
 pub use lineage::{LineageStore, SharedLineage};
 pub use plan::{CPlan, TransformError};
 pub use runtime::{Heuristic, Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 pub use sampler::{SampleStaleness, Sampler};
-pub use shard::{ExplainHandle, MergedRun, ShardError, ShardedRuntime};
+pub use shard::{ExplainHandle, MergedRun, ShardError, ShardedRuntime, DEFAULT_BATCH};
 pub use validate::{
     AccuracySummary, BoundInverter, EquiSplit, GradientSplit, KeyAccuracy, SplitHeuristic, VKey,
     Validator, ValidatorStats,

@@ -16,7 +16,7 @@ use pulse_model::{Schema, Segment, SegmentId, StreamModel, Tuple};
 use pulse_obs::{ExplainReport, Histogram, KeyedCounter, TraceKind, Tracer};
 use pulse_stream::LogicalPlan;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// How predictive segments are built for a source stream.
@@ -148,6 +148,20 @@ impl RuntimeObs {
     }
 }
 
+/// A violation whose re-model has already been applied but whose solve is
+/// queued (batched mode): the plan push runs at the next queue drain, so
+/// one drain amortizes solver entry across every violation in the batch.
+#[derive(Debug, Clone, Copy)]
+struct PendingSolve {
+    source: usize,
+    key: u64,
+    /// Arrival timestamp of the violating tuple (stream time, for trace
+    /// events emitted at drain).
+    ts: f64,
+    /// Trace id of the validation verdict that triggered this solve.
+    validation: u64,
+}
+
 /// The predictive processor.
 pub struct PulseRuntime {
     predictors: Vec<Predictor>,
@@ -175,6 +189,16 @@ pub struct PulseRuntime {
     /// (the sharded runtime routes cross-thread explain queries here over
     /// the worker channel instead of reading the ring remotely).
     tracer: Tracer,
+    /// Deferred violation solves (batched mode), in violation order.
+    pending: Vec<PendingSolve>,
+    /// Keys with a queued solve. A repeated key flushes the queue before
+    /// its next tuple validates, so per-key effects (bounds, slack mode,
+    /// the predictive segment) stay ordered exactly as unbatched execution.
+    pending_keys: HashSet<u64>,
+    /// Whether the plan keeps keys separate
+    /// ([`LogicalPlan::is_key_partitionable`]) — the precondition for
+    /// deferring a key's solve past other keys' validations.
+    batchable: bool,
 }
 
 impl PulseRuntime {
@@ -199,6 +223,7 @@ impl PulseRuntime {
         let modeled = predictors.iter().map(|m| m.schema().modeled_indices()).collect();
         let unmodeled = predictors.iter().map(|m| m.schema().unmodeled_indices()).collect();
         let tracer = Tracer::ring(cfg.trace_capacity);
+        let batchable = logical.is_key_partitionable();
         Ok(PulseRuntime {
             predictors,
             modeled,
@@ -213,6 +238,9 @@ impl PulseRuntime {
             watermark: f64::NEG_INFINITY,
             obs: RuntimeObs::new(),
             tracer,
+            pending: Vec::new(),
+            pending_keys: HashSet::new(),
+            batchable,
         })
     }
 
@@ -258,6 +286,105 @@ impl PulseRuntime {
     /// Feeds one real tuple. Returns freshly produced result segments
     /// (empty while predictions hold — the common case).
     pub fn on_tuple(&mut self, source: usize, tuple: &Tuple) -> Vec<Segment> {
+        let mut outs = Vec::new();
+        self.ingest(source, tuple, false, &mut outs);
+        outs
+    }
+
+    /// Feeds a batch of tuples from one source, deferring violation solves
+    /// into a per-key queue drained once at the end of the batch — one
+    /// drain amortizes solver entry (plan traversal, warm scratch, phase
+    /// bookkeeping) across every violating tuple.
+    ///
+    /// Exactly equivalent to calling [`Self::on_tuple`] per tuple: outputs,
+    /// their order, counters and validator state are identical. Deferral is
+    /// gated on key-partitionable plans — a pending solve's effects (join
+    /// state, lineage, inverted bounds, slack mode) are confined to its own
+    /// key, and a repeated key flushes the queue before its next tuple
+    /// validates. Non-partitionable plans fall back to per-tuple
+    /// processing.
+    pub fn on_batch(&mut self, source: usize, tuples: &[Tuple]) -> Vec<Segment> {
+        let mut outs = Vec::new();
+        for tuple in tuples {
+            self.batched_one(source, tuple, &mut outs);
+        }
+        self.drain_pending(&mut outs);
+        outs
+    }
+
+    /// [`Self::on_batch`] over mixed `(source, tuple)` pairs — the shard
+    /// workers' channel message format (owned tuples) and the benches'
+    /// merged feeds (borrowed) both fit.
+    pub fn on_pairs<T: std::borrow::Borrow<Tuple>>(
+        &mut self,
+        pairs: &[(usize, T)],
+    ) -> Vec<Segment> {
+        let mut outs = Vec::new();
+        for (source, tuple) in pairs {
+            self.batched_one(*source, tuple.borrow(), &mut outs);
+        }
+        self.drain_pending(&mut outs);
+        outs
+    }
+
+    /// Whether the batched entry points actually defer solves for this
+    /// plan (false → they degenerate to per-tuple processing).
+    pub fn batchable(&self) -> bool {
+        self.batchable
+    }
+
+    fn batched_one(&mut self, source: usize, tuple: &Tuple, outs: &mut Vec<Segment>) {
+        if !self.batchable {
+            self.ingest(source, tuple, false, outs);
+            return;
+        }
+        if self.pending_keys.contains(&tuple.key) {
+            self.drain_pending(outs);
+        }
+        self.ingest(source, tuple, true, outs);
+    }
+
+    /// Drains the deferred-solve queue in violation order. The
+    /// `SolveBatchDrain` cell gets the drain's wall time net of what the
+    /// solves attribute to themselves, so it holds only queue bookkeeping
+    /// and the phase shares stay disjoint.
+    fn drain_pending(&mut self, outs: &mut Vec<Segment>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let obs_on = pulse_obs::enabled();
+        let t0 = pulse_obs::prof::start();
+        let solved0 = t0.map(|_| self.solved_ns());
+        let mut queued = std::mem::take(&mut self.pending);
+        self.pending_keys.clear();
+        for p in queued.drain(..) {
+            let vt0 = obs_on.then(Instant::now);
+            self.run_solve(p.source, p.key, p.ts, p.validation, vt0, outs);
+        }
+        self.pending = queued;
+        if let (Some(t0), Some(s0)) = (t0, solved0) {
+            let total = t0.elapsed().as_nanos() as u64;
+            let solved = self.solved_ns() - s0;
+            self.tracer
+                .phases_mut()
+                .record(pulse_obs::Phase::SolveBatchDrain, total.saturating_sub(solved));
+        }
+    }
+
+    /// Phase ns the solves inside a drain record for themselves (the push
+    /// phases plus emit) — subtracted from the drain wall time above.
+    fn solved_ns(&self) -> u64 {
+        let p = self.tracer.phases();
+        pulse_obs::Phase::push_nested_ns(p)
+            + p.ns(pulse_obs::Phase::Solve)
+            + p.ns(pulse_obs::Phase::Emit)
+    }
+
+    /// The validation front half shared by every entry point: fast-path
+    /// suppression, and on violation the re-model + predictive-segment
+    /// swap. `defer` queues the solve (batched mode) instead of running it
+    /// inline.
+    fn ingest(&mut self, source: usize, tuple: &Tuple, defer: bool, outs: &mut Vec<Segment>) {
         // One enabled-check per tuple; everything downstream branches on it
         // (or on the timer Option it produces) without reloading the flag.
         // The suppressed path's latency is sampled 1-in-64 so timestamping
@@ -327,7 +454,7 @@ impl PulseRuntime {
                             self.tracer.phases_mut().record(pulse_obs::Phase::Validate, ns);
                         }
                     }
-                    return Vec::new();
+                    return;
                 }
                 self.stats.violations += 1;
                 if obs_on {
@@ -367,7 +494,7 @@ impl PulseRuntime {
         self.tracer.prof(prof_t0, pulse_obs::Phase::RemodelFit);
         let Some(mut seg) = seg else {
             self.stats.model_errors += 1;
-            return Vec::new();
+            return;
         };
         // Expiry (not violation) must not leave a coverage gap: the old
         // prediction stays authoritative until the new one begins, so the
@@ -386,15 +513,43 @@ impl PulseRuntime {
         let seg = self.predicted.get(&pkey).expect("just inserted");
         self.seg_owner.insert(seg.id, vkey);
         self.stats.segments_pushed += 1;
+        if defer {
+            self.pending.push(PendingSolve { source, key: tuple.key, ts: tuple.ts, validation });
+            self.pending_keys.insert(tuple.key);
+            // The deferred half times itself at drain; record the ingest
+            // half now so the two histogram contributions sum to the same
+            // violation-path total as inline execution.
+            if let Some(t0) = slow_t0 {
+                self.obs.violation_path_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            return;
+        }
+        self.run_solve(source, tuple.key, tuple.ts, validation, slow_t0, outs);
+    }
+
+    /// The solve half of the violation path: pushes `(source, key)`'s
+    /// current predictive segment through the plan, attributes the `Solve`
+    /// phase net of everything the operators record inside the push, and
+    /// installs the inverted bounds (or slack mode) from the results.
+    /// `slow_t0` feeds the `runtime.violation_path_ns` histogram.
+    fn run_solve(
+        &mut self,
+        source: usize,
+        key: u64,
+        ts: f64,
+        validation: u64,
+        slow_t0: Option<Instant>,
+        outs: &mut Vec<Segment>,
+    ) {
+        let obs_on = pulse_obs::enabled();
+        let trace_on = self.tracer.on();
+        let vkey = Self::vkey(source, key);
+        let seg = self.predicted.get(&(source, key)).expect("solve queued for a live segment");
         let solve_start = if trace_on {
-            let remodel = self.tracer.emit(
-                validation,
-                tuple.key,
-                tuple.ts,
-                TraceKind::Remodel { seg: seg.id.0 },
-            );
+            let remodel =
+                self.tracer.emit(validation, key, ts, TraceKind::Remodel { seg: seg.id.0 });
             let kind = TraceKind::SolveStart { system_size: self.plan.len() as u32 };
-            let id = self.tracer.emit(remodel, tuple.key, tuple.ts, kind);
+            let id = self.tracer.emit(remodel, key, ts, kind);
             // Operators inside the push parent their OpSolve events here.
             self.tracer.set_scope(id);
             id
@@ -403,24 +558,18 @@ impl PulseRuntime {
         };
         let solve_t0 = trace_on.then(Instant::now);
         // Solve-phase attribution: the push total minus whatever the
-        // operators attribute to template substitution and root isolation
-        // while it runs, leaving the plan glue (state scans, lineage,
-        // segment construction) as the Solve cell.
+        // operators attribute to template substitution, root isolation and
+        // the solver sub-phases while it runs, leaving the plan glue (state
+        // scans, lineage, segment construction) as the Solve cell.
         let push_t0 = pulse_obs::prof::start();
-        let nested0 = push_t0.map(|_| {
-            let p = self.tracer.phases();
-            p.ns(pulse_obs::Phase::TemplateSubstitute) + p.ns(pulse_obs::Phase::RootIsolate)
-        });
-        let outs = {
-            let _span = pulse_obs::span!("runtime.solve_ns", tuple.key);
+        let nested0 = push_t0.map(|_| pulse_obs::Phase::push_nested_ns(self.tracer.phases()));
+        let new_outs = {
+            let _span = pulse_obs::span!("runtime.solve_ns", key);
             self.plan.push_traced(source, seg, &mut self.tracer)
         };
         if let (Some(t0), Some(n0)) = (push_t0, nested0) {
             let total = t0.elapsed().as_nanos() as u64;
-            let p = self.tracer.phases();
-            let nested = p.ns(pulse_obs::Phase::TemplateSubstitute)
-                + p.ns(pulse_obs::Phase::RootIsolate)
-                - n0;
+            let nested = pulse_obs::Phase::push_nested_ns(self.tracer.phases()) - n0;
             self.tracer.phases_mut().record(pulse_obs::Phase::Solve, total.saturating_sub(nested));
         }
         if trace_on {
@@ -429,13 +578,13 @@ impl PulseRuntime {
             let ns = solve_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
             let kind = TraceKind::SolveEnd {
                 system_size: self.plan.len() as u32,
-                roots: outs.len() as u32,
+                roots: new_outs.len() as u32,
                 iters,
                 ns,
             };
-            let solve_end = self.tracer.emit(solve_start, tuple.key, tuple.ts, kind);
+            let solve_end = self.tracer.emit(solve_start, key, ts, kind);
             let store = self.plan.lineage().lock();
-            for out in &outs {
+            for out in &new_outs {
                 let sources = store.sources_of(out.id).iter().map(|s| s.0).collect();
                 let kind = TraceKind::OutputEmit {
                     seg: out.id.0,
@@ -446,12 +595,12 @@ impl PulseRuntime {
                 self.tracer.emit(solve_end, out.key, out.span.lo, kind);
             }
         }
-        self.stats.outputs += outs.len() as u64;
+        self.stats.outputs += new_outs.len() as u64;
         if obs_on {
             // Where each emitted range stands relative to the watermark:
             // lag = how far it starts behind arrivals, lead = how far the
             // prediction answers into the future (both stream-time µs).
-            for out in &outs {
+            for out in &new_outs {
                 let lag = (self.watermark - out.span.lo).max(0.0);
                 let lead = (out.span.hi - self.watermark).max(0.0);
                 if lag.is_finite() {
@@ -463,7 +612,7 @@ impl PulseRuntime {
             }
         }
         let emit_t0 = pulse_obs::prof::start();
-        if outs.is_empty() {
+        if new_outs.is_empty() {
             // Null result: slack validation until inputs leave the band.
             if let Some(slack) = self.plan.last_slack() {
                 self.validator.set_slack(vkey, slack);
@@ -471,14 +620,14 @@ impl PulseRuntime {
                 self.validator.set_accuracy(vkey, Bound::symmetric(self.cfg.bound));
             }
         } else {
-            let _span = pulse_obs::span!("validate.invert_ns", tuple.key);
-            self.install_bounds(&outs, vkey);
+            let _span = pulse_obs::span!("validate.invert_ns", key);
+            self.install_bounds(&new_outs, vkey);
         }
         self.tracer.prof(emit_t0, pulse_obs::Phase::Emit);
         if let Some(t0) = slow_t0 {
             self.obs.violation_path_ns.record(t0.elapsed().as_nanos() as u64);
         }
-        outs
+        outs.extend(new_outs);
     }
 
     /// Inverts the output bound through lineage and installs each source

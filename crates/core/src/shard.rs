@@ -226,9 +226,10 @@ impl ShardedRuntime {
                                 if let Some(g) = &gauge {
                                     g.set(d);
                                 }
-                                for (source, tuple) in &batch {
-                                    outputs.extend(rt.on_tuple(*source, tuple));
-                                }
+                                // Sharded plans are key-partitionable by
+                                // construction, so every channel batch runs
+                                // through the deferred-solve queue.
+                                outputs.extend(rt.on_pairs(&batch));
                             }
                             Msg::Gc(t) => rt.gc_before(t),
                             Msg::Explain { key, t0, t1, reply } => {

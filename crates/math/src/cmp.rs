@@ -8,7 +8,7 @@
 
 use crate::interval::{RangeSet, Span, EPS};
 use crate::poly::Poly;
-use crate::roots::poly_roots_in;
+use crate::roots::{poly_roots_into, RootScratch};
 
 /// The six standard relational comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,20 +88,69 @@ impl std::fmt::Display for CmpOp {
     }
 }
 
+/// Reusable buffers for [`solve_poly_cmp_scratch`]: the root list, the
+/// interval cut list, and the root-isolation scratch. One per solver loop;
+/// the returned [`RangeSet`] is the only allocation left per call. Fields
+/// are public so callers can drive the staged API
+/// ([`solve_cmp_degenerate`] → [`poly_roots_into`] →
+/// [`solve_cmp_from_roots`]) and attribute time to each stage.
+#[derive(Debug, Default)]
+pub struct CmpScratch {
+    pub roots: RootScratch,
+    pub root_buf: Vec<f64>,
+    pub cuts: Vec<f64>,
+}
+
+/// Degenerate fast paths of `p(t) R 0` needing no root isolation: the
+/// identically-zero polynomial and point domains.
+pub fn solve_cmp_degenerate(p: &Poly, op: CmpOp, domain: Span) -> Option<RangeSet> {
+    if p.is_zero() {
+        return Some(if op.accepts_zero() { RangeSet::single(domain) } else { RangeSet::empty() });
+    }
+    if domain.is_point() {
+        let v = p.eval(domain.lo);
+        return Some(if op.test(v, 0.0) { RangeSet::single(domain) } else { RangeSet::empty() });
+    }
+    None
+}
+
 /// Solves `p(t) R 0` for `t ∈ domain`, returning the satisfying time ranges.
 ///
 /// Equality over a non-zero polynomial yields isolated points; an
 /// identically-zero polynomial makes `=`, `≤`, `≥` hold everywhere and `<`,
-/// `>`, `≠` nowhere.
+/// `>`, `≠` nowhere. Allocating wrapper over [`solve_poly_cmp_scratch`].
 pub fn solve_poly_cmp(p: &Poly, op: CmpOp, domain: Span, tol: f64) -> RangeSet {
-    if p.is_zero() {
-        return if op.accepts_zero() { RangeSet::single(domain) } else { RangeSet::empty() };
+    solve_poly_cmp_scratch(p, op, domain, tol, &mut CmpScratch::default())
+}
+
+/// [`solve_poly_cmp`] with caller-owned scratch buffers — bit-identical
+/// results, no intermediate heap allocation once the scratch is warm.
+pub fn solve_poly_cmp_scratch(
+    p: &Poly,
+    op: CmpOp,
+    domain: Span,
+    tol: f64,
+    s: &mut CmpScratch,
+) -> RangeSet {
+    if let Some(rs) = solve_cmp_degenerate(p, op, domain) {
+        return rs;
     }
-    if domain.is_point() {
-        let v = p.eval(domain.lo);
-        return if op.test(v, 0.0) { RangeSet::single(domain) } else { RangeSet::empty() };
-    }
-    let roots = poly_roots_in(p, domain.lo, domain.hi, tol);
+    poly_roots_into(p, domain.lo, domain.hi, tol, &mut s.roots, &mut s.root_buf);
+    solve_cmp_from_roots(p, op, domain, tol, &s.root_buf, &mut s.cuts)
+}
+
+/// Sign analysis of `p(t) R 0` on `domain` given `p`'s roots there (as
+/// produced by [`poly_roots_into`]). Together with [`solve_cmp_degenerate`]
+/// this is [`solve_poly_cmp_scratch`] split into stages so callers can time
+/// isolation and refinement separately.
+pub fn solve_cmp_from_roots(
+    p: &Poly,
+    op: CmpOp,
+    domain: Span,
+    tol: f64,
+    roots: &[f64],
+    cuts: &mut Vec<f64>,
+) -> RangeSet {
     match op {
         CmpOp::Eq => RangeSet::from_spans(roots.iter().map(|&r| Span::point(r)).collect()),
         CmpOp::Ne => {
@@ -110,7 +159,8 @@ pub fn solve_poly_cmp(p: &Poly, op: CmpOp, domain: Span, tol: f64) -> RangeSet {
         }
         _ => {
             // Sign is constant between consecutive roots: sample midpoints.
-            let mut cuts = Vec::with_capacity(roots.len() + 2);
+            cuts.clear();
+            cuts.reserve(roots.len() + 2);
             cuts.push(domain.lo);
             cuts.extend(
                 roots.iter().copied().filter(|r| *r > domain.lo + EPS && *r < domain.hi - EPS),

@@ -19,12 +19,15 @@ pub mod poly;
 pub mod roots;
 pub mod sturm;
 
-pub use cmp::{solve_poly_cmp, CmpOp};
+pub use cmp::{
+    solve_cmp_degenerate, solve_cmp_from_roots, solve_poly_cmp, solve_poly_cmp_scratch, CmpOp,
+    CmpScratch,
+};
 pub use interval::{RangeSet, Span, EPS};
 pub use linsys::{fit_poly, solve_dense, IncrementalLinFit, LinSysError};
 pub use poly::Poly;
-pub use roots::{brent, newton, poly_newton, poly_roots_in};
+pub use roots::{brent, newton, poly_newton, poly_roots_in, poly_roots_into, RootScratch};
 pub use sturm::{
     certified_roots, count_roots, isolate_roots, sturm_chain, try_div_rem, try_sturm_chain,
-    SturmError,
+    FlatChain, SturmError,
 };

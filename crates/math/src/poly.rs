@@ -103,6 +103,117 @@ impl Poly {
         self.c.iter().rev().fold(0.0, |acc, &c| acc * t + c)
     }
 
+    /// Batch Horner evaluation over a chunk of sample times.
+    ///
+    /// The inner loop runs over the contiguous `f64` arrays (coefficient
+    /// outer, samples inner), so it vectorizes where the per-point `eval`
+    /// cannot. Each lane performs the identical `acc·t + c` sequence, so
+    /// results are bit-identical to calling [`Poly::eval`] per point.
+    pub fn eval_many(&self, ts: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(ts.len(), out.len());
+        out.fill(0.0);
+        for &c in self.c.iter().rev() {
+            for (o, &t) in out.iter_mut().zip(ts) {
+                *o = *o * t + c;
+            }
+        }
+    }
+
+    /// Replaces `self` with a copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Poly) {
+        self.c.clear();
+        self.c.extend_from_slice(&other.c);
+    }
+
+    /// Replaces `self` with the constant polynomial `k`, reusing the
+    /// allocation; bit-identical to `Poly::constant(k)`.
+    pub fn set_constant(&mut self, k: f64) {
+        self.c.clear();
+        self.c.push(k);
+        self.trim();
+    }
+
+    /// Writes `self.powi(n)` into `out`, with `base` and `tmp` as staging
+    /// buffers; the repeated-squaring sequence matches [`Poly::powi`]
+    /// exactly, so coefficients are bit-identical.
+    pub fn powi_into(&self, mut n: u32, out: &mut Poly, base: &mut Poly, tmp: &mut Poly) {
+        base.copy_from(self);
+        out.set_constant(1.0);
+        while n > 0 {
+            if n & 1 == 1 {
+                out.mul_into(base, tmp);
+                std::mem::swap(out, tmp);
+            }
+            base.mul_into(base, tmp);
+            std::mem::swap(base, tmp);
+            n >>= 1;
+        }
+    }
+
+    /// In-place pointwise sum; bit-identical to `self.add(other)`.
+    pub fn add_assign_poly(&mut self, other: &Poly) {
+        let n = self.c.len().max(other.c.len());
+        self.c.resize(n, 0.0);
+        for (i, slot) in self.c.iter_mut().enumerate() {
+            *slot += other.coeff(i);
+        }
+        self.trim();
+    }
+
+    /// In-place pointwise difference; bit-identical to `self.sub(other)`.
+    pub fn sub_assign_poly(&mut self, other: &Poly) {
+        let n = self.c.len().max(other.c.len());
+        self.c.resize(n, 0.0);
+        for (i, slot) in self.c.iter_mut().enumerate() {
+            *slot -= other.coeff(i);
+        }
+        self.trim();
+    }
+
+    /// In-place negation; bit-identical to `self.neg()`.
+    pub fn neg_assign(&mut self) {
+        for c in &mut self.c {
+            *c = -*c;
+        }
+        self.trim();
+    }
+
+    /// In-place scalar multiple; bit-identical to `self.scale(k)`.
+    pub fn scale_assign(&mut self, k: f64) {
+        for c in &mut self.c {
+            *c *= k;
+        }
+        self.trim();
+    }
+
+    /// Writes `self · other` into `out`, reusing its allocation; the
+    /// accumulation order matches [`Poly::mul`] exactly, so coefficients
+    /// are bit-identical.
+    pub fn mul_into(&self, other: &Poly, out: &mut Poly) {
+        out.c.clear();
+        if self.is_zero() || other.is_zero() {
+            return;
+        }
+        out.c.resize(self.c.len() + other.c.len() - 1, 0.0);
+        for (i, &a) in self.c.iter().enumerate() {
+            for (j, &b) in other.c.iter().enumerate() {
+                out.c[i + j] += a * b;
+            }
+        }
+        out.trim();
+    }
+
+    /// Writes the first derivative into `out`, reusing its allocation;
+    /// bit-identical to [`Poly::derivative`].
+    pub fn derivative_into(&self, out: &mut Poly) {
+        out.c.clear();
+        if self.c.len() <= 1 {
+            return;
+        }
+        out.c.extend(self.c[1..].iter().enumerate().map(|(i, &c)| c * (i + 1) as f64));
+        out.trim();
+    }
+
     /// Pointwise sum.
     pub fn add(&self, other: &Poly) -> Poly {
         let n = self.c.len().max(other.c.len());
@@ -345,6 +456,61 @@ mod tests {
         let a = p(&[-1.0, 0.0, 1.0]);
         assert!((a.max_abs_on(-2.0, 2.0) - 3.0).abs() < 1e-9);
         assert!((a.max_abs_on(-0.5, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let cases = [
+            (p(&[1.0, 2.0, 3.0]), p(&[0.5, -2.0])),
+            (p(&[0.0, 1.0]), p(&[0.0, -1.0])),
+            (Poly::zero(), p(&[4.0, 5.0, 6.0])),
+            (p(&[1e-3, -7.0, 2.5, 0.25]), Poly::zero()),
+        ];
+        for (a, b) in &cases {
+            let mut x = a.clone();
+            x.add_assign_poly(b);
+            assert_eq!(x, a.add(b));
+            let mut x = a.clone();
+            x.sub_assign_poly(b);
+            assert_eq!(x, a.sub(b));
+            let mut x = a.clone();
+            x.neg_assign();
+            assert_eq!(x, a.neg());
+            let mut x = a.clone();
+            x.scale_assign(-1.5);
+            assert_eq!(x, a.scale(-1.5));
+            let mut out = p(&[9.0, 9.0]);
+            a.mul_into(b, &mut out);
+            assert_eq!(out, a.mul(b));
+            let mut d = p(&[9.0]);
+            a.derivative_into(&mut d);
+            assert_eq!(d, a.derivative());
+            let mut c = p(&[1.0, 1.0, 1.0, 1.0]);
+            c.copy_from(a);
+            assert_eq!(&c, a);
+            for n in 0..5u32 {
+                let (mut out, mut base, mut tmp) = (p(&[7.0]), p(&[7.0]), p(&[7.0]));
+                a.powi_into(n, &mut out, &mut base, &mut tmp);
+                assert_eq!(out, a.powi(n), "n={n}");
+            }
+        }
+        let mut k = p(&[1.0, 2.0]);
+        k.set_constant(4.5);
+        assert_eq!(k, Poly::constant(4.5));
+        k.set_constant(0.0);
+        assert_eq!(k, Poly::constant(0.0));
+        assert!(k.is_zero());
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let q = p(&[1.0, -2.0, 0.5, 3.0]);
+        let ts: Vec<f64> = (0..37).map(|i| -3.0 + 0.2 * i as f64).collect();
+        let mut out = vec![0.0; ts.len()];
+        q.eval_many(&ts, &mut out);
+        for (t, o) in ts.iter().zip(&out) {
+            assert_eq!(q.eval(*t).to_bits(), o.to_bits(), "t={t}");
+        }
     }
 
     #[test]

@@ -106,86 +106,143 @@ where
     Some(b)
 }
 
-/// Solves `at + b = 0` inside `[lo, hi]`.
-fn linear_roots_in(b: f64, a: f64, lo: f64, hi: f64) -> Vec<f64> {
+/// Appends the root of `at + b = 0` inside `[lo, hi]`, if any.
+fn linear_roots_into(b: f64, a: f64, lo: f64, hi: f64, out: &mut Vec<f64>) {
     if a.abs() < 1e-300 {
-        return Vec::new();
+        return;
     }
     let r = -b / a;
     if r >= lo && r <= hi {
-        vec![r]
-    } else {
-        Vec::new()
+        out.push(r);
     }
 }
 
-/// Numerically stable quadratic roots of `c2 t² + c1 t + c0` inside `[lo, hi]`.
-fn quadratic_roots_in(c0: f64, c1: f64, c2: f64, lo: f64, hi: f64) -> Vec<f64> {
+/// Numerically stable quadratic roots of `c2 t² + c1 t + c0` inside
+/// `[lo, hi]`, appended to `out` (which must arrive empty: the closing
+/// sort/dedup runs over the whole buffer).
+fn quadratic_roots_into(c0: f64, c1: f64, c2: f64, lo: f64, hi: f64, out: &mut Vec<f64>) {
     let disc = c1 * c1 - 4.0 * c2 * c0;
     if disc < 0.0 {
-        return Vec::new();
+        return;
     }
     let sd = disc.sqrt();
     // Avoid catastrophic cancellation: compute the larger-magnitude root
     // first and derive the second from the product of roots.
     let q = -0.5 * (c1 + c1.signum() * sd);
     let (r1, r2) = if q.abs() < 1e-300 { (0.0, 0.0) } else { (q / c2, c0 / q) };
-    let mut out: Vec<f64> =
-        [r1, r2].into_iter().filter(|r| r.is_finite() && *r >= lo && *r <= hi).collect();
+    out.extend([r1, r2].into_iter().filter(|r| r.is_finite() && *r >= lo && *r <= hi));
     // NaN policy: candidates are pre-filtered to finite values, and
     // `total_cmp` keeps the sort panic-free even if that filter changes.
     out.sort_by(f64::total_cmp);
     out.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-    out
+}
+
+/// Reusable buffers for [`poly_roots_into`]: one derivative polynomial and
+/// one critical-point list per recursion level, so the derivative-recursion
+/// isolator runs without heap allocation once the scratch is warm. Owned by
+/// the solver loop (one per runtime/shard), not created per call.
+#[derive(Debug, Default)]
+pub struct RootScratch {
+    derivs: Vec<Poly>,
+    breaks: Vec<Vec<f64>>,
+}
+
+impl RootScratch {
+    fn ensure_level(&mut self, level: usize) {
+        if self.derivs.len() <= level {
+            self.derivs.resize_with(level + 1, Poly::zero);
+            self.breaks.resize_with(level + 1, Vec::new);
+        }
+    }
+}
+
+/// All real roots of `p` inside `[lo, hi]`, ascending and deduplicated,
+/// appended to `out` (cleared first). Bit-identical to [`poly_roots_in`] —
+/// which is a thin wrapper over this — but allocation-free once `scratch`
+/// is warm.
+pub fn poly_roots_into(
+    p: &Poly,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    s: &mut RootScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    roots_level(p, lo, hi, tol, s, 0, out);
+}
+
+fn roots_level(
+    p: &Poly,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    s: &mut RootScratch,
+    level: usize,
+    out: &mut Vec<f64>,
+) {
+    if lo > hi || p.is_zero() {
+        return;
+    }
+    match p.degree() {
+        None | Some(0) => {}
+        Some(1) => linear_roots_into(p.coeff(0), p.coeff(1), lo, hi, out),
+        Some(2) => quadratic_roots_into(p.coeff(0), p.coeff(1), p.coeff(2), lo, hi, out),
+        Some(_) => {
+            // Monotone pieces are delimited by critical points. The
+            // derivative and its root list live in per-level scratch slots,
+            // temporarily moved out so the recursion can reborrow `s`.
+            s.ensure_level(level);
+            let mut d = std::mem::take(&mut s.derivs[level]);
+            let mut breaks = std::mem::take(&mut s.breaks[level]);
+            p.derivative_into(&mut d);
+            breaks.clear();
+            roots_level(&d, lo, hi, tol, s, level + 1, &mut breaks);
+            breaks.insert(0, lo);
+            breaks.push(hi);
+            for w in breaks.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if b - a < tol {
+                    if p.eval(a).abs() <= tol.sqrt() {
+                        out.push(a);
+                    }
+                    continue;
+                }
+                let (fa, fb) = (p.eval(a), p.eval(b));
+                if fa.abs() <= tol {
+                    out.push(a);
+                } else if fa * fb < 0.0 {
+                    if let Some(r) = brent(|t| p.eval(t), a, b, tol) {
+                        out.push(r);
+                    }
+                }
+            }
+            if p.eval(hi).abs() <= tol {
+                out.push(hi);
+            }
+            // NaN policy: Brent/bisection only return finite roots, so the
+            // total order is identical to the partial one; `total_cmp` just
+            // removes the panic edge for fuzzed coefficient extremes.
+            out.sort_by(f64::total_cmp);
+            out.dedup_by(|a, b| (*a - *b).abs() < tol.max(1e-9) * 10.0);
+            s.derivs[level] = d;
+            s.breaks[level] = breaks;
+        }
+    }
 }
 
 /// All real roots of `p` inside `[lo, hi]`, ascending and deduplicated.
 ///
 /// The zero polynomial yields no roots (callers treat "identically zero" as
 /// a special predicate case). Robust for the small degrees (≤ ~8) produced
-/// by Pulse's operator transforms.
+/// by Pulse's operator transforms. Allocating wrapper over
+/// [`poly_roots_into`]; hot paths hold a [`RootScratch`] and call that
+/// directly.
 pub fn poly_roots_in(p: &Poly, lo: f64, hi: f64, tol: f64) -> Vec<f64> {
-    if lo > hi || p.is_zero() {
-        return Vec::new();
-    }
-    match p.degree() {
-        None | Some(0) => Vec::new(),
-        Some(1) => linear_roots_in(p.coeff(0), p.coeff(1), lo, hi),
-        Some(2) => quadratic_roots_in(p.coeff(0), p.coeff(1), p.coeff(2), lo, hi),
-        Some(_) => {
-            // Monotone pieces are delimited by critical points.
-            let mut breaks = poly_roots_in(&p.derivative(), lo, hi, tol);
-            breaks.insert(0, lo);
-            breaks.push(hi);
-            let mut roots = Vec::new();
-            for w in breaks.windows(2) {
-                let (a, b) = (w[0], w[1]);
-                if b - a < tol {
-                    if p.eval(a).abs() <= tol.sqrt() {
-                        roots.push(a);
-                    }
-                    continue;
-                }
-                let (fa, fb) = (p.eval(a), p.eval(b));
-                if fa.abs() <= tol {
-                    roots.push(a);
-                } else if fa * fb < 0.0 {
-                    if let Some(r) = brent(|t| p.eval(t), a, b, tol) {
-                        roots.push(r);
-                    }
-                }
-            }
-            if p.eval(hi).abs() <= tol {
-                roots.push(hi);
-            }
-            // NaN policy: Brent/bisection only return finite roots, so the
-            // total order is identical to the partial one; `total_cmp` just
-            // removes the panic edge for fuzzed coefficient extremes.
-            roots.sort_by(f64::total_cmp);
-            roots.dedup_by(|a, b| (*a - *b).abs() < tol.max(1e-9) * 10.0);
-            roots
-        }
-    }
+    let mut s = RootScratch::default();
+    let mut out = Vec::new();
+    poly_roots_into(p, lo, hi, tol, &mut s, &mut out);
+    out
 }
 
 /// Newton's method specialized to a polynomial (the solver the paper names
@@ -306,6 +363,31 @@ mod tests {
     fn zero_and_constant_polys_have_no_roots() {
         assert!(poly_roots_in(&Poly::zero(), 0.0, 1.0, 1e-10).is_empty());
         assert!(poly_roots_in(&Poly::constant(3.0), 0.0, 1.0, 1e-10).is_empty());
+    }
+
+    #[test]
+    fn warm_scratch_reuse_is_bit_identical() {
+        // One scratch across many different polynomials: the reused buffers
+        // must never leak state between calls.
+        let mut s = RootScratch::default();
+        let mut out = Vec::new();
+        let polys = [
+            poly(&[-6.0, 11.0, -6.0, 1.0]),
+            poly(&[4.0, -4.0, 1.0]),
+            poly(&[1.0, 0.0, 1.0]),
+            poly(&[-4.0, 2.0]),
+            poly(&[1.0, -1.0]).powi(2).mul(&poly(&[-3.0, 1.0])).mul(&poly(&[2.0, 1.0])),
+            Poly::zero(),
+            poly(&[0.3, -2.0, 0.7, 1.3, -0.2, 0.05]),
+        ];
+        for p in &polys {
+            poly_roots_into(p, -5.0, 5.0, 1e-10, &mut s, &mut out);
+            let fresh = poly_roots_in(p, -5.0, 5.0, 1e-10);
+            assert_eq!(out.len(), fresh.len(), "{p}");
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{p}");
+            }
+        }
     }
 
     #[test]

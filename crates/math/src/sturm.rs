@@ -131,6 +131,61 @@ pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
     try_sturm_chain(p).unwrap_or_else(|_| vec![p.clone()])
 }
 
+/// A Sturm chain in SoA layout: every member polynomial's coefficients
+/// flattened into one contiguous `f64` buffer with end offsets, so the
+/// sign-change counting that dominates Sturm-guided bisection walks one
+/// cache-friendly slab instead of chasing per-`Poly` heap pointers.
+/// Evaluation is the same ascending-coefficient Horner fold as
+/// [`Poly::eval`], so counts are bit-identical to the boxed chain.
+#[derive(Debug, Default)]
+pub struct FlatChain {
+    coeffs: Vec<f64>,
+    ends: Vec<u32>,
+}
+
+impl FlatChain {
+    /// Builds the flat layout from a boxed chain.
+    pub fn from_chain(chain: &[Poly]) -> Self {
+        let mut fc = FlatChain::default();
+        fc.rebuild(chain);
+        fc
+    }
+
+    /// Refills from `chain`, reusing both buffers.
+    pub fn rebuild(&mut self, chain: &[Poly]) {
+        self.coeffs.clear();
+        self.ends.clear();
+        for p in chain {
+            self.coeffs.extend_from_slice(p.coeffs());
+            self.ends.push(self.coeffs.len() as u32);
+        }
+    }
+
+    /// Sign changes of the chain evaluated at `t` (zeros are skipped, per
+    /// Sturm's theorem).
+    pub fn sign_changes(&self, t: f64) -> usize {
+        let mut changes = 0;
+        let mut last: Option<bool> = None;
+        let mut start = 0usize;
+        for &end in &self.ends {
+            let end = end as usize;
+            let v = self.coeffs[start..end].iter().rev().fold(0.0, |acc, &c| acc * t + c);
+            start = end;
+            if v.abs() < 1e-12 {
+                continue;
+            }
+            let pos = v > 0.0;
+            if let Some(l) = last {
+                if l != pos {
+                    changes += 1;
+                }
+            }
+            last = Some(pos);
+        }
+        changes
+    }
+}
+
 /// Sign changes of the chain evaluated at `t` (zeros are skipped, per
 /// Sturm's theorem).
 fn sign_changes(chain: &[Poly], t: f64) -> usize {
@@ -182,14 +237,15 @@ pub fn squarefree(p: &Poly) -> Poly {
 }
 
 /// Isolating brackets: sub-intervals of `[lo, hi]` each containing exactly
-/// one distinct real root, found by Sturm-guided bisection.
+/// one distinct real root, found by Sturm-guided bisection. The bisection
+/// counts sign changes through the SoA [`FlatChain`] layout.
 pub fn isolate_roots(p: &Poly, lo: f64, hi: f64) -> Vec<(f64, f64)> {
     let sf = squarefree(p);
     if sf.is_zero() || sf.is_constant() {
         return Vec::new();
     }
-    let chain = sturm_chain(&sf);
-    let count = |a: f64, b: f64| sign_changes(&chain, a).saturating_sub(sign_changes(&chain, b));
+    let chain = FlatChain::from_chain(&sturm_chain(&sf));
+    let count = |a: f64, b: f64| chain.sign_changes(a).saturating_sub(chain.sign_changes(b));
     let mut out = Vec::new();
     // Nudge the interval to avoid roots exactly at `lo` being excluded by
     // the half-open (lo, hi] semantics.
@@ -345,6 +401,26 @@ mod tests {
         assert_eq!(brackets.len(), 2, "{brackets:?}");
         for (a, b) in &brackets {
             assert_eq!(count_roots(&p, *a, *b), 1);
+        }
+    }
+
+    #[test]
+    fn flat_chain_matches_boxed_chain() {
+        let p = poly(&[-6.0, 11.0, -6.0, 1.0]).mul(&poly(&[0.3, -1.7, 1.0]));
+        let chain = sturm_chain(&p);
+        let flat = FlatChain::from_chain(&chain);
+        for i in -40..=40 {
+            let t = i as f64 * 0.25;
+            assert_eq!(flat.sign_changes(t), sign_changes(&chain, t), "t={t}");
+        }
+        // Rebuild reuses buffers and must fully replace prior contents.
+        let q = poly(&[4.0, -4.0, 1.0]);
+        let qchain = sturm_chain(&q);
+        let mut flat = flat;
+        flat.rebuild(&qchain);
+        for i in -10..=10 {
+            let t = i as f64;
+            assert_eq!(flat.sign_changes(t), sign_changes(&qchain, t), "t={t}");
         }
     }
 

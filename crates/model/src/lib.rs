@@ -17,6 +17,7 @@ pub mod piecewise;
 pub mod schema;
 pub mod segment;
 pub mod tuple;
+pub mod vm;
 
 pub use archive::{decode as decode_archive, encode as encode_archive, ArchiveError};
 pub use expr::{Expr, ExprError, Pred};
@@ -26,3 +27,4 @@ pub use piecewise::Piecewise;
 pub use schema::{Attr, AttrKind, Schema};
 pub use segment::{Segment, SegmentId};
 pub use tuple::Tuple;
+pub use vm::{ExprVm, Op, SlotMap, VmProgram};
