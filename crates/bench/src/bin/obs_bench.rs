@@ -12,7 +12,14 @@
 //!   suppressed path the profiler reuses the sampled fast-path timestamp,
 //!   so its marginal cost must stay within a couple of nanoseconds;
 //! - `obs_on_trace`: recorder ring capturing arrival + validation events
-//!   per tuple (debugging posture).
+//!   per tuple (debugging posture);
+//! - `audit_unsampled` / `audit_sampled`: the live guarantee auditor
+//!   present with the benched key outside / inside the 1-in-N audited
+//!   subset. `audit_rate = 0` (every other posture) never constructs the
+//!   auditor, so disabling auditing is exactly free by construction; the
+//!   unsampled posture prices the residual per-tuple sampling decision
+//!   — one splitmix64 hash plus a 64-bit modulo, ~2-3 ns on this
+//!   machine — and is gated at `PULSE_AUDIT_GATE_NS` (default 5 ns).
 //!
 //! A second, violation-heavy pair (`viol_obs_on`, `viol_obs_on_prof`)
 //! times the slow path — every tuple breaks its model and re-runs the
@@ -29,6 +36,11 @@
 //! against the retained AST-walk interpreter. It is informational — the
 //! bench_diff band tracks it, but no gate fails on it — and documents
 //! what the VM buys end-to-end on a violation-heavy stream.
+//!
+//! A fourth pair (`viol_audit_off`, `viol_audit_on`) prices the live
+//! guarantee auditor at the scaling sweep's production rate (1-in-64
+//! symbols shadow-compared against a discrete reference evaluator),
+//! gated at `PULSE_AUDIT_GATE_PCT` (default 20%).
 //!
 //! The suppressed postures report the *minimum* ns/tuple over many
 //! batches — the min is the steady-state cost, immune to scheduler noise
@@ -56,8 +68,13 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Runtime primed so every benched tuple is absorbed by validation alone
-/// (same setup as the criterion bench).
-fn suppressed_runtime() -> (PulseRuntime, Tuple) {
+/// (same setup as the criterion bench). `audit_rate = 0` is the
+/// production default: the shadow auditor is never constructed, so the
+/// suppressed path is bit-for-bit the pre-audit code. Non-zero rates
+/// layer the guarantee auditor on: `u64::MAX` leaves the benched key
+/// unsampled (per-tuple cost = one splitmix64 hash + branch), `1`
+/// samples it (full source-promise re-check per suppressed tuple).
+fn suppressed_runtime(audit_rate: u64) -> (PulseRuntime, Tuple) {
     let schema = Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)]);
     let sm = StreamModel::new(
         schema.clone(),
@@ -69,7 +86,7 @@ fn suppressed_runtime() -> (PulseRuntime, Tuple) {
         LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(-1e9)) },
         vec![PortRef::Source(0)],
     );
-    let cfg = RuntimeConfig { horizon: 1e12, bound: 1.0, ..Default::default() };
+    let cfg = RuntimeConfig { horizon: 1e12, bound: 1.0, audit_rate, ..Default::default() };
     let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
     rt.on_tuple(0, &Tuple::new(1, 0.0, vec![0.0, 2.0]));
     let t = Tuple::new(1, 1.0, vec![2.0, 2.0]);
@@ -82,8 +99,8 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 /// Min ns/tuple over `reps` batches of `per` suppressed tuples.
-fn measure(reps: usize, per: usize) -> f64 {
-    let (mut rt, t) = suppressed_runtime();
+fn measure(reps: usize, per: usize, audit_rate: u64) -> f64 {
+    let (mut rt, t) = suppressed_runtime(audit_rate);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
@@ -115,12 +132,30 @@ fn violation_workload() -> (LogicalPlan, Vec<Tuple>) {
     (lp, tuples)
 }
 
+/// Config for the violation-heavy workload; `audit_rate` layers the
+/// shadow auditor on (calibration matches the NyseGen parameters:
+/// per-key sample period 1000 symbols / 3000 t/s, prices under 210).
+fn violation_cfg(audit_rate: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        horizon: 5.0,
+        bound: 0.05,
+        audit_rate,
+        calibration: pulse_stream::Calibration {
+            noise: 0.5,
+            max_slope: 5.0,
+            sample_dt: 1.0 / 3.0,
+            max_abs: 210.0,
+        },
+        ..Default::default()
+    }
+}
+
 /// ns/tuple for one fresh run of the violation-heavy workload.
-fn violation_rep(lp: &LogicalPlan, tuples: &[Tuple]) -> f64 {
+fn violation_rep(lp: &LogicalPlan, tuples: &[Tuple], cfg: &RuntimeConfig) -> f64 {
     let mut rt = PulseRuntime::with_predictors(
         vec![Predictor::AdaptiveLinear(nyse::schema())],
         lp,
-        RuntimeConfig { horizon: 5.0, bound: 0.05, ..Default::default() },
+        cfg.clone(),
     )
     .expect("MACD transforms");
     let start = Instant::now();
@@ -147,33 +182,37 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
-/// Median ns/tuple for an A/B pair controlled by one boolean toggle,
-/// postures interleaved rep-by-rep so slow drift over the multi-second
-/// measurement window biases neither side, with the within-pair order
-/// alternating so warm-cache advantage for whichever posture runs
-/// second cancels too. Returns `(toggle_off, toggle_on)` medians; the
-/// toggle is left off. Used for the profiler pair and the substitution
-/// engine pair (bytecode VM vs retained AST walk).
+/// Median ns/tuple for an A/B pair, postures interleaved rep-by-rep so
+/// slow drift over the multi-second measurement window biases neither
+/// side, with the within-pair order alternating so warm-cache advantage
+/// for whichever posture runs second cancels too. `rep_of(true)` runs
+/// the "on" posture; returns `(off, on)` medians.
+fn measure_pair(reps: usize, mut rep_of: impl FnMut(bool) -> f64) -> (f64, f64) {
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let on_first = rep % 2 == 1;
+        for enabled in [on_first, !on_first] {
+            if enabled { &mut on } else { &mut off }.push(rep_of(enabled));
+        }
+    }
+    (median(&mut off), median(&mut on))
+}
+
+/// [`measure_pair`] over a global boolean toggle (profiler, legacy
+/// substitution); the toggle is left off.
 fn measure_toggle_pair(
     reps: usize,
     lp: &LogicalPlan,
     tuples: &[Tuple],
     set: impl Fn(bool),
 ) -> (f64, f64) {
-    let mut off = Vec::with_capacity(reps);
-    let mut on = Vec::with_capacity(reps);
-    let mut run = |enabled: bool| {
+    let out = measure_pair(reps, |enabled| {
         set(enabled);
-        let ns = violation_rep(lp, tuples);
-        if enabled { &mut on } else { &mut off }.push(ns);
-    };
-    for rep in 0..reps {
-        let on_first = rep % 2 == 1;
-        run(on_first);
-        run(!on_first);
-    }
+        violation_rep(lp, tuples, &violation_cfg(0))
+    });
     set(false);
-    (median(&mut off), median(&mut on))
+    out
 }
 
 #[derive(serde::Serialize)]
@@ -217,17 +256,27 @@ fn main() {
     pulse_obs::set_enabled(false);
     pulse_obs::set_trace_enabled(false);
     pulse_obs::set_prof_enabled(false);
-    let off = measure(reps, per);
+    let off = measure(reps, per, 0);
+
+    // Guarantee-audit postures on the suppressed path, still at the
+    // production obs_off posture. `audit_rate = 0` (the default `off`
+    // already measures it) never constructs the auditor, so its cost is
+    // structurally zero; `audit_unsampled` prices the per-tuple sampling
+    // decision when the auditor exists but the key is not in the 1-in-N
+    // subset, and `audit_sampled` the full source-promise re-check on an
+    // audited key.
+    let audit_unsampled = measure(reps, per, u64::MAX);
+    let audit_sampled = measure(reps, per, 1);
 
     pulse_obs::set_enabled(true);
-    let on = measure(reps, per);
+    let on = measure(reps, per, 0);
 
     pulse_obs::set_prof_enabled(true);
-    let prof = measure(reps, per);
+    let prof = measure(reps, per, 0);
     pulse_obs::set_prof_enabled(false);
 
     pulse_obs::set_trace_enabled(true);
-    let traced = measure(reps, per);
+    let traced = measure(reps, per, 0);
     pulse_obs::set_trace_enabled(false);
 
     // Violation-heavy pair: obs stays on (the posture operators run with),
@@ -243,10 +292,28 @@ fn main() {
     // win on a violation-heavy stream.
     let (viol_vm, viol_legacy) =
         measure_toggle_pair(viol_reps, &viol_lp, &viol_tuples, pulse_core::set_legacy_subst);
+
+    // Guarantee-audit pair on the same violation-heavy stream: the
+    // shadow auditor at the scaling sweep's production rate (1-in-64
+    // symbols teed into the discrete reference evaluator) against the
+    // auditor absent entirely.
+    let (viol_audit_off, viol_audit_on) = measure_pair(viol_reps, |enabled| {
+        violation_rep(&viol_lp, &viol_tuples, &violation_cfg(if enabled { 64 } else { 0 }))
+    });
     pulse_obs::set_enabled(false);
 
     let postures = vec![
         Posture { config: "obs_off".into(), ns_per_tuple: off, overhead_ns: 0.0 },
+        Posture {
+            config: "audit_unsampled".into(),
+            ns_per_tuple: audit_unsampled,
+            overhead_ns: audit_unsampled - off,
+        },
+        Posture {
+            config: "audit_sampled".into(),
+            ns_per_tuple: audit_sampled,
+            overhead_ns: audit_sampled - off,
+        },
         Posture { config: "obs_on".into(), ns_per_tuple: on, overhead_ns: on - off },
         Posture { config: "obs_on_prof".into(), ns_per_tuple: prof, overhead_ns: prof - off },
         Posture { config: "obs_on_trace".into(), ns_per_tuple: traced, overhead_ns: traced - off },
@@ -256,6 +323,7 @@ fn main() {
     }
     let viol_pct = (viol_prof - viol_on) / viol_on * 100.0;
     let legacy_pct = (viol_legacy - viol_vm) / viol_vm * 100.0;
+    let audit_pct = (viol_audit_on - viol_audit_off) / viol_audit_off * 100.0;
     let violation_postures = vec![
         ViolPosture { config: "viol_obs_on".into(), ns_per_tuple: viol_on, overhead_pct: 0.0 },
         ViolPosture {
@@ -268,6 +336,16 @@ fn main() {
             config: "viol_subst_legacy".into(),
             ns_per_tuple: viol_legacy,
             overhead_pct: legacy_pct,
+        },
+        ViolPosture {
+            config: "viol_audit_off".into(),
+            ns_per_tuple: viol_audit_off,
+            overhead_pct: 0.0,
+        },
+        ViolPosture {
+            config: "viol_audit_on".into(),
+            ns_per_tuple: viol_audit_on,
+            overhead_pct: audit_pct,
         },
     ];
     for p in &violation_postures {
@@ -322,5 +400,31 @@ fn main() {
             std::process::exit(1);
         }
         println!("prof violation-path gate OK: {viol_pct:+.1}% (limit {pct_limit:.1}%)");
+
+        // audit_rate = 0 never constructs the auditor, so the only cost
+        // an idle audit feature can add to the suppressed path is the
+        // per-tuple sampling decision when a rate IS set — gate that.
+        let audit_ns_limit = env_f64("PULSE_AUDIT_GATE_NS", 5.0);
+        let audit_ns = audit_unsampled - off;
+        if audit_ns > audit_ns_limit {
+            eprintln!(
+                "audit suppressed-path gate FAILED: unsampled-key audit check adds \
+                 {audit_ns:.1} ns/tuple (limit {audit_ns_limit:.1} ns)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "audit suppressed-path gate OK: {audit_ns:+.1} ns/tuple (limit {audit_ns_limit:.1} ns)"
+        );
+
+        let audit_pct_limit = env_f64("PULSE_AUDIT_GATE_PCT", 20.0);
+        if audit_pct > audit_pct_limit {
+            eprintln!(
+                "audit violation-path gate FAILED: 1-in-64 shadow audit adds {audit_pct:.1}% \
+                 (limit {audit_pct_limit:.1}%)"
+            );
+            std::process::exit(1);
+        }
+        println!("audit violation-path gate OK: {audit_pct:+.1}% (limit {audit_pct_limit:.1}%)");
     }
 }

@@ -1,9 +1,10 @@
 //! `top` for a live Pulse process: polls the `/snapshot`, `/timeseries`,
-//! `/health` and `/profile` endpoints of a serving runtime (see
+//! `/health`, `/profile` and `/audit` endpoints of a serving runtime (see
 //! `PULSE_SERVE_ADDR` in the scaling bench) and renders throughput,
 //! violation rate, sparkline history panes, solver latency percentiles,
 //! per-shard load skew, the health verdict with any firing alert rules,
-//! and the violation-path phase breakdown, refreshed in place.
+//! the live guarantee-audit ledger (headroom percentiles, worst keys,
+//! breaches), and the violation-path phase breakdown, refreshed in place.
 //!
 //! Usage: `pulse_top [--addr 127.0.0.1:9187] [--interval 2] [--once]`.
 //! `--once` prints a single snapshot (totals, no rates) and exits — handy
@@ -113,6 +114,10 @@ fn render_histograms(snapshot: &Value, out: &mut String) {
     for h in hists {
         let field = |k: &str| h.get(k).and_then(Value::as_u64).unwrap_or(0);
         let name = h.get("name").and_then(Value::as_str).unwrap_or("?");
+        // Not a latency: the audit pane renders headroom basis points.
+        if name.starts_with("audit.") {
+            continue;
+        }
         out.push_str(&format!(
             "{name:<20} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
             field("count"),
@@ -213,6 +218,68 @@ fn render_health(health: Option<&Value>, out: &mut String) {
     }
 }
 
+/// Audit pane: the live guarantee auditor's merged per-key ledgers
+/// (`/audit`) — audited-key count, breach count, headroom percentiles
+/// from the `audit.headroom_bp` histogram in the snapshot (10000 bp =
+/// observed deviation zero, 0 bp = at the promised bound), and the
+/// worst keys by minimum headroom. Servers without the route (or with
+/// auditing off) drop the pane.
+fn render_audit(audit: Option<&Value>, snapshot: &Value, out: &mut String) {
+    let Some(a) = audit else { return };
+    let u = |k: &str| a.get(k).and_then(Value::as_u64).unwrap_or(0);
+    if a.get("audited_keys").is_none() || u("audited_keys") == 0 {
+        return;
+    }
+    out.push_str(&format!(
+        "\naudit: {} keys  {} checks  {} breaches  mean headroom {} bp",
+        u("audited_keys"),
+        u("checks"),
+        u("breaches"),
+        u("mean_headroom_bp"),
+    ));
+    let headroom = snapshot
+        .get("histograms")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .find(|h| h.get("name").and_then(Value::as_str) == Some("audit.headroom_bp"));
+    if let Some(h) = headroom {
+        let f = |k: &str| h.get(k).and_then(Value::as_u64).unwrap_or(0);
+        out.push_str(&format!("  (p50 {} bp, p99 {} bp)", f("p50_ns"), f("p99_ns")));
+    }
+    out.push('\n');
+    let worst = a.get("worst").and_then(Value::as_array).unwrap_or(&[]);
+    if !worst.is_empty() {
+        out.push_str("  worst key     checks breaches  min-headroom       last dev/allowance\n");
+        for w in worst.iter().take(5) {
+            let wu = |k: &str| w.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let wf = |k: &str| w.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            out.push_str(&format!(
+                "  {:<13} {:>6} {:>8} {:>10} bp {:>12.4}/{:<.4}\n",
+                wu("key"),
+                wu("checks"),
+                wu("breaches"),
+                wu("min_headroom_bp"),
+                wf("last_deviation"),
+                wf("last_allowance"),
+            ));
+        }
+    }
+    if let Some(b) = a.get("last_breach") {
+        if !matches!(b, Value::Null) {
+            let bu = |k: &str| b.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let bf = |k: &str| b.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            out.push_str(&format!(
+                "  LAST BREACH: key {} at t={:.3}  observed {:.4} > bound {:.4}\n",
+                bu("key"),
+                bf("t"),
+                bf("observed"),
+                bf("bound"),
+            ));
+        }
+    }
+}
+
 /// Phase pane: the profiler's self-normalizing violation-path breakdown
 /// (shares are of attributed violation time; validate rides the sampled
 /// fast path and is shown by count only). The solver's sub-phases —
@@ -284,6 +351,7 @@ fn render(
     snapshot: &Value,
     health: Option<&Value>,
     profile: Option<&Value>,
+    audit: Option<&Value>,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("pulse_top — {addr}\n\n"));
@@ -328,6 +396,7 @@ fn render(
     }
     render_history(addr, &mut out);
     render_health(health, &mut out);
+    render_audit(audit, snapshot, &mut out);
     render_phases(profile, &mut out);
     render_histograms(snapshot, &mut out);
     out
@@ -359,6 +428,8 @@ fn main() {
             http_get(&args.addr, "/health").ok().and_then(|b| serde_json::parse_value(&b).ok());
         let profile =
             http_get(&args.addr, "/profile").ok().and_then(|b| serde_json::parse_value(&b).ok());
+        let audit =
+            http_get(&args.addr, "/audit").ok().and_then(|b| serde_json::parse_value(&b).ok());
         let at = Instant::now();
         let view = render(
             &args.addr,
@@ -367,6 +438,7 @@ fn main() {
             &snapshot,
             health.as_ref(),
             profile.as_ref(),
+            audit.as_ref(),
         );
         if args.once {
             print!("{view}");

@@ -27,10 +27,14 @@
 //! CI box swing far more than any real perf change), and
 //! `PULSE_SCALING_COVERAGE_FLOOR` to relax the phase-coverage assertion
 //! for runs measured under deliberate scrape contention.
+//! `PULSE_SCALING_AUDIT_RATE` (default 64, 0 = off) sets the 1-in-N
+//! deterministic symbol sample the live guarantee auditor shadow-compares
+//! against a discrete reference evaluator; `/audit` serves the merged
+//! per-key ledgers.
 //!
 //! Set `PULSE_SERVE_ADDR=127.0.0.1:9187` to expose `/metrics`, `/snapshot`,
-//! `/timeseries`, `/watch`, `/trace.json`, `/explain`, `/health` and
-//! `/profile` over HTTP while the sweep runs (phases tick the collector
+//! `/timeseries`, `/watch`, `/trace.json`, `/explain`, `/audit`, `/health`
+//! and `/profile` over HTTP while the sweep runs (phases tick the collector
 //! every [`PUBLISH_EVERY`] tuples, feeding both the labelled counters and
 //! the time-series history; `/trace.json` renders the live sharded
 //! runtime's flight-recorder rings as a Perfetto-loadable Chrome trace);
@@ -53,10 +57,12 @@ type ExplainSlot = Arc<Mutex<Option<ExplainHandle>>>;
 /// Shared state behind the serving routes. `trace_cache` holds the last
 /// completed sharded phase's rendered Chrome trace, so `/trace.json`
 /// stays answerable between phases and through the linger window (the
-/// live handle can't serve once its runtime finishes).
+/// live handle can't serve once its runtime finishes); `audit_cache`
+/// does the same for the last phase's merged guarantee-audit ledger.
 struct ServeCtx {
     slot: ExplainSlot,
     trace_cache: Arc<Mutex<Option<String>>>,
+    audit_cache: Arc<Mutex<Option<String>>>,
 }
 
 struct Knobs {
@@ -121,8 +127,25 @@ fn workload(k: &Knobs) -> Vec<Tuple> {
     .generate(stream_duration(k))
 }
 
-fn config() -> RuntimeConfig {
-    RuntimeConfig { horizon: 5.0, bound: 0.05, ..Default::default() }
+fn config(k: &Knobs) -> RuntimeConfig {
+    RuntimeConfig {
+        horizon: 5.0,
+        bound: 0.05,
+        // Live guarantee auditing: 1-in-64 symbols get shadow-compared
+        // against a discrete reference evaluator while the sweep runs, so
+        // `/audit` answers with real headroom numbers. 0 disables.
+        audit_rate: env_usize("PULSE_SCALING_AUDIT_RATE", 64) as u64,
+        // NYSE calibration: prices start in 20..200 with per-second drift
+        // ≤ 0.1% of price and tick noise ≤ 0.2% of price; each symbol
+        // trades once per symbols/RATE seconds.
+        calibration: pulse_stream::Calibration {
+            noise: 0.5,
+            max_slope: 5.0,
+            sample_dt: k.symbols as f64 / RATE,
+            max_abs: 210.0,
+        },
+        ..Default::default()
+    }
 }
 
 #[derive(serde::Serialize)]
@@ -161,13 +184,14 @@ const PUBLISH_EVERY: usize = 2_500;
 fn single_threaded(
     lp: &pulse_stream::LogicalPlan,
     tuples: &[Tuple],
+    cfg: &RuntimeConfig,
     publish: bool,
 ) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
     let merged = merge_feeds(&[(0, tuples)]);
     let mut rt = PulseRuntime::with_predictors(
         vec![Predictor::AdaptiveLinear(nyse::schema())],
         lp,
-        config(),
+        cfg.clone(),
     )
     .expect("MACD transforms");
     let start = Instant::now();
@@ -198,12 +222,17 @@ fn sharded(
     lp: &pulse_stream::LogicalPlan,
     tuples: &[Tuple],
     shards: usize,
+    cfg: &RuntimeConfig,
     ctx: Option<&ServeCtx>,
 ) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
     let merged = merge_feeds(&[(0, tuples)]);
-    let mut rt =
-        ShardedRuntime::new(vec![Predictor::AdaptiveLinear(nyse::schema())], lp, config(), shards)
-            .expect("MACD is key-partitionable");
+    let mut rt = ShardedRuntime::new(
+        vec![Predictor::AdaptiveLinear(nyse::schema())],
+        lp,
+        cfg.clone(),
+        shards,
+    )
+    .expect("MACD is key-partitionable");
     if let Some(ctx) = ctx {
         *ctx.slot.lock().unwrap() = Some(rt.explain_handle());
     }
@@ -231,6 +260,11 @@ fn sharded(
     }
     let run = rt.finish();
     let secs = start.elapsed().as_secs_f64();
+    if let Some(ctx) = ctx {
+        if run.audit.audited_keys() > 0 {
+            *ctx.audit_cache.lock().unwrap() = Some(run.audit.summary_json(8));
+        }
+    }
     (secs, run.stats, run.phases)
 }
 
@@ -338,14 +372,29 @@ fn maybe_serve() -> Option<(pulse_obs::ServeHandle, ServeCtx)> {
         }
         cache.lock().unwrap().clone()
     });
-    let h =
-        pulse_obs::serve(&addr, pulse_obs::Routes::new().with_explain(explain).with_trace(trace))
-            .expect("bind PULSE_SERVE_ADDR");
+    // `/audit` fans out to every live shard and merges the per-key
+    // guarantee ledgers; between phases it serves the last completed
+    // phase's merged summary.
+    let audit_route = slot.clone();
+    let audit_cache: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let acache = audit_cache.clone();
+    let audit: pulse_obs::AuditFn = Arc::new(move || {
+        if let Some(handle) = audit_route.lock().unwrap().clone() {
+            if let Some(ledger) = handle.audit() {
+                let json = ledger.summary_json(8);
+                *acache.lock().unwrap() = Some(json.clone());
+                return Some(json);
+            }
+        }
+        acache.lock().unwrap().clone()
+    });
+    let routes = pulse_obs::Routes::new().with_explain(explain).with_trace(trace).with_audit(audit);
+    let h = pulse_obs::serve(&addr, routes).expect("bind PULSE_SERVE_ADDR");
     println!(
-        "serving /metrics, /snapshot, /timeseries, /watch, /trace.json, /explain, /health, /profile on http://{}",
+        "serving /metrics, /snapshot, /timeseries, /watch, /trace.json, /explain, /audit, /health, /profile on http://{}",
         h.addr()
     );
-    Some((h, ServeCtx { slot, trace_cache }))
+    Some((h, ServeCtx { slot, trace_cache, audit_cache }))
 }
 
 fn main() {
@@ -366,15 +415,22 @@ fn main() {
         k.shards
     );
 
+    let cfg = config(&k);
+    if cfg.audit_rate > 0 {
+        println!(
+            "guarantee audit: 1-in-{} symbols shadow-compared (live at /audit)",
+            cfg.audit_rate
+        );
+    }
     let reps = env_usize("PULSE_SCALING_REPS", 1);
     let (st_run, st_viol_ns) = median_rep(reps, || {
-        with_measured_violation_ns(|| single_threaded(&lp, &tuples, serve.is_some()))
+        with_measured_violation_ns(|| single_threaded(&lp, &tuples, &cfg, serve.is_some()))
     });
     let mut rows = vec![row("single-threaded", "single", 1, tuples.len(), &st_run, st_viol_ns)];
     for &s in &k.shards {
         let (run, viol_ns) = median_rep(reps, || {
             with_measured_violation_ns(|| {
-                sharded(&lp, &tuples, s, serve.as_ref().map(|(_, ctx)| ctx))
+                sharded(&lp, &tuples, s, &cfg, serve.as_ref().map(|(_, ctx)| ctx))
             })
         });
         assert_eq!(run.1.tuples_in, tuples.len() as u64);

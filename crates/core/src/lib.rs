@@ -42,6 +42,7 @@
 //! assert!((out[0].span.lo - 3.0).abs() < 1e-9);
 //! ```
 
+pub mod audit;
 pub mod binding;
 pub mod cops;
 pub mod eqsys;
@@ -54,6 +55,7 @@ pub mod sampler;
 pub mod shard;
 pub mod validate;
 
+pub use audit::ShadowAuditor;
 pub use binding::Binding;
 pub use cops::{CFilter, CGroupBy, CJoin, CMap, CMinMax, COperator, CSumAvg, CUnion};
 pub use eqsys::{
@@ -69,5 +71,5 @@ pub use sampler::{SampleStaleness, Sampler};
 pub use shard::{ExplainHandle, MergedRun, ShardError, ShardedRuntime, DEFAULT_BATCH};
 pub use validate::{
     AccuracySummary, BoundInverter, EquiSplit, GradientSplit, KeyAccuracy, SplitHeuristic, VKey,
-    Validator, ValidatorStats,
+    ValidationMode, Validator, ValidatorStats,
 };

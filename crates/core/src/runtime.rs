@@ -7,6 +7,7 @@
 //! unseen key) re-models, re-solves, and re-inverts the output bound into
 //! fresh input bounds; a null result switches the key to slack validation.
 
+use crate::audit::ShadowAuditor;
 use crate::plan::{CPlan, TransformError};
 use crate::validate::{
     Bound, BoundInverter, EquiSplit, GradientSplit, SplitHeuristic, VKey, Validator,
@@ -66,6 +67,17 @@ pub struct RuntimeConfig {
     /// ring never allocates until tracing is actually switched on via
     /// [`pulse_obs::set_trace_enabled`]; 0 disables recording entirely.
     pub trace_capacity: usize,
+    /// Shadow-oracle sampling: audit the keys where `splitmix64(key) %
+    /// audit_rate == 0` (1 = every key, 0 = auditing off — the suppressed
+    /// path then carries no audit code at all).
+    pub audit_rate: u64,
+    /// Input-signal calibration for the auditor's tolerance model (noise
+    /// floor, slope cap, sampling interval, magnitude cap). Irrelevant
+    /// while `audit_rate` is 0.
+    pub calibration: pulse_stream::Calibration,
+    /// Fault injection for auditor tests: added to the continuous side of
+    /// every audited comparison. 0 (the default) audits honestly.
+    pub audit_fault_offset: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -75,6 +87,9 @@ impl Default for RuntimeConfig {
             bound: 1.0,
             heuristic: Heuristic::Equi,
             trace_capacity: 16384,
+            audit_rate: 0,
+            calibration: pulse_stream::Calibration::default(),
+            audit_fault_offset: 0.0,
         }
     }
 }
@@ -199,6 +214,9 @@ pub struct PulseRuntime {
     /// ([`LogicalPlan::is_key_partitionable`]) — the precondition for
     /// deferring a key's solve past other keys' validations.
     batchable: bool,
+    /// The shadow oracle over the audited key subset (None = auditing
+    /// off; the per-tuple paths then skip every audit branch).
+    auditor: Option<ShadowAuditor>,
 }
 
 impl PulseRuntime {
@@ -224,6 +242,7 @@ impl PulseRuntime {
         let unmodeled = predictors.iter().map(|m| m.schema().unmodeled_indices()).collect();
         let tracer = Tracer::ring(cfg.trace_capacity);
         let batchable = logical.is_key_partitionable();
+        let auditor = (cfg.audit_rate > 0).then(|| ShadowAuditor::new(logical, &cfg));
         Ok(PulseRuntime {
             predictors,
             modeled,
@@ -241,6 +260,7 @@ impl PulseRuntime {
             pending: Vec::new(),
             pending_keys: HashSet::new(),
             batchable,
+            auditor,
         })
     }
 
@@ -398,6 +418,11 @@ impl PulseRuntime {
         }
         let pkey = (source, tuple.key);
         let vkey = Self::vkey(source, tuple.key);
+        // Audited keys never defer their solve: the auditor compares the
+        // live aggregate state right after the tuple's effects apply, so
+        // the solve must run inline. One hash per tuple while auditing is
+        // on; zero extra work when it is off.
+        let audited = self.auditor.as_ref().is_some_and(|a| a.audited(tuple.key));
         let arrival = if trace_on {
             let kind = TraceKind::SegmentArrival { source: source as u32 };
             self.tracer.emit(0, tuple.key, tuple.ts, kind)
@@ -453,6 +478,9 @@ impl PulseRuntime {
                         if pulse_obs::prof_enabled() {
                             self.tracer.phases_mut().record(pulse_obs::Phase::Validate, ns);
                         }
+                    }
+                    if audited {
+                        self.audit_tap(source, tuple, true);
                     }
                     return;
                 }
@@ -513,7 +541,7 @@ impl PulseRuntime {
         let seg = self.predicted.get(&pkey).expect("just inserted");
         self.seg_owner.insert(seg.id, vkey);
         self.stats.segments_pushed += 1;
-        if defer {
+        if defer && !audited {
             self.pending.push(PendingSolve { source, key: tuple.key, ts: tuple.ts, validation });
             self.pending_keys.insert(tuple.key);
             // The deferred half times itself at drain; record the ingest
@@ -525,6 +553,28 @@ impl PulseRuntime {
             return;
         }
         self.run_solve(source, tuple.key, tuple.ts, validation, slow_t0, outs);
+        if audited {
+            self.audit_tap(source, tuple, false);
+        }
+    }
+
+    /// Feeds one audited tuple to the shadow oracle. `validated` selects
+    /// the comparison surface: the suppressed path re-derives the source
+    /// promise, the violation path records a disturbance instead. Either
+    /// way the tuple tees into the discrete reference, whose window
+    /// closes compare against the (just-updated) live plan state.
+    fn audit_tap(&mut self, source: usize, tuple: &Tuple, validated: bool) {
+        let Some(aud) = self.auditor.as_mut() else { return };
+        aud.observe(
+            source,
+            tuple,
+            validated,
+            self.predicted.get(&(source, tuple.key)),
+            &self.modeled[source],
+            self.validator.mode(Self::vkey(source, tuple.key)),
+            &self.plan,
+            &mut self.tracer,
+        );
     }
 
     /// The solve half of the violation path: pushes `(source, key)`'s
@@ -592,7 +642,12 @@ impl PulseRuntime {
                     hi: out.span.hi,
                     sources,
                 };
-                self.tracer.emit(solve_end, out.key, out.span.lo, kind);
+                let emit_id = self.tracer.emit(solve_end, out.key, out.span.lo, kind);
+                if let Some(aud) = self.auditor.as_mut() {
+                    // Audited keys' emits anchor later GuaranteeBreach
+                    // events to the answer they indict.
+                    aud.record_emit(out.key, out.span.lo, emit_id);
+                }
             }
         }
         self.stats.outputs += new_outs.len() as u64;
@@ -678,6 +733,11 @@ impl PulseRuntime {
     /// Validation counters.
     pub fn validator(&self) -> &Validator {
         &self.validator
+    }
+
+    /// The shadow oracle's guarantee ledger (None while auditing is off).
+    pub fn audit_ledger(&self) -> Option<&pulse_obs::AuditLedger> {
+        self.auditor.as_ref().map(ShadowAuditor::ledger)
     }
 
     /// Garbage-collects lineage older than `t`.
@@ -800,6 +860,17 @@ impl PulseRuntime {
             ("validate.burst_max", a.burst_max as u64),
         ] {
             reg.counter(&decorate(name)).set(v);
+        }
+        if let Some(aud) = &self.auditor {
+            let l = aud.ledger();
+            for (name, v) in [
+                ("audit.keys", l.audited_keys() as u64),
+                ("audit.checks", l.checks),
+                ("audit.skips", l.skips),
+                ("audit.breaches", l.breaches),
+            ] {
+                reg.counter(&decorate(name)).set(v);
+            }
         }
         self.tracer.phases().export(reg, decorate);
     }
@@ -963,6 +1034,55 @@ mod tests {
         assert!(d.histogram("validate.invert_ns").unwrap().count >= 1);
         assert!(d.counter("cops.filter.systems_solved").unwrap() >= 2);
         assert!(d.counter("validate.checks").unwrap() >= 2);
+    }
+
+    #[test]
+    fn clean_run_audits_without_breaches() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let cfg = RuntimeConfig { horizon: 100.0, bound: 1.0, audit_rate: 1, ..Default::default() };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        for i in 0..50 {
+            let ts = i as f64 * 0.1;
+            rt.on_tuple(0, &tup(1, ts, 2.0 * ts, 2.0));
+        }
+        let l = rt.audit_ledger().unwrap();
+        assert_eq!(l.breaches, 0, "{l:?}");
+        assert!(l.checks >= 49, "{l:?}");
+        assert_eq!(l.audited_keys(), 1);
+        assert_eq!(l.mean_headroom_bp(), 10000, "exact model consumes no budget");
+    }
+
+    #[test]
+    fn injected_fault_breaches_the_audit() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let cfg = RuntimeConfig {
+            horizon: 100.0,
+            bound: 1.0,
+            audit_rate: 1,
+            audit_fault_offset: 50.0,
+            ..Default::default()
+        };
+        let mut rt = PulseRuntime::new(vec![sm], &lp, cfg).unwrap();
+        for i in 0..10 {
+            let ts = i as f64 * 0.1;
+            rt.on_tuple(0, &tup(3, ts, 2.0 * ts, 2.0));
+        }
+        let l = rt.audit_ledger().unwrap();
+        assert!(l.breaches > 0, "{l:?}");
+        let b = l.last_breach.as_ref().unwrap();
+        assert_eq!(b.key, 3);
+        assert!(b.observed > b.bound);
+    }
+
+    #[test]
+    fn audit_rate_zero_has_no_ledger() {
+        let (schema, sm) = source();
+        let lp = filter_plan(schema, -100.0);
+        let mut rt = PulseRuntime::new(vec![sm], &lp, RuntimeConfig::default()).unwrap();
+        rt.on_tuple(0, &tup(1, 0.0, 0.0, 1.0));
+        assert!(rt.audit_ledger().is_none());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::runtime::{Predictor, PulseRuntime, RuntimeConfig, RuntimeStats};
 use crate::validate::ValidatorStats;
 use crossbeam::channel::{bounded, Sender};
 use pulse_model::{Segment, Tuple};
-use pulse_obs::{ExplainReport, PhaseTable, TraceEvent};
+use pulse_obs::{AuditLedger, ExplainReport, PhaseTable, TraceEvent};
 use pulse_stream::{LogicalPlan, OpMetrics, PartitionViolation};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +90,9 @@ enum Msg {
     /// `/trace.json` export path — like `Explain`, the single-writer ring
     /// is only read on its owning thread).
     Trace { reply: Sender<Vec<TraceEvent>> },
+    /// Copy the worker's guarantee-audit ledger back over `reply` (the
+    /// `/audit` serving path). Empty when auditing is off.
+    Audit { reply: Sender<AuditLedger> },
     /// Stop the worker loop even though sender clones (e.g. an
     /// [`ExplainHandle`]) may still be alive.
     Shutdown,
@@ -108,6 +111,7 @@ impl std::fmt::Debug for Msg {
                 .finish_non_exhaustive(),
             Msg::Export => f.write_str("Export"),
             Msg::Trace { .. } => f.write_str("Trace"),
+            Msg::Audit { .. } => f.write_str("Audit"),
             Msg::Shutdown => f.write_str("Shutdown"),
         }
     }
@@ -119,6 +123,7 @@ struct ShardResult {
     validator: ValidatorStats,
     metrics: OpMetrics,
     phases: PhaseTable,
+    audit: AuditLedger,
     outputs: Vec<Segment>,
 }
 
@@ -134,6 +139,9 @@ pub struct MergedRun {
     /// Summed violation-path phase attribution (empty unless the profiler
     /// was enabled, see [`pulse_obs::set_prof_enabled`]).
     pub phases: PhaseTable,
+    /// Merged per-key guarantee ledgers from every shard's shadow auditor
+    /// (empty unless [`RuntimeConfig::audit_rate`] was non-zero).
+    pub audit: AuditLedger,
     /// Every shard's result segments, concatenated shard-by-shard (order
     /// across shards is not meaningful; per-key order is preserved).
     pub outputs: Vec<Segment>,
@@ -168,8 +176,10 @@ impl std::fmt::Debug for ShardedRuntime {
 }
 
 /// Finalizer from splitmix64: avalanches low-entropy keys (sequential
-/// symbol ids, packed pair keys) so `% shards` balances the load.
-fn splitmix64(mut x: u64) -> u64 {
+/// symbol ids, packed pair keys) so `% shards` balances the load. The
+/// shadow auditor reuses it for 1-in-N key sampling, so the audited
+/// subset is the same deterministic set on every shard and every run.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -248,6 +258,9 @@ impl ShardedRuntime {
                             Msg::Trace { reply } => {
                                 let _ = reply.send(rt.trace_events());
                             }
+                            Msg::Audit { reply } => {
+                                let _ = reply.send(rt.audit_ledger().cloned().unwrap_or_default());
+                            }
                             Msg::Shutdown => break,
                         }
                     }
@@ -266,6 +279,7 @@ impl ShardedRuntime {
                         validator: rt.validator().stats(),
                         metrics: rt.plan().metrics(),
                         phases: *rt.phases(),
+                        audit: rt.audit_ledger().cloned().unwrap_or_default(),
                         outputs,
                     }
                 })
@@ -420,6 +434,7 @@ impl ShardedRuntime {
             merged.validator.absorb(&r.validator);
             merged.metrics.absorb(&r.metrics);
             merged.phases.absorb(&r.phases);
+            merged.audit.absorb(&r.audit);
             merged.outputs.extend(r.outputs);
         }
         merged
@@ -454,6 +469,20 @@ impl ExplainHandle {
     /// flushed batch; `None` once the runtime has shut down.
     pub fn trace_events(&self) -> Option<Vec<(u32, Vec<TraceEvent>)>> {
         collect_trace_events(&self.txs)
+    }
+
+    /// Merges every shard's guarantee-audit ledger (the live `/audit`
+    /// path). Reflects state as of each worker's last drained batch;
+    /// `None` once the runtime has shut down. Empty ledgers when
+    /// auditing is off.
+    pub fn audit(&self) -> Option<AuditLedger> {
+        let mut merged = AuditLedger::default();
+        for tx in &self.txs {
+            let (reply_tx, reply_rx) = bounded(1);
+            tx.send(Msg::Audit { reply: reply_tx }).ok()?;
+            merged.absorb(&reply_rx.recv().ok()?);
+        }
+        Some(merged)
     }
 }
 

@@ -195,6 +195,26 @@ pub enum ValidationMode {
     Slack(f64),
 }
 
+impl ValidationMode {
+    /// The allowance in force for a signed deviation `d`: the directional
+    /// side of an accuracy bound (above for `d ≥ 0`, below otherwise), or
+    /// the band of a slack bound. This is the exact tolerance the runtime
+    /// promises on the suppressed path, which makes it the comparison
+    /// allowance for the shadow auditor too.
+    pub fn allowance_for(&self, d: f64) -> f64 {
+        match *self {
+            ValidationMode::Accuracy(b) => {
+                if d >= 0.0 {
+                    b.above
+                } else {
+                    b.below
+                }
+            }
+            ValidationMode::Slack(s) => s,
+        }
+    }
+}
+
 /// Serializable summary of a validator's counters and installed modes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct ValidatorStats {
@@ -430,12 +450,7 @@ impl Validator {
         let d = actual - predicted;
         let outcome = match self.modes.get_mut(&key) {
             Some(state) => {
-                let (deviation, allowance) = match state.mode {
-                    ValidationMode::Accuracy(b) => {
-                        (d.abs(), if d >= 0.0 { b.above } else { b.below })
-                    }
-                    ValidationMode::Slack(s) => (d.abs(), s),
-                };
+                let (deviation, allowance) = (d.abs(), state.mode.allowance_for(d));
                 let ok = deviation <= allowance + EPS;
                 if state.acc.note(d, deviation, allowance, ok) {
                     self.bursts += 1;

@@ -194,6 +194,23 @@ fn shard_records(shard: u32, events: &[TraceEvent], out: &mut Vec<Value>) {
                 ));
                 out.push(obj(rec));
             }
+            TraceKind::GuaranteeBreach { observed, expected, allowance } => {
+                let mut rec = base("GuaranteeBreach", "i", ts, shard);
+                // Process-scoped instant: a broken guarantee should be
+                // visible at any zoom level, not only on its shard track.
+                rec.push(("s", Value::String("p".into())));
+                rec.push((
+                    "args",
+                    obj(vec![
+                        ("key", Value::U64(e.key)),
+                        ("observed", Value::F64(*observed)),
+                        ("expected", Value::F64(*expected)),
+                        ("allowance", Value::F64(*allowance)),
+                        ("emit", Value::U64(e.parent)),
+                    ]),
+                ));
+                out.push(obj(rec));
+            }
             TraceKind::SolveStart { .. } => {
                 // Rendered via its SolveEnd slice; a bare start (solve
                 // still in flight when the ring was copied) is dropped.

@@ -34,6 +34,9 @@ pub enum Signal {
     ShardSkew,
     /// Violations per second since the previous evaluation.
     ViolationRate,
+    /// Strict ε-guarantee violations the live auditor caught since the
+    /// previous evaluation (`audit.breaches` family sum delta).
+    GuaranteeBreaches,
 }
 
 impl Signal {
@@ -43,6 +46,7 @@ impl Signal {
             Signal::ViolationRatio => "violation_ratio",
             Signal::ShardSkew => "shard_skew",
             Signal::ViolationRate => "violation_rate",
+            Signal::GuaranteeBreaches => "guarantee_breaches",
         }
     }
 }
@@ -55,6 +59,7 @@ pub struct Signals {
     pub violation_ratio: f64,
     pub violation_rate: f64,
     pub shard_skew: f64,
+    pub guarantee_breaches: u64,
 }
 
 impl Signals {
@@ -90,7 +95,17 @@ impl Signals {
             }
         };
 
-        Signals { queue_depth_max, queue_depth_total, violation_ratio, violation_rate, shard_skew }
+        // New strict audit violations this window (counters only grow).
+        let guarantee_breaches = delta.family_sum("audit.breaches");
+
+        Signals {
+            queue_depth_max,
+            queue_depth_total,
+            violation_ratio,
+            violation_rate,
+            shard_skew,
+            guarantee_breaches,
+        }
     }
 
     fn value(&self, signal: Signal) -> f64 {
@@ -99,6 +114,7 @@ impl Signals {
             Signal::ViolationRatio => self.violation_ratio,
             Signal::ShardSkew => self.shard_skew,
             Signal::ViolationRate => self.violation_rate,
+            Signal::GuaranteeBreaches => self.guarantee_breaches as f64,
         }
     }
 }
@@ -134,6 +150,10 @@ pub fn default_rules() -> Vec<Rule> {
         Rule::new("violation_storm", Signal::ViolationRatio, 0.5, 3),
         // One shard taking 3× its fair share of intake defeats scaling.
         Rule::new("shard_skew", Signal::ShardSkew, 3.0, 3),
+        // Any audited answer straying past its promised ε in two
+        // consecutive windows: the headline guarantee is broken, which is
+        // strictly worse than being slow.
+        Rule::new("guarantee_breach", Signal::GuaranteeBreaches, 1.0, 2),
     ]
 }
 

@@ -28,6 +28,7 @@
 //! pulse_obs::set_enabled(false);
 //! ```
 
+pub mod audit;
 pub mod export;
 pub mod health;
 pub mod prof;
@@ -38,6 +39,7 @@ mod span;
 pub mod timeseries;
 pub mod trace;
 
+pub use audit::{AuditLedger, BreachRecord, KeyLedger};
 pub use export::chrome_trace;
 pub use health::{HealthEvaluator, HealthReport, Rule, Signal, Signals};
 pub use prof::{
@@ -47,7 +49,7 @@ pub use registry::{
     bucket_index, bucket_upper, labeled, Counter, HistTimer, Histogram, KeyedCounter,
     MetricsRegistry, BUCKETS,
 };
-pub use serve::{serve, ExplainFn, Routes, ServeHandle, TraceFn};
+pub use serve::{serve, AuditFn, ExplainFn, Routes, ServeHandle, TraceFn};
 pub use snapshot::{HistogramSnapshot, KeyedSnapshot, Snapshot};
 pub use span::{Event, EventLog, SpanGuard};
 pub use timeseries::{Point, TimeSeriesStore, TsConfig};

@@ -55,6 +55,11 @@ pub type ExplainFn = Arc<dyn Fn(u64, f64, f64) -> Option<String> + Send + Sync>;
 /// reachable (tracing off, shards gone).
 pub type TraceFn = Arc<dyn Fn() -> Option<String> + Send + Sync>;
 
+/// Host-provided `/audit` handler: `()` → guarantee-audit summary JSON
+/// (see [`crate::audit::AuditLedger::summary_json`]), or `None` when no
+/// auditor is running (audit_rate = 0).
+pub type AuditFn = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
 /// What the listener serves beyond the always-on endpoints: the host
 /// wires `/explain` and `/trace.json` here and may replace the default
 /// health rule set.
@@ -62,6 +67,7 @@ pub type TraceFn = Arc<dyn Fn() -> Option<String> + Send + Sync>;
 pub struct Routes {
     explain: Option<ExplainFn>,
     trace: Option<TraceFn>,
+    audit: Option<AuditFn>,
     health_rules: Option<Vec<Rule>>,
 }
 
@@ -79,6 +85,12 @@ impl Routes {
     /// Wires the `/trace.json` handler (otherwise that route answers 501).
     pub fn with_trace(mut self, f: TraceFn) -> Routes {
         self.trace = Some(f);
+        self
+    }
+
+    /// Wires the `/audit` handler (otherwise that route answers 501).
+    pub fn with_audit(mut self, f: AuditFn) -> Routes {
+        self.audit = Some(f);
         self
     }
 
@@ -251,6 +263,15 @@ fn route(
                 None => (404, "application/json", "{\"error\":\"no trace recorded\"}".into()),
             }
         }
+        "/audit" => {
+            let Some(audit) = routes.audit.as_ref() else {
+                return (501, "text/plain", "guarantee audit is not wired on this process\n".into());
+            };
+            match audit() {
+                Some(json) => (200, "application/json", json),
+                None => (404, "application/json", "{\"error\":\"auditor is off\"}".into()),
+            }
+        }
         "/explain" => {
             let Some(explain) = routes.explain.as_ref() else {
                 return (501, "text/plain", "explain is not wired on this process\n".into());
@@ -266,7 +287,7 @@ fn route(
         _ => (
             404,
             "text/plain",
-            "try /metrics, /snapshot, /health, /profile, /timeseries, /watch, /trace.json or /explain\n"
+            "try /metrics, /snapshot, /health, /profile, /timeseries, /watch, /trace.json, /audit or /explain\n"
                 .into(),
         ),
     }
@@ -455,6 +476,28 @@ mod tests {
         assert!(get(addr, "/explain?bogus=1").starts_with("HTTP/1.1 400"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
         drop(h); // must join cleanly
+    }
+
+    #[test]
+    fn serves_audit_summary() {
+        // Unwired → 501.
+        let bare = serve("127.0.0.1:0", Routes::new()).expect("bind");
+        assert!(get(bare.addr(), "/audit").starts_with("HTTP/1.1 501"));
+        drop(bare);
+
+        let mut ledger = crate::audit::AuditLedger::default();
+        ledger.check(7, 1.0, 0.2, 1.0);
+        let audit: AuditFn = Arc::new(move || Some(ledger.summary_json(8)));
+        let h = serve("127.0.0.1:0", Routes::new().with_audit(audit)).expect("bind");
+        let resp = get(h.addr(), "/audit");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"audited_keys\":1"), "{resp}");
+        assert!(resp.contains("\"breaches\":0"), "{resp}");
+
+        // Wired but off → 404.
+        let off: AuditFn = Arc::new(|| None);
+        let h2 = serve("127.0.0.1:0", Routes::new().with_audit(off)).expect("bind");
+        assert!(get(h2.addr(), "/audit").starts_with("HTTP/1.1 404"));
     }
 
     #[test]

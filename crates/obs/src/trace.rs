@@ -78,6 +78,10 @@ pub enum TraceKind {
     /// A result segment left the plan: its id, output range, and the source
     /// segment ids lineage chains it back to.
     OutputEmit { seg: u64, lo: f64, hi: f64, sources: Vec<u64> },
+    /// The live auditor caught a strict ε-guarantee violation: observed
+    /// deviation from the discrete reference vs the promised allowance.
+    /// Chained to the `OutputEmit` whose answer it indicts.
+    GuaranteeBreach { observed: f64, expected: f64, allowance: f64 },
 }
 
 impl TraceKind {
@@ -91,6 +95,7 @@ impl TraceKind {
             TraceKind::SolveEnd { .. } => "SolveEnd",
             TraceKind::OpSolve { .. } => "OpSolve",
             TraceKind::OutputEmit { .. } => "OutputEmit",
+            TraceKind::GuaranteeBreach { .. } => "GuaranteeBreach",
         }
     }
 }
@@ -129,6 +134,11 @@ impl Serialize for TraceKind {
                 fields.push(("lo".into(), lo.to_value()));
                 fields.push(("hi".into(), hi.to_value()));
                 fields.push(("sources".into(), sources.to_value()));
+            }
+            TraceKind::GuaranteeBreach { observed, expected, allowance } => {
+                fields.push(("observed".into(), observed.to_value()));
+                fields.push(("expected".into(), expected.to_value()));
+                fields.push(("allowance".into(), allowance.to_value()));
             }
         }
         Value::Object(fields)

@@ -15,6 +15,7 @@ fn main() {
             bound: case.stream.bound,
             heuristic: Heuristic::Equi,
             trace_capacity: 0,
+            ..Default::default()
         };
         let Ok(mut rt) = PulseRuntime::with_predictors(
             vec![Predictor::Clause(tracks::stream_model())],

@@ -31,7 +31,7 @@ use pulse_core::{
     ShardError, ShardedRuntime,
 };
 use pulse_model::{Segment, Tuple};
-use pulse_stream::{AggFunc, KeyJoin, LogicalPlan};
+use pulse_stream::{fingerprint, AggFunc, Calibration, KeyJoin, LogicalPlan, ToleranceModel};
 use pulse_workload::{tracks, TrackSet};
 
 /// How a case failed: enough context to reproduce and diagnose.
@@ -129,30 +129,6 @@ fn eval_chain(tr: &TrackSet, key: u64, ts: f64, steps: &[Step]) -> ChainEval {
     }
 }
 
-/// One id-blind segment identity: key, span bits, model coefficient bits,
-/// unmodeled value bits.
-type SegPrint = (u64, u64, u64, Vec<u64>, Vec<u64>);
-
-/// Id-blind bit-exact fingerprint of an output multiset. Segment ids are
-/// process-global (fresh per runtime), so equality must ignore them; spans,
-/// model coefficients, and unmodeled values must match to the bit.
-fn fingerprint(segs: &[Segment]) -> Vec<SegPrint> {
-    let mut v: Vec<_> = segs
-        .iter()
-        .map(|s| {
-            (
-                s.key,
-                s.span.lo.to_bits(),
-                s.span.hi.to_bits(),
-                s.models.iter().flat_map(|p| p.coeffs().iter().map(|c| c.to_bits())).collect(),
-                s.unmodeled.iter().map(|u| u.to_bits()).collect(),
-            )
-        })
-        .collect();
-    v.sort();
-    v
-}
-
 fn agg_window_value(
     rt: &PulseRuntime,
     sink: usize,
@@ -184,7 +160,13 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
     let max_slope = case.stream.tracks.max_slope;
     let breaks = tr.breakpoints();
 
-    let cfg = RuntimeConfig { horizon, bound, heuristic: Heuristic::Equi, trace_capacity: 0 };
+    let cfg = RuntimeConfig {
+        horizon,
+        bound,
+        heuristic: Heuristic::Equi,
+        trace_capacity: 0,
+        ..Default::default()
+    };
     let predictors = || vec![Predictor::Clause(tracks::stream_model())];
     let mut rt = PulseRuntime::with_predictors(predictors(), &lp, cfg.clone())
         .map_err(|e| fail("compile", format!("continuous transform failed: {e}\n{lp}")))?;
@@ -231,18 +213,19 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
     }
 
     let mut report = CaseReport { partitionable: lp.is_key_partitionable(), ..Default::default() };
-    // Tolerance unit: how far a fresh, validated model may sit from truth.
-    let unit = bound + noise;
-    // Margin gate (input units): boundary band inside which engines may
-    // legitimately disagree about a predicate.
-    let gate = 3.0 * unit + max_slope * dt + 1e-6;
-
+    // The shared tolerance budget (also used by the runtime's live
+    // auditor): ε, horizon, and the stream calibration.
+    let tolm = ToleranceModel {
+        bound,
+        horizon,
+        cal: Calibration { noise, max_slope, sample_dt: dt, max_abs: tr.max_abs() + noise },
+    };
     match &case.plan.shape {
         Shape::Chain { steps } => {
-            chain_forward(case, &tr, steps, &disc_out, &batches, &mut report, &|s, d| fail(s, d))?;
+            chain_forward(&tolm, &tr, steps, &disc_out, &batches, &mut report, &|s, d| fail(s, d))?;
             if noise == 0.0 {
                 chain_converse(
-                    case,
+                    &tolm,
                     &tr,
                     steps,
                     &tuples,
@@ -254,81 +237,57 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
             }
         }
         Shape::Join(j) => {
-            join_forward(case, &tr, j, &disc_out, &cont_all, gate, &mut report, &|s, d| {
-                fail(s, d)
-            })?;
+            join_forward(&tolm, &tr, j, &disc_out, &cont_all, &mut report, &|s, d| fail(s, d))?;
             if noise == 0.0 {
-                join_converse(case, &tr, j, &disc_out, &tuples, gate, &mut report, &|s, d| {
-                    fail(s, d)
-                })?;
+                join_converse(
+                    &tolm,
+                    &tr,
+                    j,
+                    &disc_out,
+                    &tuples,
+                    case.stream.tracks.keys,
+                    &mut report,
+                    &|s, d| fail(s, d),
+                )?;
             }
         }
-        Shape::Agg(a) => match a.func {
-            AggFunc::Min | AggFunc::Max => {
-                let tol = max_slope * dt + 2.0 * unit + 1e-3;
-                for (_, close, dv, qv) in &agg_pairs {
-                    if close - a.width < -1e-9 || *close > last_ts + 1e-9 {
-                        continue;
-                    }
-                    // The envelope keeps no retractions: predictions made
-                    // just before a slope break stay in it until their
-                    // horizon runs out, so only break-free windows compare.
-                    if breaks
-                        .iter()
-                        .any(|b| *b > close - a.width - horizon - dt && *b <= close + dt)
-                    {
-                        report.skipped += 1;
-                        continue;
-                    }
-                    let Some(qv) = qv else {
-                        report.skipped += 1;
-                        continue;
-                    };
-                    if (dv - qv).abs() > tol {
-                        return Err(fail(
-                            "minmax",
-                            format!(
-                                "{:?} window closing at {close:.3}: discrete {dv:.6} vs continuous {qv:.6} (tol {tol:.6})",
-                                a.func
-                            ),
-                        ));
-                    }
-                    report.minmax_points += 1;
+        Shape::Agg(a) => {
+            let minmax = matches!(a.func, AggFunc::Min | AggFunc::Max);
+            for (_, close, dv, qv) in &agg_pairs {
+                if close - a.width < -1e-9 || *close > last_ts + 1e-9 {
+                    continue;
                 }
-            }
-            _ => {
-                let max_abs = tr.max_abs() + noise;
-                // Discrete sum is Σ samples; continuous sum is ∫ f dt — the
-                // paper's aggregates are time-weighted, so Σ·dt ≈ ∫. Budget:
-                // model error over the window, Riemann slope error, and one
-                // sample of edge misalignment.
-                let tol_sum = (unit + max_slope * dt) * a.width + 2.0 * max_abs * dt + 1e-3;
-                let tol_avg = unit + max_slope * dt + 2.0 * max_abs * dt / a.width + 1e-3;
-                for (_, close, dv, qv) in &agg_pairs {
-                    if close - a.width < -1e-9 || *close > last_ts + 1e-9 {
-                        continue;
-                    }
-                    let Some(qv) = qv else {
-                        report.skipped += 1;
-                        continue;
-                    };
-                    let (lhs, tol) = match a.func {
-                        AggFunc::Sum => (dv * dt, tol_sum),
-                        _ => (*dv, tol_avg),
-                    };
-                    if (lhs - qv).abs() > tol {
-                        return Err(fail(
-                            "sumavg",
-                            format!(
-                                "{:?} window closing at {close:.3}: discrete {lhs:.6} vs continuous {qv:.6} (tol {tol:.6})",
-                                a.func
-                            ),
-                        ));
-                    }
+                // The envelope keeps no retractions: predictions made
+                // just before a slope break stay in it until their
+                // horizon runs out, so only break-free windows compare.
+                if minmax && tolm.window_disturbed(*close, a.width, &breaks) {
+                    report.skipped += 1;
+                    continue;
+                }
+                let Some(qv) = qv else {
+                    report.skipped += 1;
+                    continue;
+                };
+                let Some(c) = tolm.compare_agg(a.func, a.width, *dv, *qv) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                if c.is_breach() {
+                    return Err(fail(
+                        if minmax { "minmax" } else { "sumavg" },
+                        format!(
+                            "{:?} window closing at {close:.3}: deviation {:.6} vs continuous {qv:.6} (tol {:.6})",
+                            a.func, c.deviation, c.allowance
+                        ),
+                    ));
+                }
+                if minmax {
+                    report.minmax_points += 1;
+                } else {
                     report.sumavg_points += 1;
                 }
             }
-        },
+        }
     }
 
     // ---- engine 3: sharded run or single-threaded fallback --------------
@@ -415,7 +374,7 @@ fn run_third_engine(
 
 #[allow(clippy::too_many_arguments)]
 fn chain_forward(
-    case: &Case,
+    tolm: &ToleranceModel,
     tr: &TrackSet,
     steps: &[Step],
     disc_out: &[Tuple],
@@ -423,14 +382,11 @@ fn chain_forward(
     report: &mut CaseReport,
     fail: &dyn Fn(&'static str, String) -> CaseFailure,
 ) -> Result<(), CaseFailure> {
-    let dt = case.stream.tracks.sample_dt;
-    let noise = case.stream.tracks.noise;
-    let unit = case.stream.bound + noise;
-    let gate = 3.0 * unit + case.stream.tracks.max_slope * dt + 1e-6;
-    let horizon = case.stream.horizon;
+    let gate = tolm.margin_gate();
+    let breaks = tr.breakpoints();
     let slots = branch_slots(steps);
     for d in disc_out {
-        if tr.breakpoints().iter().any(|b| (d.ts - b).abs() <= 2.0 * dt) {
+        if tolm.near_breakpoint(d.ts, &breaks) {
             report.skipped += 1;
             continue;
         }
@@ -457,7 +413,7 @@ fn chain_forward(
                 ),
             ));
         };
-        if d.ts > b.ts + horizon - 2.0 * dt {
+        if tolm.beyond_horizon(d.ts, b.ts) {
             report.skipped += 1;
             continue;
         }
@@ -471,7 +427,7 @@ fn chain_forward(
             ));
         };
         for (slot, (truth, sens)) in ev.vals.iter().zip(&ev.sens).enumerate() {
-            let tol = sens.max(1.0) * 1.5 * (case.stream.bound + 3.0 * noise) + 1e-6;
+            let tol = tolm.model_value_tol(*sens);
             let cv = seg.eval(slot, d.ts);
             if (cv - truth).abs() > tol {
                 return Err(fail(
@@ -483,7 +439,7 @@ fn chain_forward(
                 ));
             }
             let dv = d.values[slots[slot]];
-            let dtol = sens.max(1.0) * 1.5 * noise + 1e-6;
+            let dtol = tolm.discrete_value_tol(*sens);
             if (dv - truth).abs() > dtol {
                 return Err(fail(
                     "chain-forward",
@@ -501,7 +457,7 @@ fn chain_forward(
 
 #[allow(clippy::too_many_arguments)]
 fn chain_converse(
-    case: &Case,
+    tolm: &ToleranceModel,
     tr: &TrackSet,
     steps: &[Step],
     tuples: &[Tuple],
@@ -510,16 +466,18 @@ fn chain_converse(
     report: &mut CaseReport,
     fail: &dyn Fn(&'static str, String) -> CaseFailure,
 ) -> Result<(), CaseFailure> {
-    let dt = case.stream.tracks.sample_dt;
-    let gate = 3.0 * case.stream.bound + case.stream.tracks.max_slope * dt + 1e-6;
-    let horizon = case.stream.horizon;
+    // Only runs on noise-free cases, where the margin gate reduces to
+    // 3ε + slope·dt.
+    let dt = tolm.cal.sample_dt;
+    let gate = tolm.margin_gate();
+    let horizon = tolm.horizon;
     let breaks = tr.breakpoints();
     // Discrete chains pass tuples through unchanged, so a robustly-passing
     // grid instant must have a matching discrete output (and vice versa).
     let disc_set: std::collections::HashSet<(u64, i64)> =
         disc_out.iter().map(|d| (d.key, (d.ts / dt).round() as i64)).collect();
     for t in tuples {
-        if breaks.iter().any(|b| (t.ts - b).abs() <= 2.0 * dt) {
+        if tolm.near_breakpoint(t.ts, &breaks) {
             report.skipped += 1;
             continue;
         }
@@ -542,7 +500,7 @@ fn chain_converse(
                     format!("no continuous solve for key {} by t={:.3}", t.key, t.ts),
                 ));
             };
-            if t.ts > b.ts + horizon - 2.0 * dt {
+            if tolm.beyond_horizon(t.ts, b.ts) {
                 report.skipped += 1;
                 continue;
             }
@@ -598,19 +556,19 @@ fn decode_pair(on: KeyJoin, okey: u64) -> (u64, u64) {
 
 #[allow(clippy::too_many_arguments)]
 fn join_forward(
-    case: &Case,
+    tolm: &ToleranceModel,
     tr: &TrackSet,
     j: &JoinSpec,
     disc_out: &[Tuple],
     cont_all: &[Segment],
-    gate: f64,
     report: &mut CaseReport,
     fail: &dyn Fn(&'static str, String) -> CaseFailure,
 ) -> Result<(), CaseFailure> {
-    let dt = case.stream.tracks.sample_dt;
+    let dt = tolm.cal.sample_dt;
+    let gate = tolm.margin_gate();
     let breaks = tr.breakpoints();
     for d in disc_out {
-        if breaks.iter().any(|b| (d.ts - b).abs() <= 2.0 * dt) {
+        if tolm.near_breakpoint(d.ts, &breaks) {
             report.skipped += 1;
             continue;
         }
@@ -678,17 +636,17 @@ fn join_forward(
 
 #[allow(clippy::too_many_arguments)]
 fn join_converse(
-    case: &Case,
+    tolm: &ToleranceModel,
     tr: &TrackSet,
     j: &JoinSpec,
     disc_out: &[Tuple],
     tuples: &[Tuple],
-    gate: f64,
+    keys: u64,
     report: &mut CaseReport,
     fail: &dyn Fn(&'static str, String) -> CaseFailure,
 ) -> Result<(), CaseFailure> {
-    let dt = case.stream.tracks.sample_dt;
-    let keys = case.stream.tracks.keys;
+    let dt = tolm.cal.sample_dt;
+    let gate = tolm.margin_gate();
     let breaks = tr.breakpoints();
     let disc_set: std::collections::HashSet<(u64, i64)> =
         disc_out.iter().map(|d| (d.key, (d.ts / dt).round() as i64)).collect();
@@ -699,7 +657,7 @@ fn join_converse(
         }
     }
     for &ts in &grid {
-        if breaks.iter().any(|b| (ts - b).abs() <= 2.0 * dt) {
+        if tolm.near_breakpoint(ts, &breaks) {
             continue;
         }
         for lk in 0..keys {

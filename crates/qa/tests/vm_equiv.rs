@@ -54,6 +54,7 @@ fn inputs(seed: u64) -> (LogicalPlan, Vec<Tuple>, RuntimeConfig) {
         bound: case.stream.bound,
         heuristic: Heuristic::Equi,
         trace_capacity: 0,
+        ..Default::default()
     };
     (lp, tr.tuples(), cfg)
 }

@@ -17,6 +17,7 @@ pub mod metrics;
 pub mod ops;
 pub mod parallel;
 pub mod plan;
+pub mod reference;
 
 pub use explain::{explain, expr_to_string, pred_to_string};
 pub use logical::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PartitionViolation, PortRef};
@@ -24,3 +25,4 @@ pub use metrics::OpMetrics;
 pub use ops::{AggregateOp, FilterOp, JoinOp, MapOp, Operator, UnionOp};
 pub use parallel::Pipeline;
 pub use plan::Plan;
+pub use reference::{fingerprint, Calibration, Comparison, SegPrint, ToleranceModel};

@@ -78,6 +78,41 @@ impl Plan {
         results
     }
 
+    /// Pushes one tuple like [`Plan::push`], additionally recording the
+    /// outputs of every node whose index is flagged in `tapped` into
+    /// `taps` as `(node, tuple)` pairs — sink or not. The live guarantee
+    /// auditor uses this to observe interior aggregate closes (e.g. the
+    /// two Avg nodes of a MACD plan) that a sink-only drive would lose
+    /// inside the downstream join.
+    pub fn push_tap(
+        &mut self,
+        source: usize,
+        tuple: &Tuple,
+        tapped: &[bool],
+        taps: &mut Vec<(usize, Tuple)>,
+    ) -> Vec<Tuple> {
+        let mut results = Vec::new();
+        let mut queue: Vec<(usize, usize, Tuple)> =
+            self.source_edges[source].iter().map(|&(n, p)| (n, p, tuple.clone())).collect();
+        let mut scratch = Vec::new();
+        while let Some((node, port, t)) = queue.pop() {
+            scratch.clear();
+            self.nodes[node].process(port, &t, &mut scratch);
+            for out in scratch.drain(..) {
+                if self.sinks[node] {
+                    results.push(out.clone());
+                }
+                if tapped.get(node).copied().unwrap_or(false) {
+                    taps.push((node, out.clone()));
+                }
+                for &(n, p) in &self.node_edges[node] {
+                    queue.push((n, p, out.clone()));
+                }
+            }
+        }
+        results
+    }
+
     /// Pushes a whole batch (tuples must be timestamp-ordered per source).
     pub fn push_all(&mut self, source: usize, tuples: &[Tuple]) -> Vec<Tuple> {
         let mut out = Vec::new();
@@ -333,5 +368,41 @@ mod tests {
         assert!(!outs.is_empty(), "MACD crossover should fire on rising data");
         assert!(outs.iter().all(|t| t.values.len() == 1));
         assert!(outs.iter().all(|t| t.values[0] > 0.0));
+    }
+
+    #[test]
+    fn push_tap_records_interior_node_outputs() {
+        // Aggregate → filter that rejects everything: the sink never
+        // fires, but a tap on the aggregate node still sees its closes.
+        let mut lp = LogicalPlan::new(vec![src()]);
+        let a = lp.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Sum,
+                attr: 0,
+                width: 10.0,
+                slide: 10.0,
+                group_by_key: true,
+            },
+            vec![PortRef::Source(0)],
+        );
+        lp.add(
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(1e9)) },
+            vec![a],
+        );
+        let mut plan = Plan::compile(&lp);
+        let tapped = vec![true, false];
+        let mut taps = Vec::new();
+        let mut outs = Vec::new();
+        for i in 0..25 {
+            outs.extend(plan.push_tap(0, &tup(0, i as f64, 1.0), &tapped, &mut taps));
+        }
+        assert!(outs.is_empty(), "filter rejects every close: {outs:?}");
+        assert_eq!(taps.len(), 2, "windows [0,10) and [10,20): {taps:?}");
+        assert!(taps.iter().all(|(node, _)| *node == 0));
+        assert_eq!(taps[0].1.values[0], 10.0);
+        // Tapping with no flags set behaves exactly like push.
+        let mut no_taps = Vec::new();
+        plan.push_tap(0, &tup(0, 25.0, 1.0), &[false, false], &mut no_taps);
+        assert!(no_taps.is_empty());
     }
 }

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Repo health gate: formatting, lints, the full test suite, the bounded
 # differential-fuzz stage, a live scrape of a 4-shard scaling run
-# (/metrics, /health, /profile, the /timeseries collector history, and
-# the /trace.json Perfetto export), the observability overhead gates
-# (obs_bench min-of-batches deltas for metrics, profiler-on suppressed
-# path, and the profiler's violation-path percentage; the criterion
-# bench `cargo bench -p pulse-bench --bench obs_overhead` gives
-# distributions for humans on a quiet machine), and the bench_diff
-# regression gate comparing both result files against the checked-in
-# baselines in scripts/baselines/ (band ±PULSE_BENCH_BAND_PCT%, default
-# 50).
+# (/metrics, /health, /profile, the /timeseries collector history, the
+# /audit guarantee ledger, and the /trace.json Perfetto export), the
+# observability overhead gates (obs_bench min-of-batches deltas for
+# metrics, profiler-on suppressed path, the profiler's violation-path
+# percentage, and the guarantee auditor's suppressed-path and
+# violation-path costs; the criterion bench `cargo bench -p pulse-bench
+# --bench obs_overhead` gives distributions for humans on a quiet
+# machine), and the bench_diff regression gate comparing both result
+# files against the checked-in baselines in scripts/baselines/ (band
+# ±PULSE_BENCH_BAND_PCT%, default 50).
 #
 # `./scripts/check.sh soak` raises the differential-fuzz budget to 1024
 # generated cases; PULSE_QA_CASES overrides either default explicitly.
@@ -42,13 +43,19 @@ PULSE_SCALING_SMOKE=1 PULSE_SCALING_SHARDS=4 PULSE_SCALING_COVERAGE_FLOOR=0.75 \
 PULSE_SERVE_ADDR=127.0.0.1:9187 PULSE_SERVE_LINGER=6 \
   ./target/release/scaling &
 scaling_pid=$!
-metrics="" health="" profile="" timeseries="" trace=""
+metrics="" health="" profile="" timeseries="" trace="" audit="" audited=""
 for _ in $(seq 1 60); do
   metrics=$(curl -sf --max-time 2 http://127.0.0.1:9187/metrics || true)
   # No -f: /health legitimately answers 503 while shards are saturated,
   # and a degraded verdict is still a healthy serving surface.
   health=$(curl -s --max-time 2 http://127.0.0.1:9187/health || true)
   profile=$(curl -sf --max-time 2 http://127.0.0.1:9187/profile || true)
+  # The guarantee auditor shadow-compares 1-in-64 symbols; the merged
+  # per-key ledger must be non-empty (and clean) on a live sweep.
+  audit=$(curl -s --max-time 2 http://127.0.0.1:9187/audit || true)
+  # `|| true`: grep exits 1 before the route is serving, which would trip
+  # set -e inside the assignment.
+  audited=$(grep -o '"audited_keys":[0-9]*' <<<"$audit" | head -1 | cut -d: -f2 || true)
   # The collector ticks every 2.5k tuples, so by the time the sweep's
   # phases have run the violations family has a dense history. (Reading
   # the ring store is cheap; /trace.json is NOT polled here because a
@@ -60,6 +67,7 @@ for _ in $(seq 1 60); do
   [[ "$metrics" == *'pulse_runtime_tuples_in{shard="'* \
      && "$health" == *'"verdict"'* \
      && "$profile" == *'"phases"'* \
+     && "${audited:-0}" -ge 1 \
      && "${samples:-0}" -ge 10 ]] && break
   sleep 0.25
 done
@@ -87,7 +95,17 @@ if [[ "$trace" != *'"traceEvents"'* ]]; then
   echo "FAIL: /trace.json scrape returned no Chrome trace" >&2
   exit 1
 fi
-echo "live /metrics + /health + /profile + /timeseries ($samples samples) + /trace.json scrape OK"
+if [[ -z "$audited" || "$audited" -lt 1 ]]; then
+  echo "FAIL: live /audit scrape reported no audited keys" >&2
+  exit 1
+fi
+breaches=$(grep -o '"breaches":[0-9]*' <<<"$audit" | head -1 | cut -d: -f2 || true)
+if [[ "${breaches:-1}" -ne 0 ]]; then
+  echo "FAIL: live /audit reported $breaches guarantee breaches on a clean run" >&2
+  echo "$audit" >&2
+  exit 1
+fi
+echo "live /metrics + /health + /profile + /timeseries ($samples samples) + /audit ($audited keys, 0 breaches) + /trace.json scrape OK"
 
 echo "== bench-diff: scaling-smoke trajectory vs checked-in baseline (3-rep median, quiet)"
 PULSE_SCALING_SMOKE=1 PULSE_SCALING_SHARDS=4 PULSE_SCALING_REPS=3 \
