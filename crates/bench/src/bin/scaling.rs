@@ -44,8 +44,11 @@
 use pulse_bench::measure::merge_feeds;
 use pulse_bench::queries;
 use pulse_core::runtime::Predictor;
-use pulse_core::{ExplainHandle, PulseRuntime, RuntimeConfig, RuntimeStats, ShardedRuntime};
+use pulse_core::{
+    ExplainHandle, HybridRuntime, PulseRuntime, RuntimeConfig, RuntimeStats, ShardedRuntime,
+};
 use pulse_model::Tuple;
+use pulse_stream::{partition_rewrite, AggFunc, LogicalOp, LogicalPlan, PortRef};
 use pulse_workload::{nyse, NyseConfig, NyseGen};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -268,6 +271,47 @@ fn sharded(
     (secs, run.stats, run.phases)
 }
 
+/// The non-partitionable companion workload: a global (ungrouped) minimum
+/// over every symbol's price — §III-B's key-attribute scenario at NYSE
+/// scale. No shard owns the global envelope, so before the partition
+/// rewrite this plan wholesale fell back to the single-threaded runtime
+/// (`mode: "fallback"`); the rewrite splits it into sharded per-key
+/// partial envelopes plus a serial global merge (`mode: "hybrid"`).
+fn global_min_plan(width: f64, slide: f64) -> LogicalPlan {
+    let mut lp = LogicalPlan::new(vec![nyse::schema()]);
+    lp.add(
+        LogicalOp::Aggregate { func: AggFunc::Min, attr: 0, width, slide, group_by_key: false },
+        vec![PortRef::Source(0)],
+    );
+    lp
+}
+
+fn hybrid(
+    lp: &LogicalPlan,
+    tuples: &[Tuple],
+    shards: usize,
+    cfg: &RuntimeConfig,
+) -> (f64, RuntimeStats, pulse_obs::PhaseTable) {
+    let hp = partition_rewrite(lp).expect("global min takes the partition rewrite");
+    let mut rt = HybridRuntime::new(
+        vec![Predictor::AdaptiveLinear(nyse::schema())],
+        &hp,
+        cfg.clone(),
+        shards,
+    )
+    .expect("rewritten branches are partitionable");
+    let start = Instant::now();
+    for (i, t) in tuples.iter().enumerate() {
+        rt.on_tuple(0, t);
+        if i % 50_000 == 0 {
+            rt.gc_before(t.ts - 50.0);
+        }
+    }
+    let run = rt.finish();
+    let secs = start.elapsed().as_secs_f64();
+    (secs, run.stats, run.phases)
+}
+
 fn row(
     label: &str,
     mode: &'static str,
@@ -440,6 +484,31 @@ fn main() {
     let sharded_at = |n: usize| rows.iter().find(|r| r.mode == "sharded" && r.shards == n);
     if let (Some(r1), Some(r4)) = (sharded_at(1), sharded_at(4)) {
         println!("speedup at 4 shards vs 1 shard: {:.2}x", r1.ns_per_tuple / r4.ns_per_tuple);
+    }
+
+    // ---- non-partitionable companion workload: global min ---------------
+    // `fallback` is what every non-partitionable plan got before the
+    // partition rewrite existed: the whole plan on one runtime, global
+    // envelope over every symbol. `hybrid` is the rewritten shape.
+    let min_lp = global_min_plan(short, slide);
+    println!("global-min: ungrouped Min over {} symbols, width {short:.2}s", k.symbols);
+    let (fb_run, fb_viol_ns) = median_rep(reps, || {
+        with_measured_violation_ns(|| single_threaded(&min_lp, &tuples, &cfg, false))
+    });
+    rows.push(row("min fallback", "fallback", 1, tuples.len(), &fb_run, fb_viol_ns));
+    for &s in &k.shards {
+        let (run, viol_ns) =
+            median_rep(reps, || with_measured_violation_ns(|| hybrid(&min_lp, &tuples, s, &cfg)));
+        assert_eq!(run.1.tuples_in, tuples.len() as u64);
+        rows.push(row(&format!("min hybrid {s}"), "hybrid", s, tuples.len(), &run, viol_ns));
+    }
+    let fallback_row = rows.iter().find(|r| r.mode == "fallback");
+    let hybrid_at = |n: usize| rows.iter().find(|r| r.mode == "hybrid" && r.shards == n);
+    if let (Some(fb), Some(h4)) = (fallback_row, hybrid_at(4)) {
+        println!(
+            "global-min speedup, hybrid at 4 shards vs wholesale fallback: {:.2}x",
+            fb.ns_per_tuple / h4.ns_per_tuple
+        );
     }
 
     // Smoke runs (CI) land in target/ so they never clobber the tracked

@@ -47,6 +47,7 @@ pub mod binding;
 pub mod cops;
 pub mod eqsys;
 pub mod historical;
+pub mod hybrid;
 pub mod index;
 pub mod lineage;
 pub mod plan;
@@ -63,6 +64,7 @@ pub use eqsys::{
     SystemTemplate, SOLVE_TOL,
 };
 pub use historical::HistoricalStore;
+pub use hybrid::{export_opt_metrics, AutoRun, AutoRuntime, HybridRun, HybridRuntime};
 pub use index::SegmentIndex;
 pub use lineage::{LineageStore, SharedLineage};
 pub use plan::{CPlan, TransformError};

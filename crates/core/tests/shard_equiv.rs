@@ -8,11 +8,12 @@
 //! allocated from a process-wide counter and output *order* across shards
 //! is arbitrary, so the comparison is order-insensitive and id-blind.
 
+use pulse_core::hybrid::HybridRuntime;
 use pulse_core::runtime::{Predictor, PulseRuntime, RuntimeConfig};
 use pulse_core::shard::{ShardError, ShardedRuntime};
 use pulse_math::CmpOp;
 use pulse_model::{AttrKind, Expr, Pred, Schema, Segment, Tuple};
-use pulse_stream::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PortRef};
+use pulse_stream::{partition_rewrite, AggFunc, KeyJoin, LogicalOp, LogicalPlan, PortRef};
 
 fn schema() -> Schema {
     Schema::of(&[("price", AttrKind::Modeled)])
@@ -90,7 +91,9 @@ fn tuples(keys: u64, rounds: usize) -> Vec<Tuple> {
 }
 
 /// Bit-exact, id-blind fingerprint of a segment for multiset comparison.
-fn fingerprint(seg: &Segment) -> (u64, u64, u64, Vec<Vec<u64>>, Vec<u64>) {
+type SegPrint = (u64, u64, u64, Vec<Vec<u64>>, Vec<u64>);
+
+fn fingerprint(seg: &Segment) -> SegPrint {
     (
         seg.key,
         seg.span.lo.to_bits(),
@@ -178,6 +181,132 @@ fn one_shard_equals_single_threaded() {
     let a: Vec<_> = single_outs.iter().map(fingerprint).collect();
     let b: Vec<_> = merged.outputs.iter().map(fingerprint).collect();
     assert_eq!(a, b);
+}
+
+/// Noise-free constant streams: each key holds one exact level forever, so
+/// an adaptive model locks on the first tuple and every later tuple is
+/// suppressed. That makes the full output determined by the first batch —
+/// the regime where the hybrid rewrite must be *exactly* equivalent to the
+/// unrewritten single-threaded run, not just equivalent up to ε.
+fn constant_feed(keys: u64, rounds: usize) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(keys as usize * rounds);
+    for r in 0..rounds {
+        let ts = r as f64 * 0.05;
+        for key in 0..keys {
+            out.push(Tuple::new(key, ts, vec![100.0 + 3.0 * key as f64]));
+        }
+    }
+    out
+}
+
+fn sorted_fp(outs: &[Segment]) -> Vec<SegPrint> {
+    let mut v: Vec<_> = outs.iter().map(fingerprint).collect();
+    v.sort();
+    v
+}
+
+fn run_hybrid(lp: &LogicalPlan, feed: &[Tuple], shards: usize) -> pulse_core::hybrid::HybridRun {
+    let hp = partition_rewrite(lp).expect("plan must take the partition rewrite");
+    let mut h =
+        HybridRuntime::new(vec![Predictor::AdaptiveLinear(schema())], &hp, config(), shards)
+            .unwrap();
+    // Small sync interval so merge-stage state stays fresh over a short feed.
+    h.set_sync_every(16);
+    for t in feed {
+        h.on_tuple(0, t);
+    }
+    h.finish()
+}
+
+/// The Ne self-join is the canonical non-partitionable plan (no shard owns
+/// a cross-key pair). The rewrite runs per-key prefix branches sharded and
+/// the join serially in the merge stage — and on a constant feed the
+/// result must be bit-for-bit the unrewritten single-threaded run's, at
+/// any shard count.
+#[test]
+fn hybrid_ne_join_matches_unrewritten_single_threaded() {
+    let mut lp = LogicalPlan::new(vec![schema()]);
+    lp.add(
+        LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Ne },
+        vec![PortRef::Source(0), PortRef::Source(0)],
+    );
+    let feed = constant_feed(6, 80);
+
+    let mut single =
+        PulseRuntime::with_predictors(vec![Predictor::AdaptiveLinear(schema())], &lp, config())
+            .unwrap();
+    let mut single_outs = Vec::new();
+    for t in &feed {
+        single_outs.extend(single.on_tuple(0, t));
+    }
+    assert!(!single_outs.is_empty(), "join never fired");
+
+    let one = run_hybrid(&lp, &feed, 1);
+    let four = run_hybrid(&lp, &feed, 4);
+    assert_eq!(one.stats, four.stats, "hybrid stats must be shard-count-invariant");
+    assert_eq!(
+        sorted_fp(&one.outputs),
+        sorted_fp(&four.outputs),
+        "hybrid outputs must be shard-count-invariant"
+    );
+    assert_eq!(
+        sorted_fp(&one.outputs),
+        sorted_fp(&single_outs),
+        "hybrid join must match the unrewritten single-threaded run bit-for-bit"
+    );
+}
+
+/// Ungrouped min over per-key constant levels: the rewrite computes
+/// per-key partial envelopes sharded, then a serial global merge. The
+/// merge output must be shard-count-invariant bit-for-bit, and every
+/// output segment must sit exactly on the global minimum level (key 0's
+/// constant 100) — same value the unrewritten single-threaded run reports.
+#[test]
+fn hybrid_ungrouped_min_is_shard_invariant_and_exact() {
+    let mut lp = LogicalPlan::new(vec![schema()]);
+    lp.add(
+        LogicalOp::Aggregate {
+            func: AggFunc::Min,
+            attr: 0,
+            width: 1.0,
+            slide: 0.5,
+            group_by_key: false,
+        },
+        vec![PortRef::Source(0)],
+    );
+    let feed = constant_feed(6, 80);
+
+    let one = run_hybrid(&lp, &feed, 1);
+    let four = run_hybrid(&lp, &feed, 4);
+    assert_eq!(one.stats, four.stats, "hybrid stats must be shard-count-invariant");
+    assert_eq!(
+        sorted_fp(&one.outputs),
+        sorted_fp(&four.outputs),
+        "hybrid outputs must be shard-count-invariant"
+    );
+    assert!(!one.outputs.is_empty(), "global min merge produced no output");
+    for seg in &one.outputs {
+        let mid = 0.5 * (seg.span.lo + seg.span.hi);
+        let v = seg.eval(0, mid);
+        assert!((v - 100.0).abs() < 1e-6, "global min must be key 0's level, got {v}");
+    }
+
+    // The unrewritten single-threaded run fragments its output segments
+    // differently (one envelope, no merge syncs), so the comparison with
+    // it is value-level: the same exact minimum everywhere.
+    let mut single =
+        PulseRuntime::with_predictors(vec![Predictor::AdaptiveLinear(schema())], &lp, config())
+            .unwrap();
+    let mut single_outs = Vec::new();
+    for t in &feed {
+        single_outs.extend(single.on_tuple(0, t));
+    }
+    assert!(!single_outs.is_empty(), "single-threaded min produced no output");
+    for seg in &single_outs {
+        let mid = 0.5 * (seg.span.lo + seg.span.hi);
+        let v = seg.eval(0, mid);
+        assert!((v - 100.0).abs() < 1e-6, "single-threaded min must agree, got {v}");
+    }
 }
 
 #[test]

@@ -1,0 +1,32 @@
+//! Scratch scanner: which optimizer passes fire per opt-generator seed
+//! (corpus curation for `opt-*.seed` files).
+//!
+//! For each seed it derives the optimizer-biased case, runs the standard
+//! pass pipeline, and reports per-pass fire counts plus whether the
+//! partition rewrite would carry the third engine. Seeds printed with
+//! `rewrite true` are candidates for `corpus/opt-rewrite.seed`.
+
+use pulse_qa::Case;
+use pulse_stream::{partition_rewrite, Optimizer};
+
+fn main() {
+    let opt = Optimizer::standard();
+    println!("seed  kind     pushdown prune rewrite  note");
+    for seed in 0..60u64 {
+        let case = Case::from_seed_opt(seed);
+        let (lp, _) = case.plan.to_logical();
+        let optd = opt.run(&lp);
+        let fired =
+            |name: &str| optd.stats.iter().find(|s| s.name == name).map(|s| s.applied).unwrap_or(0);
+        let rewrite =
+            if optd.plan.is_key_partitionable() { None } else { partition_rewrite(&optd.plan) };
+        println!(
+            "{seed:>4}  {:<8} {:>8} {:>5} {:>7}  {}",
+            format!("{:?}", case.kind()),
+            fired("pushdown"),
+            fired("prune"),
+            rewrite.is_some(),
+            rewrite.map(|h| h.note).unwrap_or_default()
+        );
+    }
+}

@@ -18,10 +18,12 @@ pub mod plangen;
 pub mod shrink;
 pub mod streamgen;
 
-pub use oracle::{run_case, CaseFailure, CaseReport};
-pub use plangen::{gen_plan, GenPlan, OpKind, Shape, KINDS};
-pub use shrink::{explain_failure, minimize};
+pub use oracle::{run_case, run_case_with, tuple_trace, CaseFailure, CaseOutcome, CaseReport};
+pub use plangen::{gen_plan, gen_plan_opt, GenPlan, OpKind, Shape, KINDS};
+pub use shrink::{explain_failure, minimize, minimize_by};
 pub use streamgen::{Case, StreamSpec};
+
+use pulse_stream::Optimizer;
 
 /// Runs the case for `seed`; on failure, shrinks it and panics with a
 /// replayable report. This is the single entry point both the randomized
@@ -32,6 +34,43 @@ pub fn check_seed(seed: u64) -> CaseReport {
         Ok(report) => report,
         Err(failure) => {
             let (shrunk, failure) = minimize(&case, failure);
+            panic!("{}", explain_failure(&shrunk, &failure));
+        }
+    }
+}
+
+/// The optimizer-equivalence check for one case: the case must pass the
+/// full oracle both unoptimized and optimized (standard pass pipeline),
+/// and the discrete sink trace must be bit-for-bit identical between the
+/// two — normalization passes may not change the discrete interpretation
+/// at all. Returns the *optimized* run's report, which carries the
+/// per-pass fire counters and the partition-rewrite flag.
+pub fn check_opt_case(case: &Case) -> Result<CaseReport, CaseFailure> {
+    let plain = run_case_with(case, None)?;
+    let opt = run_case_with(case, Some(&Optimizer::standard()))?;
+    if tuple_trace(&plain.disc) != tuple_trace(&opt.disc) {
+        return Err(CaseFailure {
+            seed: case.seed,
+            stage: "opt-equiv",
+            detail: format!(
+                "discrete sink traces diverge between unoptimized ({} tuples) and optimized ({} tuples) plans",
+                plain.disc.len(),
+                opt.disc.len()
+            ),
+        });
+    }
+    Ok(opt.report)
+}
+
+/// [`check_seed`] for the optimizer-biased generator: derives the case
+/// with [`Case::from_seed_opt`], runs [`check_opt_case`], and on failure
+/// shrinks *against the equivalence check* before panicking.
+pub fn check_seed_opt(seed: u64) -> CaseReport {
+    let case = Case::from_seed_opt(seed);
+    match check_opt_case(&case) {
+        Ok(report) => report,
+        Err(failure) => {
+            let (shrunk, failure) = minimize_by(&case, failure, &|c| check_opt_case(c).map(|_| ()));
             panic!("{}", explain_failure(&shrunk, &failure));
         }
     }

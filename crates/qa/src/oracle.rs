@@ -23,15 +23,26 @@
 //! execution must be bit-for-bit equivalent (id-blind), so the comparison
 //! is exact on the f64 bit patterns of spans, model coefficients, and
 //! unmodeled values.
+//!
+//! [`run_case_with`] additionally threads the whole case through a plan
+//! [`Optimizer`] first: engines 1 and 2 run the *optimized* plan (the
+//! comparators stay anchored to the same ground truth, so any semantic
+//! drift a pass introduces is caught), and when the optimized plan is
+//! still not partitionable the third engine becomes the partition-rewrite
+//! [`HybridRuntime`] — run at 1 and 4 shards and compared bit-exactly,
+//! since the hybrid merge order is shard-count-invariant by design.
 
 use crate::plangen::{branch_slots, residual, AggSpec, JoinSpec, Shape, Step};
 use crate::streamgen::Case;
 use pulse_core::{
-    CGroupBy, CMinMax, COperator, CSumAvg, Heuristic, Predictor, PulseRuntime, RuntimeConfig,
-    ShardError, ShardedRuntime,
+    CGroupBy, CMinMax, COperator, CSumAvg, Heuristic, HybridRuntime, Predictor, PulseRuntime,
+    RuntimeConfig, ShardError, ShardedRuntime,
 };
 use pulse_model::{Segment, Tuple};
-use pulse_stream::{fingerprint, AggFunc, Calibration, KeyJoin, LogicalPlan, ToleranceModel};
+use pulse_stream::{
+    fingerprint, partition_rewrite, AggFunc, Calibration, HybridPlan, KeyJoin, LogicalPlan,
+    Optimizer, ToleranceModel,
+};
 use pulse_workload::{tracks, TrackSet};
 
 /// How a case failed: enough context to reproduce and diagnose.
@@ -73,6 +84,31 @@ pub struct CaseReport {
     pub shard_outputs: usize,
     /// Instants skipped as within tolerance of a decision boundary.
     pub skipped: usize,
+    /// Optimizer runs only: how often predicate pushdown fired.
+    pub pushdown_fires: u64,
+    /// Optimizer runs only: how often projection pruning fired.
+    pub prune_fires: u64,
+    /// Optimizer runs only: the partition rewrite carried the third engine.
+    pub partition_fire: bool,
+    /// Hybrid merge-stage output segments compared across shard counts.
+    pub hybrid_outputs: usize,
+}
+
+/// A passed case's report plus the discrete engine's raw sink trace —
+/// `opt_equiv` compares the trace bit-exactly between the optimized and
+/// unoptimized runs (normalization must not change the discrete
+/// interpretation at all).
+pub struct CaseOutcome {
+    pub report: CaseReport,
+    pub disc: Vec<Tuple>,
+}
+
+/// Bit-exact identity of a discrete sink trace, in emission order.
+pub fn tuple_trace(tuples: &[Tuple]) -> Vec<(u64, u64, Vec<u64>)> {
+    tuples
+        .iter()
+        .map(|t| (t.key, t.ts.to_bits(), t.values.iter().map(|v| v.to_bits()).collect()))
+        .collect()
 }
 
 struct Batch {
@@ -149,8 +185,29 @@ fn agg_window_value(
 
 /// Runs one case through all three engines and every applicable comparator.
 pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
+    run_case_with(case, None).map(|o| o.report)
+}
+
+/// [`run_case`] with an optional plan optimizer in front of every engine.
+/// The sink is re-located through the optimizer's node map; comparators
+/// stay anchored to ground truth, so they hold the optimized plan to the
+/// exact same contract as the original.
+pub fn run_case_with(
+    case: &Case,
+    optimizer: Option<&Optimizer>,
+) -> Result<CaseOutcome, CaseFailure> {
     let fail = |stage: &'static str, detail: String| CaseFailure { seed: case.seed, stage, detail };
-    let (lp, sink) = case.plan.to_logical();
+    let (lp, sink, opt_stats) = {
+        let (lp0, sink0) = case.plan.to_logical();
+        match optimizer {
+            None => (lp0, sink0, None),
+            Some(o) => {
+                let optd = o.run(&lp0);
+                let sink = optd.node_map[sink0];
+                (optd.plan, sink, Some(optd.stats))
+            }
+        }
+    };
     let tr = TrackSet::generate(case.stream.tracks.clone(), case.stream.duration);
     let tuples = tr.tuples();
     let dt = case.stream.tracks.sample_dt;
@@ -176,6 +233,9 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
     let mut batches: Vec<Batch> = Vec::new();
     let mut cont_all: Vec<Segment> = Vec::new();
     let mut disc_out: Vec<Tuple> = Vec::new();
+    // Every discrete sink tuple in emission order, agg or not — the
+    // bit-exact identity `opt_equiv` compares across optimizer modes.
+    let mut disc_trace: Vec<Tuple> = Vec::new();
     // Aggregate closes captured interleaved, because the continuous
     // operators expire state older than `now − width`: (group, close,
     // discrete value, continuous window value at capture time).
@@ -195,6 +255,7 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
         }
         cont_all.extend(outs);
         for d in disc.push(0, t) {
+            disc_trace.push(d.clone());
             if let Some(spec) = &agg_spec {
                 let qv = agg_window_value(&rt, sink, spec, d.key, d.ts);
                 agg_pairs.push((d.key, d.ts, d.values[0], qv));
@@ -253,6 +314,13 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
         }
         Shape::Agg(a) => {
             let minmax = matches!(a.func, AggFunc::Min | AggFunc::Max);
+            // Pre-map sensitivity: the tolerance model is calibrated in raw
+            // input units, so aggregate values over a mapped attribute are
+            // normalized back by the (data-independent) L1 coefficient mass
+            // before comparison. Pre-maps carry no additive offset, so the
+            // rescaled values really are input-unit quantities.
+            let pre_slots = branch_slots(&a.pre);
+            let sens = eval_chain(&tr, 0, 0.0, &a.pre).sens[a.axis % pre_slots.len()].max(1e-9);
             for (_, close, dv, qv) in &agg_pairs {
                 if close - a.width < -1e-9 || *close > last_ts + 1e-9 {
                     continue;
@@ -268,7 +336,7 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
                     report.skipped += 1;
                     continue;
                 };
-                let Some(c) = tolm.compare_agg(a.func, a.width, *dv, *qv) else {
+                let Some(c) = tolm.compare_agg(a.func, a.width, *dv / sens, *qv / sens) else {
                     report.skipped += 1;
                     continue;
                 };
@@ -290,9 +358,101 @@ pub fn run_case(case: &Case) -> Result<CaseReport, CaseFailure> {
         }
     }
 
-    // ---- engine 3: sharded run or single-threaded fallback --------------
-    run_third_engine(case, &lp, &tuples, &cont_all, &stats, &cfg, predictors, &mut report)?;
-    Ok(report)
+    if let Some(ps) = &opt_stats {
+        for p in ps {
+            match p.name {
+                "pushdown" => report.pushdown_fires = p.applied,
+                "prune" => report.prune_fires = p.applied,
+                _ => {}
+            }
+        }
+    }
+
+    // ---- engine 3: sharded run, partition-rewrite hybrid, or fallback ---
+    // In optimizer mode a non-partitionable plan goes through the partition
+    // rewrite; only when even that declines do we accept the wholesale
+    // single-threaded fallback.
+    if optimizer.is_some() && lp.key_partition_violation().is_some() {
+        if let Some(hp) = partition_rewrite(&lp) {
+            report.partition_fire = true;
+            run_hybrid_engine(
+                case,
+                &hp,
+                &tuples,
+                &cfg,
+                predictors,
+                &tolm,
+                &tr,
+                &disc_out,
+                &mut report,
+            )?;
+        } else {
+            run_third_engine(case, &lp, &tuples, &cont_all, &stats, &cfg, predictors, &mut report)?;
+        }
+    } else {
+        run_third_engine(case, &lp, &tuples, &cont_all, &stats, &cfg, predictors, &mut report)?;
+    }
+    Ok(CaseOutcome { report, disc: disc_trace })
+}
+
+/// Drives the partition-rewritten [`HybridRuntime`] at 1 and 4 shards and
+/// requires bit-exact agreement: per-key state is isolated in the prefix
+/// and the merge drains branches in canonical order, so the shard count
+/// must be unobservable in both outputs and stats. Join shapes get an
+/// extra truth anchor: every robust discrete match must be covered by a
+/// hybrid output segment.
+#[allow(clippy::too_many_arguments)]
+fn run_hybrid_engine(
+    case: &Case,
+    hp: &HybridPlan,
+    tuples: &[Tuple],
+    cfg: &RuntimeConfig,
+    predictors: impl Fn() -> Vec<Predictor>,
+    tolm: &ToleranceModel,
+    tr: &TrackSet,
+    disc_out: &[Tuple],
+    report: &mut CaseReport,
+) -> Result<(), CaseFailure> {
+    let fail = |stage: &'static str, detail: String| CaseFailure { seed: case.seed, stage, detail };
+    let mut runs = Vec::new();
+    for shards in [1usize, 4] {
+        let mut h = HybridRuntime::new(predictors(), hp, cfg.clone(), shards).map_err(|e| {
+            fail("hybrid", format!("rewritten plan rejected at {shards} shards: {e}"))
+        })?;
+        // Sync often enough that merge-stage windows see fresh branch
+        // output within a QA case's short duration.
+        h.set_sync_every(128);
+        for t in tuples {
+            h.on_tuple(0, t);
+        }
+        runs.push(h.finish());
+    }
+    let four = runs.pop().expect("two hybrid runs");
+    let one = runs.pop().expect("two hybrid runs");
+    if one.stats != four.stats {
+        return Err(fail(
+            "hybrid",
+            format!("stats diverge across shard counts: 1×{:?} vs 4×{:?}", one.stats, four.stats),
+        ));
+    }
+    if fingerprint(&one.outputs) != fingerprint(&four.outputs) {
+        return Err(fail(
+            "hybrid",
+            format!(
+                "merge outputs diverge across shard counts: {} segments at 1 shard vs {} at 4",
+                one.outputs.len(),
+                four.outputs.len()
+            ),
+        ));
+    }
+    report.hybrid_outputs = one.outputs.len();
+    if let Shape::Join(j) = &case.plan.shape {
+        // Truth anchor: every robust discrete match the forward comparator
+        // accepts for the single-threaded engine must also be covered by a
+        // hybrid merge output segment.
+        join_forward(tolm, tr, j, disc_out, &one.outputs, report, &fail)?;
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]

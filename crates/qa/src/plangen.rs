@@ -57,8 +57,10 @@ pub enum Step {
     Map { rows: Vec<MapRow> },
 }
 
-/// Windowed-aggregate spec. `axis` is the track axis (0 = x, 1 = y);
-/// the source attribute is `axis · 2`.
+/// Windowed-aggregate spec. With no `pre` steps, `axis` is the track axis
+/// (0 = x, 1 = y) and the source attribute is `axis · 2`; with `pre`
+/// steps, the aggregate reads model slot `axis % slots` of the prefix
+/// output (see [`branch_slots`]).
 #[derive(Debug, Clone)]
 pub struct AggSpec {
     pub func: AggFunc,
@@ -66,6 +68,11 @@ pub struct AggSpec {
     pub width: f64,
     pub slide: f64,
     pub grouped: bool,
+    /// Filter/map prefix between the source and the aggregate. The
+    /// optimizer-biased generator emits **maps only** here: a pre-filter
+    /// would change which samples enter the window, which the oracle's
+    /// aggregate comparator cannot margin-gate.
+    pub pre: Vec<Step>,
 }
 
 /// Sliding-window join spec. `lslot`/`rslot` index the *model slots* of the
@@ -136,6 +143,44 @@ impl StepCtx {
     }
 }
 
+/// Draws one map step of `nrows` rows and updates the ctx. The draw
+/// sequence matches what [`gen_steps`] has always used (corpus seeds
+/// depend on it byte-for-byte). `zero_offset` discards the additive
+/// offsets — aggregate prefixes need `c = 0` so window comparators can
+/// rescale both engines' values by the chain sensitivity alone.
+fn gen_map(rng: &mut StdRng, ctx: &mut StepCtx, nrows: usize, zero_offset: bool) -> Step {
+    let rows = (0..nrows)
+        .map(|_| {
+            let nterms = rng.gen_range(1usize..=ctx.modeled.len().min(2));
+            let mut attrs = ctx.modeled.clone();
+            let terms = (0..nterms)
+                .map(|_| {
+                    let a = attrs.remove(rng.gen_range(0..attrs.len()));
+                    let coef = rng.gen_range(0.4..1.6) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    (a, coef)
+                })
+                .collect::<Vec<_>>();
+            let c = rng.gen_range(-15.0..15.0);
+            MapRow { terms, c: if zero_offset { 0.0 } else { c } }
+        })
+        .collect::<Vec<_>>();
+    // Post-map every output attr is modeled; update scales.
+    ctx.scale = rows
+        .iter()
+        .map(|r| r.terms.iter().map(|(a, c)| c.abs() * ctx.scale[*a]).sum::<f64>() + r.c.abs())
+        .collect();
+    ctx.modeled = (0..rows.len()).collect();
+    ctx.arity = rows.len();
+    Step::Map { rows }
+}
+
+/// Draws one filter step over a modeled attr of the current ctx.
+fn gen_filter(rng: &mut StdRng, ctx: &StepCtx) -> Step {
+    let attr = ctx.modeled[rng.gen_range(0..ctx.modeled.len())];
+    let c = rng.gen_range(-0.7..0.7) * ctx.scale[attr].max(1.0);
+    Step::Filter { attr, op: comparison(rng), c }
+}
+
 fn gen_steps(rng: &mut StdRng, ctx: &mut StepCtx, n: usize, want: Option<OpKind>) -> Vec<Step> {
     let mut steps = Vec::with_capacity(n);
     for i in 0..n {
@@ -147,35 +192,10 @@ fn gen_steps(rng: &mut StdRng, ctx: &mut StepCtx, n: usize, want: Option<OpKind>
             _ => rng.gen_bool(0.4),
         };
         if make_map {
-            let rows = (0..rng.gen_range(1usize..=2))
-                .map(|_| {
-                    let nterms = rng.gen_range(1usize..=ctx.modeled.len().min(2));
-                    let mut attrs = ctx.modeled.clone();
-                    let terms = (0..nterms)
-                        .map(|_| {
-                            let a = attrs.remove(rng.gen_range(0..attrs.len()));
-                            let coef = rng.gen_range(0.4..1.6)
-                                * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                            (a, coef)
-                        })
-                        .collect::<Vec<_>>();
-                    MapRow { terms, c: rng.gen_range(-15.0..15.0) }
-                })
-                .collect::<Vec<_>>();
-            // Post-map every output attr is modeled; update scales.
-            ctx.scale = rows
-                .iter()
-                .map(|r| {
-                    r.terms.iter().map(|(a, c)| c.abs() * ctx.scale[*a]).sum::<f64>() + r.c.abs()
-                })
-                .collect();
-            ctx.modeled = (0..rows.len()).collect();
-            ctx.arity = rows.len();
-            steps.push(Step::Map { rows });
+            let nrows = rng.gen_range(1usize..=2);
+            steps.push(gen_map(rng, ctx, nrows, false));
         } else {
-            let attr = ctx.modeled[rng.gen_range(0..ctx.modeled.len())];
-            let c = rng.gen_range(-0.7..0.7) * ctx.scale[attr].max(1.0);
-            steps.push(Step::Filter { attr, op: comparison(rng), c });
+            steps.push(gen_filter(rng, ctx));
         }
     }
     steps
@@ -199,6 +219,7 @@ pub fn gen_plan(rng: &mut StdRng, force: OpKind, value_scale: f64) -> GenPlan {
                 width,
                 slide: rng.gen_range(0.3..0.9_f64).min(width),
                 grouped: rng.gen_bool(0.65),
+                pre: Vec::new(),
             })
         }
         OpKind::SumAvg => {
@@ -212,6 +233,7 @@ pub fn gen_plan(rng: &mut StdRng, force: OpKind, value_scale: f64) -> GenPlan {
                 // The continuous transform rejects ungrouped sum/avg
                 // (frequency-dependent), so sum/avg is always grouped.
                 grouped: true,
+                pre: Vec::new(),
             })
         }
         OpKind::Join => {
@@ -226,6 +248,94 @@ pub fn gen_plan(rng: &mut StdRng, force: OpKind, value_scale: f64) -> GenPlan {
                 1 => KeyJoin::Ne,
                 _ => KeyJoin::Eq,
             };
+            Shape::Join(JoinSpec {
+                lslot: rng.gen_range(0..lctx.modeled.len()),
+                rslot: rng.gen_range(0..rctx.modeled.len()),
+                left,
+                right,
+                window: rng.gen_range(0.4..1.2),
+                op: if rng.gen_bool(0.5) { CmpOp::Lt } else { CmpOp::Gt },
+                on,
+            })
+        }
+    };
+    GenPlan { shape }
+}
+
+/// Generates plans biased toward optimizer activity — the shapes
+/// `opt_equiv` needs so every pass demonstrably fires:
+///
+/// * **Filter** — a map followed by a filter over a mapped attr: the
+///   [`pulse_stream::PredicatePushdown`] swap site;
+/// * **Map** — a two-row map followed by a one-row map reading only one of
+///   them: the dead row is [`pulse_stream::ProjectionPrune`]'s site;
+/// * **MinMax** — always *ungrouped*, over a two-row zero-offset map
+///   prefix: prune narrows the prefix and
+///   [`pulse_stream::partition_rewrite`] splits the envelope;
+/// * **SumAvg** — grouped, over the same two-row prefix: prune fires on a
+///   partitionable plan (the sharded third engine stays covered);
+/// * **Join** — key condition always `Any`/`Ne`, so the partition rewrite
+///   carries the join as its merge stage.
+///
+/// This is a separate entry point so the default [`gen_plan`] draw
+/// sequence — which checked-in corpus seeds replay byte-for-byte — stays
+/// untouched.
+pub fn gen_plan_opt(rng: &mut StdRng, force: OpKind, value_scale: f64) -> GenPlan {
+    let shape = match force {
+        OpKind::Filter => {
+            let mut ctx = StepCtx::source(value_scale);
+            let nrows = rng.gen_range(1usize..=2);
+            let map = gen_map(rng, &mut ctx, nrows, false);
+            let filter = gen_filter(rng, &ctx);
+            Shape::Chain { steps: vec![map, filter] }
+        }
+        OpKind::Map => {
+            let mut ctx = StepCtx::source(value_scale);
+            let wide = gen_map(rng, &mut ctx, 2, false);
+            // One row over one of the two wide outputs: the other is dead.
+            let a = ctx.modeled[rng.gen_range(0..ctx.modeled.len())];
+            let coef = rng.gen_range(0.4..1.6) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let narrow = Step::Map {
+                rows: vec![MapRow { terms: vec![(a, coef)], c: rng.gen_range(-15.0..15.0) }],
+            };
+            Shape::Chain { steps: vec![wide, narrow] }
+        }
+        OpKind::MinMax => {
+            let func = if rng.gen_bool(0.5) { AggFunc::Min } else { AggFunc::Max };
+            let width = rng.gen_range(0.6..1.4);
+            let mut ctx = StepCtx::source(value_scale);
+            let pre = vec![gen_map(rng, &mut ctx, 2, true)];
+            Shape::Agg(AggSpec {
+                func,
+                axis: rng.gen_range(0usize..2),
+                width,
+                slide: rng.gen_range(0.3..0.9_f64).min(width),
+                grouped: false,
+                pre,
+            })
+        }
+        OpKind::SumAvg => {
+            let func = if rng.gen_bool(0.5) { AggFunc::Sum } else { AggFunc::Avg };
+            let width = rng.gen_range(0.6..1.4);
+            let mut ctx = StepCtx::source(value_scale);
+            let pre = vec![gen_map(rng, &mut ctx, 2, true)];
+            Shape::Agg(AggSpec {
+                func,
+                axis: rng.gen_range(0usize..2),
+                width,
+                slide: rng.gen_range(0.3..0.9_f64).min(width),
+                grouped: true,
+                pre,
+            })
+        }
+        OpKind::Join => {
+            let mut lctx = StepCtx::source(value_scale);
+            let mut rctx = StepCtx::source(value_scale);
+            let nl = rng.gen_range(0usize..=1);
+            let nr = rng.gen_range(0usize..=1);
+            let left = gen_steps(rng, &mut lctx, nl, None);
+            let right = gen_steps(rng, &mut rctx, nr, None);
+            let on = if rng.gen_bool(0.5) { KeyJoin::Any } else { KeyJoin::Ne };
             Shape::Join(JoinSpec {
                 lslot: rng.gen_range(0..lctx.modeled.len()),
                 rslot: rng.gen_range(0..rctx.modeled.len()),
@@ -285,15 +395,19 @@ impl GenPlan {
                 add_steps(&mut lp, PortRef::Source(0), steps);
             }
             Shape::Agg(a) => {
+                let port = add_steps(&mut lp, PortRef::Source(0), &a.pre);
+                // With no prefix this is the track-axis attr (`axis · 2`);
+                // with one, the prefix's model slot `axis % slots`.
+                let slots = branch_slots(&a.pre);
                 lp.add(
                     LogicalOp::Aggregate {
                         func: a.func,
-                        attr: a.axis * 2,
+                        attr: slots[a.axis % slots.len()],
                         width: a.width,
                         slide: a.slide,
                         group_by_key: a.grouped,
                     },
-                    vec![PortRef::Source(0)],
+                    vec![port],
                 );
             }
             Shape::Join(j) => {
@@ -380,6 +494,40 @@ mod tests {
             let _ = pulse_stream::Plan::compile(&lp);
             pulse_core::CPlan::compile(&lp).unwrap_or_else(|e| {
                 panic!("seed {seed}: continuous transform rejected plan: {e}\n{lp}")
+            });
+        }
+    }
+
+    #[test]
+    fn opt_generator_guarantees_pass_sites() {
+        use pulse_stream::{partition_rewrite, Optimizer};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let force = KINDS[(seed % 5) as usize];
+            let plan = gen_plan_opt(&mut rng, force, 50.0);
+            let (lp, sink) = plan.to_logical();
+            assert_eq!(lp.sinks(), vec![sink], "seed {seed}: single sink");
+            let opt = Optimizer::standard().run(&lp);
+            let fired = |name: &str| {
+                opt.stats.iter().find(|s| s.name == name).map(|s| s.applied).unwrap_or(0)
+            };
+            match force {
+                OpKind::Filter => assert!(fired("pushdown") >= 1, "seed {seed}\n{lp}"),
+                OpKind::Map | OpKind::SumAvg => {
+                    assert!(fired("prune") >= 1, "seed {seed}\n{lp}")
+                }
+                OpKind::MinMax | OpKind::Join => {
+                    assert!(
+                        partition_rewrite(&opt.plan).is_some(),
+                        "seed {seed}: rewrite must fire\n{}",
+                        opt.plan
+                    );
+                }
+            }
+            // Both engines must accept the optimized plan too.
+            let _ = pulse_stream::Plan::compile(&opt.plan);
+            pulse_core::CPlan::compile(&opt.plan).unwrap_or_else(|e| {
+                panic!("seed {seed}: continuous transform rejected optimized plan: {e}")
             });
         }
     }

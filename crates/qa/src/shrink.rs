@@ -11,6 +11,11 @@ use crate::oracle::{run_case, CaseFailure};
 use crate::plangen::Shape;
 use crate::streamgen::Case;
 
+/// A checker the shrinker can drive: `Ok(())` means the candidate passes
+/// (reject the reduction), `Err` means it still fails (adopt it). The
+/// plain oracle and the optimizer-equivalence check both fit.
+pub type CaseCheck<'a> = &'a dyn Fn(&Case) -> Result<(), CaseFailure>;
+
 fn candidates(case: &Case) -> Vec<Case> {
     let mut out = Vec::new();
     let mut push = |f: &dyn Fn(&mut Case)| {
@@ -39,6 +44,17 @@ fn candidates(case: &Case) -> Vec<Case> {
             }
         });
     }
+    if let Shape::Agg(a) = &case.plan.shape {
+        if !a.pre.is_empty() {
+            push(&|c| {
+                if let Shape::Agg(a) = &mut c.plan.shape {
+                    // `axis` stays valid: slot lookup is modulo the slot
+                    // count, and with no pre-map both slots are raw tracks.
+                    a.pre.clear();
+                }
+            });
+        }
+    }
     if let Shape::Join(j) = &case.plan.shape {
         if !j.left.is_empty() {
             push(&|c| {
@@ -58,10 +74,21 @@ fn candidates(case: &Case) -> Vec<Case> {
     out
 }
 
-/// Greedily minimizes a failing case: repeatedly adopts the first
-/// still-failing reduction until none applies (bounded, so a flaky
-/// non-reproducing failure cannot loop forever).
+/// Greedily minimizes a failing case against the plain three-way oracle.
 pub fn minimize(case: &Case, original: CaseFailure) -> (Case, CaseFailure) {
+    minimize_by(case, original, &|c| run_case(c).map(|_| ()))
+}
+
+/// Greedily minimizes a failing case against an arbitrary checker:
+/// repeatedly adopts the first still-failing reduction until none applies
+/// (bounded, so a flaky non-reproducing failure cannot loop forever).
+/// `opt_equiv` passes its optimized-vs-unoptimized equivalence check here,
+/// so equivalence failures shrink exactly like oracle failures.
+pub fn minimize_by(
+    case: &Case,
+    original: CaseFailure,
+    check: CaseCheck<'_>,
+) -> (Case, CaseFailure) {
     let mut best = case.clone();
     let mut failure = original;
     for _ in 0..24 {
@@ -71,7 +98,7 @@ pub fn minimize(case: &Case, original: CaseFailure) -> (Case, CaseFailure) {
             if matches!(&cand.plan.shape, Shape::Chain { steps } if steps.is_empty()) {
                 continue;
             }
-            if let Err(f) = run_case(&cand) {
+            if let Err(f) = check(&cand) {
                 best = cand;
                 failure = f;
                 progressed = true;
@@ -93,4 +120,55 @@ pub fn explain_failure(shrunk: &Case, failure: &CaseFailure) -> String {
         "{failure}\n--- shrunk plan ---\n{lp}--- stream ---\n{:#?}\nduration {:.2}s, bound {}, horizon {}\n",
         shrunk.stream.tracks, shrunk.stream.duration, shrunk.stream.bound, shrunk.stream.horizon
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic checker that fails exactly while `keys > 1` must shrink
+    /// to the 2-key boundary with every unrelated reduction (noise,
+    /// duration) also applied — and the reported failure must track the
+    /// last adopted candidate, not the original case.
+    #[test]
+    fn minimize_by_drives_a_custom_checker_to_the_boundary() {
+        let case = (0..200u64)
+            .map(Case::from_seed)
+            .find(|c| c.stream.tracks.keys > 2 && c.stream.tracks.noise > 0.0)
+            .expect("some seed draws >2 keys with noise");
+        let check = |c: &Case| -> Result<(), CaseFailure> {
+            if c.stream.tracks.keys > 1 {
+                Err(CaseFailure {
+                    seed: c.seed,
+                    stage: "synthetic",
+                    detail: format!("still failing at {} keys", c.stream.tracks.keys),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let original = check(&case).unwrap_err();
+        let (shrunk, failure) = minimize_by(&case, original, &check);
+        assert_eq!(shrunk.stream.tracks.keys, 2, "2 keys is the minimal failing count");
+        assert_eq!(shrunk.stream.tracks.noise, 0.0, "noise reduction is failure-preserving");
+        assert!(shrunk.stream.duration <= 3.0, "duration shrinks while > 3.0");
+        assert_eq!(failure.detail, "still failing at 2 keys");
+        assert_eq!(failure.stage, "synthetic");
+    }
+
+    /// Pre-map clearing is on the candidate menu for aggregate shapes.
+    #[test]
+    fn agg_pre_clearing_is_a_candidate() {
+        use crate::plangen::Shape;
+        let case = (0..40u64)
+            .map(Case::from_seed_opt)
+            .find(|c| matches!(&c.plan.shape, Shape::Agg(a) if !a.pre.is_empty()))
+            .expect("opt generator emits pre-mapped aggregates");
+        assert!(
+            candidates(&case)
+                .iter()
+                .any(|c| matches!(&c.plan.shape, Shape::Agg(a) if a.pre.is_empty())),
+            "no candidate cleared the aggregate pre-map"
+        );
+    }
 }

@@ -13,7 +13,7 @@
 //! when legs are longer than `width + horizon` — so leg duration is drawn
 //! relative to those two.
 
-use crate::plangen::{gen_plan, GenPlan, OpKind, Shape, KINDS};
+use crate::plangen::{gen_plan, gen_plan_opt, GenPlan, OpKind, Shape, KINDS};
 use pulse_workload::TrackConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +80,18 @@ impl Case {
         Case { seed, plan, stream }
     }
 
+    /// Derives an optimizer-biased case from one seed: same stream
+    /// derivation, but the plan comes from [`gen_plan_opt`] — shapes
+    /// where the normalization passes and the partition rewrite
+    /// demonstrably fire. Replayed by `opt-*.seed` corpus files.
+    pub fn from_seed_opt(seed: u64) -> Case {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let force = KINDS[(seed % 5) as usize];
+        let plan = gen_plan_opt(&mut rng, force, 50.0);
+        let stream = gen_stream(&mut rng, &plan, seed);
+        Case { seed, plan, stream }
+    }
+
     /// The operator kind this case exercises at its sink.
     pub fn kind(&self) -> OpKind {
         self.plan.kind()
@@ -108,13 +120,22 @@ mod tests {
     #[test]
     fn agg_cases_leave_room_for_clean_windows() {
         for seed in 0..60u64 {
-            let case = Case::from_seed(seed);
-            if let Shape::Agg(a) = &case.plan.shape {
-                assert!(
-                    case.stream.tracks.leg_duration > a.width + case.stream.horizon + 0.5,
-                    "seed {seed}: legs too short for break-free windows"
-                );
+            for case in [Case::from_seed(seed), Case::from_seed_opt(seed)] {
+                if let Shape::Agg(a) = &case.plan.shape {
+                    assert!(
+                        case.stream.tracks.leg_duration > a.width + case.stream.horizon + 0.5,
+                        "seed {seed}: legs too short for break-free windows"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn opt_cases_are_deterministic_per_seed() {
+        let a = Case::from_seed_opt(123);
+        let b = Case::from_seed_opt(123);
+        assert_eq!(format!("{:?}", a.plan.shape), format!("{:?}", b.plan.shape));
+        assert_eq!(a.stream.tracks, b.stream.tracks);
     }
 }

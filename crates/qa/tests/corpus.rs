@@ -5,6 +5,12 @@
 //! regime. They replay on every `cargo test`, independent of
 //! `PULSE_QA_CASES`, so a hunted bug stays fixed. To pin a new failure,
 //! append the seed the differential suite printed to any `.seed` file.
+//!
+//! Files named `opt-*.seed` come from the optimizer-equivalence suite:
+//! their seeds derive cases with the optimizer-biased generator and replay
+//! through `check_opt_case` (oracle both with and without the standard
+//! pass pipeline, plus bit-exact discrete-trace equality). All other files
+//! replay through the plain three-way oracle.
 
 use std::fs;
 use std::path::Path;
@@ -20,22 +26,36 @@ fn corpus_replays_clean() {
         .filter(|p| p.extension().is_some_and(|x| x == "seed"))
         .collect();
     entries.sort();
+    let mut opt_rewrites = 0usize;
     for path in entries {
         files += 1;
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let opt_mode = name.starts_with("opt-");
         let contents = fs::read_to_string(&path).unwrap();
         for seed in pulse_qa::parse_seeds(&contents) {
             seeds += 1;
-            // check_seed panics with a shrunk, replayable report on failure.
-            let report = pulse_qa::run_case(&pulse_qa::Case::from_seed(seed));
-            if let Err(failure) = report {
-                panic!(
-                    "corpus file {} regressed:\n{}",
-                    path.file_name().unwrap().to_string_lossy(),
-                    pulse_qa::explain_failure(&pulse_qa::Case::from_seed(seed), &failure)
-                );
+            let (case, result) = if opt_mode {
+                let case = pulse_qa::Case::from_seed_opt(seed);
+                let result = pulse_qa::check_opt_case(&case);
+                (case, result)
+            } else {
+                let case = pulse_qa::Case::from_seed(seed);
+                (case.clone(), pulse_qa::run_case(&case))
+            };
+            match result {
+                Ok(report) if report.partition_fire => opt_rewrites += 1,
+                Ok(_) => {}
+                Err(failure) => panic!(
+                    "corpus file {name} regressed:\n{}",
+                    pulse_qa::explain_failure(&case, &failure)
+                ),
             }
         }
     }
     assert!(files >= 3, "corpus files missing (found {files})");
     assert!(seeds >= 8, "corpus seeds missing (found {seeds})");
+    assert!(
+        opt_rewrites >= 2,
+        "the opt corpus must pin at least two partition-rewrite cases (found {opt_rewrites})"
+    );
 }

@@ -1,0 +1,65 @@
+//! The randomized optimizer-equivalence suite.
+//!
+//! Every case runs the full three-way oracle **twice** — once on the plan
+//! as generated and once behind `Optimizer::standard()` — and then the two
+//! discrete sink traces are compared bit-for-bit: normalization passes may
+//! move predicates and drop dead attributes, but they must not change the
+//! query's discrete interpretation at all. In optimizer mode the third
+//! engine for non-partitionable plans is the partition-rewrite
+//! `HybridRuntime`, run at 1 and 4 shards and compared bit-exactly.
+//!
+//! Seeds come from the optimizer-biased generator (`Case::from_seed_opt`),
+//! whose forced shapes provably give every pass a place to fire — and the
+//! suite asserts that coverage: a run where pushdown, pruning, or the
+//! partition rewrite never fired is a failing run, because it checked
+//! nothing about that pass.
+//!
+//! `PULSE_QA_CASES` controls the case count (default 64), same knob as the
+//! plain differential suite.
+
+use pulse_qa::{check_seed_opt, KINDS};
+
+/// Fixed base seed, a multiple of 5 (so `KINDS[seed % 5]` starts the
+/// forced-kind cycle at `Filter`) and disjoint from the plain suite's
+/// 5_000 range.
+const BASE_SEED: u64 = 9_000;
+
+fn case_budget() -> u64 {
+    std::env::var("PULSE_QA_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+#[test]
+fn optimized_plans_are_equivalent_and_every_pass_fires() {
+    let cases = case_budget();
+    let mut kinds = [0usize; 5];
+    let mut pushdown = 0u64;
+    let mut prune = 0u64;
+    let mut rewrites = 0usize;
+    let mut hybrid_outputs = 0usize;
+    for i in 0..cases {
+        let seed = BASE_SEED + i;
+        // Count the *forced* kind: the opt generator's Filter shape is a
+        // map→filter chain (that is the pushdown site), which plan.kind()
+        // would classify as Map.
+        let kind = KINDS[(seed % 5) as usize];
+        let report = check_seed_opt(seed);
+        kinds[KINDS.iter().position(|k| *k == kind).unwrap()] += 1;
+        pushdown += report.pushdown_fires;
+        prune += report.prune_fires;
+        if report.partition_fire {
+            rewrites += 1;
+            hybrid_outputs += report.hybrid_outputs;
+        }
+    }
+    // Per-pass coverage: a suite where a pass never fired proved nothing
+    // about that pass.
+    assert!(kinds.iter().all(|&k| k > 0), "operator kinds uncovered: {kinds:?}");
+    assert!(pushdown > 0, "predicate pushdown never fired");
+    assert!(prune > 0, "projection pruning never fired");
+    assert!(rewrites > 0, "the partition rewrite never carried the third engine");
+    assert!(hybrid_outputs > 0, "rewritten cases produced no hybrid merge output");
+    eprintln!(
+        "opt equivalence: {cases} cases, kinds {kinds:?}, {pushdown} pushdown fires, \
+         {prune} prune fires, {rewrites} partition rewrites ({hybrid_outputs} hybrid segments)"
+    );
+}

@@ -15,6 +15,7 @@ pub mod explain;
 pub mod logical;
 pub mod metrics;
 pub mod ops;
+pub mod opt;
 pub mod parallel;
 pub mod plan;
 pub mod reference;
@@ -23,6 +24,10 @@ pub use explain::{explain, expr_to_string, pred_to_string};
 pub use logical::{AggFunc, KeyJoin, LogicalOp, LogicalPlan, PartitionViolation, PortRef};
 pub use metrics::OpMetrics;
 pub use ops::{AggregateOp, FilterOp, JoinOp, MapOp, Operator, UnionOp};
+pub use opt::{
+    partition_rewrite, BranchPlan, HybridPlan, Optimized, Optimizer, Pass, PassStat,
+    PredicatePushdown, ProjectionPrune,
+};
 pub use parallel::Pipeline;
 pub use plan::Plan;
 pub use reference::{fingerprint, Calibration, Comparison, SegPrint, ToleranceModel};

@@ -180,6 +180,16 @@ impl LogicalPlan {
     /// The first operator that prevents key partitioning, if any, with a
     /// human-readable reason (used in sharding errors).
     pub fn key_partition_violation(&self) -> Option<PartitionViolation> {
+        self.key_partition_violations().into_iter().next()
+    }
+
+    /// Every operator that prevents key partitioning, in node order. The
+    /// partition-rewrite pass needs the complete set to decide in one
+    /// analysis whether a partitionable prefix exists (a plan with two
+    /// cross-key operators is only splittable if *all* of them sit at or
+    /// above the chosen merge frontier).
+    pub fn key_partition_violations(&self) -> Vec<PartitionViolation> {
+        let mut out = Vec::new();
         for (node, ln) in self.nodes.iter().enumerate() {
             let reason = match &ln.op {
                 LogicalOp::Join { on_keys: KeyJoin::Eq, .. } => continue,
@@ -194,9 +204,9 @@ impl LogicalPlan {
                 }
                 _ => continue,
             };
-            return Some(PartitionViolation { node, reason });
+            out.push(PartitionViolation { node, reason });
         }
-        None
+        out
     }
 
     /// Nodes that feed no other node — the query outputs.
@@ -398,6 +408,42 @@ mod tests {
             assert!(v.reason.contains("join"), "{}", v.reason);
             assert!(v.to_string().starts_with("node 0: "), "{v}");
         }
+    }
+
+    #[test]
+    fn all_partition_violations_are_reported() {
+        // Any-join feeding an ungrouped aggregate: two independent
+        // cross-key operators. The full analysis must name both, in node
+        // order, and the single-violation accessor must stay pinned to the
+        // first (sharding errors keep their historical shape).
+        let mut p = LogicalPlan::new(vec![src(), src()]);
+        let j = p.add(
+            LogicalOp::Join { window: 1.0, pred: Pred::True, on_keys: KeyJoin::Any },
+            vec![PortRef::Source(0), PortRef::Source(1)],
+        );
+        p.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Min,
+                attr: 0,
+                width: 10.0,
+                slide: 2.0,
+                group_by_key: false,
+            },
+            vec![j],
+        );
+        let vs = p.key_partition_violations();
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert_eq!(vs[0].node, 0);
+        assert!(vs[0].reason.contains("join"), "{}", vs[0].reason);
+        assert_eq!(vs[1].node, 1);
+        assert!(vs[1].reason.contains("aggregate"), "{}", vs[1].reason);
+        assert_eq!(p.key_partition_violation(), Some(vs[0]));
+
+        // A partitionable plan reports an empty set, and a single-violation
+        // plan a singleton — the Vec form subsumes the Option form.
+        let mut p = LogicalPlan::new(vec![src()]);
+        p.add(LogicalOp::Filter { pred: Pred::True }, vec![PortRef::Source(0)]);
+        assert!(p.key_partition_violations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Projection pruning.
+//!
+//! A backward liveness analysis marks, for every node output, which
+//! attributes can still influence a sink (directly or through predicates
+//! and aggregate references). A map whose output carries dead attributes is
+//! narrowed to its live rows — the typical win is a wide map ahead of a
+//! join whose downstream only aggregates one column: the join then buffers
+//! and re-emits fewer models per segment.
+//!
+//! Narrowing a schema shifts attribute indices for everything downstream,
+//! so the pass rebuilds the suffix of the plan under an explicit per-port
+//! remap: predicates, map rows and aggregate references are renumbered,
+//! join outputs compose their sides' remaps. Observable schemas are never
+//! changed — liveness seeds every sink with "all attributes live", so a map
+//! whose columns all reach a sink is left alone, and the rebuilt plan's
+//! sink remap is the identity by construction.
+
+use super::{Pass, Rewrite};
+use crate::logical::{LogicalOp, LogicalPlan, PortRef};
+use pulse_model::{Expr, Pred, Schema};
+use std::collections::BTreeSet;
+
+pub struct ProjectionPrune;
+
+/// Live attribute set per node output.
+fn liveness(plan: &LogicalPlan) -> Vec<BTreeSet<usize>> {
+    let mut live: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); plan.nodes.len()];
+    for s in plan.sinks() {
+        live[s] = (0..plan.schema_of(PortRef::Node(s)).len()).collect();
+    }
+    // Nodes are stored in topological order (inputs precede consumers), so
+    // one reverse sweep propagates demand all the way to the sources.
+    for i in (0..plan.nodes.len()).rev() {
+        let out_live = live[i].clone();
+        let node = &plan.nodes[i];
+        let mut needs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); node.inputs.len()];
+        match &node.op {
+            LogicalOp::Filter { pred } => {
+                needs[0] = out_live.clone();
+                needs[0].extend(pred.referenced_attrs().into_iter().map(|(_, a)| a));
+            }
+            LogicalOp::Map { exprs, .. } => {
+                for &j in &out_live {
+                    let mut attrs = Vec::new();
+                    exprs[j].collect_attrs(&mut attrs);
+                    needs[0].extend(attrs.into_iter().map(|(_, a)| a));
+                }
+            }
+            LogicalOp::Join { pred, .. } => {
+                let lw = plan.schema_of(node.inputs[0]).len();
+                for (input, a) in pred.referenced_attrs() {
+                    needs[input].insert(a);
+                }
+                for &a in &out_live {
+                    if a < lw {
+                        needs[0].insert(a);
+                    } else {
+                        needs[1].insert(a - lw);
+                    }
+                }
+            }
+            LogicalOp::Aggregate { attr, .. } => {
+                needs[0].insert(*attr);
+            }
+            LogicalOp::Union => {
+                needs[0] = out_live.clone();
+                needs[1] = out_live.clone();
+            }
+        }
+        for (port, need) in node.inputs.iter().zip(needs) {
+            if let PortRef::Node(k) = port {
+                live[*k].extend(need);
+            }
+        }
+    }
+    live
+}
+
+/// `old attr -> new attr` for one port; `None` entries are pruned attrs.
+type AttrMap = Vec<Option<usize>>;
+
+fn identity(len: usize) -> AttrMap {
+    (0..len).map(Some).collect()
+}
+
+fn remap_expr(e: &Expr, maps: &[&AttrMap]) -> Option<Expr> {
+    Some(match e {
+        Expr::Const(_) | Expr::Time => e.clone(),
+        Expr::Attr { input, attr } => {
+            Expr::Attr { input: *input, attr: (*maps.get(*input)?)[*attr]? }
+        }
+        Expr::Add(a, b) => {
+            Expr::Add(Box::new(remap_expr(a, maps)?), Box::new(remap_expr(b, maps)?))
+        }
+        Expr::Sub(a, b) => {
+            Expr::Sub(Box::new(remap_expr(a, maps)?), Box::new(remap_expr(b, maps)?))
+        }
+        Expr::Mul(a, b) => {
+            Expr::Mul(Box::new(remap_expr(a, maps)?), Box::new(remap_expr(b, maps)?))
+        }
+        Expr::Div(a, b) => {
+            Expr::Div(Box::new(remap_expr(a, maps)?), Box::new(remap_expr(b, maps)?))
+        }
+        Expr::Neg(a) => Expr::Neg(Box::new(remap_expr(a, maps)?)),
+        Expr::Pow(a, n) => Expr::Pow(Box::new(remap_expr(a, maps)?), *n),
+        Expr::Sqrt(a) => Expr::Sqrt(Box::new(remap_expr(a, maps)?)),
+        Expr::Abs(a) => Expr::Abs(Box::new(remap_expr(a, maps)?)),
+    })
+}
+
+fn remap_pred(p: &Pred, maps: &[&AttrMap]) -> Option<Pred> {
+    Some(match p {
+        Pred::True | Pred::False => p.clone(),
+        Pred::Cmp { lhs, op, rhs } => {
+            Pred::Cmp { lhs: remap_expr(lhs, maps)?, op: *op, rhs: remap_expr(rhs, maps)? }
+        }
+        Pred::And(a, b) => remap_pred(a, maps)?.and(remap_pred(b, maps)?),
+        Pred::Or(a, b) => remap_pred(a, maps)?.or(remap_pred(b, maps)?),
+        Pred::Not(a) => remap_pred(a, maps)?.not(),
+    })
+}
+
+/// Narrows map `m` to the attrs in `keep`, rebuilding everything
+/// downstream under the induced remaps. `None` when the rewrite would
+/// change an observable schema or hit an unsupported shape (a union whose
+/// siblings would diverge).
+fn prune_map(plan: &LogicalPlan, m: usize, keep: &[usize]) -> Option<LogicalPlan> {
+    let LogicalOp::Map { exprs, schema } = &plan.nodes[m].op else { return None };
+    let mut new = plan.clone();
+    new.nodes[m].op = LogicalOp::Map {
+        exprs: keep.iter().map(|&a| exprs[a].clone()).collect(),
+        schema: Schema::new(keep.iter().map(|&a| schema.attrs()[a].clone()).collect()),
+    };
+    // Per-node output remap; None entry = identity.
+    let mut maps: Vec<Option<AttrMap>> = vec![None; plan.nodes.len()];
+    let mut pruned_map = vec![None; schema.len()];
+    for (new_idx, &old_idx) in keep.iter().enumerate() {
+        pruned_map[old_idx] = Some(new_idx);
+    }
+    maps[m] = Some(pruned_map);
+
+    let port_map = |maps: &Vec<Option<AttrMap>>, p: &PortRef| -> Option<AttrMap> {
+        match p {
+            PortRef::Source(s) => Some(identity(plan.sources[*s].len())),
+            PortRef::Node(k) => Some(match &maps[*k] {
+                Some(mm) => mm.clone(),
+                None => identity(plan.schema_of(PortRef::Node(*k)).len()),
+            }),
+        }
+    };
+
+    for i in m + 1..plan.nodes.len() {
+        let in_maps: Vec<AttrMap> =
+            plan.nodes[i].inputs.iter().map(|p| port_map(&maps, p)).collect::<Option<_>>()?;
+        if in_maps.iter().all(|mm| mm.iter().enumerate().all(|(a, v)| *v == Some(a))) {
+            continue; // untouched upstream: node and its output are as before
+        }
+        let refs: Vec<&AttrMap> = in_maps.iter().collect();
+        match &plan.nodes[i].op {
+            LogicalOp::Filter { pred } => {
+                new.nodes[i].op = LogicalOp::Filter { pred: remap_pred(pred, &refs)? };
+                maps[i] = Some(in_maps[0].clone()); // schema passes through
+            }
+            LogicalOp::Map { exprs, schema } => {
+                let rows = exprs.iter().map(|e| remap_expr(e, &refs)).collect::<Option<_>>()?;
+                new.nodes[i].op = LogicalOp::Map { exprs: rows, schema: schema.clone() };
+                // Output arity unchanged: identity.
+            }
+            LogicalOp::Join { window, pred, on_keys } => {
+                let lmap = &in_maps[0];
+                let rmap = &in_maps[1];
+                let new_lw = lmap.iter().flatten().count();
+                let mut out = Vec::with_capacity(lmap.len() + rmap.len());
+                out.extend(lmap.iter().copied());
+                out.extend(rmap.iter().map(|v| v.map(|a| a + new_lw)));
+                new.nodes[i].op = LogicalOp::Join {
+                    window: *window,
+                    pred: remap_pred(pred, &refs)?,
+                    on_keys: *on_keys,
+                };
+                maps[i] = Some(out);
+            }
+            LogicalOp::Aggregate { func, attr, width, slide, group_by_key } => {
+                new.nodes[i].op = LogicalOp::Aggregate {
+                    func: *func,
+                    attr: in_maps[0][*attr]?,
+                    width: *width,
+                    slide: *slide,
+                    group_by_key: *group_by_key,
+                };
+                // Single-attr output: identity.
+            }
+            LogicalOp::Union => return None, // would need both siblings renumbered alike
+        }
+    }
+    // Observable schemas must survive intact.
+    for s in plan.sinks() {
+        if let Some(mm) = &maps[s] {
+            if mm.iter().enumerate().any(|(a, v)| *v != Some(a)) {
+                return None;
+            }
+        }
+    }
+    Some(new)
+}
+
+impl Pass for ProjectionPrune {
+    fn name(&self) -> &'static str {
+        "prune"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<Rewrite> {
+        let live = liveness(plan);
+        for (m, node) in plan.nodes.iter().enumerate() {
+            let LogicalOp::Map { exprs, .. } = &node.op else { continue };
+            if live[m].len() >= exprs.len() || live[m].is_empty() {
+                continue;
+            }
+            let keep: Vec<usize> = live[m].iter().copied().collect();
+            if let Some(new) = prune_map(plan, m, &keep) {
+                let dropped = exprs.len() - keep.len();
+                return Some(Rewrite {
+                    plan: new,
+                    node_map: (0..plan.nodes.len()).collect(),
+                    note: format!("map n{m} narrowed to {} rows ({dropped} dead)", keep.len()),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{AggFunc, KeyJoin};
+    use pulse_math::CmpOp;
+    use pulse_model::AttrKind;
+
+    fn src() -> Schema {
+        Schema::of(&[("x", AttrKind::Modeled), ("v", AttrKind::Coefficient)])
+    }
+
+    fn wide_map(p: &mut LogicalPlan, input: PortRef) -> PortRef {
+        p.add(
+            LogicalOp::Map {
+                exprs: vec![
+                    Expr::attr(0),
+                    Expr::attr(0) * Expr::c(2.0),
+                    Expr::attr(1) + Expr::c(1.0),
+                ],
+                schema: Schema::of(&[
+                    ("a", AttrKind::Modeled),
+                    ("b", AttrKind::Modeled),
+                    ("c", AttrKind::Modeled),
+                ]),
+            },
+            vec![input],
+        )
+    }
+
+    #[test]
+    fn dead_rows_ahead_of_aggregate_are_dropped() {
+        let mut p = LogicalPlan::new(vec![src()]);
+        let m = wide_map(&mut p, PortRef::Source(0));
+        p.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Min,
+                attr: 1,
+                width: 2.0,
+                slide: 1.0,
+                group_by_key: true,
+            },
+            vec![m],
+        );
+        let rw = ProjectionPrune.apply(&p).expect("must fire");
+        let LogicalOp::Map { exprs, schema } = &rw.plan.nodes[0].op else { panic!() };
+        assert_eq!(exprs.len(), 1, "only the aggregated row survives");
+        assert_eq!(schema.attrs()[0].name, "b");
+        let LogicalOp::Aggregate { attr, .. } = rw.plan.nodes[1].op else { panic!() };
+        assert_eq!(attr, 0, "aggregate reference renumbered");
+        assert!(ProjectionPrune.apply(&rw.plan).is_none(), "fixpoint");
+    }
+
+    #[test]
+    fn pruning_composes_through_a_join() {
+        // Wide map on the left of a join; downstream aggregates one joined
+        // column from the right side. Left side narrows to the join
+        // predicate's needs, and the right-side reference shifts.
+        let mut p = LogicalPlan::new(vec![src(), src()]);
+        let m = wide_map(&mut p, PortRef::Source(0));
+        let j = p.add(
+            LogicalOp::Join {
+                window: 1.0,
+                // l.b (attr 1) < r.x (attr 3 of the concat).
+                pred: Pred::cmp(Expr::attr_of(0, 1), CmpOp::Lt, Expr::attr_of(1, 0)),
+                on_keys: KeyJoin::Eq,
+            },
+            vec![m, PortRef::Source(1)],
+        );
+        p.add(
+            LogicalOp::Aggregate {
+                func: AggFunc::Max,
+                attr: 3, // r.x in the 3+2 concat
+                width: 2.0,
+                slide: 1.0,
+                group_by_key: true,
+            },
+            vec![j],
+        );
+        let rw = ProjectionPrune.apply(&p).expect("must fire");
+        let LogicalOp::Map { exprs, .. } = &rw.plan.nodes[0].op else { panic!() };
+        assert_eq!(exprs.len(), 1, "only the join-predicate row survives");
+        let LogicalOp::Join { pred, .. } = &rw.plan.nodes[1].op else { panic!() };
+        assert_eq!(*pred, Pred::cmp(Expr::attr_of(0, 0), CmpOp::Lt, Expr::attr_of(1, 0)));
+        let LogicalOp::Aggregate { attr, .. } = rw.plan.nodes[2].op else { panic!() };
+        assert_eq!(attr, 1, "r.x shifted down by the two dropped left rows");
+    }
+
+    #[test]
+    fn sink_visible_map_is_untouched() {
+        let mut p = LogicalPlan::new(vec![src()]);
+        let m = wide_map(&mut p, PortRef::Source(0));
+        p.add(
+            LogicalOp::Filter { pred: Pred::cmp(Expr::attr(0), CmpOp::Gt, Expr::c(0.0)) },
+            vec![m],
+        );
+        // The filter passes all three attrs through to the sink.
+        assert!(ProjectionPrune.apply(&p).is_none());
+    }
+}

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Repo health gate: formatting, lints, the full test suite, the bounded
-# differential-fuzz stage, a live scrape of a 4-shard scaling run
+# differential-fuzz stage, the optimizer-equivalence fuzz stage (every
+# case runs the oracle with and without the standard pass pipeline and
+# the discrete traces must match bit-for-bit, with per-pass fire
+# coverage asserted), a live scrape of a 4-shard scaling run
 # (/metrics, /health, /profile, the /timeseries collector history, the
 # /audit guarantee ledger, and the /trace.json Perfetto export), the
 # observability overhead gates (obs_bench min-of-batches deltas for
@@ -31,6 +34,9 @@ cargo test --workspace -q
 
 echo "== differential fuzz: $qa_cases generated cases + unconditional corpus replay"
 PULSE_QA_CASES="$qa_cases" cargo test -p pulse-qa -q
+
+echo "== optimizer-equivalence fuzz: $qa_cases opt-biased cases (every pass must fire)"
+PULSE_QA_CASES="$qa_cases" cargo test -p pulse-qa --test opt_equiv -q
 
 echo "== cargo build --release --bins --benches"
 cargo build --release --workspace --bins --benches
